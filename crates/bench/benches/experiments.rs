@@ -1,0 +1,131 @@
+//! Per-artefact benchmarks: one bench per table/figure of the paper's
+//! evaluation section, measuring the cost of regenerating its underlying
+//! experiments (run `repro` for the artefacts themselves).
+//!
+//! - `fig4_golden_run` — the 60 s golden run behind Fig. 4;
+//! - `fig5_duration_cell` — one delay experiment at a representative
+//!   duration (Fig. 5 consists of 11 250 of these bucketed by duration);
+//! - `fig6_pd_cell` — one delay experiment at a representative PD value;
+//! - `fig7_start_cell` — one delay experiment at a representative start;
+//! - `dos_experiment` — one §IV-C.2 DoS experiment;
+//! - `table2_delay_campaign_reduced` — an end-to-end (reduced) campaign
+//!   including golden run, scheduling and classification;
+//! - `classification` — Step 4 alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use comfase::classify::ClassificationParams;
+use comfase::prelude::*;
+use comfase_bench::{delay_campaign, paper_engine, REPRO_SEED};
+use comfase_des::time::SimTime;
+
+fn delay_attack(value: f64, start: f64, dur: f64) -> AttackSpec {
+    AttackSpec {
+        model: AttackModelKind::Delay,
+        value,
+        targets: vec![2],
+        start: SimTime::from_secs_f64(start),
+        end: SimTime::from_secs_f64(start + dur),
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let engine = paper_engine();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+    group.bench_function("fig4_golden_run", |b| {
+        b.iter(|| engine.golden_run().unwrap());
+    });
+    group.finish();
+}
+
+fn bench_delay_cells(c: &mut Criterion) {
+    let engine = paper_engine();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+    group.bench_function("fig5_duration_cell", |b| {
+        let attack = delay_attack(1.0, 17.0, 10.0);
+        b.iter(|| engine.run_experiment(&attack, 0).unwrap());
+    });
+    group.bench_function("fig6_pd_cell", |b| {
+        let attack = delay_attack(2.2, 17.0, 5.0);
+        b.iter(|| engine.run_experiment(&attack, 0).unwrap());
+    });
+    group.bench_function("fig7_start_cell", |b| {
+        let attack = delay_attack(1.0, 19.8, 5.0);
+        b.iter(|| engine.run_experiment(&attack, 0).unwrap());
+    });
+    group.bench_function("dos_experiment", |b| {
+        let attack = AttackSpec {
+            model: AttackModelKind::Dos,
+            value: 60.0,
+            targets: vec![2],
+            start: SimTime::from_secs(17),
+            end: SimTime::from_secs(60),
+        };
+        b.iter(|| engine.run_experiment(&attack, 0).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table2_delay_campaign_reduced", |b| {
+        // Stride 5: 3 values × 5 starts × 6 durations = 90 experiments.
+        let campaign = delay_campaign(5);
+        b.iter(|| campaign.run(comfase_bench::default_threads()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let engine = paper_engine();
+    let golden = engine.golden_run().unwrap();
+    let run = engine
+        .run_experiment(&delay_attack(1.0, 17.0, 10.0), 0)
+        .unwrap();
+    let params = ClassificationParams::from_golden(&golden.trace);
+    let mut group = c.benchmark_group("experiments");
+    group.bench_function("classification", |b| {
+        b.iter(|| comfase::classify::classify(&golden.trace, &run.trace, &params));
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    // Controller ablation: PATH CACC vs radar-only ACC under attack.
+    for kind in [
+        comfase_platoon::ControllerKind::PathCacc,
+        comfase_platoon::ControllerKind::Acc,
+    ] {
+        let scenario = TrafficScenario::paper_default().with_controller(kind);
+        let engine = Engine::new(scenario, CommModel::paper_default(), REPRO_SEED).unwrap();
+        group.bench_function(format!("controller_{kind:?}"), |b| {
+            let attack = delay_attack(2.0, 17.0, 10.0);
+            b.iter(|| engine.run_experiment(&attack, 0).unwrap());
+        });
+    }
+    // Path-loss ablation: free space vs two-ray interference.
+    for model in [WirelessModelKind::FreeSpace, WirelessModelKind::TwoRayInterference] {
+        let mut comm = CommModel::paper_default();
+        comm.wireless_model = model;
+        let engine = Engine::new(TrafficScenario::paper_default(), comm, REPRO_SEED).unwrap();
+        group.bench_function(format!("pathloss_{model:?}"), |b| {
+            b.iter(|| engine.golden_run().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_delay_cells,
+    bench_campaign,
+    bench_classification,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the simulation substrates: the DES kernel, the
+//! traffic step loop, the wireless channel and the EDCA MAC.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use comfase_des::queue::EventQueue;
+use comfase_des::rng::RngStream;
+use comfase_des::time::SimTime;
+use comfase_traffic::network::{LaneIndex, Road};
+use comfase_traffic::simulation::TrafficSim;
+use comfase_traffic::vehicle::{Vehicle, VehicleId, VehicleSpec};
+use comfase_wireless::channel::Medium;
+use comfase_wireless::frame::{AccessCategory, NodeId, WaveChannel, Wsm};
+use comfase_wireless::geom::Position;
+use comfase_wireless::mac::{Mac, MacAction, MacConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("queue_schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..10_000i64 {
+                    q.schedule(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_traffic_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic");
+    let build = || {
+        let mut sim = TrafficSim::new(Road::paper_highway(), RngStream::new(1));
+        for i in 0..20u32 {
+            sim.add_vehicle(Vehicle::new(
+                VehicleId(i + 1),
+                VehicleSpec::default_car(),
+                50.0 * f64::from(i) + 10.0,
+                LaneIndex((i % 4) as u8),
+                25.0,
+            ))
+            .unwrap();
+        }
+        sim
+    };
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("krauss_20_vehicles_100_steps", |b| {
+        b.iter_batched(build, |mut sim| sim.run_steps(100), BatchSize::SmallInput);
+    });
+    group.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wireless");
+    let wsm = Wsm {
+        source: NodeId(0),
+        sequence: 0,
+        created: SimTime::ZERO,
+        channel: WaveChannel::Cch,
+        payload: Bytes::from_static(&[0u8; 36]),
+    };
+    let build = || {
+        let mut m = Medium::new();
+        for i in 0..10 {
+            m.update_position(NodeId(i), Position::on_road(f64::from(i) * 15.0, 0.0));
+        }
+        m
+    };
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("transmit_fanout_10_nodes", |b| {
+        let mut m = build();
+        b.iter(|| m.transmit(NodeId(0), wsm.clone(), SimTime::ZERO));
+    });
+    group.bench_function("full_reception_cycle", |b| {
+        let mut m = build();
+        b.iter(|| {
+            let out = m.transmit(NodeId(0), wsm.clone(), SimTime::ZERO);
+            for r in &out.receptions {
+                m.reception_started(r);
+            }
+            for r in &out.receptions {
+                m.reception_finished(r);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac");
+    let wsm = Wsm {
+        source: NodeId(1),
+        sequence: 0,
+        created: SimTime::ZERO,
+        channel: WaveChannel::Cch,
+        payload: Bytes::from_static(&[0u8; 36]),
+    };
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("enqueue_contend_transmit", |b| {
+        b.iter_batched(
+            || Mac::new(MacConfig::default(), RngStream::new(1)),
+            |mut mac| {
+                let mut actions = mac.enqueue(wsm.clone(), AccessCategory::Vo, SimTime::ZERO);
+                while let Some(a) = actions.pop() {
+                    match a {
+                        MacAction::SetTimer { at, token } => {
+                            actions.extend(mac.handle_timer(token, at));
+                        }
+                        MacAction::StartTx(_) => break,
+                        MacAction::Drop { .. } => {}
+                    }
+                }
+                mac
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_traffic_step, bench_channel, bench_mac);
+criterion_main!(benches);

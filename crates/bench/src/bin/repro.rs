@@ -1,0 +1,243 @@
+//! Reproduction harness: regenerates every table and figure of the
+//! paper's evaluation section (§IV).
+//!
+//! ```text
+//! repro [--all] [--table1] [--table2] [--fig4] [--fig5] [--fig6] [--fig7]
+//!       [--delay-summary] [--dos-summary]
+//!       [--stride N]  subsample the delay campaign by N (default 1 = full 11250 runs)
+//!       [--threads N] worker threads (default: all cores)
+//!       [--csv DIR]   additionally write machine-readable CSVs into DIR
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::time::Instant;
+
+use comfase::analysis;
+use comfase::campaign::{Campaign, CampaignResult};
+use comfase::config::AttackCampaignSetup;
+use comfase::prelude::{CommModel, Engine, TrafficScenario};
+use comfase::report;
+use comfase_bench::{delay_campaign, dos_campaign, paper_engine, REPRO_SEED};
+
+struct Options {
+    artefacts: Vec<String>,
+    stride: usize,
+    threads: usize,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut artefacts = Vec::new();
+    let mut stride = 1usize;
+    let mut threads = comfase_bench::default_threads();
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => artefacts.push("all".into()),
+            "--table1" | "--table2" | "--fig4" | "--fig5" | "--fig6" | "--fig7"
+            | "--heatmap" | "--delay-summary" | "--dos-summary" | "--ablations" => {
+                artefacts.push(arg.trim_start_matches("--").into());
+            }
+            "--stride" => {
+                stride = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--stride needs a positive integer"));
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
+            }
+            "--csv" => {
+                csv_dir = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--csv needs a directory")),
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro: regenerate the ComFASE paper's tables and figures\n\
+                     usage: repro [--all|--table1|--table2|--fig4|--fig5|--fig6|--fig7|\
+                     --delay-summary|--dos-summary] [--stride N] [--threads N]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if artefacts.is_empty() {
+        artefacts.push("all".into());
+    }
+    Options { artefacts, stride, threads, csv_dir }
+}
+
+fn write_csv(opts: &Options, name: &str, contents: &str) {
+    let Some(dir) = &opts.csv_dir else { return };
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn wants(opts: &Options, name: &str) -> bool {
+    opts.artefacts.iter().any(|a| a == name || a == "all")
+}
+
+fn run_delay(opts: &Options) -> CampaignResult {
+    let campaign = delay_campaign(opts.stride);
+    let total = campaign.nr_experiments();
+    eprintln!(
+        "running delay campaign: {total} experiments (stride {}) on {} thread(s)...",
+        opts.stride, opts.threads
+    );
+    let t0 = Instant::now();
+    let result = campaign
+        .run_with_progress(opts.threads, |done, total| {
+            if done % 500 == 0 || done == total {
+                eprint!("\r  {done}/{total}");
+                let _ = std::io::stderr().flush();
+            }
+        })
+        .expect("campaign runs");
+    eprintln!("\ndelay campaign finished in {:.1?}", t0.elapsed());
+    result
+}
+
+fn main() {
+    let opts = parse_args();
+
+    if wants(&opts, "table1") {
+        println!("{}", report::render_table1());
+    }
+    if wants(&opts, "table2") {
+        println!(
+            "{}",
+            report::render_table2(
+                &AttackCampaignSetup::paper_delay_campaign(),
+                &AttackCampaignSetup::paper_dos_campaign(),
+            )
+        );
+    }
+
+    if wants(&opts, "fig4") {
+        let engine = paper_engine();
+        let golden = engine.golden_run().expect("golden run");
+        println!("{}", report::render_fig4(&golden, 0.5));
+        write_csv(&opts, "fig4.csv", &report::fig4_csv(&golden, 0.1));
+        println!(
+            "golden run: max deceleration {:.3} m/s² (paper: 1.53 m/s²), collisions: {}\n",
+            golden.max_decel(),
+            golden.trace.collisions.len()
+        );
+    }
+
+    let needs_delay = ["fig5", "fig6", "fig7", "heatmap", "delay-summary"]
+        .iter()
+        .any(|a| wants(&opts, a));
+    if needs_delay {
+        let result = run_delay(&opts);
+        if wants(&opts, "fig5") {
+            let map = analysis::by_duration(&result.records);
+            println!("{}", report::render_fig5(&map));
+            println!("{}", report::render_saturation("duration", &map, 0.1));
+            write_csv(&opts, "fig5.csv", &report::class_histogram_csv("duration_s", &map));
+        }
+        if wants(&opts, "fig6") {
+            let map = analysis::by_value(&result.records);
+            println!("{}", report::render_fig6(&map));
+            println!("{}", report::render_saturation("PD value", &map, 0.1));
+            write_csv(&opts, "fig6.csv", &report::class_histogram_csv("pd_s", &map));
+        }
+        if wants(&opts, "heatmap") {
+            println!("{}", report::render_heatmap(&analysis::by_start_and_value(&result.records)));
+        }
+        if wants(&opts, "fig7") {
+            let map = analysis::by_start_time(&result.records);
+            println!("{}", report::render_fig7(&map));
+            write_csv(&opts, "fig7.csv", &report::class_histogram_csv("start_s", &map));
+        }
+        write_csv(&opts, "delay_records.csv", &report::records_csv(&result.records));
+        if wants(&opts, "delay-summary") {
+            println!("== Delay campaign summary (paper §IV-C.1) ==");
+            println!("{}", report::render_summary(&analysis::summary(&result.records)));
+            println!(
+                "{}",
+                report::render_collider_split(&analysis::collider_split(&result.records))
+            );
+            println!(
+                "golden-run max deceleration used as Negligible threshold: {:.3} m/s²\n",
+                result.params.golden_max_decel_mps2
+            );
+        }
+    }
+
+    if wants(&opts, "dos-summary") {
+        let campaign = dos_campaign();
+        eprintln!("running DoS campaign: {} experiments...", campaign.nr_experiments());
+        let result = campaign.run(opts.threads).expect("campaign runs");
+        println!("== DoS campaign summary (paper §IV-C.2) ==");
+        println!("{}", report::render_summary(&analysis::summary(&result.records)));
+        println!(
+            "{}",
+            report::render_collider_split(&analysis::collider_split(&result.records))
+        );
+        let bands: BTreeMap<_, _> = analysis::colliders_by_start(&result.records);
+        println!("{}", report::render_dos_bands(&bands));
+        write_csv(&opts, "dos_records.csv", &report::records_csv(&result.records));
+    }
+
+    if wants(&opts, "ablations") {
+        run_ablations(&opts);
+    }
+}
+
+/// Runs the DoS campaign under four protection configurations and prints a
+/// comparison table (paper §IV-C.3 discussion: redundancy mechanisms).
+fn run_ablations(opts: &Options) {
+    eprintln!("running protection ablations (4 × 25 DoS experiments)...");
+    let build = |name: &'static str, f: &dyn Fn(&mut TrafficScenario)| {
+        let mut scenario = TrafficScenario::paper_default();
+        f(&mut scenario);
+        let engine = Engine::new(scenario, CommModel::paper_default(), REPRO_SEED)
+            .expect("paper presets are valid");
+        let campaign = Campaign::new(engine, AttackCampaignSetup::paper_dos_campaign())
+            .expect("valid campaign");
+        (name, campaign.run(opts.threads).expect("campaign runs"))
+    };
+    let configs: Vec<(&'static str, CampaignResult)> = vec![
+        build("unprotected (paper)", &|_| {}),
+        build("radar safety monitor", &|s| {
+            s.safety_monitor = Some(comfase_platoon::monitor::SafetyMonitorConfig::default());
+        }),
+        build("staleness failsafe 0.5s", &|s| {
+            s.platoon.staleness_timeout_s = Some(0.5);
+        }),
+        build("monitor + failsafe", &|s| {
+            s.safety_monitor = Some(comfase_platoon::monitor::SafetyMonitorConfig::default());
+            s.platoon.staleness_timeout_s = Some(0.5);
+        }),
+    ];
+    println!("== Protection ablations over the Table II DoS campaign ==");
+    println!(
+        "{:<24} | {:>7} | {:>7} | {:>11} | {:>14} | {:>11}",
+        "configuration", "severe", "benign", "negligible", "non-effective", "collisions"
+    );
+    println!("{}", "-".repeat(90));
+    for (name, result) in &configs {
+        let s = analysis::summary(&result.records);
+        let collisions: usize =
+            result.records.iter().map(|r| r.verdict.nr_collisions).sum();
+        println!(
+            "{:<24} | {:>7} | {:>7} | {:>11} | {:>14} | {:>11}",
+            name, s.severe, s.benign, s.negligible, s.non_effective, collisions
+        );
+    }
+}

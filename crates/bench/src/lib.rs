@@ -1,0 +1,69 @@
+//! Shared helpers for the ComFASE-RS reproduction harness and benches.
+//!
+//! The `repro` binary (`cargo run --release -p comfase-bench --bin repro`)
+//! regenerates every table and figure of the paper's evaluation section;
+//! the Criterion benches measure the performance of the substrates and of
+//! whole experiments.
+
+#![warn(missing_docs)]
+
+use comfase::prelude::*;
+
+/// Default campaign seed used across the reproduction (fixed for
+/// determinism; any seed reproduces the same shapes).
+pub const REPRO_SEED: u64 = 42;
+
+/// Builds the paper's engine (§IV-A scenario and communication model).
+pub fn paper_engine() -> Engine {
+    Engine::paper_default(REPRO_SEED).expect("paper presets are valid")
+}
+
+/// The Table II delay campaign (11 250 experiments), optionally reduced
+/// for quick runs: `stride` subsamples every vector (stride 1 = full).
+pub fn delay_campaign(stride: usize) -> Campaign {
+    let mut setup = AttackCampaignSetup::paper_delay_campaign();
+    if stride > 1 {
+        setup.attack_values = stride_vec(&setup.attack_values, stride);
+        setup.attack_starts_s = stride_vec(&setup.attack_starts_s, stride);
+        setup.attack_durations_s = stride_vec(&setup.attack_durations_s, stride);
+    }
+    Campaign::new(paper_engine(), setup).expect("paper campaign is valid")
+}
+
+/// The Table II DoS campaign (25 experiments).
+pub fn dos_campaign() -> Campaign {
+    Campaign::new(paper_engine(), AttackCampaignSetup::paper_dos_campaign())
+        .expect("paper campaign is valid")
+}
+
+fn stride_vec(v: &[f64], stride: usize) -> Vec<f64> {
+    v.iter().step_by(stride).copied().collect()
+}
+
+/// Number of worker threads to use: all available cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_delay_campaign_counts() {
+        assert_eq!(delay_campaign(1).nr_experiments(), 11_250);
+        assert_eq!(dos_campaign().nr_experiments(), 25);
+    }
+
+    #[test]
+    fn strided_campaign_shrinks() {
+        let c = delay_campaign(3);
+        // ceil(15/3) * ceil(25/3) * ceil(30/3) = 5 * 9 * 10
+        assert_eq!(c.nr_experiments(), 450);
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

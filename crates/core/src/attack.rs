@@ -1,0 +1,431 @@
+//! Attack and fault models (paper §III-B, Table I).
+//!
+//! ComFASE models communication attacks by editing parameters of the
+//! simulated communication models. The paper demonstrates two models, both
+//! implemented by overriding Veins' **propagation delay** parameter in the
+//! wireless channel between the sender & receiver modules:
+//!
+//! - **Delay** — messages to/from the target vehicle are blocked and
+//!   retransmitted later (reactive jamming + replay): propagation delay is
+//!   set to the attack value for the duration of the attack;
+//! - **DoS** — the target's communication is disabled entirely: propagation
+//!   delay is set to `totalSimTime`, so no blocked message arrives before
+//!   the simulation ends.
+//!
+//! The tool is explicitly designed to be extensible with further models
+//! ("fault and attack models are implemented in separate scripts"); in the
+//! same spirit this module also ships the related-work models: probabilistic
+//! frame **drop** (jamming, Heijden et al.) and **falsification** of
+//! position/speed/acceleration in transit (Iorio et al., Boeira et al.).
+//!
+//! Every model materialises as a [`ChannelInterceptor`] installed on the
+//! medium by the engine for the attack window — ComFASE's
+//! `CommModelEditor` step.
+
+use std::collections::HashSet;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use comfase_des::rng::RngStream;
+use comfase_des::time::{SimDuration, SimTime};
+use comfase_platoon::beacon::PlatoonBeacon;
+use comfase_wireless::channel::{ChannelInterceptor, LinkFate};
+use comfase_wireless::frame::{NodeId, Wsm};
+
+/// Which beacon field a falsification attack rewrites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FalsifiedField {
+    /// Vehicle position.
+    Position,
+    /// Vehicle speed.
+    Speed,
+    /// Vehicle acceleration.
+    Acceleration,
+}
+
+/// The attack model selector — the paper's `attackModel` input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackModelKind {
+    /// Delay attack: propagation delay := attack value (seconds).
+    Delay,
+    /// Denial-of-service: propagation delay := `totalSimTime`.
+    Dos,
+    /// Probabilistic frame drop (jamming); attack value = loss probability.
+    Drop,
+    /// Falsification of a beacon field in transit; attack value = additive
+    /// offset applied to the field.
+    Falsify(FalsifiedField),
+}
+
+impl AttackModelKind {
+    /// Name as used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackModelKind::Delay => "Delay",
+            AttackModelKind::Dos => "DoS",
+            AttackModelKind::Drop => "Drop",
+            AttackModelKind::Falsify(FalsifiedField::Position) => "Falsify-Position",
+            AttackModelKind::Falsify(FalsifiedField::Speed) => "Falsify-Speed",
+            AttackModelKind::Falsify(FalsifiedField::Acceleration) => "Falsify-Acceleration",
+        }
+    }
+
+    /// The simulation parameter the model edits (Table I, "Target
+    /// parameter").
+    pub fn target_parameter(&self) -> &'static str {
+        match self {
+            AttackModelKind::Delay | AttackModelKind::Dos => "Propagation delay (PD)",
+            AttackModelKind::Drop => "Frame delivery",
+            AttackModelKind::Falsify(_) => "Beacon payload",
+        }
+    }
+
+    /// Real-world attack description (Table I, "Examples").
+    pub fn real_world_example(&self) -> &'static str {
+        match self {
+            AttackModelKind::Delay => {
+                "Catching the messages between vehicles, which are blocked from \
+                 reaching the receiver (e.g., using reactive jamming), and \
+                 re-transmitting them at a later time."
+            }
+            AttackModelKind::Dos => {
+                "Disabling the ability of a vehicle to communicate with other \
+                 vehicles in a traffic by jamming the communication."
+            }
+            AttackModelKind::Drop => {
+                "Degrading the wireless link with broadband noise jamming so \
+                 that a fraction of the frames is lost."
+            }
+            AttackModelKind::Falsify(_) => {
+                "Injecting forged kinematic data into the V2V messages of a \
+                 vehicle (message falsification / injection attack)."
+            }
+        }
+    }
+}
+
+/// One concrete attack to inject in one experiment: model + value + targets
+/// + time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackSpec {
+    /// The attack model.
+    pub model: AttackModelKind,
+    /// Model parameter: PD seconds (delay/DoS), loss probability (drop),
+    /// or field offset (falsification).
+    pub value: f64,
+    /// Vehicles under attack (`targetVehicles`).
+    pub targets: Vec<u32>,
+    /// Attack initiation time.
+    pub start: SimTime,
+    /// Attack end time (exclusive).
+    pub end: SimTime,
+}
+
+impl AttackSpec {
+    /// Attack duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Builds the channel interceptor implementing this attack.
+    ///
+    /// `seed` feeds the deterministic RNG of probabilistic models.
+    pub fn build_interceptor(&self, seed: u64) -> Box<dyn ChannelInterceptor> {
+        let targets: HashSet<NodeId> = self.targets.iter().map(|&v| NodeId(v)).collect();
+        match self.model {
+            AttackModelKind::Delay | AttackModelKind::Dos => Box::new(DelayInterceptor {
+                delay: SimDuration::from_secs_f64(self.value),
+                targets,
+            }),
+            AttackModelKind::Drop => Box::new(DropInterceptor {
+                probability: self.value,
+                targets,
+                rng: RngStream::new(seed ^ 0xD509_AF53_7C29_11ED),
+            }),
+            AttackModelKind::Falsify(field) => Box::new(FalsifyInterceptor {
+                field,
+                offset: self.value,
+                targets,
+            }),
+        }
+    }
+}
+
+fn link_targeted(targets: &HashSet<NodeId>, tx: NodeId, rx: NodeId) -> bool {
+    // The attacks are injected in the sender & receiver modules of the
+    // target vehicle (§IV-A.3): both its outgoing and incoming messages
+    // are affected.
+    targets.contains(&tx) || targets.contains(&rx)
+}
+
+/// Delay / DoS attack: overrides the propagation delay on targeted links.
+#[derive(Debug)]
+struct DelayInterceptor {
+    delay: SimDuration,
+    targets: HashSet<NodeId>,
+}
+
+impl ChannelInterceptor for DelayInterceptor {
+    fn intercept(
+        &mut self,
+        tx: NodeId,
+        rx: NodeId,
+        _now: SimTime,
+        default_delay: SimDuration,
+        _wsm: &Wsm,
+    ) -> LinkFate {
+        if link_targeted(&self.targets, tx, rx) {
+            LinkFate::Deliver { delay: self.delay }
+        } else {
+            LinkFate::Deliver { delay: default_delay }
+        }
+    }
+}
+
+/// Probabilistic frame drop on targeted links (jamming).
+#[derive(Debug)]
+struct DropInterceptor {
+    probability: f64,
+    targets: HashSet<NodeId>,
+    rng: RngStream,
+}
+
+impl ChannelInterceptor for DropInterceptor {
+    fn intercept(
+        &mut self,
+        tx: NodeId,
+        rx: NodeId,
+        _now: SimTime,
+        default_delay: SimDuration,
+        _wsm: &Wsm,
+    ) -> LinkFate {
+        if link_targeted(&self.targets, tx, rx) && self.rng.bernoulli(self.probability.clamp(0.0, 1.0))
+        {
+            LinkFate::Drop
+        } else {
+            LinkFate::Deliver { delay: default_delay }
+        }
+    }
+}
+
+/// Falsification attack: rewrites one field of the platooning beacon on
+/// frames **sent by** a target vehicle.
+#[derive(Debug)]
+struct FalsifyInterceptor {
+    field: FalsifiedField,
+    offset: f64,
+    targets: HashSet<NodeId>,
+}
+
+impl ChannelInterceptor for FalsifyInterceptor {
+    fn intercept(
+        &mut self,
+        tx: NodeId,
+        _rx: NodeId,
+        _now: SimTime,
+        default_delay: SimDuration,
+        wsm: &Wsm,
+    ) -> LinkFate {
+        if !self.targets.contains(&tx) {
+            return LinkFate::Deliver { delay: default_delay };
+        }
+        match PlatoonBeacon::decode(Bytes::clone(&wsm.payload)) {
+            Ok(mut beacon) => {
+                match self.field {
+                    FalsifiedField::Position => beacon.pos_m += self.offset,
+                    FalsifiedField::Speed => beacon.speed_mps += self.offset,
+                    FalsifiedField::Acceleration => beacon.accel_mps2 += self.offset,
+                }
+                let mut modified = wsm.clone();
+                modified.payload = beacon.encode();
+                LinkFate::DeliverModified { delay: default_delay, wsm: modified }
+            }
+            // Not a platooning beacon: leave it alone.
+            Err(_) => LinkFate::Deliver { delay: default_delay },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comfase_wireless::frame::WaveChannel;
+
+    fn wsm_from(v: u32) -> Wsm {
+        let beacon = PlatoonBeacon {
+            vehicle: v,
+            pos_m: 100.0,
+            speed_mps: 27.0,
+            accel_mps2: 1.0,
+            sampled: SimTime::from_secs(17),
+        };
+        Wsm {
+            source: NodeId(v),
+            sequence: 1,
+            created: SimTime::from_secs(17),
+            channel: WaveChannel::Cch,
+            payload: beacon.encode(),
+        }
+    }
+
+    fn spec(model: AttackModelKind, value: f64) -> AttackSpec {
+        AttackSpec {
+            model,
+            value,
+            targets: vec![2],
+            start: SimTime::from_secs(17),
+            end: SimTime::from_secs(20),
+        }
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        assert_eq!(spec(AttackModelKind::Delay, 1.0).duration(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn delay_interceptor_targets_sender_and_receiver() {
+        let mut i = spec(AttackModelKind::Delay, 3.0).build_interceptor(1);
+        let dflt = SimDuration::from_nanos(100);
+        // Message sent by the target.
+        let fate = i.intercept(NodeId(2), NodeId(1), SimTime::ZERO, dflt, &wsm_from(2));
+        assert_eq!(fate, LinkFate::Deliver { delay: SimDuration::from_secs(3) });
+        // Message received by the target.
+        let fate = i.intercept(NodeId(1), NodeId(2), SimTime::ZERO, dflt, &wsm_from(1));
+        assert_eq!(fate, LinkFate::Deliver { delay: SimDuration::from_secs(3) });
+        // Unrelated link untouched.
+        let fate = i.intercept(NodeId(3), NodeId(4), SimTime::ZERO, dflt, &wsm_from(3));
+        assert_eq!(fate, LinkFate::Deliver { delay: dflt });
+    }
+
+    #[test]
+    fn dos_is_delay_with_total_sim_time() {
+        let mut i = spec(AttackModelKind::Dos, 60.0).build_interceptor(1);
+        let fate =
+            i.intercept(NodeId(2), NodeId(3), SimTime::ZERO, SimDuration::from_nanos(50), &wsm_from(2));
+        assert_eq!(fate, LinkFate::Deliver { delay: SimDuration::from_secs(60) });
+    }
+
+    #[test]
+    fn drop_interceptor_is_probabilistic_and_deterministic() {
+        let run = |seed| {
+            let mut i = spec(AttackModelKind::Drop, 0.5).build_interceptor(seed);
+            (0..100)
+                .map(|_| {
+                    matches!(
+                        i.intercept(
+                            NodeId(2),
+                            NodeId(1),
+                            SimTime::ZERO,
+                            SimDuration::from_nanos(50),
+                            &wsm_from(2)
+                        ),
+                        LinkFate::Drop
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same drops");
+        let dropped = a.iter().filter(|&&d| d).count();
+        assert!((20..=80).contains(&dropped), "~50% drop rate, got {dropped}");
+    }
+
+    #[test]
+    fn drop_never_affects_untargeted_links() {
+        let mut i = spec(AttackModelKind::Drop, 1.0).build_interceptor(3);
+        for _ in 0..20 {
+            let fate = i.intercept(
+                NodeId(3),
+                NodeId(4),
+                SimTime::ZERO,
+                SimDuration::from_nanos(50),
+                &wsm_from(3),
+            );
+            assert!(matches!(fate, LinkFate::Deliver { .. }));
+        }
+    }
+
+    #[test]
+    fn falsify_speed_adds_offset_on_sent_frames() {
+        let mut i =
+            spec(AttackModelKind::Falsify(FalsifiedField::Speed), 10.0).build_interceptor(1);
+        let fate = i.intercept(
+            NodeId(2),
+            NodeId(3),
+            SimTime::ZERO,
+            SimDuration::from_nanos(50),
+            &wsm_from(2),
+        );
+        match fate {
+            LinkFate::DeliverModified { wsm, .. } => {
+                let b = PlatoonBeacon::decode(wsm.payload).unwrap();
+                assert_eq!(b.speed_mps, 37.0);
+                assert_eq!(b.pos_m, 100.0, "other fields untouched");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn falsify_only_affects_frames_sent_by_target() {
+        let mut i = spec(AttackModelKind::Falsify(FalsifiedField::Acceleration), 5.0)
+            .build_interceptor(1);
+        // Frame *to* the target keeps its payload.
+        let fate = i.intercept(
+            NodeId(1),
+            NodeId(2),
+            SimTime::ZERO,
+            SimDuration::from_nanos(50),
+            &wsm_from(1),
+        );
+        assert!(matches!(fate, LinkFate::Deliver { .. }));
+    }
+
+    #[test]
+    fn falsify_position_and_accel_fields() {
+        for (field, check) in [
+            (FalsifiedField::Position, 103.0),
+            (FalsifiedField::Acceleration, 4.0),
+        ] {
+            let mut i = spec(AttackModelKind::Falsify(field), 3.0).build_interceptor(1);
+            match i.intercept(NodeId(2), NodeId(3), SimTime::ZERO, SimDuration::ZERO, &wsm_from(2))
+            {
+                LinkFate::DeliverModified { wsm, .. } => {
+                    let b = PlatoonBeacon::decode(wsm.payload).unwrap();
+                    let got = match field {
+                        FalsifiedField::Position => b.pos_m,
+                        FalsifiedField::Acceleration => b.accel_mps2,
+                        FalsifiedField::Speed => unreachable!(),
+                    };
+                    assert_eq!(got, check);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn falsify_leaves_non_beacon_payloads_alone() {
+        let mut i =
+            spec(AttackModelKind::Falsify(FalsifiedField::Speed), 10.0).build_interceptor(1);
+        let mut wsm = wsm_from(2);
+        wsm.payload = Bytes::from_static(b"not a beacon");
+        let fate = i.intercept(NodeId(2), NodeId(3), SimTime::ZERO, SimDuration::ZERO, &wsm);
+        assert!(matches!(fate, LinkFate::Deliver { .. }));
+    }
+
+    #[test]
+    fn table_i_registry() {
+        assert_eq!(AttackModelKind::Delay.name(), "Delay");
+        assert_eq!(AttackModelKind::Dos.target_parameter(), "Propagation delay (PD)");
+        assert!(AttackModelKind::Delay.real_world_example().contains("reactive jamming"));
+        assert!(AttackModelKind::Dos.real_world_example().contains("jamming"));
+        assert_eq!(
+            AttackModelKind::Falsify(FalsifiedField::Speed).name(),
+            "Falsify-Speed"
+        );
+    }
+}

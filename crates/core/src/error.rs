@@ -1,0 +1,55 @@
+//! Error type of the ComFASE engine.
+
+use std::fmt;
+
+/// Errors reported by configuration validation and campaign execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComfaseError {
+    /// A configuration value is invalid.
+    InvalidConfig(String),
+    /// The traffic simulation rejected an operation.
+    Traffic(String),
+    /// A campaign references a vehicle that is not in the scenario.
+    UnknownTarget(u32),
+}
+
+impl fmt::Display for ComfaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComfaseError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ComfaseError::Traffic(msg) => write!(f, "traffic simulation error: {msg}"),
+            ComfaseError::UnknownTarget(v) => {
+                write!(f, "attack target vehicle {v} is not part of the scenario")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComfaseError {}
+
+impl From<comfase_traffic::TrafficError> for ComfaseError {
+    fn from(e: comfase_traffic::TrafficError) -> Self {
+        ComfaseError::Traffic(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ComfaseError::InvalidConfig("x".into()).to_string(),
+            "invalid configuration: x"
+        );
+        assert!(ComfaseError::UnknownTarget(7).to_string().contains("vehicle 7"));
+    }
+
+    #[test]
+    fn traffic_error_converts() {
+        let e: ComfaseError =
+            comfase_traffic::TrafficError::UnknownVehicle(comfase_traffic::VehicleId(3)).into();
+        assert!(matches!(e, ComfaseError::Traffic(_)));
+    }
+}

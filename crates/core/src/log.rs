@@ -1,0 +1,91 @@
+//! Run logs — what a simulation leaves behind for classification and
+//! analysis (the paper's `GoldenRunLog` / `AttackCampaignLog` entries).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use comfase_des::time::SimTime;
+use comfase_platoon::app::AppStats;
+use comfase_traffic::trace::TrafficTrace;
+use comfase_wireless::channel::ChannelStats;
+use comfase_wireless::mac::MacStats;
+
+/// Communication statistics of one vehicle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VehicleCommStats {
+    /// MAC-layer counters.
+    pub mac: MacStats,
+    /// Application-layer counters.
+    pub app: AppStats,
+}
+
+/// The complete log of one simulation run (golden or attacked).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunLog {
+    /// Per-vehicle trajectories and collision incidents (from the traffic
+    /// simulator — speed, acceleration/deceleration, position, §II-C).
+    pub trace: TrafficTrace,
+    /// Wireless channel counters (from the vehicular network simulator).
+    pub channel: ChannelStats,
+    /// Per-vehicle communication counters.
+    pub comm: BTreeMap<u32, VehicleCommStats>,
+    /// Time the run ended.
+    pub final_time: SimTime,
+}
+
+impl RunLog {
+    /// Largest deceleration across all vehicles, m/s².
+    pub fn max_decel(&self) -> f64 {
+        self.trace.max_decel_overall()
+    }
+
+    /// `true` if any collision incident was recorded.
+    pub fn has_collision(&self) -> bool {
+        self.trace.has_collision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comfase_traffic::vehicle::{Vehicle, VehicleId, VehicleSpec};
+    use comfase_traffic::network::LaneIndex;
+
+    fn small_log() -> RunLog {
+        let mut trace = TrafficTrace::new();
+        let v = Vehicle::new(
+            VehicleId(1),
+            VehicleSpec::paper_platooning_car(),
+            10.0,
+            LaneIndex(0),
+            20.0,
+        );
+        trace.record_step(SimTime::from_millis(10), &[v]);
+        let mut comm = BTreeMap::new();
+        comm.insert(1, VehicleCommStats::default());
+        RunLog {
+            trace,
+            channel: ChannelStats::default(),
+            comm,
+            final_time: SimTime::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn run_log_serializes_to_json_and_back() {
+        let log = small_log();
+        let json = serde_json::to_string(&log).unwrap();
+        let back: RunLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.final_time, log.final_time);
+        assert_eq!(back.trace.vehicle_ids(), log.trace.vehicle_ids());
+        assert_eq!(back.comm.len(), 1);
+    }
+
+    #[test]
+    fn helpers_summarise_the_trace() {
+        let log = small_log();
+        assert_eq!(log.max_decel(), 0.0);
+        assert!(!log.has_collision());
+    }
+}

@@ -1,0 +1,507 @@
+//! Plain-text rendering of the paper's tables and figures.
+//!
+//! Every artefact of the evaluation section can be regenerated as a text
+//! table (rows/series identical in structure to the paper's figures); the
+//! bench crate's `repro` binary prints these.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::analysis::{ClassCounts, ColliderSplit, MillisKey};
+use crate::attack::{AttackModelKind, FalsifiedField};
+use crate::config::AttackCampaignSetup;
+use crate::log::RunLog;
+use comfase_traffic::vehicle::VehicleId;
+
+/// Renders Table I: attack types and the simulation parameters modelling
+/// them.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table I: Attack types and simulation parameters for modelling the attacks"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} | {:<22} | Real-world example",
+        "Attack type", "Target parameter"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(100));
+    for kind in [
+        AttackModelKind::Delay,
+        AttackModelKind::Dos,
+        AttackModelKind::Drop,
+        AttackModelKind::Falsify(FalsifiedField::Position),
+        AttackModelKind::Falsify(FalsifiedField::Speed),
+        AttackModelKind::Falsify(FalsifiedField::Acceleration),
+    ] {
+        let _ = writeln!(
+            out,
+            "{:<22} | {:<22} | {}",
+            kind.name(),
+            kind.target_parameter(),
+            kind.real_world_example()
+        );
+    }
+    out
+}
+
+/// Renders Table II: the parameter values used in a campaign.
+pub fn render_table2(delay: &AttackCampaignSetup, dos: &AttackCampaignSetup) -> String {
+    let fmt_vec = |v: &[f64]| -> String {
+        if v.len() <= 4 {
+            format!("{v:?}")
+        } else {
+            format!(
+                "{:.1} to {:.1} ({} values)",
+                v[0],
+                v[v.len() - 1],
+                v.len()
+            )
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "Table II: Parameter values used in experiments");
+    let _ = writeln!(
+        out,
+        "{:<12} | {:<28} | {:<28} | {:<28}",
+        "Attack type", "PD valueRange (s)", "attackStartTimes (s)", "attack durations (s)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(104));
+    for (name, setup) in [("Delay", delay), ("DoS", dos)] {
+        let durations = if setup.attack_durations_s.iter().any(|d| !d.is_finite()) {
+            "until totalSimTime".to_owned()
+        } else {
+            fmt_vec(&setup.attack_durations_s)
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} | {:<28} | {:<28} | {:<28}",
+            name,
+            fmt_vec(&setup.attack_values),
+            fmt_vec(&setup.attack_starts_s),
+            durations
+        );
+    }
+    out
+}
+
+/// Renders Fig. 4: speed and acceleration profiles of the platoon vehicles
+/// in the golden run, one sample per `sample_every_s`.
+pub fn render_fig4(golden: &RunLog, sample_every_s: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 4: Golden-run speed and acceleration profiles");
+    let ids = golden.trace.vehicle_ids();
+    let mut header = format!("{:>6}", "t(s)");
+    for id in &ids {
+        let _ = write!(header, " | {:>9} {:>9}", format!("v{}(m/s)", id.0), format!("a{}", id.0));
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    let horizon = golden.final_time.as_secs_f64();
+    let mut t = 0.0;
+    while t <= horizon + 1e-9 {
+        let st = comfase_des::time::SimTime::from_secs_f64(t);
+        let mut row = format!("{t:>6.1}");
+        for id in &ids {
+            let tr = golden.trace.vehicle(*id).expect("recorded vehicle");
+            let v = tr.speed.sample_at(st).unwrap_or(f64::NAN);
+            let a = tr.accel.sample_at(st).unwrap_or(f64::NAN);
+            let _ = write!(row, " | {v:>9.3} {a:>9.3}");
+        }
+        let _ = writeln!(out, "{row}");
+        t += sample_every_s;
+    }
+    out
+}
+
+fn render_class_histogram(
+    title: &str,
+    x_label: &str,
+    map: &BTreeMap<MillisKey, ClassCounts>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>13} | {:>10} | {:>7} | {:>7} | {:>6}",
+        x_label, "non-effective", "negligible", "benign", "severe", "total"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(72));
+    for (key, counts) in map {
+        let _ = writeln!(
+            out,
+            "{:>10.1} | {:>13} | {:>10} | {:>7} | {:>7} | {:>6}",
+            *key as f64 / 1000.0,
+            counts.non_effective,
+            counts.negligible,
+            counts.benign,
+            counts.severe,
+            counts.total()
+        );
+    }
+    out
+}
+
+/// Renders Fig. 5: classification w.r.t. attack duration.
+pub fn render_fig5(map: &BTreeMap<MillisKey, ClassCounts>) -> String {
+    render_class_histogram(
+        "Fig. 5: Classification of results w.r.t. attack duration",
+        "dur(s)",
+        map,
+    )
+}
+
+/// Renders Fig. 6: classification w.r.t. propagation delay value.
+pub fn render_fig6(map: &BTreeMap<MillisKey, ClassCounts>) -> String {
+    render_class_histogram(
+        "Fig. 6: Classification of results w.r.t. propagation delay value",
+        "PD(s)",
+        map,
+    )
+}
+
+/// Renders Fig. 7: classification w.r.t. attack start time.
+pub fn render_fig7(map: &BTreeMap<MillisKey, ClassCounts>) -> String {
+    render_class_histogram(
+        "Fig. 7: Classification of results w.r.t. attack start time",
+        "start(s)",
+        map,
+    )
+}
+
+/// Renders the overall campaign summary (§IV-C totals).
+pub fn render_summary(total: &ClassCounts) -> String {
+    format!(
+        "Experiments: {} total -> {} severe, {} benign, {} negligible, {} non-effective\n",
+        total.total(),
+        total.severe,
+        total.benign,
+        total.negligible,
+        total.non_effective
+    )
+}
+
+/// Renders the collider attribution (§IV-C.1 / §IV-C.2).
+pub fn render_collider_split(split: &ColliderSplit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Collider attribution over {} collision incidents:",
+        split.total_collisions()
+    );
+    for (vehicle, count) in &split.per_vehicle {
+        let _ = writeln!(
+            out,
+            "  {}: {:>5} incidents ({:.1}%)",
+            VehicleId(*vehicle),
+            count,
+            split.percentage(*vehicle)
+        );
+    }
+    if split.severe_without_collision > 0 {
+        let _ = writeln!(
+            out,
+            "  (+{} severe cases from emergency braking without collision)",
+            split.severe_without_collision
+        );
+    }
+    out
+}
+
+/// Renders the §IV-C.2 DoS band table: collider per attack start time.
+pub fn render_dos_bands(map: &BTreeMap<MillisKey, Option<u32>>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "DoS: collider vehicle per attack start time");
+    let _ = writeln!(out, "{:>9} | collider", "start(s)");
+    let _ = writeln!(out, "{}", "-".repeat(24));
+    for (key, collider) in map {
+        let c = collider.map_or("none".to_owned(), |v| format!("veh.{v}"));
+        let _ = writeln!(out, "{:>9.1} | {}", *key as f64 / 1000.0, c);
+    }
+    out
+}
+
+/// Renders the start-time × PD-value heatmap of severe counts — the
+/// "designing future experiments" view of §IV-C.3: which combinations of
+/// cycle phase and delay magnitude are dangerous.
+pub fn render_heatmap(map: &BTreeMap<(MillisKey, MillisKey), ClassCounts>) -> String {
+    let mut starts: Vec<MillisKey> = map.keys().map(|(s, _)| *s).collect();
+    starts.sort_unstable();
+    starts.dedup();
+    let mut values: Vec<MillisKey> = map.keys().map(|(_, v)| *v).collect();
+    values.sort_unstable();
+    values.dedup();
+    let mut out = String::new();
+    let _ = writeln!(out, "Severe-count heatmap: rows = attack start (s), cols = PD value (s)");
+    let mut header = format!("{:>8}", "start\\PD");
+    for v in &values {
+        let _ = write!(header, " {:>5.1}", *v as f64 / 1000.0);
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for s in &starts {
+        let mut row = format!("{:>8.1}", *s as f64 / 1000.0);
+        for v in &values {
+            match map.get(&(*s, *v)) {
+                Some(c) => {
+                    let _ = write!(row, " {:>5}", c.severe);
+                }
+                None => {
+                    let _ = write!(row, " {:>5}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Renders the saturation analysis of §IV-C.3 for a severe-count curve.
+pub fn render_saturation(
+    what: &str,
+    map: &BTreeMap<MillisKey, ClassCounts>,
+    tolerance: f64,
+) -> String {
+    match crate::analysis::saturation_point(map, tolerance) {
+        Some(k) => format!(
+            "severe counts saturate from {} = {:.1} s on (within {:.0}% of the bucket size); \
+             results for larger values can be estimated from smaller ones (paper §IV-C.3)\n",
+            what,
+            k as f64 / 1000.0,
+            tolerance * 100.0
+        ),
+        None => format!("severe counts do not saturate over the swept {what} range\n"),
+    }
+}
+
+/// CSV rendering of a classification histogram (`x,non_effective,
+/// negligible,benign,severe`), for plotting Figs. 5–7 externally.
+pub fn class_histogram_csv(x_label: &str, map: &BTreeMap<MillisKey, ClassCounts>) -> String {
+    let mut out = format!("{x_label},non_effective,negligible,benign,severe\n");
+    for (key, c) in map {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            *key as f64 / 1000.0,
+            c.non_effective,
+            c.negligible,
+            c.benign,
+            c.severe
+        );
+    }
+    out
+}
+
+/// CSV rendering of the golden run's Fig. 4 series
+/// (`t,v1,a1,v2,a2,...`), sampled every `sample_every_s`.
+pub fn fig4_csv(golden: &RunLog, sample_every_s: f64) -> String {
+    let ids = golden.trace.vehicle_ids();
+    let mut out = String::from("t");
+    for id in &ids {
+        let _ = write!(out, ",v{0},a{0}", id.0);
+    }
+    out.push('\n');
+    let horizon = golden.final_time.as_secs_f64();
+    let mut t = 0.0;
+    while t <= horizon + 1e-9 {
+        let st = comfase_des::time::SimTime::from_secs_f64(t);
+        let _ = write!(out, "{t:.2}");
+        for id in &ids {
+            let tr = golden.trace.vehicle(*id).expect("recorded vehicle");
+            let _ = write!(
+                out,
+                ",{:.4},{:.4}",
+                tr.speed.sample_at(st).unwrap_or(f64::NAN),
+                tr.accel.sample_at(st).unwrap_or(f64::NAN)
+            );
+        }
+        out.push('\n');
+        t += sample_every_s;
+    }
+    out
+}
+
+/// CSV dump of every experiment record
+/// (`index,model,value,start,end,class,max_decel,collider`).
+pub fn records_csv(records: &[crate::campaign::ExperimentRecord]) -> String {
+    let mut out = String::from("index,model,value,start_s,end_s,class,max_decel,collider\n");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.4},{}",
+            r.index,
+            r.spec.model.name(),
+            r.spec.value,
+            r.spec.start.as_secs_f64(),
+            r.spec.end.as_secs_f64(),
+            r.verdict.class,
+            r.verdict.max_decel_mps2,
+            r.verdict.collider().map_or(String::from(""), |v| v.0.to_string())
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Classification;
+
+    #[test]
+    fn table1_lists_all_models() {
+        let t = render_table1();
+        for name in ["Delay", "DoS", "Drop", "Falsify-Position", "Falsify-Speed"] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+        assert!(t.contains("Propagation delay (PD)"));
+    }
+
+    #[test]
+    fn table2_summarises_vectors() {
+        let t = render_table2(
+            &AttackCampaignSetup::paper_delay_campaign(),
+            &AttackCampaignSetup::paper_dos_campaign(),
+        );
+        assert!(t.contains("0.2 to 3.0 (15 values)"), "{t}");
+        assert!(t.contains("17.0 to 21.8 (25 values)"), "{t}");
+        assert!(t.contains("until totalSimTime"), "{t}");
+    }
+
+    #[test]
+    fn histograms_render_rows_in_order() {
+        let mut map: BTreeMap<MillisKey, ClassCounts> = BTreeMap::new();
+        let mut a = ClassCounts::default();
+        a.add(Classification::Severe);
+        map.insert(2000, a);
+        let mut b = ClassCounts::default();
+        b.add(Classification::Benign);
+        map.insert(1000, b);
+        let s = render_fig5(&map);
+        let one = s.find("1.0").unwrap();
+        let two = s.find("2.0").unwrap();
+        assert!(one < two);
+        assert!(render_fig6(&map).contains("PD(s)"));
+        assert!(render_fig7(&map).contains("start(s)"));
+    }
+
+    #[test]
+    fn summary_and_split_render() {
+        let mut c = ClassCounts::default();
+        c.add(Classification::Severe);
+        c.add(Classification::Benign);
+        let s = render_summary(&c);
+        assert!(s.contains("2 total"));
+        assert!(s.contains("1 severe"));
+
+        let mut split = ColliderSplit::default();
+        split.per_vehicle.insert(2, 3);
+        split.per_vehicle.insert(3, 1);
+        split.severe_without_collision = 2;
+        let s = render_collider_split(&split);
+        assert!(s.contains("veh.2"));
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("+2 severe"));
+    }
+
+    #[test]
+    fn heatmap_renders_grid() {
+        let mut map: BTreeMap<(MillisKey, MillisKey), ClassCounts> = BTreeMap::new();
+        let mut a = ClassCounts::default();
+        a.add(Classification::Severe);
+        a.add(Classification::Severe);
+        map.insert((17_000, 200), a);
+        let mut b = ClassCounts::default();
+        b.add(Classification::Benign);
+        map.insert((17_200, 1000), b);
+        let s = render_heatmap(&map);
+        assert!(s.contains("17.0"), "{s}");
+        assert!(s.contains("17.2"), "{s}");
+        assert!(s.contains("0.2"), "{s}");
+        assert!(s.contains("1.0"), "{s}");
+        // Missing cells render as '-'.
+        assert!(s.contains('-'), "{s}");
+    }
+
+    #[test]
+    fn saturation_renders_both_cases() {
+        let mut map: BTreeMap<MillisKey, ClassCounts> = BTreeMap::new();
+        for (i, sev) in [50usize, 50, 50].into_iter().enumerate() {
+            let mut c = ClassCounts::default();
+            for _ in 0..sev {
+                c.add(Classification::Severe);
+            }
+            for _ in sev..100 {
+                c.add(Classification::Benign);
+            }
+            map.insert((i as i64 + 1) * 1000, c);
+        }
+        let s = render_saturation("PD value", &map, 0.1);
+        assert!(s.contains("saturate from PD value = 1.0 s"), "{s}");
+        // A strictly growing curve does not saturate (except trivially at
+        // the last point, which the 0-tolerance check still reports).
+        let mut grow: BTreeMap<MillisKey, ClassCounts> = BTreeMap::new();
+        for (i, sev) in [0usize, 30, 60].into_iter().enumerate() {
+            let mut c = ClassCounts::default();
+            for _ in 0..sev {
+                c.add(Classification::Severe);
+            }
+            for _ in sev..100 {
+                c.add(Classification::Benign);
+            }
+            grow.insert((i as i64 + 1) * 1000, c);
+        }
+        let s = render_saturation("duration", &grow, 0.1);
+        assert!(s.contains("saturate from duration = 3.0 s"), "{s}");
+    }
+
+    #[test]
+    fn csv_histogram_renders() {
+        let mut map: BTreeMap<MillisKey, ClassCounts> = BTreeMap::new();
+        let mut a = ClassCounts::default();
+        a.add(Classification::Severe);
+        a.add(Classification::Benign);
+        map.insert(1500, a);
+        let csv = class_histogram_csv("pd_s", &map);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "pd_s,non_effective,negligible,benign,severe");
+        assert_eq!(lines.next().unwrap(), "1.5,0,0,1,1");
+    }
+
+    #[test]
+    fn csv_records_render() {
+        use crate::attack::{AttackModelKind, AttackSpec};
+        use crate::campaign::ExperimentRecord;
+        use crate::classify::Verdict;
+        use comfase_des::time::SimTime;
+        let rec = ExperimentRecord {
+            index: 3,
+            spec: AttackSpec {
+                model: AttackModelKind::Delay,
+                value: 1.4,
+                targets: vec![2],
+                start: SimTime::from_secs(17),
+                end: SimTime::from_secs(20),
+            },
+            verdict: Verdict {
+                class: Classification::Benign,
+                max_decel_mps2: 2.5,
+                max_speed_deviation_mps: 0.4,
+                first_collision: None,
+                nr_collisions: 0,
+            },
+        };
+        let csv = records_csv(&[rec]);
+        assert!(csv.contains("3,Delay,1.4,17,20,benign,2.5000,"), "{csv}");
+    }
+
+    #[test]
+    fn dos_bands_render() {
+        let mut map = BTreeMap::new();
+        map.insert(17_000, Some(2));
+        map.insert(17_600, None);
+        let s = render_dos_bands(&map);
+        assert!(s.contains("veh.2"));
+        assert!(s.contains("none"));
+    }
+}

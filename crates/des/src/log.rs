@@ -1,0 +1,183 @@
+//! Lightweight in-memory event log for simulation debugging.
+//!
+//! Experiments run thousands of head-less simulations; writing to stderr
+//! would be both slow and useless. Instead each run can collect a bounded
+//! [`EventLog`] that analysis code (or a failing test) inspects afterwards.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Severity of a log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LogLevel {
+    /// Fine-grained tracing (frame-level events).
+    Trace,
+    /// Model-level events (beacons sent, attacks toggled).
+    Info,
+    /// Unusual but non-fatal conditions (frame lost to interference).
+    Warn,
+    /// Incidents (vehicle collision, assertion-adjacent conditions).
+    Error,
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LogLevel::Trace => "TRACE",
+            LogLevel::Info => "INFO",
+            LogLevel::Warn => "WARN",
+            LogLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Simulation time at which the entry was recorded.
+    pub time: SimTime,
+    /// Entry severity.
+    pub level: LogLevel,
+    /// Originating component, e.g. `"channel"` or `"veh.2.mac"`.
+    pub source: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {} {}] {}", self.time, self.level, self.source, self.message)
+    }
+}
+
+/// Bounded in-memory log.
+///
+/// When the capacity is reached the oldest entries are discarded (keeping the
+/// tail, which is where incidents live). A `min_level` filter keeps bulk
+/// tracing cheap when disabled.
+///
+/// # Examples
+///
+/// ```
+/// use comfase_des::log::{EventLog, LogLevel};
+/// use comfase_des::time::SimTime;
+///
+/// let mut log = EventLog::new(LogLevel::Info, 100);
+/// log.push(SimTime::ZERO, LogLevel::Trace, "mac", "ignored");
+/// log.push(SimTime::ZERO, LogLevel::Error, "traffic", "collision");
+/// assert_eq!(log.entries().len(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventLog {
+    min_level: LogLevel,
+    capacity: usize,
+    entries: Vec<LogEntry>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log keeping at most `capacity` entries at `min_level` or
+    /// above.
+    pub fn new(min_level: LogLevel, capacity: usize) -> Self {
+        EventLog { min_level, capacity, entries: Vec::new(), dropped: 0 }
+    }
+
+    /// A log that records nothing (level filter above Error is impossible,
+    /// so this uses zero capacity).
+    pub fn disabled() -> Self {
+        EventLog::new(LogLevel::Error, 0)
+    }
+
+    /// Records an entry if it passes the level filter.
+    pub fn push(
+        &mut self,
+        time: SimTime,
+        level: LogLevel,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level || self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+            self.dropped += 1;
+        }
+        self.entries.push(LogEntry {
+            time,
+            level,
+            source: source.into(),
+            message: message.into(),
+        });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Number of entries discarded due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries at `level` or above.
+    pub fn at_least(&self, level: LogLevel) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter().filter(move |e| e.level >= level)
+    }
+
+    /// Configured minimum level.
+    pub fn min_level(&self) -> LogLevel {
+        self.min_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filter() {
+        let mut log = EventLog::new(LogLevel::Warn, 10);
+        log.push(SimTime::ZERO, LogLevel::Info, "a", "no");
+        log.push(SimTime::ZERO, LogLevel::Warn, "a", "yes");
+        log.push(SimTime::ZERO, LogLevel::Error, "a", "yes");
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.at_least(LogLevel::Error).count(), 1);
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut log = EventLog::new(LogLevel::Trace, 3);
+        for i in 0..5 {
+            log.push(SimTime::from_secs(i), LogLevel::Info, "s", format!("m{i}"));
+        }
+        assert_eq!(log.entries().len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.entries()[0].message, "m2");
+        assert_eq!(log.entries()[2].message, "m4");
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::disabled();
+        log.push(SimTime::ZERO, LogLevel::Error, "s", "m");
+        assert!(log.entries().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = LogEntry {
+            time: SimTime::from_secs(1),
+            level: LogLevel::Error,
+            source: "traffic".into(),
+            message: "collision".into(),
+        };
+        assert_eq!(e.to_string(), "[1.000000s ERROR traffic] collision");
+        assert_eq!(LogLevel::Trace.to_string(), "TRACE");
+    }
+}

@@ -1,0 +1,261 @@
+//! The simulation kernel: current time plus the future event set.
+//!
+//! [`Simulator`] is deliberately minimal — it owns the clock and the event
+//! queue, and hands out deterministic RNG streams. Higher layers (the
+//! co-simulation "world" in the `comfase` crate) own all model state and
+//! drive the kernel with [`Simulator::pop_due`], which fits Rust ownership:
+//!
+//! ```
+//! use comfase_des::sim::Simulator;
+//! use comfase_des::time::{SimTime, SimDuration};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Tick }
+//!
+//! let mut sim = Simulator::new(42);
+//! sim.schedule_in(SimDuration::from_millis(10), Ev::Tick);
+//! let mut ticks = 0;
+//! while let Some((_t, _ev)) = sim.pop_due(SimTime::from_secs(1)) {
+//!     ticks += 1;
+//! }
+//! sim.advance_to(SimTime::from_secs(1));
+//! assert_eq!(ticks, 1);
+//! assert_eq!(sim.now(), SimTime::from_secs(1));
+//! ```
+
+use crate::queue::{EventId, EventPriority, EventQueue};
+use crate::rng::{RngStream, StreamId};
+use crate::time::{SimDuration, SimTime};
+
+/// Discrete-event simulation kernel over event payload type `E`.
+#[derive(Debug)]
+pub struct Simulator<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    seed: u64,
+}
+
+impl<E> Simulator<E> {
+    /// Creates a kernel at t = 0 with the given base RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator { now: SimTime::ZERO, queue: EventQueue::new(), seed }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The base RNG seed this kernel was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives the deterministic RNG stream with the given id.
+    ///
+    /// Equal `(seed, id)` always yields the same sequence; see
+    /// [`RngStream::derive`].
+    pub fn rng(&self, id: StreamId) -> RngStream {
+        RngStream::derive(self.seed, id)
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before [`Simulator::now`]).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
+        assert!(time >= self.now, "cannot schedule into the past: {time} < {}", self.now);
+        self.queue.schedule(time, event)
+    }
+
+    /// Schedules an event after a relative delay (which must be >= 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        assert!(!delay.is_negative(), "negative delay: {delay}");
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Schedules with an explicit same-time delivery priority
+    /// (lower delivers first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule_at_with_priority(
+        &mut self,
+        time: SimTime,
+        priority: EventPriority,
+        event: E,
+    ) -> EventId {
+        assert!(time >= self.now, "cannot schedule into the past: {time} < {}", self.now);
+        self.queue.schedule_with_priority(time, priority, event)
+    }
+
+    /// Cancels a pending event; returns `true` if it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Pops the next event due at or before `limit`, advancing the clock to
+    /// its timestamp. Returns `None` when no event is due by `limit`
+    /// (the clock is then left untouched; call [`Simulator::advance_to`]).
+    pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop_at_or_before(limit)?;
+        debug_assert!(t >= self.now);
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Advances the clock to `time` without processing events.
+    ///
+    /// Used to land exactly on a phase boundary (e.g. `attackStartTime`)
+    /// after draining all events due before it. Does nothing if `time` is in
+    /// the past.
+    pub fn advance_to(&mut self, time: SimTime) {
+        if time > self.now {
+            self.now = time;
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of live pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.queue.delivered_total()
+    }
+
+    /// Total events ever scheduled.
+    pub fn scheduled(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+
+    /// Runs the kernel with a handler closure until `limit`, then advances
+    /// the clock to `limit`. Returns the number of events processed.
+    ///
+    /// This is a convenience for self-contained simulations whose state lives
+    /// in the closure; composed worlds use [`Simulator::pop_due`] directly.
+    pub fn run_until<F>(&mut self, limit: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Simulator<E>, SimTime, E),
+    {
+        let mut n = 0;
+        while let Some((t, e)) = self.pop_due(limit) {
+            handler(self, t, e);
+            n += 1;
+        }
+        self.advance_to(limit);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn clock_follows_events() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_at(SimTime::from_secs(5), Ev::Tick(1));
+        sim.schedule_at(SimTime::from_secs(2), Ev::Tick(0));
+        let (t, e) = sim.pop_due(SimTime::from_secs(10)).unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+        assert_eq!(e, Ev::Tick(0));
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn pop_due_stops_at_limit() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_at(SimTime::from_secs(5), Ev::Tick(1));
+        assert!(sim.pop_due(SimTime::from_secs(4)).is_none());
+        assert_eq!(sim.now(), SimTime::ZERO, "clock untouched when nothing due");
+        assert!(sim.pop_due(SimTime::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let mut sim: Simulator<Ev> = Simulator::new(0);
+        sim.advance_to(SimTime::from_secs(3));
+        sim.advance_to(SimTime::from_secs(1));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new(0);
+        sim.advance_to(SimTime::from_secs(2));
+        sim.schedule_at(SimTime::from_secs(1), Ev::Tick(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative delay")]
+    fn negative_delay_panics() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_in(SimDuration::from_secs(-1), Ev::Tick(0));
+    }
+
+    #[test]
+    fn run_until_processes_chain_and_lands_on_limit() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_in(SimDuration::from_millis(100), Ev::Tick(0));
+        let mut count = 0u32;
+        let n = sim.run_until(SimTime::from_secs(1), |sim, _t, Ev::Tick(k)| {
+            count += 1;
+            if k < 20 {
+                sim.schedule_in(SimDuration::from_millis(100), Ev::Tick(k + 1));
+            }
+        });
+        // Ticks at 0.1..=1.0s => 10 events; tick 10 schedules one at 1.1s (not due).
+        assert_eq!(n, 10);
+        assert_eq!(count, 10);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn cancellation_through_kernel() {
+        let mut sim = Simulator::new(0);
+        let id = sim.schedule_at(SimTime::from_secs(1), Ev::Tick(9));
+        assert!(sim.cancel(id));
+        assert!(sim.pop_due(SimTime::from_secs(2)).is_none());
+    }
+
+    #[test]
+    fn rng_streams_are_stable_per_seed() {
+        let sim: Simulator<Ev> = Simulator::new(77);
+        let mut a = sim.rng(StreamId(3));
+        let mut b = sim.rng(StreamId(3));
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(sim.seed(), 77);
+    }
+
+    #[test]
+    fn counters() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_at(SimTime::from_secs(1), Ev::Tick(0));
+        sim.schedule_at(SimTime::from_secs(2), Ev::Tick(1));
+        sim.pop_due(SimTime::from_secs(3));
+        assert_eq!(sim.scheduled(), 2);
+        assert_eq!(sim.delivered(), 1);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_secs(2)));
+    }
+}

@@ -1,0 +1,444 @@
+//! Statistics collection, modelled on OMNeT++ signals and result recording.
+//!
+//! Simulations record two kinds of results: **scalars** (summary statistics
+//! of a stream of observations, via [`RunningStats`]) and **vectors** (full
+//! time series, via [`TimeSeries`]). A [`Recorder`] groups named metrics for
+//! one simulation run, playing the role of OMNeT++'s `.sca`/`.vec` output.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Numerically stable running summary statistics (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use comfase_des::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    sum: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:?} max={:?}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A recorded `(time, value)` series — an OMNeT++ output vector.
+///
+/// Samples must be appended in non-decreasing time order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty series with room for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        TimeSeries { times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the previous sample.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(time >= last, "time series must be recorded in order: {time} < {last}");
+        }
+        self.times.push(time);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterates over `(time, value)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The recorded values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The recorded sample times.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Largest value, if any.
+    pub fn max_value(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Smallest value, if any.
+    pub fn min_value(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Value at or before `time` (sample-and-hold), if any sample exists
+    /// at or before it.
+    pub fn sample_at(&self, time: SimTime) -> Option<f64> {
+        match self.times.binary_search(&time) {
+            Ok(i) => Some(self.values[i]),
+            Err(0) => None,
+            Err(i) => Some(self.values[i - 1]),
+        }
+    }
+
+    /// Restricts to samples within `[from, to]` (inclusive).
+    pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.iter().filter(move |(t, _)| *t >= from && *t <= to)
+    }
+}
+
+/// A fixed-bin histogram over a closed value range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+/// Named metric store for one simulation run.
+///
+/// Plays the role of OMNeT++'s result files: modules record scalars and
+/// vectors under hierarchical string names (e.g. `"veh.1.speed"`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Recorder {
+    scalars: BTreeMap<String, RunningStats>,
+    vectors: BTreeMap<String, TimeSeries>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation to the named scalar statistic.
+    pub fn record_scalar(&mut self, name: &str, value: f64) {
+        self.scalars.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// Appends a sample to the named output vector.
+    pub fn record_vector(&mut self, name: &str, time: SimTime, value: f64) {
+        self.vectors.entry(name.to_owned()).or_default().record(time, value);
+    }
+
+    /// Looks up a scalar statistic.
+    pub fn scalar(&self, name: &str) -> Option<&RunningStats> {
+        self.scalars.get(name)
+    }
+
+    /// Looks up an output vector.
+    pub fn vector(&self, name: &str) -> Option<&TimeSeries> {
+        self.vectors.get(name)
+    }
+
+    /// Iterates over all scalar statistics in name order.
+    pub fn scalars(&self) -> impl Iterator<Item = (&str, &RunningStats)> {
+        self.scalars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates over all output vectors in name order.
+    pub fn vectors(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.vectors.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..33] {
+            a.record(x);
+        }
+        for &x in &xs[33..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.record(1.0);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn time_series_ordering_and_lookup() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(1), 10.0);
+        ts.record(SimTime::from_secs(2), 20.0);
+        ts.record(SimTime::from_secs(4), 40.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.sample_at(SimTime::from_secs(3)), Some(20.0));
+        assert_eq!(ts.sample_at(SimTime::from_secs(4)), Some(40.0));
+        assert_eq!(ts.sample_at(SimTime::from_millis(500)), None);
+        assert_eq!(ts.max_value(), Some(40.0));
+        assert_eq!(ts.min_value(), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be recorded in order")]
+    fn time_series_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(2), 1.0);
+        ts.record(SimTime::from_secs(1), 2.0);
+    }
+
+    #[test]
+    fn time_series_window() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.record(SimTime::from_secs(i), i as f64);
+        }
+        let w: Vec<f64> =
+            ts.window(SimTime::from_secs(3), SimTime::from_secs(6)).map(|(_, v)| v).collect();
+        assert_eq!(w, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99, -1.0, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn recorder_scalars_and_vectors() {
+        let mut r = Recorder::new();
+        r.record_scalar("veh.0.decel", 1.0);
+        r.record_scalar("veh.0.decel", 3.0);
+        r.record_vector("veh.0.speed", SimTime::from_secs(1), 30.0);
+        assert_eq!(r.scalar("veh.0.decel").unwrap().count(), 2);
+        assert_eq!(r.vector("veh.0.speed").unwrap().len(), 1);
+        assert!(r.scalar("missing").is_none());
+        assert_eq!(r.scalars().count(), 1);
+        assert_eq!(r.vectors().count(), 1);
+    }
+}

@@ -1,0 +1,396 @@
+//! Fixed-point simulation time.
+//!
+//! OMNeT++ represents simulation time as a fixed-point 64-bit integer to keep
+//! event ordering exact and runs reproducible. We follow the same approach:
+//! [`SimTime`] is an instant measured in integer **nanoseconds** since the
+//! start of the simulation, and [`SimDuration`] is a signed span with the same
+//! resolution. All simulator components (traffic stepping, MAC timers, frame
+//! airtime, propagation delay) operate on these types, so two runs with the
+//! same seed produce bit-identical event schedules on every platform.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of nanoseconds per second, the fixed-point scale of [`SimTime`].
+pub const NANOS_PER_SEC: i64 = 1_000_000_000;
+
+/// An instant in simulation time, in integer nanoseconds from t = 0.
+///
+/// `SimTime` is totally ordered and exact: unlike `f64` seconds there is no
+/// accumulation error when stepping a simulation millions of times.
+///
+/// # Examples
+///
+/// ```
+/// use comfase_des::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::from_secs_f64(1.5) + SimDuration::from_millis(250);
+/// assert_eq!(t.as_secs_f64(), 1.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(i64);
+
+/// A signed span of simulation time, in integer nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use comfase_des::time::SimDuration;
+///
+/// let beacon_interval = SimDuration::from_secs_f64(0.1);
+/// assert_eq!(beacon_interval * 10, SimDuration::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(i64);
+
+impl SimTime {
+    /// The simulation origin, t = 0.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (~292 years); used as "never".
+    pub const MAX: SimTime = SimTime(i64::MAX);
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        SimTime(secs * NANOS_PER_SEC)
+    }
+
+    /// Creates an instant from whole milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from whole microseconds.
+    pub const fn from_micros(us: i64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: i64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from floating-point seconds, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not finite or does not fit in the representable
+    /// range.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_to_nanos(secs))
+    }
+
+    /// Raw nanosecond count since t = 0.
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// This instant as floating-point seconds (lossy beyond 2^53 ns).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier` (negative if `earlier` is later).
+    pub const fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating addition: clamps at [`SimTime::MAX`] instead of wrapping.
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span; used as "forever".
+    pub const MAX: SimDuration = SimDuration(i64::MAX);
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        SimDuration(secs * NANOS_PER_SEC)
+    }
+
+    /// Creates a span from whole milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole microseconds.
+    pub const fn from_micros(us: i64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(ns: i64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span from floating-point seconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not finite or does not fit in the representable
+    /// range.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_to_nanos(secs))
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// This span as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// `true` if the span is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// `true` if the span is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Absolute value of the span.
+    pub const fn abs(self) -> SimDuration {
+        SimDuration(self.0.abs())
+    }
+
+    /// Returns the shorter of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the longer of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+fn secs_to_nanos(secs: f64) -> i64 {
+    assert!(secs.is_finite(), "simulation time must be finite, got {secs}");
+    let ns = (secs * NANOS_PER_SEC as f64).round();
+    assert!(
+        ns >= i64::MIN as f64 && ns <= i64::MAX as f64,
+        "simulation time out of range: {secs} s"
+    );
+    ns as i64
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SimDuration> for SimTime {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for SimDuration {
+    type Output = SimDuration;
+    fn neg(self) -> SimDuration {
+        SimDuration(-self.0)
+    }
+}
+
+impl Mul<i64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: i64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: i64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    /// Ratio of two spans (how many `rhs` fit in `self`), truncated.
+    type Output = i64;
+    fn div(self, rhs: SimDuration) -> i64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}s", self.as_secs_f64())
+    }
+}
+
+impl From<SimDuration> for SimTime {
+    /// Reinterprets a span from t = 0 as an instant.
+    fn from(d: SimDuration) -> Self {
+        SimTime(d.0)
+    }
+}
+
+impl From<SimTime> for SimDuration {
+    /// Reinterprets an instant as the span since t = 0.
+    fn from(t: SimTime) -> Self {
+        SimDuration(t.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3 * NANOS_PER_SEC);
+        assert_eq!(SimTime::from_millis(1500), SimTime::from_secs_f64(1.5));
+        assert_eq!(SimTime::from_micros(250), SimTime::from_nanos(250_000));
+        assert_eq!(SimDuration::from_secs(2).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn float_conversion_rounds_to_nearest_nanosecond() {
+        // 0.1 s is not representable in binary floating point; the fixed
+        // point representation must still be exactly 100_000_000 ns.
+        assert_eq!(SimTime::from_secs_f64(0.1).as_nanos(), 100_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.2).as_nanos(), 200_000_000);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let step = SimDuration::from_secs_f64(0.01);
+        let mut t = SimTime::ZERO;
+        for _ in 0..6000 {
+            t += step;
+        }
+        // 6000 * 0.01 s = exactly 60 s in fixed point (would drift in f64).
+        assert_eq!(t, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn instant_differences_and_ordering() {
+        let a = SimTime::from_secs(17);
+        let b = SimTime::from_secs_f64(21.8);
+        assert_eq!(b - a, SimDuration::from_secs_f64(4.8));
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!((a - b).is_negative());
+        assert_eq!((a - b).abs(), b - a);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(200);
+        assert_eq!(d * 5, SimDuration::from_secs(1));
+        assert_eq!(d / 2, SimDuration::from_millis(100));
+        assert_eq!(SimDuration::from_secs(1) / d, 5);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_formats_in_seconds() {
+        assert_eq!(SimTime::from_millis(1250).to_string(), "1.250000s");
+        assert_eq!(SimDuration::from_millis(-30).to_string(), "-0.030000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_seconds_panic() {
+        let _ = SimTime::from_secs_f64(f64::NAN);
+    }
+}

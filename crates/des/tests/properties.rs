@@ -1,0 +1,152 @@
+//! Property-based tests for the DES kernel.
+
+use comfase_des::queue::EventQueue;
+use comfase_des::rng::{RngStream, StreamId};
+use comfase_des::stats::{RunningStats, TimeSeries};
+use comfase_des::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the queue always yields events in non-decreasing time order,
+    /// whatever order they were scheduled in.
+    #[test]
+    fn queue_pops_in_time_order(times in proptest::collection::vec(0i64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::from_nanos(i64::MIN);
+        let mut seen = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            seen += 1;
+        }
+        prop_assert_eq!(seen, times.len());
+    }
+
+    /// Same-time events are delivered in insertion order regardless of how
+    /// many share the timestamp.
+    #[test]
+    fn queue_is_stable_for_ties(groups in proptest::collection::vec(0i64..10, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &g) in groups.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(g), i);
+        }
+        let mut per_time_last: std::collections::HashMap<i64, usize> = Default::default();
+        while let Some((t, i)) = q.pop() {
+            if let Some(&prev) = per_time_last.get(&t.as_nanos()) {
+                prop_assert!(i > prev, "insertion order violated at {t}");
+            }
+            per_time_last.insert(t.as_nanos(), i);
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_is_exact(
+        times in proptest::collection::vec(0i64..1000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut expect: std::collections::HashSet<usize> =
+            (0..times.len()).collect();
+        for ((i, id), &c) in ids.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+            if c {
+                prop_assert!(q.cancel(*id));
+                expect.remove(i);
+            }
+        }
+        let mut got = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            got.insert(i);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// SimTime float round-trip is within 0.5 ns of the fixed-point value.
+    #[test]
+    fn simtime_float_roundtrip(secs in -1.0e6f64..1.0e6) {
+        let t = SimTime::from_secs_f64(secs);
+        let back = t.as_secs_f64();
+        // Half a nanosecond of quantisation plus the f64 ulp at this magnitude.
+        let tol = 0.5e-9 + secs.abs() * 4.0 * f64::EPSILON;
+        prop_assert!((back - secs).abs() <= tol, "{secs} -> {back}");
+    }
+
+    /// Instant/duration arithmetic is consistent: (a + d) - a == d.
+    #[test]
+    fn simtime_arith_roundtrip(a in -1_000_000_000i64..1_000_000_000, d in -1_000_000_000i64..1_000_000_000) {
+        let ta = SimTime::from_nanos(a);
+        let dd = SimDuration::from_nanos(d);
+        prop_assert_eq!((ta + dd) - ta, dd);
+        prop_assert_eq!(ta + dd - dd, ta);
+    }
+
+    /// Welford merge equals sequential accumulation for arbitrary splits.
+    #[test]
+    fn stats_merge_equals_sequential(
+        xs in proptest::collection::vec(-1.0e3f64..1.0e3, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let mut whole = RunningStats::new();
+        for &x in &xs { whole.record(x); }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..split] { a.record(x); }
+        for &x in &xs[split..] { b.record(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+    }
+
+    /// Derived RNG streams with distinct ids produce distinct sequences.
+    #[test]
+    fn rng_streams_distinct(seed in any::<u64>(), id1 in 0u64..1000, id2 in 0u64..1000) {
+        prop_assume!(id1 != id2);
+        let mut a = RngStream::derive(seed, StreamId(id1));
+        let mut b = RngStream::derive(seed, StreamId(id2));
+        let equal = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(equal <= 1, "streams nearly identical");
+    }
+
+    /// uniform_range stays within bounds.
+    #[test]
+    fn rng_uniform_range_in_bounds(seed in any::<u64>(), lo in -100.0f64..100.0, width in 0.001f64..100.0) {
+        let mut r = RngStream::new(seed);
+        let hi = lo + width;
+        for _ in 0..100 {
+            let x = r.uniform_range(lo, hi);
+            prop_assert!(x >= lo && x < hi);
+        }
+    }
+
+    /// below(n) stays within [0, n).
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = RngStream::new(seed);
+        for _ in 0..64 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    /// TimeSeries sample-and-hold returns the last sample at or before t.
+    #[test]
+    fn timeseries_sample_and_hold(raw in proptest::collection::vec((0i64..10_000, -100.0f64..100.0), 1..100), probe in 0i64..10_000) {
+        let mut pts = raw;
+        pts.sort_by_key(|(t, _)| *t);
+        pts.dedup_by_key(|(t, _)| *t);
+        let mut ts = TimeSeries::new();
+        for &(t, v) in &pts {
+            ts.record(SimTime::from_nanos(t), v);
+        }
+        let probe_t = SimTime::from_nanos(probe);
+        let expect = pts.iter().rev().find(|(t, _)| *t <= probe).map(|&(_, v)| v);
+        prop_assert_eq!(ts.sample_at(probe_t), expect);
+    }
+}

@@ -1,0 +1,103 @@
+//! Platooning beacons — the V2V messages the paper's attacks target.
+//!
+//! Every platoon member broadcasts its kinematic state at the configured
+//! beaconing rate (0.1 s in the paper). The beacon is serialized into the
+//! payload of a WAVE Short Message, so falsification attack models can also
+//! rewrite it in flight.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use comfase_des::time::SimTime;
+
+/// Kinematic state broadcast by a platoon member.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatoonBeacon {
+    /// Sender's vehicle id (same numbering as the traffic simulation).
+    pub vehicle: u32,
+    /// Front-bumper position along the road, metres.
+    pub pos_m: f64,
+    /// Speed, m/s.
+    pub speed_mps: f64,
+    /// Realised acceleration, m/s².
+    pub accel_mps2: f64,
+    /// Time the values were sampled.
+    pub sampled: SimTime,
+}
+
+impl PlatoonBeacon {
+    /// Serialized size in bytes.
+    pub const ENCODED_LEN: usize = 4 + 8 * 3 + 8;
+
+    /// Serializes the beacon for transmission.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::ENCODED_LEN);
+        buf.put_u32(self.vehicle);
+        buf.put_f64(self.pos_m);
+        buf.put_f64(self.speed_mps);
+        buf.put_f64(self.accel_mps2);
+        buf.put_i64(self.sampled.as_nanos());
+        buf.freeze()
+    }
+
+    /// Deserializes a beacon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the buffer is truncated.
+    pub fn decode(mut buf: Bytes) -> Result<PlatoonBeacon, String> {
+        if buf.remaining() < Self::ENCODED_LEN {
+            return Err(format!(
+                "beacon truncated: {} of {} bytes",
+                buf.remaining(),
+                Self::ENCODED_LEN
+            ));
+        }
+        Ok(PlatoonBeacon {
+            vehicle: buf.get_u32(),
+            pos_m: buf.get_f64(),
+            speed_mps: buf.get_f64(),
+            accel_mps2: buf.get_f64(),
+            sampled: SimTime::from_nanos(buf.get_i64()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon() -> PlatoonBeacon {
+        PlatoonBeacon {
+            vehicle: 2,
+            pos_m: 123.456,
+            speed_mps: 27.78,
+            accel_mps2: -1.5,
+            sampled: SimTime::from_millis(17_300),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = beacon();
+        assert_eq!(PlatoonBeacon::decode(b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        assert_eq!(beacon().encode().len(), PlatoonBeacon::ENCODED_LEN);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = beacon().encode();
+        let cut = enc.slice(0..enc.len() - 1);
+        assert!(PlatoonBeacon::decode(cut).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn negative_values_survive() {
+        let b = PlatoonBeacon { accel_mps2: -9.0, pos_m: -1.0, ..beacon() };
+        assert_eq!(PlatoonBeacon::decode(b.encode()).unwrap(), b);
+    }
+}

@@ -1,0 +1,165 @@
+//! On-board safety monitor — the redundancy mechanism the paper names as
+//! future work ("introduction of sensor models in our simulation
+//! environment that monitors the distance between vehicles", §IV-C.3).
+//!
+//! The monitor watches the (attack-free) radar channel and overrides the
+//! platooning controller with an emergency braking command when the
+//! predicted time-to-collision or the raw gap falls below its thresholds.
+//! It is deliberately simple — an AEB-style last line of defence — so that
+//! ablation experiments can quantify how much of the paper's attack damage
+//! such a mechanism absorbs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::controller::RadarReading;
+
+/// Configuration of the safety monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyMonitorConfig {
+    /// Intervene when time-to-collision drops below this, seconds.
+    pub ttc_threshold_s: f64,
+    /// Intervene when the bumper-to-bumper gap drops below this, metres.
+    pub min_gap_m: f64,
+    /// Emergency braking strength, m/s² (positive number).
+    pub brake_mps2: f64,
+}
+
+impl Default for SafetyMonitorConfig {
+    /// AEB-like defaults: intervene below 2.5 s TTC or 2 m gap, brake with
+    /// 8 m/s². The TTC threshold is far above anything a healthy platoon
+    /// produces (normal closing speeds at the 5 m design gap give TTC well
+    /// over 10 s) but catches an attack-induced closure early enough to
+    /// stop within the gap.
+    fn default() -> Self {
+        SafetyMonitorConfig { ttc_threshold_s: 2.5, min_gap_m: 2.0, brake_mps2: 8.0 }
+    }
+}
+
+/// What the monitor decided for one control step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MonitorDecision {
+    /// No hazard: the controller's command passes through.
+    Pass,
+    /// Hazard detected: override with emergency braking at the contained
+    /// deceleration (m/s², negative).
+    EmergencyBrake(f64),
+}
+
+/// A per-vehicle safety monitor instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyMonitor {
+    config: SafetyMonitorConfig,
+    interventions: u64,
+    /// Whether the monitor is currently latched into emergency braking
+    /// (hysteresis: it releases only when the hazard has cleared with
+    /// margin, preventing brake/release chatter).
+    latched: bool,
+}
+
+impl SafetyMonitor {
+    /// Creates a monitor.
+    pub fn new(config: SafetyMonitorConfig) -> Self {
+        SafetyMonitor { config, interventions: 0, latched: false }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SafetyMonitorConfig {
+        &self.config
+    }
+
+    /// Number of control steps in which the monitor overrode the
+    /// controller.
+    pub fn interventions(&self) -> u64 {
+        self.interventions
+    }
+
+    /// Evaluates one control step. `radar` is `None` on a free road.
+    pub fn check(&mut self, radar: Option<&RadarReading>) -> MonitorDecision {
+        let Some(radar) = radar else {
+            self.latched = false;
+            return MonitorDecision::Pass;
+        };
+        let closing = radar.closing_speed_mps;
+        let ttc = if closing > 1e-6 { radar.gap_m / closing } else { f64::INFINITY };
+        let hazard = ttc < self.config.ttc_threshold_s || radar.gap_m < self.config.min_gap_m;
+        // Release criterion (with margin) for a latched monitor.
+        let clear = ttc > self.config.ttc_threshold_s * 1.5
+            && radar.gap_m > self.config.min_gap_m * 1.5;
+        if hazard || (self.latched && !clear) {
+            self.latched = true;
+            self.interventions += 1;
+            MonitorDecision::EmergencyBrake(-self.config.brake_mps2)
+        } else {
+            self.latched = false;
+            MonitorDecision::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn radar(gap: f64, closing: f64) -> RadarReading {
+        RadarReading { gap_m: gap, closing_speed_mps: closing }
+    }
+
+    #[test]
+    fn passes_when_safe() {
+        let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
+        assert_eq!(m.check(Some(&radar(20.0, 0.0))), MonitorDecision::Pass);
+        assert_eq!(m.check(Some(&radar(20.0, 1.0))), MonitorDecision::Pass); // TTC 20 s
+        assert_eq!(m.check(None), MonitorDecision::Pass);
+        assert_eq!(m.interventions(), 0);
+    }
+
+    #[test]
+    fn brakes_on_low_ttc() {
+        let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
+        // 5 m gap closing at 4 m/s => TTC 1.25 s < 2.5 s.
+        assert_eq!(m.check(Some(&radar(5.0, 4.0))), MonitorDecision::EmergencyBrake(-8.0));
+        assert_eq!(m.interventions(), 1);
+    }
+
+    #[test]
+    fn brakes_on_tiny_gap_even_without_closing() {
+        let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
+        assert_eq!(m.check(Some(&radar(1.0, -0.5))), MonitorDecision::EmergencyBrake(-8.0));
+    }
+
+    #[test]
+    fn opening_gap_is_safe() {
+        let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
+        // Negative closing speed: leader pulling away, TTC infinite.
+        assert_eq!(m.check(Some(&radar(5.0, -2.0))), MonitorDecision::Pass);
+    }
+
+    #[test]
+    fn latched_until_clear_with_margin() {
+        let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
+        assert!(matches!(m.check(Some(&radar(5.0, 4.0))), MonitorDecision::EmergencyBrake(_)));
+        // Hazard nominally over (TTC = 3 s > 2.5) but not by the 1.5x
+        // margin: stay latched.
+        assert!(matches!(m.check(Some(&radar(6.0, 2.0))), MonitorDecision::EmergencyBrake(_)));
+        // Fully clear: release.
+        assert_eq!(m.check(Some(&radar(10.0, 0.1))), MonitorDecision::Pass);
+        // Interventions counted both latched steps.
+        assert_eq!(m.interventions(), 2);
+    }
+
+    #[test]
+    fn losing_the_radar_target_releases_the_latch() {
+        let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
+        m.check(Some(&radar(5.0, 4.0)));
+        assert_eq!(m.check(None), MonitorDecision::Pass);
+        assert_eq!(m.check(Some(&radar(20.0, 0.0))), MonitorDecision::Pass);
+    }
+
+    #[test]
+    fn custom_brake_strength() {
+        let cfg = SafetyMonitorConfig { brake_mps2: 6.0, ..SafetyMonitorConfig::default() };
+        let mut m = SafetyMonitor::new(cfg);
+        assert_eq!(m.check(Some(&radar(1.0, 5.0))), MonitorDecision::EmergencyBrake(-6.0));
+        assert_eq!(m.config().brake_mps2, 6.0);
+    }
+}

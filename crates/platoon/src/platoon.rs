@@ -1,0 +1,185 @@
+//! Platoon composition and the paper's demonstration scenario.
+
+use serde::{Deserialize, Serialize};
+
+use crate::controller::ControllerKind;
+
+/// Static description of a platoon — enough to place the vehicles and wire
+/// up leader/predecessor relationships.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatoonSpec {
+    /// Vehicle ids front to back. The paper numbers them 1..=4 with
+    /// vehicle 1 the leader and vehicle 2 (directly behind the leader) the
+    /// attack target.
+    pub members: Vec<u32>,
+    /// Desired bumper-to-bumper spacing, metres (Plexe default 5).
+    pub spacing_m: f64,
+    /// Initial cruise speed, m/s.
+    pub initial_speed_mps: f64,
+    /// Front-bumper position of the leader at t = 0, metres.
+    pub leader_pos_m: f64,
+    /// Lane the platoon drives in.
+    pub lane: u8,
+    /// Follower controller.
+    pub controller: ControllerKind,
+    /// Optional beacon staleness failsafe for followers, seconds: when the
+    /// newest V2V data is older than this, the follower degrades to
+    /// radar-only control. `None` reproduces the paper's unprotected
+    /// system (§III-C).
+    pub staleness_timeout_s: Option<f64>,
+}
+
+impl PlatoonSpec {
+    /// The paper's 4-vehicle platoon (§IV-A.1) with PATH CACC followers at
+    /// 5 m spacing, cruising at 100 km/h.
+    pub fn paper_default() -> Self {
+        PlatoonSpec {
+            members: vec![1, 2, 3, 4],
+            spacing_m: 5.0,
+            initial_speed_mps: 27.78,
+            leader_pos_m: 500.0,
+            lane: 0,
+            controller: ControllerKind::PathCacc,
+            staleness_timeout_s: None,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the platoon has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The leader's vehicle id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platoon is empty.
+    pub fn leader(&self) -> u32 {
+        *self.members.first().expect("platoon must not be empty")
+    }
+
+    /// The predecessor of `vehicle`, or `None` for the leader / unknown ids.
+    pub fn predecessor_of(&self, vehicle: u32) -> Option<u32> {
+        let idx = self.members.iter().position(|&m| m == vehicle)?;
+        if idx == 0 {
+            None
+        } else {
+            Some(self.members[idx - 1])
+        }
+    }
+
+    /// Zero-based index of a member (0 = leader).
+    pub fn index_of(&self, vehicle: u32) -> Option<usize> {
+        self.members.iter().position(|&m| m == vehicle)
+    }
+
+    /// Initial front-bumper position of each member given a vehicle length:
+    /// the leader at `leader_pos_m`, every follower `spacing + length`
+    /// behind the one ahead.
+    pub fn initial_positions(&self, vehicle_length_m: f64) -> Vec<(u32, f64)> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let pos = self.leader_pos_m - i as f64 * (self.spacing_m + vehicle_length_m);
+                (id, pos)
+            })
+            .collect()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.members.is_empty() {
+            return Err("platoon must have at least one member".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &m in &self.members {
+            if !seen.insert(m) {
+                return Err(format!("duplicate member id {m}"));
+            }
+        }
+        if self.spacing_m <= 0.0 {
+            return Err(format!("spacing must be positive, got {}", self.spacing_m));
+        }
+        if self.initial_speed_mps < 0.0 {
+            return Err(format!("initial speed cannot be negative, got {}", self.initial_speed_mps));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_iv() {
+        let p = PlatoonSpec::paper_default();
+        assert_eq!(p.members, vec![1, 2, 3, 4]);
+        assert_eq!(p.spacing_m, 5.0);
+        assert_eq!(p.controller, ControllerKind::PathCacc);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn relationships() {
+        let p = PlatoonSpec::paper_default();
+        assert_eq!(p.leader(), 1);
+        assert_eq!(p.predecessor_of(1), None);
+        assert_eq!(p.predecessor_of(2), Some(1));
+        assert_eq!(p.predecessor_of(4), Some(3));
+        assert_eq!(p.predecessor_of(9), None);
+        assert_eq!(p.index_of(3), Some(2));
+        assert_eq!(p.index_of(9), None);
+    }
+
+    #[test]
+    fn initial_positions_respect_spacing() {
+        let p = PlatoonSpec::paper_default();
+        let pos = p.initial_positions(4.0);
+        assert_eq!(pos[0], (1, 500.0));
+        // follower front = leader front - (5 m gap + 4 m leader body)
+        assert_eq!(pos[1], (2, 491.0));
+        assert_eq!(pos[2], (3, 482.0));
+        assert_eq!(pos[3], (4, 473.0));
+        // Resulting bumper-to-bumper gaps are exactly the spacing.
+        for w in pos.windows(2) {
+            let gap = (w[0].1 - 4.0) - w[1].1;
+            assert!((gap - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut p = PlatoonSpec::paper_default();
+        p.members = vec![];
+        assert!(p.validate().is_err());
+        p = PlatoonSpec::paper_default();
+        p.members = vec![1, 2, 2];
+        assert!(p.validate().unwrap_err().contains("duplicate"));
+        p = PlatoonSpec::paper_default();
+        p.spacing_m = 0.0;
+        assert!(p.validate().is_err());
+        p = PlatoonSpec::paper_default();
+        p.initial_speed_mps = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn leader_of_empty_panics() {
+        let p = PlatoonSpec { members: vec![], ..PlatoonSpec::paper_default() };
+        p.leader();
+    }
+}

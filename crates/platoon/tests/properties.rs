@@ -1,0 +1,161 @@
+//! Property-based tests for the platooning substrate.
+
+use comfase_des::time::SimTime;
+use comfase_platoon::beacon::PlatoonBeacon;
+use comfase_platoon::controller::{
+    Acc, ControllerInput, EgoState, LongitudinalController, MsCacc, PathCacc, Ploeg, RadarReading,
+    RadioData,
+};
+use comfase_platoon::maneuver::{Maneuver, Sinusoidal};
+use comfase_platoon::monitor::{MonitorDecision, SafetyMonitor, SafetyMonitorConfig};
+use comfase_platoon::platoon::PlatoonSpec;
+use proptest::prelude::*;
+
+fn arb_input() -> impl Strategy<Value = ControllerInput> {
+    (
+        0.0f64..40.0,   // ego speed
+        -9.0f64..2.5,   // ego accel
+        0.1f64..100.0,  // gap
+        -10.0f64..10.0, // closing
+        0.0f64..40.0,   // pred speed
+        -9.0f64..2.5,   // pred accel
+        0.0f64..40.0,   // leader speed
+        -9.0f64..2.5,   // leader accel
+    )
+        .prop_map(|(v, a, gap, closing, pv, pa, lv, la)| ControllerInput {
+            ego: EgoState { speed_mps: v, accel_mps2: a },
+            radar: RadarReading { gap_m: gap, closing_speed_mps: closing },
+            radio: RadioData {
+                pred_speed_mps: pv,
+                pred_accel_mps2: pa,
+                leader_speed_mps: lv,
+                leader_accel_mps2: la,
+            },
+            dt_s: 0.01,
+        })
+}
+
+proptest! {
+    /// Beacons round-trip any finite values.
+    #[test]
+    fn beacon_round_trip(
+        vehicle in any::<u32>(),
+        pos in -1.0e6f64..1.0e6,
+        speed in -100.0f64..100.0,
+        accel in -20.0f64..20.0,
+        ns in 0i64..1_000_000_000_000,
+    ) {
+        let b = PlatoonBeacon {
+            vehicle,
+            pos_m: pos,
+            speed_mps: speed,
+            accel_mps2: accel,
+            sampled: SimTime::from_nanos(ns),
+        };
+        prop_assert_eq!(PlatoonBeacon::decode(b.encode()).unwrap(), b);
+    }
+
+    /// Every controller produces a finite command for bounded inputs.
+    #[test]
+    fn controllers_are_finite(input in arb_input()) {
+        let mut controllers: Vec<Box<dyn LongitudinalController>> = vec![
+            Box::new(PathCacc::default()),
+            Box::new(MsCacc::default()),
+            Box::new(Ploeg::default()),
+            Box::new(Acc::default()),
+        ];
+        for c in &mut controllers {
+            let a = c.desired_accel(&input);
+            prop_assert!(a.is_finite(), "{} produced {a}", c.name());
+        }
+    }
+
+    /// PATH CACC gain identities hold for any valid parameterisation.
+    #[test]
+    fn path_cacc_gain_identities(c1 in 0.01f64..0.99, omega in 0.05f64..2.0, xi in 1.0f64..3.0) {
+        let cacc = PathCacc { spacing_m: 5.0, c1, omega_n: omega, xi };
+        let (a1, a2, a3, a4, a5) = cacc.gains();
+        prop_assert!((a1 + a2 - 1.0).abs() < 1e-12, "feedforward weights sum to 1");
+        prop_assert!((a5 + omega * omega).abs() < 1e-12);
+        prop_assert!(a3 < 0.0, "damping gains are negative");
+        prop_assert!(a4 < 0.0);
+    }
+
+    /// PATH CACC is at rest exactly at the design point.
+    #[test]
+    fn path_cacc_equilibrium(speed in 1.0f64..40.0, spacing in 2.0f64..20.0) {
+        let mut cacc = PathCacc { spacing_m: spacing, ..PathCacc::default() };
+        let input = ControllerInput {
+            ego: EgoState { speed_mps: speed, accel_mps2: 0.0 },
+            radar: RadarReading { gap_m: spacing, closing_speed_mps: 0.0 },
+            radio: RadioData {
+                pred_speed_mps: speed,
+                pred_accel_mps2: 0.0,
+                leader_speed_mps: speed,
+                leader_accel_mps2: 0.0,
+            },
+            dt_s: 0.01,
+        };
+        prop_assert!(cacc.desired_accel(&input).abs() < 1e-12);
+    }
+
+    /// ACC never reads the (attackable) radio inputs.
+    #[test]
+    fn acc_is_radio_independent(input in arb_input(), fake in -100.0f64..100.0) {
+        let mut acc = Acc::default();
+        let base = acc.desired_accel(&input);
+        let mut perturbed = input;
+        perturbed.radio = RadioData {
+            pred_speed_mps: fake,
+            pred_accel_mps2: -fake,
+            leader_speed_mps: fake * 2.0,
+            leader_accel_mps2: fake / 2.0,
+        };
+        prop_assert_eq!(acc.desired_accel(&perturbed), base);
+    }
+
+    /// The sinusoidal maneuver is periodic and bounded.
+    #[test]
+    fn sinusoid_periodic(t in 2.0f64..100.0) {
+        let m = Sinusoidal::paper_default();
+        let period = 1.0 / m.freq_hz;
+        let v1 = m.desired_speed(SimTime::from_secs_f64(t));
+        let v2 = m.desired_speed(SimTime::from_secs_f64(t + period));
+        prop_assert!((v1 - v2).abs() < 1e-9);
+        prop_assert!((v1 - m.base_mps).abs() <= m.amplitude_mps + 1e-9);
+    }
+
+    /// The monitor passes exactly when no hazard exists (unlatched).
+    #[test]
+    fn monitor_decision_matches_definition(gap in 0.1f64..100.0, closing in -10.0f64..10.0) {
+        let cfg = SafetyMonitorConfig::default();
+        let mut m = SafetyMonitor::new(cfg);
+        let radar = RadarReading { gap_m: gap, closing_speed_mps: closing };
+        let ttc = if closing > 1e-6 { gap / closing } else { f64::INFINITY };
+        let hazard = ttc < cfg.ttc_threshold_s || gap < cfg.min_gap_m;
+        match m.check(Some(&radar)) {
+            MonitorDecision::Pass => prop_assert!(!hazard),
+            MonitorDecision::EmergencyBrake(b) => {
+                prop_assert!(hazard);
+                prop_assert_eq!(b, -cfg.brake_mps2);
+            }
+        }
+    }
+
+    /// Platoon initial positions always realise the requested spacing.
+    #[test]
+    fn platoon_spacing_exact(n in 1usize..10, spacing in 1.0f64..30.0, len in 3.0f64..12.0) {
+        let spec = PlatoonSpec {
+            members: (1..=n as u32).collect(),
+            spacing_m: spacing,
+            leader_pos_m: 1000.0,
+            ..PlatoonSpec::paper_default()
+        };
+        let pos = spec.initial_positions(len);
+        prop_assert_eq!(pos.len(), n);
+        for w in pos.windows(2) {
+            let gap = (w[0].1 - len) - w[1].1;
+            prop_assert!((gap - spacing).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Road network model.
+//!
+//! The paper's scenario runs on a single straight multi-lane road (4 lanes,
+//! 9400 m, 3.2 m lane width, 90 m/s speed limit). The network model here is a
+//! list of [`Road`]s each with per-lane attributes, which covers that
+//! scenario and simple extensions (on-ramp hazards, heterogeneous limits)
+//! without pretending to be a full map format.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a lane on a road, `0` = rightmost lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LaneIndex(pub u8);
+
+/// Attributes of one lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lane {
+    /// Lane width in metres.
+    pub width_m: f64,
+    /// Maximum permitted speed on this lane, in m/s.
+    pub speed_limit_mps: f64,
+}
+
+/// A straight, one-directional road segment with parallel lanes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Road {
+    /// Human-readable identifier (e.g. `"highway"`).
+    pub id: String,
+    /// Drivable length in metres; positions run from `0` to `length_m`.
+    pub length_m: f64,
+    /// Lane list, index 0 = rightmost.
+    pub lanes: Vec<Lane>,
+}
+
+impl Road {
+    /// Creates a road where all lanes share the same width and speed limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_m <= 0`, `nr_lanes == 0`, `width_m <= 0` or
+    /// `speed_limit_mps <= 0`.
+    pub fn uniform(
+        id: impl Into<String>,
+        length_m: f64,
+        nr_lanes: u8,
+        width_m: f64,
+        speed_limit_mps: f64,
+    ) -> Self {
+        assert!(length_m > 0.0, "road length must be positive");
+        assert!(nr_lanes > 0, "road needs at least one lane");
+        assert!(width_m > 0.0, "lane width must be positive");
+        assert!(speed_limit_mps > 0.0, "speed limit must be positive");
+        Road {
+            id: id.into(),
+            length_m,
+            lanes: vec![Lane { width_m, speed_limit_mps }; nr_lanes as usize],
+        }
+    }
+
+    /// The scenario road used in the paper's experiments (§IV-A.1):
+    /// 4 lanes, 9400 m long, 3.2 m per lane, 90 m/s speed limit.
+    pub fn paper_highway() -> Self {
+        Road::uniform("highway", 9400.0, 4, 3.2, 90.0)
+    }
+
+    /// Number of lanes.
+    pub fn nr_lanes(&self) -> u8 {
+        self.lanes.len() as u8
+    }
+
+    /// Lane attributes, if the index is valid.
+    pub fn lane(&self, idx: LaneIndex) -> Option<&Lane> {
+        self.lanes.get(idx.0 as usize)
+    }
+
+    /// Speed limit of a lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane index is out of range.
+    pub fn speed_limit(&self, idx: LaneIndex) -> f64 {
+        self.lane(idx).expect("lane index out of range").speed_limit_mps
+    }
+
+    /// `true` if `pos` lies on the road.
+    pub fn contains(&self, pos_m: f64) -> bool {
+        (0.0..=self.length_m).contains(&pos_m)
+    }
+
+    /// Lateral centre offset of a lane from the road's right edge, metres.
+    pub fn lane_center_offset(&self, idx: LaneIndex) -> f64 {
+        let mut off = 0.0;
+        for lane in &self.lanes[..idx.0 as usize] {
+            off += lane.width_m;
+        }
+        off + self.lane(idx).expect("lane index out of range").width_m / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_highway_matches_section_iv() {
+        let r = Road::paper_highway();
+        assert_eq!(r.nr_lanes(), 4);
+        assert_eq!(r.length_m, 9400.0);
+        assert_eq!(r.lanes[0].width_m, 3.2);
+        assert_eq!(r.speed_limit(LaneIndex(3)), 90.0);
+    }
+
+    #[test]
+    fn uniform_road_lane_access() {
+        let r = Road::uniform("r", 100.0, 2, 3.0, 25.0);
+        assert!(r.lane(LaneIndex(1)).is_some());
+        assert!(r.lane(LaneIndex(2)).is_none());
+        assert!(r.contains(0.0));
+        assert!(r.contains(100.0));
+        assert!(!r.contains(100.1));
+        assert!(!r.contains(-0.1));
+    }
+
+    #[test]
+    fn lane_center_offsets() {
+        let r = Road::uniform("r", 100.0, 3, 4.0, 25.0);
+        assert_eq!(r.lane_center_offset(LaneIndex(0)), 2.0);
+        assert_eq!(r.lane_center_offset(LaneIndex(1)), 6.0);
+        assert_eq!(r.lane_center_offset(LaneIndex(2)), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        Road::uniform("r", 100.0, 0, 3.0, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn non_positive_length_rejected() {
+        Road::uniform("r", 0.0, 1, 3.0, 25.0);
+    }
+}

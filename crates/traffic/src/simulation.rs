@@ -1,0 +1,491 @@
+//! The microscopic traffic simulation loop.
+//!
+//! [`TrafficSim`] advances all vehicles in fixed steps (SUMO/Plexe use
+//! 0.01 s; so do we by default): commands are computed from a synchronous
+//! snapshot of the previous state, dynamics are integrated, collisions are
+//! detected and the policy applied, and the trajectory log is updated.
+
+use std::fmt;
+
+use comfase_des::rng::RngStream;
+use comfase_des::time::{SimDuration, SimTime};
+
+use crate::car_following::{CarFollowingModel, CfInput, Krauss};
+use crate::collision::{detect_collisions, Collision, CollisionPolicy};
+use crate::dynamics::step_vehicle;
+use crate::network::Road;
+use crate::trace::{TraceConfig, TrafficTrace};
+use crate::vehicle::{ControlMode, Vehicle, VehicleId};
+
+/// Errors returned by [`TrafficSim`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// A vehicle with this id already exists.
+    DuplicateVehicle(VehicleId),
+    /// No vehicle with this id exists.
+    UnknownVehicle(VehicleId),
+    /// Position or lane is not on the road.
+    OffRoad {
+        /// Offending vehicle.
+        vehicle: VehicleId,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::DuplicateVehicle(id) => write!(f, "duplicate vehicle id {id}"),
+            TrafficError::UnknownVehicle(id) => write!(f, "unknown vehicle {id}"),
+            TrafficError::OffRoad { vehicle, reason } => {
+                write!(f, "vehicle {vehicle} off road: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// A microscopic traffic simulation on one road.
+#[derive(Debug)]
+pub struct TrafficSim {
+    road: Road,
+    vehicles: Vec<Vehicle>,
+    cf_model: Box<dyn CarFollowingModel>,
+    policy: CollisionPolicy,
+    step_len: SimDuration,
+    step_len_s: f64,
+    time: SimTime,
+    steps: u64,
+    trace: TrafficTrace,
+    trace_cfg: TraceConfig,
+    rng: RngStream,
+    reported_pairs: Vec<(VehicleId, VehicleId)>,
+}
+
+impl TrafficSim {
+    /// Creates a simulation with the SUMO-like defaults: 0.01 s steps,
+    /// Krauss car-following, `RemoveCollider` collision policy.
+    pub fn new(road: Road, rng: RngStream) -> Self {
+        TrafficSim {
+            road,
+            vehicles: Vec::new(),
+            cf_model: Box::new(Krauss::default()),
+            policy: CollisionPolicy::default(),
+            step_len: SimDuration::from_millis(10),
+            step_len_s: 0.01,
+            time: SimTime::ZERO,
+            steps: 0,
+            trace: TrafficTrace::new(),
+            trace_cfg: TraceConfig::default(),
+            rng,
+            reported_pairs: Vec::new(),
+        }
+    }
+
+    /// Replaces the car-following model used for `CarFollowing` vehicles.
+    pub fn set_car_following_model(&mut self, model: Box<dyn CarFollowingModel>) {
+        self.cf_model = model;
+    }
+
+    /// Sets the collision handling policy.
+    pub fn set_collision_policy(&mut self, policy: CollisionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Sets the step length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn set_step_len(&mut self, step: SimDuration) {
+        assert!(step > SimDuration::ZERO, "step length must be positive");
+        self.step_len = step;
+        self.step_len_s = step.as_secs_f64();
+    }
+
+    /// Sets trajectory log decimation.
+    pub fn set_trace_config(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = cfg;
+    }
+
+    /// The road being simulated.
+    pub fn road(&self) -> &Road {
+        &self.road
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Configured step length.
+    pub fn step_len(&self) -> SimDuration {
+        self.step_len
+    }
+
+    /// Inserts a vehicle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id already exists or the vehicle is off the road.
+    pub fn add_vehicle(&mut self, vehicle: Vehicle) -> Result<(), TrafficError> {
+        if self.vehicles.iter().any(|v| v.id == vehicle.id) {
+            return Err(TrafficError::DuplicateVehicle(vehicle.id));
+        }
+        if vehicle.state.lane.0 >= self.road.nr_lanes() {
+            return Err(TrafficError::OffRoad {
+                vehicle: vehicle.id,
+                reason: format!(
+                    "lane {} out of range (road has {})",
+                    vehicle.state.lane.0,
+                    self.road.nr_lanes()
+                ),
+            });
+        }
+        if !self.road.contains(vehicle.state.pos_m) {
+            return Err(TrafficError::OffRoad {
+                vehicle: vehicle.id,
+                reason: format!("position {} outside [0, {}]", vehicle.state.pos_m, self.road.length_m),
+            });
+        }
+        self.vehicles.push(vehicle);
+        Ok(())
+    }
+
+    /// All vehicles (including inactive ones).
+    pub fn vehicles(&self) -> &[Vehicle] {
+        &self.vehicles
+    }
+
+    /// Looks up a vehicle by id.
+    pub fn vehicle(&self, id: VehicleId) -> Option<&Vehicle> {
+        self.vehicles.iter().find(|v| v.id == id)
+    }
+
+    /// Looks up a vehicle mutably by id.
+    pub fn vehicle_mut(&mut self, id: VehicleId) -> Option<&mut Vehicle> {
+        self.vehicles.iter_mut().find(|v| v.id == id)
+    }
+
+    /// Switches a vehicle to external acceleration control (TraCI-style).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the vehicle does not exist.
+    pub fn set_external_control(&mut self, id: VehicleId) -> Result<(), TrafficError> {
+        self.vehicle_mut(id).ok_or(TrafficError::UnknownVehicle(id))?.set_external_control();
+        Ok(())
+    }
+
+    /// Sets the commanded acceleration of an externally controlled vehicle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the vehicle does not exist.
+    pub fn command_accel(&mut self, id: VehicleId, accel_mps2: f64) -> Result<(), TrafficError> {
+        self.vehicle_mut(id).ok_or(TrafficError::UnknownVehicle(id))?.command_accel(accel_mps2);
+        Ok(())
+    }
+
+    /// The active vehicle directly ahead of `id` on the same lane, with the
+    /// bumper-to-bumper gap.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the vehicle does not exist.
+    pub fn leader_of(&self, id: VehicleId) -> Result<Option<(VehicleId, f64)>, TrafficError> {
+        let me = self.vehicle(id).ok_or(TrafficError::UnknownVehicle(id))?;
+        let mut best: Option<(VehicleId, f64)> = None;
+        for v in self.vehicles.iter().filter(|v| v.active && v.id != id) {
+            if v.state.lane != me.state.lane || v.state.pos_m <= me.state.pos_m {
+                continue;
+            }
+            let gap = me.gap_to(v);
+            if best.is_none_or(|(_, g)| gap < g) {
+                best = Some((v.id, gap));
+            }
+        }
+        Ok(best)
+    }
+
+    /// Advances the simulation by one step.
+    ///
+    /// Returns the collisions that occurred during this step (also recorded
+    /// in the trace).
+    pub fn step(&mut self) -> Vec<Collision> {
+        // Phase 1: compute car-following commands from a synchronous snapshot.
+        let mut commands: Vec<(usize, f64)> = Vec::new();
+        for i in 0..self.vehicles.len() {
+            let v = &self.vehicles[i];
+            if !v.active || v.control_mode != ControlMode::CarFollowing {
+                continue;
+            }
+            let leader = self
+                .leader_of(v.id)
+                .expect("vehicle exists")
+                .map(|(lid, gap)| (self.vehicle(lid).expect("leader exists"), gap));
+            let v = &self.vehicles[i];
+            let input = CfInput {
+                speed_mps: v.state.speed_mps,
+                gap_m: leader.as_ref().map(|(_, g)| *g),
+                leader_speed_mps: leader.as_ref().map_or(0.0, |(l, _)| l.state.speed_mps),
+                speed_limit_mps: self.road.speed_limit(v.state.lane).min(v.spec.max_speed_mps),
+                max_accel_mps2: v.spec.max_accel_mps2,
+                service_decel_mps2: v.spec.max_decel_mps2.min(4.5),
+                dt_s: self.step_len_s,
+                noise: self.rng.uniform(),
+            };
+            commands.push((i, self.cf_model.accel(&input)));
+        }
+        for (i, a) in commands {
+            self.vehicles[i].command_accel(a);
+        }
+
+        // Phase 2: integrate dynamics.
+        for v in self.vehicles.iter_mut().filter(|v| v.active) {
+            step_vehicle(v, self.step_len_s);
+        }
+        self.time += self.step_len;
+        self.steps += 1;
+
+        // Phase 3: collisions.
+        let mut collisions = detect_collisions(self.time, &self.vehicles);
+        collisions.retain(|c| {
+            // Unordered pair: with `RegisterOnly` a vehicle may pass through
+            // another, which must not count as a second incident.
+            let pair =
+                (c.collider.min(c.victim), c.collider.max(c.victim));
+            if self.reported_pairs.contains(&pair) {
+                false
+            } else {
+                self.reported_pairs.push(pair);
+                true
+            }
+        });
+        for c in &collisions {
+            match self.policy {
+                CollisionPolicy::RemoveCollider => {
+                    if let Some(v) = self.vehicle_mut(c.collider) {
+                        v.active = false;
+                    }
+                }
+                CollisionPolicy::StopBoth => {
+                    for id in [c.collider, c.victim] {
+                        if let Some(v) = self.vehicle_mut(id) {
+                            v.state.speed_mps = 0.0;
+                            v.state.accel_mps2 = 0.0;
+                            v.command_accel(0.0);
+                        }
+                    }
+                }
+                CollisionPolicy::RegisterOnly => {}
+            }
+        }
+        self.trace.record_collisions(&collisions);
+
+        // Phase 4: trajectory log.
+        if self.steps.is_multiple_of(u64::from(self.trace_cfg.sample_every)) {
+            self.trace.record_step(self.time, &self.vehicles);
+        }
+        collisions
+    }
+
+    /// Runs `n` steps; returns the total number of collisions seen.
+    pub fn run_steps(&mut self, n: u64) -> usize {
+        let mut total = 0;
+        for _ in 0..n {
+            total += self.step().len();
+        }
+        total
+    }
+
+    /// The trajectory log so far.
+    pub fn trace(&self) -> &TrafficTrace {
+        &self.trace
+    }
+
+    /// Consumes the simulation and returns the trajectory log.
+    pub fn into_trace(self) -> TrafficTrace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LaneIndex;
+    use crate::vehicle::VehicleSpec;
+
+    fn sim() -> TrafficSim {
+        TrafficSim::new(Road::paper_highway(), RngStream::new(1))
+    }
+
+    fn car(id: u32, pos: f64, speed: f64) -> Vehicle {
+        Vehicle::new(VehicleId(id), VehicleSpec::default_car(), pos, LaneIndex(0), speed)
+    }
+
+    #[test]
+    fn add_and_query_vehicles() {
+        let mut s = sim();
+        s.add_vehicle(car(1, 100.0, 20.0)).unwrap();
+        s.add_vehicle(car(2, 50.0, 20.0)).unwrap();
+        assert_eq!(s.vehicles().len(), 2);
+        assert!(s.vehicle(VehicleId(1)).is_some());
+        assert_eq!(s.leader_of(VehicleId(2)).unwrap().unwrap().0, VehicleId(1));
+        // gap = 100 - 5 (leader length) - 50 = 45
+        assert!((s.leader_of(VehicleId(2)).unwrap().unwrap().1 - 45.0).abs() < 1e-12);
+        assert!(s.leader_of(VehicleId(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut s = sim();
+        s.add_vehicle(car(1, 100.0, 20.0)).unwrap();
+        assert_eq!(
+            s.add_vehicle(car(1, 50.0, 20.0)),
+            Err(TrafficError::DuplicateVehicle(VehicleId(1)))
+        );
+    }
+
+    #[test]
+    fn off_road_rejected() {
+        let mut s = sim();
+        assert!(matches!(
+            s.add_vehicle(car(1, 10_000.0, 20.0)),
+            Err(TrafficError::OffRoad { .. })
+        ));
+        let mut v = car(2, 100.0, 20.0);
+        v.state.lane = LaneIndex(9);
+        assert!(matches!(s.add_vehicle(v), Err(TrafficError::OffRoad { .. })));
+    }
+
+    #[test]
+    fn unknown_vehicle_errors() {
+        let mut s = sim();
+        assert_eq!(
+            s.command_accel(VehicleId(9), 1.0),
+            Err(TrafficError::UnknownVehicle(VehicleId(9)))
+        );
+        assert!(s.set_external_control(VehicleId(9)).is_err());
+        assert!(s.leader_of(VehicleId(9)).is_err());
+    }
+
+    #[test]
+    fn time_advances_per_step() {
+        let mut s = sim();
+        s.run_steps(100);
+        assert_eq!(s.time(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn free_vehicle_accelerates_to_its_max_speed() {
+        let mut s = sim();
+        s.add_vehicle(car(1, 0.0, 0.0)).unwrap();
+        s.run_steps(6000); // 60 s
+        let v = s.vehicle(VehicleId(1)).unwrap();
+        assert!((v.state.speed_mps - v.spec.max_speed_mps).abs() < 0.1, "speed {}", v.state.speed_mps);
+    }
+
+    #[test]
+    fn krauss_follower_keeps_safe_distance() {
+        let mut s = sim();
+        s.add_vehicle(car(1, 120.0, 20.0)).unwrap();
+        s.add_vehicle(car(2, 100.0, 25.0)).unwrap();
+        s.run_steps(3000);
+        assert!(s.trace().collisions.is_empty());
+        let (_, gap) = s.leader_of(VehicleId(2)).unwrap().unwrap();
+        assert!(gap > 0.0);
+    }
+
+    #[test]
+    fn external_control_bypasses_car_following() {
+        let mut s = sim();
+        s.add_vehicle(car(1, 100.0, 20.0)).unwrap();
+        s.set_external_control(VehicleId(1)).unwrap();
+        s.command_accel(VehicleId(1), -4.0).unwrap();
+        s.run_steps(100); // 1 s at -4 m/s^2
+        let v = s.vehicle(VehicleId(1)).unwrap();
+        assert!((v.state.speed_mps - 16.0).abs() < 0.01, "speed {}", v.state.speed_mps);
+    }
+
+    #[test]
+    fn forced_collision_is_detected_and_collider_removed() {
+        let mut s = sim();
+        s.add_vehicle(car(1, 100.0, 5.0)).unwrap();
+        s.add_vehicle(car(2, 90.0, 30.0)).unwrap();
+        s.set_external_control(VehicleId(1)).unwrap();
+        s.set_external_control(VehicleId(2)).unwrap();
+        s.command_accel(VehicleId(2), 0.0).unwrap(); // keeps ramming speed
+        let collisions = {
+            let mut all = Vec::new();
+            for _ in 0..200 {
+                all.extend(s.step());
+            }
+            all
+        };
+        assert_eq!(collisions.len(), 1);
+        assert_eq!(collisions[0].collider, VehicleId(2));
+        assert_eq!(collisions[0].victim, VehicleId(1));
+        assert!(!s.vehicle(VehicleId(2)).unwrap().active, "collider removed");
+        assert!(s.vehicle(VehicleId(1)).unwrap().active);
+        assert!(s.trace().has_collision());
+    }
+
+    #[test]
+    fn stop_both_policy_freezes_vehicles() {
+        let mut s = sim();
+        s.set_collision_policy(CollisionPolicy::StopBoth);
+        s.add_vehicle(car(1, 100.0, 5.0)).unwrap();
+        s.add_vehicle(car(2, 90.0, 30.0)).unwrap();
+        s.set_external_control(VehicleId(1)).unwrap();
+        s.set_external_control(VehicleId(2)).unwrap();
+        for _ in 0..200 {
+            s.step();
+        }
+        assert_eq!(s.vehicle(VehicleId(2)).unwrap().state.speed_mps, 0.0);
+        assert!(s.vehicle(VehicleId(2)).unwrap().active);
+    }
+
+    #[test]
+    fn register_only_reports_pair_once() {
+        let mut s = sim();
+        s.set_collision_policy(CollisionPolicy::RegisterOnly);
+        s.add_vehicle(car(1, 100.0, 0.0)).unwrap();
+        s.add_vehicle(car(2, 94.0, 30.0)).unwrap();
+        s.set_external_control(VehicleId(1)).unwrap();
+        s.set_external_control(VehicleId(2)).unwrap();
+        for _ in 0..300 {
+            s.step();
+        }
+        assert_eq!(s.trace().collisions.len(), 1, "same pair reported once");
+    }
+
+    #[test]
+    fn trace_decimation() {
+        let mut s = sim();
+        s.set_trace_config(TraceConfig { sample_every: 10 });
+        s.add_vehicle(car(1, 0.0, 10.0)).unwrap();
+        s.run_steps(100);
+        let tr = s.trace().vehicle(VehicleId(1)).unwrap();
+        assert_eq!(tr.speed.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_equal_seeds() {
+        let run = |seed: u64| {
+            let mut s = TrafficSim::new(Road::paper_highway(), RngStream::new(seed));
+            s.set_car_following_model(Box::new(Krauss { sigma: 0.5, ..Krauss::default() }));
+            s.add_vehicle(car(1, 200.0, 20.0)).unwrap();
+            s.add_vehicle(car(2, 150.0, 25.0)).unwrap();
+            s.run_steps(2000);
+            (
+                s.vehicle(VehicleId(1)).unwrap().state.pos_m,
+                s.vehicle(VehicleId(2)).unwrap().state.pos_m,
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-vehicle trajectory logging.
+//!
+//! ComFASE classifies experiments from SUMO's logged traffic data (speed,
+//! acceleration/deceleration, position — §II-C). [`TrafficTrace`] is that
+//! log: one [`VehicleTrace`] per vehicle plus all collision incidents.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use comfase_des::stats::TimeSeries;
+use comfase_des::time::SimTime;
+
+use crate::collision::Collision;
+use crate::vehicle::{Vehicle, VehicleId};
+
+/// Recorded trajectory of one vehicle.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VehicleTrace {
+    /// Speed samples, m/s.
+    pub speed: TimeSeries,
+    /// Realised acceleration samples, m/s².
+    pub accel: TimeSeries,
+    /// Front-bumper position samples, metres.
+    pub pos: TimeSeries,
+}
+
+impl VehicleTrace {
+    /// Largest deceleration magnitude observed, m/s² (0 if never braked).
+    pub fn max_decel(&self) -> f64 {
+        self.accel.values().iter().copied().fold(0.0, |m, a| if -a > m { -a } else { m })
+    }
+
+    /// Largest acceleration observed, m/s² (0 if never accelerated).
+    pub fn max_accel(&self) -> f64 {
+        self.accel.values().iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Largest absolute speed difference to another trace, comparing
+    /// sample-by-sample at this trace's sample times.
+    ///
+    /// Used for the paper's *Non-effective* class ("identical speed profiles
+    /// as in the golden run"). Samples missing in `other` count as a
+    /// difference of the full speed value.
+    pub fn max_speed_deviation(&self, other: &VehicleTrace) -> f64 {
+        let mut max = 0.0f64;
+        for (t, v) in self.speed.iter() {
+            let o = other.speed.sample_at(t).unwrap_or(0.0);
+            max = max.max((v - o).abs());
+        }
+        max
+    }
+}
+
+/// Decimation control for trajectory logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Record every n-th simulation step (1 = every step).
+    pub sample_every: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { sample_every: 1 }
+    }
+}
+
+/// The complete traffic log of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficTrace {
+    per_vehicle: BTreeMap<VehicleId, VehicleTrace>,
+    /// All collision incidents, in time order.
+    pub collisions: Vec<Collision>,
+}
+
+impl TrafficTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the current state of every active vehicle.
+    pub fn record_step(&mut self, time: SimTime, vehicles: &[Vehicle]) {
+        for v in vehicles.iter().filter(|v| v.active) {
+            let tr = self.per_vehicle.entry(v.id).or_default();
+            tr.speed.record(time, v.state.speed_mps);
+            tr.accel.record(time, v.state.accel_mps2);
+            tr.pos.record(time, v.state.pos_m);
+        }
+    }
+
+    /// Appends collision incidents.
+    pub fn record_collisions(&mut self, collisions: &[Collision]) {
+        self.collisions.extend_from_slice(collisions);
+    }
+
+    /// Trace of one vehicle, if it was ever recorded.
+    pub fn vehicle(&self, id: VehicleId) -> Option<&VehicleTrace> {
+        self.per_vehicle.get(&id)
+    }
+
+    /// Iterates over `(vehicle, trace)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VehicleId, &VehicleTrace)> {
+        self.per_vehicle.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Ids of all recorded vehicles.
+    pub fn vehicle_ids(&self) -> Vec<VehicleId> {
+        self.per_vehicle.keys().copied().collect()
+    }
+
+    /// Largest deceleration across all vehicles, m/s².
+    pub fn max_decel_overall(&self) -> f64 {
+        self.per_vehicle.values().map(VehicleTrace::max_decel).fold(0.0, f64::max)
+    }
+
+    /// First collision incident, if any.
+    pub fn first_collision(&self) -> Option<&Collision> {
+        self.collisions.first()
+    }
+
+    /// `true` if any collision was recorded.
+    pub fn has_collision(&self) -> bool {
+        !self.collisions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LaneIndex;
+    use crate::vehicle::VehicleSpec;
+
+    fn veh(id: u32, pos: f64, speed: f64, accel: f64) -> Vehicle {
+        let mut v = Vehicle::new(
+            VehicleId(id),
+            VehicleSpec::paper_platooning_car(),
+            pos,
+            LaneIndex(0),
+            speed,
+        );
+        v.state.accel_mps2 = accel;
+        v
+    }
+
+    #[test]
+    fn records_only_active_vehicles() {
+        let mut trace = TrafficTrace::new();
+        let mut vehicles = vec![veh(1, 10.0, 20.0, 0.0), veh(2, 0.0, 20.0, 0.0)];
+        vehicles[1].active = false;
+        trace.record_step(SimTime::ZERO, &vehicles);
+        assert!(trace.vehicle(VehicleId(1)).is_some());
+        assert!(trace.vehicle(VehicleId(2)).is_none());
+    }
+
+    #[test]
+    fn max_decel_over_run() {
+        let mut trace = TrafficTrace::new();
+        for (i, a) in [0.5, -1.2, -6.3, 2.0].iter().enumerate() {
+            trace.record_step(SimTime::from_secs(i as i64), &[veh(1, 0.0, 20.0, *a)]);
+        }
+        let tr = trace.vehicle(VehicleId(1)).unwrap();
+        assert!((tr.max_decel() - 6.3).abs() < 1e-12);
+        assert!((tr.max_accel() - 2.0).abs() < 1e-12);
+        assert!((trace.max_decel_overall() - 6.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_decel_zero_without_braking() {
+        let mut trace = TrafficTrace::new();
+        trace.record_step(SimTime::ZERO, &[veh(1, 0.0, 20.0, 1.0)]);
+        assert_eq!(trace.vehicle(VehicleId(1)).unwrap().max_decel(), 0.0);
+    }
+
+    #[test]
+    fn speed_deviation_between_traces() {
+        let mut a = TrafficTrace::new();
+        let mut b = TrafficTrace::new();
+        for i in 0..10 {
+            a.record_step(SimTime::from_secs(i), &[veh(1, 0.0, 20.0, 0.0)]);
+            let speed = if i == 5 { 17.5 } else { 20.0 };
+            b.record_step(SimTime::from_secs(i), &[veh(1, 0.0, speed, 0.0)]);
+        }
+        let dev = a.vehicle(VehicleId(1)).unwrap().max_speed_deviation(b.vehicle(VehicleId(1)).unwrap());
+        assert!((dev - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_traces_have_zero_deviation() {
+        let mut a = TrafficTrace::new();
+        for i in 0..10 {
+            a.record_step(SimTime::from_secs(i), &[veh(1, 0.0, 20.0, 0.0)]);
+        }
+        let tr = a.vehicle(VehicleId(1)).unwrap();
+        assert_eq!(tr.max_speed_deviation(tr), 0.0);
+    }
+
+    #[test]
+    fn collision_bookkeeping() {
+        let mut trace = TrafficTrace::new();
+        assert!(!trace.has_collision());
+        assert!(trace.first_collision().is_none());
+        let c = Collision {
+            time: SimTime::from_secs(5),
+            collider: VehicleId(2),
+            victim: VehicleId(1),
+            lane: LaneIndex(0),
+            pos_m: 120.0,
+            collider_speed_mps: 25.0,
+            victim_speed_mps: 20.0,
+            overlap_m: 0.4,
+        };
+        trace.record_collisions(std::slice::from_ref(&c));
+        assert!(trace.has_collision());
+        assert_eq!(trace.first_collision(), Some(&c));
+    }
+}

@@ -1,0 +1,191 @@
+//! TraCI-style command interface to the traffic simulation.
+//!
+//! Veins talks to SUMO over TraCI, a request/response protocol. Our traffic
+//! simulator is in-process, but we keep an explicit command layer with the
+//! same shape: callers (the co-simulation world, tests, tooling) can drive
+//! the simulation through serializable [`TraciCommand`] values and get
+//! [`TraciResponse`] values back. This keeps the coupling surface explicit
+//! and testable, exactly where Veins' `TraCIScenarioManager` sits.
+
+use serde::{Deserialize, Serialize};
+
+use comfase_des::time::SimTime;
+
+use crate::network::LaneIndex;
+use crate::simulation::{TrafficError, TrafficSim};
+use crate::vehicle::{Vehicle, VehicleId, VehicleSpec, VehicleState};
+
+/// A TraCI-style request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraciCommand {
+    /// Advance the simulation by one step.
+    SimulationStep,
+    /// Insert a vehicle.
+    AddVehicle {
+        /// New vehicle id.
+        id: VehicleId,
+        /// Vehicle type.
+        spec: VehicleSpec,
+        /// Front-bumper position, metres.
+        pos_m: f64,
+        /// Lane index.
+        lane: LaneIndex,
+        /// Initial speed, m/s.
+        speed_mps: f64,
+    },
+    /// Hand longitudinal control of a vehicle to the caller.
+    SetExternalControl(VehicleId),
+    /// Set the commanded acceleration of a vehicle.
+    CommandAccel(VehicleId, f64),
+    /// Read a vehicle's dynamic state.
+    GetState(VehicleId),
+    /// Read the id and gap of the vehicle ahead.
+    GetLeader(VehicleId),
+    /// Read the current simulation time.
+    GetTime,
+    /// Number of collisions recorded so far.
+    GetCollisionCount,
+}
+
+/// A TraCI-style response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraciResponse {
+    /// Command executed, nothing to return.
+    Ok,
+    /// Vehicle state snapshot.
+    State(VehicleState),
+    /// Leader id and bumper-to-bumper gap (`None` = free road).
+    Leader(Option<(VehicleId, f64)>),
+    /// Current simulation time.
+    Time(SimTime),
+    /// Collision count.
+    CollisionCount(usize),
+}
+
+/// Executes a TraCI command against a simulation.
+///
+/// # Errors
+///
+/// Propagates [`TrafficError`] from the underlying operation (unknown
+/// vehicle, duplicate id, off-road placement).
+pub fn execute(sim: &mut TrafficSim, cmd: TraciCommand) -> Result<TraciResponse, TrafficError> {
+    match cmd {
+        TraciCommand::SimulationStep => {
+            sim.step();
+            Ok(TraciResponse::Ok)
+        }
+        TraciCommand::AddVehicle { id, spec, pos_m, lane, speed_mps } => {
+            sim.add_vehicle(Vehicle::new(id, spec, pos_m, lane, speed_mps))?;
+            Ok(TraciResponse::Ok)
+        }
+        TraciCommand::SetExternalControl(id) => {
+            sim.set_external_control(id)?;
+            Ok(TraciResponse::Ok)
+        }
+        TraciCommand::CommandAccel(id, a) => {
+            sim.command_accel(id, a)?;
+            Ok(TraciResponse::Ok)
+        }
+        TraciCommand::GetState(id) => {
+            let v = sim.vehicle(id).ok_or(TrafficError::UnknownVehicle(id))?;
+            Ok(TraciResponse::State(v.state.clone()))
+        }
+        TraciCommand::GetLeader(id) => Ok(TraciResponse::Leader(sim.leader_of(id)?)),
+        TraciCommand::GetTime => Ok(TraciResponse::Time(sim.time())),
+        TraciCommand::GetCollisionCount => {
+            Ok(TraciResponse::CollisionCount(sim.trace().collisions.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Road;
+    use comfase_des::rng::RngStream;
+
+    fn sim() -> TrafficSim {
+        TrafficSim::new(Road::paper_highway(), RngStream::new(1))
+    }
+
+    fn add(id: u32, pos: f64) -> TraciCommand {
+        TraciCommand::AddVehicle {
+            id: VehicleId(id),
+            spec: VehicleSpec::default_car(),
+            pos_m: pos,
+            lane: LaneIndex(0),
+            speed_mps: 20.0,
+        }
+    }
+
+    #[test]
+    fn add_step_and_read_state() {
+        let mut s = sim();
+        assert_eq!(execute(&mut s, add(1, 100.0)).unwrap(), TraciResponse::Ok);
+        execute(&mut s, TraciCommand::SimulationStep).unwrap();
+        match execute(&mut s, TraciCommand::GetState(VehicleId(1))).unwrap() {
+            TraciResponse::State(st) => assert!(st.pos_m > 100.0),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(
+            execute(&mut s, TraciCommand::GetTime).unwrap(),
+            TraciResponse::Time(SimTime::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn leader_query() {
+        let mut s = sim();
+        execute(&mut s, add(1, 100.0)).unwrap();
+        execute(&mut s, add(2, 50.0)).unwrap();
+        match execute(&mut s, TraciCommand::GetLeader(VehicleId(2))).unwrap() {
+            TraciResponse::Leader(Some((id, gap))) => {
+                assert_eq!(id, VehicleId(1));
+                assert!(gap > 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_control_via_commands() {
+        let mut s = sim();
+        execute(&mut s, add(1, 100.0)).unwrap();
+        execute(&mut s, TraciCommand::SetExternalControl(VehicleId(1))).unwrap();
+        execute(&mut s, TraciCommand::CommandAccel(VehicleId(1), -2.0)).unwrap();
+        for _ in 0..100 {
+            execute(&mut s, TraciCommand::SimulationStep).unwrap();
+        }
+        match execute(&mut s, TraciCommand::GetState(VehicleId(1))).unwrap() {
+            TraciResponse::State(st) => assert!((st.speed_mps - 18.0).abs() < 0.01),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut s = sim();
+        assert_eq!(
+            execute(&mut s, TraciCommand::GetState(VehicleId(7))),
+            Err(TrafficError::UnknownVehicle(VehicleId(7)))
+        );
+    }
+
+    #[test]
+    fn collision_count_command() {
+        let mut s = sim();
+        execute(&mut s, add(1, 100.0)).unwrap();
+        assert_eq!(
+            execute(&mut s, TraciCommand::GetCollisionCount).unwrap(),
+            TraciResponse::CollisionCount(0)
+        );
+    }
+
+    #[test]
+    fn commands_serialize_round_trip() {
+        let cmd = add(3, 42.0);
+        let json = serde_json::to_string(&cmd).unwrap();
+        let back: TraciCommand = serde_json::from_str(&json).unwrap();
+        assert_eq!(cmd, back);
+    }
+}

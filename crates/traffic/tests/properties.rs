@@ -1,0 +1,181 @@
+//! Property-based tests for the traffic simulation substrate.
+
+use comfase_des::rng::RngStream;
+use comfase_des::time::SimTime;
+use comfase_traffic::car_following::{CarFollowingModel, CfInput, Idm, Krauss};
+use comfase_traffic::collision::detect_collisions;
+use comfase_traffic::dynamics::integrate;
+use comfase_traffic::network::{LaneIndex, Road};
+use comfase_traffic::simulation::TrafficSim;
+use comfase_traffic::vehicle::{Vehicle, VehicleId, VehicleSpec};
+use proptest::prelude::*;
+
+fn spec() -> VehicleSpec {
+    VehicleSpec::paper_platooning_car()
+}
+
+proptest! {
+    /// Integration never produces speeds outside [0, max_speed], and the
+    /// distance covered matches the trapezoidal rule.
+    #[test]
+    fn dynamics_invariants(
+        speed in 0.0f64..50.0,
+        accel in -9.0f64..2.5,
+        cmd in -50.0f64..50.0,
+        dt in 0.001f64..0.5,
+    ) {
+        let s = spec();
+        let out = integrate(&s, speed, accel, cmd, dt);
+        prop_assert!((0.0..=s.max_speed_mps).contains(&out.speed_mps));
+        let expect = (speed + out.speed_mps) / 2.0 * dt;
+        prop_assert!((out.distance_m - expect).abs() < 1e-9);
+        // Realised acceleration is consistent with the speed change.
+        prop_assert!((out.accel_mps2 - (out.speed_mps - speed) / dt).abs() < 1e-9);
+    }
+
+    /// The realised acceleration never exceeds the vehicle's ability.
+    #[test]
+    fn dynamics_respects_limits(
+        speed in 1.0f64..49.0,
+        cmd in -100.0f64..100.0,
+    ) {
+        let mut s = spec();
+        s.actuation_lag_s = 0.0;
+        let out = integrate(&s, speed, 0.0, cmd, 0.01);
+        prop_assert!(out.accel_mps2 <= s.max_accel_mps2 + 1e-9);
+        prop_assert!(out.accel_mps2 >= -s.max_decel_mps2 - 1e-9);
+    }
+
+    /// A Krauss follower that starts behind a leader never collides, no
+    /// matter how brutally the leader brakes.
+    #[test]
+    fn krauss_is_collision_free(
+        init_gap in 5.0f64..60.0,
+        init_speed in 5.0f64..30.0,
+        brake_step in 10usize..200,
+        brake in 1.0f64..9.0,
+    ) {
+        let k = Krauss::default();
+        let dt = 0.1;
+        let mut lead_pos = init_gap + 5.0;
+        let mut lead_speed = init_speed;
+        let mut pos = 0.0;
+        let mut speed = init_speed;
+        for step in 0..400 {
+            let lead_acc = if step >= brake_step { -brake } else { 0.0 };
+            lead_speed = (lead_speed + lead_acc * dt).max(0.0);
+            lead_pos += lead_speed * dt;
+            let gap = lead_pos - 5.0 - pos;
+            prop_assert!(gap > -1e-6, "collision at step {step}: gap {gap}");
+            let input = CfInput {
+                speed_mps: speed,
+                gap_m: Some(gap),
+                leader_speed_mps: lead_speed,
+                speed_limit_mps: 35.0,
+                max_accel_mps2: 2.5,
+                service_decel_mps2: brake.max(4.5),
+                dt_s: dt,
+                noise: 0.0,
+            };
+            let a = k.accel(&input);
+            speed = (speed + a * dt).max(0.0);
+            pos += speed * dt;
+        }
+    }
+
+    /// IDM acceleration is bounded by the configured maximum and brakes
+    /// grow with closing speed.
+    #[test]
+    fn idm_bounded_and_monotone(
+        speed in 0.0f64..35.0,
+        gap in 1.0f64..100.0,
+        closing in 0.0f64..10.0,
+    ) {
+        let idm = Idm::default();
+        let input = |dv: f64| CfInput {
+            speed_mps: speed,
+            gap_m: Some(gap),
+            leader_speed_mps: (speed - dv).max(0.0),
+            speed_limit_mps: 30.0,
+            max_accel_mps2: 2.0,
+            service_decel_mps2: 4.5,
+            dt_s: 0.1,
+            noise: 0.0,
+        };
+        let a0 = idm.accel(&input(0.0));
+        let a1 = idm.accel(&input(closing));
+        prop_assert!(a0 <= 2.0 + 1e-9);
+        prop_assert!(a1 <= a0 + 1e-9, "closing faster must not accelerate more");
+    }
+
+    /// Collision detection reports exactly the adjacent overlapping pairs
+    /// per lane.
+    #[test]
+    fn collision_detection_is_exact(
+        positions in proptest::collection::vec((0.0f64..200.0, 0u8..3), 2..12),
+    ) {
+        let vehicles: Vec<Vehicle> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(pos, lane))| {
+                Vehicle::new(VehicleId(i as u32 + 1), spec(), pos, LaneIndex(lane), 10.0)
+            })
+            .collect();
+        let collisions = detect_collisions(SimTime::ZERO, &vehicles);
+        // Count expected overlaps by sorting per lane.
+        let mut expected = 0;
+        for lane in 0..3u8 {
+            let mut on_lane: Vec<&Vehicle> =
+                vehicles.iter().filter(|v| v.state.lane == LaneIndex(lane)).collect();
+            on_lane.sort_by(|a, b| a.state.pos_m.partial_cmp(&b.state.pos_m).unwrap());
+            for w in on_lane.windows(2) {
+                if w[0].gap_to(w[1]) < 0.0 {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(collisions.len(), expected);
+        for c in &collisions {
+            // The collider is always behind the victim.
+            let collider = vehicles.iter().find(|v| v.id == c.collider).unwrap();
+            let victim = vehicles.iter().find(|v| v.id == c.victim).unwrap();
+            prop_assert!(collider.state.pos_m <= victim.state.pos_m);
+            prop_assert_eq!(collider.state.lane, victim.state.lane);
+        }
+    }
+
+    /// The simulation is deterministic in its seed and vehicles never
+    /// leave the speed envelope.
+    #[test]
+    fn simulation_determinism_and_envelope(
+        seed in any::<u64>(),
+        n in 1usize..6,
+        steps in 10u64..300,
+    ) {
+        let run = |seed: u64| {
+            let mut sim = TrafficSim::new(Road::paper_highway(), RngStream::new(seed));
+            for i in 0..n {
+                sim.add_vehicle(Vehicle::new(
+                    VehicleId(i as u32 + 1),
+                    VehicleSpec::default_car(),
+                    40.0 * i as f64 + 10.0,
+                    LaneIndex(0),
+                    20.0,
+                ))
+                .unwrap();
+            }
+            sim.run_steps(steps);
+            sim.vehicles()
+                .iter()
+                .map(|v| (v.state.pos_m, v.state.speed_mps))
+                .collect::<Vec<_>>()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(&a, &b);
+        for (pos, speed) in a {
+            prop_assert!((0.0..=38.0).contains(&speed));
+            prop_assert!(pos >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! The analogue wireless medium — and ComFASE's injection point.
+//!
+//! [`Medium`] knows every node's antenna position and radio configuration.
+//! A transmission fans out to every other node: per link the medium computes
+//! the received power (path loss model) and the **propagation delay**
+//! (`distance / c`, exactly Veins' `propagationDelay`), then consults the
+//! installed [`ChannelInterceptor`] — the hook ComFASE uses to inject
+//! faults and attacks into the wireless channel between the sender and
+//! receiver modules (paper §III-B): delay attacks override the propagation
+//! delay, DoS attacks push it past the end of the simulation, jamming drops
+//! the frame, falsification rewrites the payload in flight.
+//!
+//! The medium also tracks ongoing receptions per node so the SNIR decider
+//! can account for interference, and answers carrier-sense queries for the
+//! MAC.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use comfase_des::time::{SimDuration, SimTime};
+
+use crate::decider::{decide, DeciderResult, Interferer, LossReason};
+use crate::frame::{NodeId, Wsm};
+use crate::geom::Position;
+use crate::pathloss::{FreeSpace, PathLossModel};
+use crate::phy::{frame_duration, PhyConfig};
+use crate::units::{Milliwatts, CCH_FREQ_HZ, SPEED_OF_LIGHT_MPS};
+
+/// What the interceptor decides for one (tx, rx) link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkFate {
+    /// Deliver after the given propagation delay (the default is
+    /// `distance / c`; attacks may override it).
+    Deliver {
+        /// Propagation delay to apply.
+        delay: SimDuration,
+    },
+    /// Deliver a modified message (falsification attacks).
+    DeliverModified {
+        /// Propagation delay to apply.
+        delay: SimDuration,
+        /// The rewritten message.
+        wsm: Wsm,
+    },
+    /// Silently drop the frame on this link (jamming).
+    Drop,
+}
+
+/// Per-link hook consulted for every transmission — ComFASE's
+/// `CommModelEditor` attaches attack models here.
+pub trait ChannelInterceptor: std::fmt::Debug + Send {
+    /// Decides the fate of the frame on the `tx -> rx` link.
+    fn intercept(
+        &mut self,
+        tx: NodeId,
+        rx: NodeId,
+        now: SimTime,
+        default_delay: SimDuration,
+        wsm: &Wsm,
+    ) -> LinkFate;
+}
+
+/// A reception the world must schedule: the frame from `transmit` arriving
+/// at one receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedReception {
+    /// Identifies the transmission this reception belongs to.
+    pub frame_id: u64,
+    /// Receiving node.
+    pub rx: NodeId,
+    /// The (possibly attack-modified) message.
+    pub wsm: Wsm,
+    /// First bit arrives.
+    pub start: SimTime,
+    /// Last bit arrives.
+    pub end: SimTime,
+    /// Received signal power.
+    pub power: Milliwatts,
+    /// `true` if the power exceeds the receiver's carrier-sense threshold
+    /// (the MAC must treat the medium as busy during the reception).
+    pub above_cs: bool,
+}
+
+/// Result of one transmission: how long the sender is busy and the fan-out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransmitOutcome {
+    /// Identifies this transmission.
+    pub frame_id: u64,
+    /// On-air duration at the sender.
+    pub duration: SimDuration,
+    /// One planned reception per reachable receiver.
+    pub receptions: Vec<PlannedReception>,
+}
+
+/// Channel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Transmissions started.
+    pub transmissions: u64,
+    /// Link deliveries planned (after interception).
+    pub links_planned: u64,
+    /// Links dropped by the interceptor.
+    pub links_dropped_by_interceptor: u64,
+    /// Links with modified propagation delay.
+    pub links_delay_modified: u64,
+    /// Links with payload modified.
+    pub links_payload_modified: u64,
+    /// Receptions decoded successfully.
+    pub received: u64,
+    /// Receptions lost below sensitivity.
+    pub lost_sensitivity: u64,
+    /// Receptions lost to SNIR.
+    pub lost_snir: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Ongoing {
+    frame_id: u64,
+    start: SimTime,
+    end: SimTime,
+    power: Milliwatts,
+    /// Set once the reception decision was made; the entry then only
+    /// serves as interference history for same-instant receptions.
+    finished: bool,
+}
+
+/// The shared analogue medium.
+#[derive(Debug)]
+pub struct Medium {
+    pathloss: Box<dyn PathLossModel>,
+    freq_hz: f64,
+    phy: PhyConfig,
+    positions: HashMap<NodeId, Position>,
+    ongoing: HashMap<NodeId, Vec<Ongoing>>,
+    interceptor: Option<Box<dyn ChannelInterceptor>>,
+    next_frame_id: u64,
+    stats: ChannelStats,
+}
+
+impl Medium {
+    /// Creates a medium on the WAVE control channel with free-space path
+    /// loss and Veins-default PHY parameters.
+    pub fn new() -> Self {
+        Medium::with_models(Box::new(FreeSpace::default()), CCH_FREQ_HZ, PhyConfig::default())
+    }
+
+    /// Creates a medium with explicit models — the paper's `wirelessModel`
+    /// configuration.
+    pub fn with_models(pathloss: Box<dyn PathLossModel>, freq_hz: f64, phy: PhyConfig) -> Self {
+        Medium {
+            pathloss,
+            freq_hz,
+            phy,
+            positions: HashMap::new(),
+            ongoing: HashMap::new(),
+            interceptor: None,
+            next_frame_id: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The PHY configuration shared by all nodes.
+    pub fn phy(&self) -> &PhyConfig {
+        &self.phy
+    }
+
+    /// Name of the installed path loss model.
+    pub fn pathloss_name(&self) -> &'static str {
+        self.pathloss.name()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Installs (or replaces) the channel interceptor. This is ComFASE's
+    /// `CommModelEditor` step: the updated communication model takes effect
+    /// for every subsequent transmission.
+    pub fn set_interceptor(&mut self, interceptor: Box<dyn ChannelInterceptor>) {
+        self.interceptor = Some(interceptor);
+    }
+
+    /// Removes the interceptor, restoring the unmodified communication
+    /// model.
+    pub fn clear_interceptor(&mut self) -> Option<Box<dyn ChannelInterceptor>> {
+        self.interceptor.take()
+    }
+
+    /// `true` if an interceptor is installed.
+    pub fn has_interceptor(&self) -> bool {
+        self.interceptor.is_some()
+    }
+
+    /// Registers a node or moves it to a new position.
+    pub fn update_position(&mut self, node: NodeId, pos: Position) {
+        self.positions.insert(node, pos);
+    }
+
+    /// Removes a node from the medium (e.g. after a collision removal).
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.positions.remove(&node);
+        self.ongoing.remove(&node);
+    }
+
+    /// Registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Default propagation delay on a link: `distance / c` (Veins'
+    /// `propagationDelay` parameter, the target of Table I's attacks).
+    pub fn default_propagation_delay(&self, tx: NodeId, rx: NodeId) -> Option<SimDuration> {
+        let a = self.positions.get(&tx)?;
+        let b = self.positions.get(&rx)?;
+        Some(SimDuration::from_secs_f64(a.distance_to(b) / SPEED_OF_LIGHT_MPS))
+    }
+
+    /// Starts a transmission at `now`. Returns the planned fan-out; the
+    /// caller schedules reception start/end events and reports them back
+    /// via [`Medium::reception_started`] / [`Medium::reception_finished`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sender has no registered position.
+    pub fn transmit(&mut self, tx: NodeId, wsm: Wsm, now: SimTime) -> TransmitOutcome {
+        let tx_pos = *self.positions.get(&tx).expect("transmitter must be registered");
+        let frame_id = self.next_frame_id;
+        self.next_frame_id += 1;
+        self.stats.transmissions += 1;
+        let duration = frame_duration(wsm.size_bits(), self.phy.mcs);
+        let mut receptions = Vec::new();
+        let rx_nodes: Vec<(NodeId, Position)> = self
+            .positions
+            .iter()
+            .filter(|(id, _)| **id != tx)
+            .map(|(id, p)| (*id, *p))
+            .collect();
+        for (rx, rx_pos) in rx_nodes {
+            let power = self.pathloss.received_power(self.phy.tx_power, self.freq_hz, &tx_pos, &rx_pos);
+            // Frames an order of magnitude below the noise floor can neither
+            // be decoded nor meaningfully interfere; skip them.
+            if power.to_dbm().0 < self.phy.noise_floor.0 - 10.0 {
+                continue;
+            }
+            let default_delay =
+                SimDuration::from_secs_f64(tx_pos.distance_to(&rx_pos) / SPEED_OF_LIGHT_MPS);
+            let fate = match self.interceptor.as_mut() {
+                Some(i) => i.intercept(tx, rx, now, default_delay, &wsm),
+                None => LinkFate::Deliver { delay: default_delay },
+            };
+            let (delay, wsm_out) = match fate {
+                LinkFate::Deliver { delay } => {
+                    if delay != default_delay {
+                        self.stats.links_delay_modified += 1;
+                    }
+                    (delay, wsm.clone())
+                }
+                LinkFate::DeliverModified { delay, wsm: modified } => {
+                    if delay != default_delay {
+                        self.stats.links_delay_modified += 1;
+                    }
+                    self.stats.links_payload_modified += 1;
+                    (delay, modified)
+                }
+                LinkFate::Drop => {
+                    self.stats.links_dropped_by_interceptor += 1;
+                    continue;
+                }
+            };
+            let start = now + delay;
+            self.stats.links_planned += 1;
+            receptions.push(PlannedReception {
+                frame_id,
+                rx,
+                wsm: wsm_out,
+                start,
+                end: start + duration,
+                power,
+                above_cs: power.to_dbm().0 >= self.phy.cs_threshold.0,
+            });
+        }
+        TransmitOutcome { frame_id, duration, receptions }
+    }
+
+    /// Registers a reception as ongoing (call at its start time) so it is
+    /// visible as interference to overlapping frames.
+    pub fn reception_started(&mut self, planned: &PlannedReception) {
+        self.ongoing.entry(planned.rx).or_default().push(Ongoing {
+            frame_id: planned.frame_id,
+            start: planned.start,
+            end: planned.end,
+            power: planned.power,
+            finished: false,
+        });
+    }
+
+    /// Finishes a reception (call at its end time) and decides whether the
+    /// frame was decodable given everything that overlapped it.
+    pub fn reception_finished(&mut self, planned: &PlannedReception) -> DeciderResult {
+        let list = self.ongoing.entry(planned.rx).or_default();
+        let interferers: Vec<Interferer> = list
+            .iter()
+            .filter(|o| o.frame_id != planned.frame_id)
+            .filter(|o| o.start < planned.end && o.end > planned.start)
+            .map(|o| Interferer { power: o.power, start: o.start, end: o.end })
+            .collect();
+        // Prune receptions strictly in the past. The just-finished frame
+        // (and any frame ending at exactly `now`) stays one round longer so
+        // that simultaneous receptions still see each other as interference.
+        let now = planned.end;
+        if let Some(own) = list.iter_mut().find(|o| o.frame_id == planned.frame_id) {
+            own.finished = true;
+        }
+        list.retain(|o| o.end >= now);
+        let result = decide(&self.phy, planned.power, planned.start, planned.end, &interferers);
+        match result {
+            DeciderResult::Received { .. } => self.stats.received += 1,
+            DeciderResult::Lost(LossReason::BelowSensitivity) => self.stats.lost_sensitivity += 1,
+            DeciderResult::Lost(LossReason::Snir) => self.stats.lost_snir += 1,
+        }
+        result
+    }
+
+    /// `true` if the medium is busy at `node` (some ongoing reception above
+    /// the carrier-sense threshold).
+    pub fn is_busy(&self, node: NodeId, now: SimTime) -> bool {
+        self.ongoing.get(&node).is_some_and(|list| {
+            list.iter().any(|o| {
+                !o.finished
+                    && o.start <= now
+                    && now < o.end
+                    && o.power.to_dbm().0 >= self.phy.cs_threshold.0
+            })
+        })
+    }
+}
+
+impl Default for Medium {
+    fn default() -> Self {
+        Medium::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::WaveChannel;
+    use bytes::Bytes;
+
+    fn wsm(src: u32) -> Wsm {
+        Wsm {
+            source: NodeId(src),
+            sequence: 0,
+            created: SimTime::ZERO,
+            channel: WaveChannel::Cch,
+            payload: Bytes::from_static(b"x"),
+        }
+    }
+
+    fn medium_with_two_nodes(gap_m: f64) -> Medium {
+        let mut m = Medium::new();
+        m.update_position(NodeId(1), Position::on_road(0.0, 0.0));
+        m.update_position(NodeId(2), Position::on_road(gap_m, 0.0));
+        m
+    }
+
+    #[test]
+    fn close_transmission_reaches_peer() {
+        let mut m = medium_with_two_nodes(10.0);
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        assert_eq!(out.receptions.len(), 1);
+        let r = &out.receptions[0];
+        assert_eq!(r.rx, NodeId(2));
+        // 10 m at 20 mW -> about -55 dBm, above the -65 dBm CCA threshold.
+        assert!(r.above_cs, "10 m is well above carrier sense");
+        // Propagation delay ~ 10 m / c ~ 33.4 ns.
+        assert_eq!(r.start.as_nanos(), 33);
+        assert_eq!(r.end - r.start, out.duration);
+        m.reception_started(r);
+        assert!(m.reception_finished(r).is_received());
+        assert_eq!(m.stats().received, 1);
+    }
+
+    #[test]
+    fn default_propagation_delay_matches_distance() {
+        let m = medium_with_two_nodes(299.792458);
+        let pd = m.default_propagation_delay(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(pd.as_nanos(), 1000, "299.79 m is one microsecond");
+        assert!(m.default_propagation_delay(NodeId(1), NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn far_node_gets_nothing() {
+        let mut m = medium_with_two_nodes(100_000.0);
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        assert!(out.receptions.is_empty(), "100 km is far below the noise floor");
+    }
+
+    #[test]
+    fn sender_not_in_fanout() {
+        let mut m = medium_with_two_nodes(50.0);
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        assert!(out.receptions.iter().all(|r| r.rx != NodeId(1)));
+    }
+
+    #[test]
+    fn overlapping_frames_interfere() {
+        let mut m = Medium::new();
+        m.update_position(NodeId(1), Position::on_road(0.0, 0.0));
+        m.update_position(NodeId(2), Position::on_road(50.0, 0.0));
+        m.update_position(NodeId(3), Position::on_road(100.0, 0.0));
+        // Node 1 and node 3 transmit simultaneously; node 2 hears both
+        // at comparable power -> both frames lost to SNIR.
+        let out1 = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        let out3 = m.transmit(NodeId(3), wsm(3), SimTime::ZERO);
+        let r1 = out1.receptions.iter().find(|r| r.rx == NodeId(2)).unwrap();
+        let r3 = out3.receptions.iter().find(|r| r.rx == NodeId(2)).unwrap();
+        m.reception_started(r1);
+        m.reception_started(r3);
+        assert_eq!(m.reception_finished(r1), DeciderResult::Lost(LossReason::Snir));
+        assert_eq!(m.reception_finished(r3), DeciderResult::Lost(LossReason::Snir));
+        assert_eq!(m.stats().lost_snir, 2);
+    }
+
+    #[test]
+    fn carrier_sense_during_reception() {
+        let mut m = medium_with_two_nodes(10.0);
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        let r = &out.receptions[0];
+        m.reception_started(r);
+        let mid = r.start + (r.end - r.start) / 2;
+        assert!(m.is_busy(NodeId(2), mid));
+        assert!(!m.is_busy(NodeId(2), r.end + SimDuration::from_micros(1)));
+        assert!(!m.is_busy(NodeId(1), mid), "sender's own medium state is tracked by its MAC");
+        m.reception_finished(r);
+        assert!(!m.is_busy(NodeId(2), mid), "finished receptions don't keep the medium busy");
+    }
+
+    #[derive(Debug)]
+    struct DelayAll(SimDuration);
+    impl ChannelInterceptor for DelayAll {
+        fn intercept(
+            &mut self,
+            _tx: NodeId,
+            _rx: NodeId,
+            _now: SimTime,
+            _default: SimDuration,
+            _wsm: &Wsm,
+        ) -> LinkFate {
+            LinkFate::Deliver { delay: self.0 }
+        }
+    }
+
+    #[test]
+    fn interceptor_overrides_propagation_delay() {
+        let mut m = medium_with_two_nodes(50.0);
+        m.set_interceptor(Box::new(DelayAll(SimDuration::from_secs(3))));
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::from_secs(10));
+        let r = &out.receptions[0];
+        assert_eq!(r.start, SimTime::from_secs(13));
+        assert_eq!(m.stats().links_delay_modified, 1);
+        assert!(m.has_interceptor());
+        assert!(m.clear_interceptor().is_some());
+        assert!(!m.has_interceptor());
+        // Back to physics.
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::from_secs(20));
+        assert!(out.receptions[0].start < SimTime::from_secs(20) + SimDuration::from_micros(1));
+    }
+
+    #[derive(Debug)]
+    struct DropAll;
+    impl ChannelInterceptor for DropAll {
+        fn intercept(
+            &mut self,
+            _tx: NodeId,
+            _rx: NodeId,
+            _now: SimTime,
+            _default: SimDuration,
+            _wsm: &Wsm,
+        ) -> LinkFate {
+            LinkFate::Drop
+        }
+    }
+
+    #[test]
+    fn interceptor_can_drop_links() {
+        let mut m = medium_with_two_nodes(50.0);
+        m.set_interceptor(Box::new(DropAll));
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        assert!(out.receptions.is_empty());
+        assert_eq!(m.stats().links_dropped_by_interceptor, 1);
+    }
+
+    #[derive(Debug)]
+    struct Falsify;
+    impl ChannelInterceptor for Falsify {
+        fn intercept(
+            &mut self,
+            _tx: NodeId,
+            _rx: NodeId,
+            _now: SimTime,
+            default: SimDuration,
+            wsm: &Wsm,
+        ) -> LinkFate {
+            let mut modified = wsm.clone();
+            modified.payload = Bytes::from_static(b"lies");
+            LinkFate::DeliverModified { delay: default, wsm: modified }
+        }
+    }
+
+    #[test]
+    fn interceptor_can_falsify_payload() {
+        let mut m = medium_with_two_nodes(50.0);
+        m.set_interceptor(Box::new(Falsify));
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        assert_eq!(&out.receptions[0].wsm.payload[..], b"lies");
+        assert_eq!(m.stats().links_payload_modified, 1);
+    }
+
+    #[test]
+    fn removed_node_gets_nothing() {
+        let mut m = medium_with_two_nodes(50.0);
+        m.remove_node(NodeId(2));
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        assert!(out.receptions.is_empty());
+        assert_eq!(m.node_count(), 1);
+    }
+
+    #[test]
+    fn fanout_covers_all_receivers() {
+        let mut m = Medium::new();
+        for i in 0..5 {
+            m.update_position(NodeId(i), Position::on_road(i as f64 * 20.0, 0.0));
+        }
+        let out = m.transmit(NodeId(0), wsm(0), SimTime::ZERO);
+        assert_eq!(out.receptions.len(), 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Antenna positions in 3D space.
+
+use serde::{Deserialize, Serialize};
+
+/// A position in metres: `x` along the road, `y` lateral, `z` height.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// Longitudinal coordinate, metres.
+    pub x: f64,
+    /// Lateral coordinate, metres.
+    pub y: f64,
+    /// Height above ground (antenna height), metres.
+    pub z: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Position { x, y, z }
+    }
+
+    /// A road position with the Veins default antenna height (1.895 m).
+    pub fn on_road(x: f64, y: f64) -> Self {
+        Position { x, y, z: 1.895 }
+    }
+
+    /// Euclidean distance to another position, metres.
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Ground (2D) distance to another position, metres.
+    pub fn ground_distance_to(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Position::new(0.0, 0.0, 0.0);
+        let b = Position::new(3.0, 4.0, 0.0);
+        assert_eq!(a.distance_to(&b), 5.0);
+        assert_eq!(a.ground_distance_to(&b), 5.0);
+        let c = Position::new(3.0, 4.0, 12.0);
+        assert_eq!(a.distance_to(&c), 13.0);
+        assert_eq!(a.ground_distance_to(&c), 5.0);
+    }
+
+    #[test]
+    fn on_road_uses_veins_antenna_height() {
+        let p = Position::on_road(10.0, 1.6);
+        assert_eq!(p.z, 1.895);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(1.0, 2.0, 3.0);
+        let b = Position::new(-4.0, 0.5, 9.0);
+        assert_eq!(a.distance_to(&b), b.distance_to(&a));
+    }
+}

@@ -1,0 +1,65 @@
+//! # comfase-wireless — vehicular network simulation (IEEE 802.11p / 1609.4)
+//!
+//! The Veins substrate of ComFASE-RS: realistic models of the WAVE
+//! communication stack (paper Fig. 1) and the analogue wireless channel the
+//! attacks are injected into.
+//!
+//! Layer map (top to bottom, mirroring the paper's Fig. 1):
+//!
+//! | Paper / Veins component | Module here |
+//! |---|---|
+//! | WSM application boundary | [`frame`] ([`frame::Wsm`]) |
+//! | IEEE 1609.4 upper MAC (channel switching) | [`mac1609`] |
+//! | IEEE 802.11p EDCA lower MAC (CSMA/CA) | [`mac`] |
+//! | 802.11p OFDM PHY (rates, airtime) | [`phy`] |
+//! | SNIR decider (noise + interference) | [`decider`] |
+//! | Analogue models (free-space, two-ray) | [`pathloss`] |
+//! | Wireless channel & propagation delay | [`channel`] |
+//!
+//! The **propagation delay** computed in [`channel::Medium`] is Veins'
+//! `propagationDelay` simulation parameter — exactly the value ComFASE's
+//! delay and DoS attacks overwrite (paper Table I). Attack models plug in
+//! via [`channel::ChannelInterceptor`] without touching the protocol
+//! models.
+//!
+//! # Example
+//!
+//! ```
+//! use bytes::Bytes;
+//! use comfase_des::time::SimTime;
+//! use comfase_wireless::channel::Medium;
+//! use comfase_wireless::frame::{NodeId, WaveChannel, Wsm};
+//! use comfase_wireless::geom::Position;
+//!
+//! let mut medium = Medium::new();
+//! medium.update_position(NodeId(1), Position::on_road(0.0, 0.0));
+//! medium.update_position(NodeId(2), Position::on_road(40.0, 0.0));
+//! let wsm = Wsm {
+//!     source: NodeId(1),
+//!     sequence: 0,
+//!     created: SimTime::ZERO,
+//!     channel: WaveChannel::Cch,
+//!     payload: Bytes::from_static(b"beacon"),
+//! };
+//! let out = medium.transmit(NodeId(1), wsm, SimTime::ZERO);
+//! assert_eq!(out.receptions.len(), 1); // node 2 hears it
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+pub mod decider;
+pub mod frame;
+pub mod geom;
+pub mod mac;
+pub mod mac1609;
+pub mod pathloss;
+pub mod phy;
+pub mod units;
+
+pub use channel::{ChannelInterceptor, LinkFate, Medium, PlannedReception, TransmitOutcome};
+pub use frame::{AccessCategory, NodeId, WaveChannel, Wsm};
+pub use mac::{Mac, MacAction, MacConfig};
+pub use geom::Position;
+pub use phy::{Mcs, PhyConfig};

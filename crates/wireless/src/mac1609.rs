@@ -1,0 +1,180 @@
+//! IEEE 1609.4 multi-channel operation: the CCH/SCH switching schedule.
+//!
+//! WAVE radios alternate between the control channel (CCH) and a service
+//! channel (SCH) in 50 ms intervals synchronised to UTC, with a 4 ms guard
+//! at the start of each interval during which nothing may be transmitted.
+//! Safety beacons (the platooning messages attacked in the paper) live on
+//! the CCH.
+
+use serde::{Deserialize, Serialize};
+
+use comfase_des::time::{SimDuration, SimTime};
+
+use crate::frame::WaveChannel;
+
+/// The 1609.4 channel-switching schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSchedule {
+    /// Whether alternating access is active. When `false` the radio stays
+    /// on the CCH continuously (Veins' and Plexe's default for platooning
+    /// experiments), and SCH traffic is never allowed.
+    pub switching: bool,
+    /// Length of one channel interval (default 50 ms).
+    pub interval: SimDuration,
+    /// Guard time at the start of each interval (default 4 ms).
+    pub guard: SimDuration,
+}
+
+impl Default for ChannelSchedule {
+    fn default() -> Self {
+        ChannelSchedule {
+            switching: false,
+            interval: SimDuration::from_millis(50),
+            guard: SimDuration::from_millis(4),
+        }
+    }
+}
+
+impl ChannelSchedule {
+    /// A schedule with alternating CCH/SCH access enabled.
+    pub fn alternating() -> Self {
+        ChannelSchedule { switching: true, ..ChannelSchedule::default() }
+    }
+
+    /// Which channel the radio listens to at `now`.
+    pub fn active_channel(&self, now: SimTime) -> WaveChannel {
+        if !self.switching {
+            return WaveChannel::Cch;
+        }
+        let sync = self.interval * 2;
+        let within = SimDuration::from_nanos(now.as_nanos().rem_euclid(sync.as_nanos()));
+        if within < self.interval {
+            WaveChannel::Cch
+        } else {
+            WaveChannel::Sch1
+        }
+    }
+
+    /// `true` if `now` falls into a guard interval.
+    pub fn in_guard(&self, now: SimTime) -> bool {
+        if !self.switching {
+            return false;
+        }
+        let within = SimDuration::from_nanos(now.as_nanos().rem_euclid(self.interval.as_nanos()));
+        within < self.guard
+    }
+
+    /// `true` if a transmission on `channel` lasting `duration` may start
+    /// at `now`: right channel, not in guard, and finishes before the
+    /// interval ends.
+    pub fn can_transmit(&self, channel: WaveChannel, now: SimTime, duration: SimDuration) -> bool {
+        if !self.switching {
+            return channel == WaveChannel::Cch;
+        }
+        if self.active_channel(now) != channel || self.in_guard(now) {
+            return false;
+        }
+        let within = SimDuration::from_nanos(now.as_nanos().rem_euclid(self.interval.as_nanos()));
+        within + duration <= self.interval
+    }
+
+    /// The next instant at or after `now` when contention for `channel` may
+    /// begin (start of the channel's next usable window, after the guard).
+    ///
+    /// Returns `now` if transmission-eligible time is already running.
+    pub fn next_access(&self, channel: WaveChannel, now: SimTime) -> SimTime {
+        if !self.switching {
+            return now;
+        }
+        if self.active_channel(now) == channel && !self.in_guard(now) {
+            return now;
+        }
+        // Scan forward in guard-sized steps bounded by one sync period.
+        let mut t = now;
+        let step = SimDuration::from_micros(250);
+        let horizon = now + self.interval * 4;
+        while t <= horizon {
+            if self.active_channel(t) == channel && !self.in_guard(t) {
+                return t;
+            }
+            t += step;
+        }
+        unreachable!("a channel interval always occurs within two sync periods");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_ms(ms: i64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn continuous_access_is_always_cch() {
+        let s = ChannelSchedule::default();
+        assert!(!s.switching);
+        for ms in [0, 25, 50, 75, 1000] {
+            assert_eq!(s.active_channel(at_ms(ms)), WaveChannel::Cch);
+            assert!(!s.in_guard(at_ms(ms)));
+            assert!(s.can_transmit(WaveChannel::Cch, at_ms(ms), SimDuration::from_micros(80)));
+            assert!(!s.can_transmit(WaveChannel::Sch1, at_ms(ms), SimDuration::from_micros(80)));
+        }
+    }
+
+    #[test]
+    fn alternating_intervals() {
+        let s = ChannelSchedule::alternating();
+        assert_eq!(s.active_channel(at_ms(10)), WaveChannel::Cch);
+        assert_eq!(s.active_channel(at_ms(60)), WaveChannel::Sch1);
+        assert_eq!(s.active_channel(at_ms(110)), WaveChannel::Cch);
+        assert_eq!(s.active_channel(at_ms(160)), WaveChannel::Sch1);
+    }
+
+    #[test]
+    fn guard_interval_blocks_transmission() {
+        let s = ChannelSchedule::alternating();
+        assert!(s.in_guard(at_ms(0)));
+        assert!(s.in_guard(at_ms(52)));
+        assert!(!s.in_guard(at_ms(5)));
+        assert!(!s.can_transmit(WaveChannel::Cch, at_ms(1), SimDuration::from_micros(80)));
+        assert!(s.can_transmit(WaveChannel::Cch, at_ms(5), SimDuration::from_micros(80)));
+    }
+
+    #[test]
+    fn frame_must_fit_in_interval() {
+        let s = ChannelSchedule::alternating();
+        // 49.9 ms into the CCH interval, an 80 us frame does not fit...
+        assert!(!s.can_transmit(
+            WaveChannel::Cch,
+            at_ms(49) + SimDuration::from_micros(950),
+            SimDuration::from_micros(80)
+        ));
+        // ...but fits with 100 us to spare.
+        assert!(s.can_transmit(
+            WaveChannel::Cch,
+            at_ms(49) + SimDuration::from_micros(900),
+            SimDuration::from_micros(80)
+        ));
+    }
+
+    #[test]
+    fn next_access_from_wrong_interval() {
+        let s = ChannelSchedule::alternating();
+        // At 60 ms (SCH interval), next CCH access is at 104 ms (after guard).
+        let next = s.next_access(WaveChannel::Cch, at_ms(60));
+        assert!(next >= at_ms(104), "{next}");
+        assert!(next < at_ms(106), "{next}");
+        assert_eq!(s.active_channel(next), WaveChannel::Cch);
+        assert!(!s.in_guard(next));
+    }
+
+    #[test]
+    fn next_access_now_when_eligible() {
+        let s = ChannelSchedule::alternating();
+        assert_eq!(s.next_access(WaveChannel::Cch, at_ms(10)), at_ms(10));
+        let cont = ChannelSchedule::default();
+        assert_eq!(cont.next_access(WaveChannel::Cch, at_ms(60)), at_ms(60));
+    }
+}

@@ -1,0 +1,183 @@
+//! IEEE 802.11p OFDM physical layer: bitrates and frame timing.
+//!
+//! 802.11p uses 10 MHz channels, doubling all 802.11a timing parameters:
+//! 8 µs OFDM symbols, a 32 µs preamble and an 8 µs SIGNAL field.
+
+use serde::{Deserialize, Serialize};
+
+use comfase_des::time::SimDuration;
+
+use crate::units::{Dbm, Milliwatts};
+
+/// OFDM symbol duration for a 10 MHz channel, µs.
+const SYMBOL_US: i64 = 8;
+/// PLCP preamble duration, µs.
+const PREAMBLE_US: i64 = 32;
+/// SIGNAL field duration, µs.
+const SIGNAL_US: i64 = 8;
+/// PLCP service field bits prepended to the PSDU.
+const SERVICE_BITS: usize = 16;
+/// Convolutional coder tail bits appended to the PSDU.
+const TAIL_BITS: usize = 6;
+
+/// 802.11p modulation and coding scheme (10 MHz channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Mcs {
+    /// BPSK 1/2 — 3 Mbit/s.
+    Bpsk12,
+    /// BPSK 3/4 — 4.5 Mbit/s.
+    Bpsk34,
+    /// QPSK 1/2 — 6 Mbit/s (the Veins/Plexe default).
+    #[default]
+    Qpsk12,
+    /// QPSK 3/4 — 9 Mbit/s.
+    Qpsk34,
+    /// 16-QAM 1/2 — 12 Mbit/s.
+    Qam16_12,
+    /// 16-QAM 3/4 — 18 Mbit/s.
+    Qam16_34,
+    /// 64-QAM 2/3 — 24 Mbit/s.
+    Qam64_23,
+    /// 64-QAM 3/4 — 27 Mbit/s.
+    Qam64_34,
+}
+
+impl Mcs {
+    /// Data rate in bits per second.
+    pub fn bitrate_bps(self) -> u64 {
+        match self {
+            Mcs::Bpsk12 => 3_000_000,
+            Mcs::Bpsk34 => 4_500_000,
+            Mcs::Qpsk12 => 6_000_000,
+            Mcs::Qpsk34 => 9_000_000,
+            Mcs::Qam16_12 => 12_000_000,
+            Mcs::Qam16_34 => 18_000_000,
+            Mcs::Qam64_23 => 24_000_000,
+            Mcs::Qam64_34 => 27_000_000,
+        }
+    }
+
+    /// Data bits carried per OFDM symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        (self.bitrate_bps() as i64 * SYMBOL_US / 1_000_000) as usize
+    }
+
+    /// Minimum SNIR in dB needed to decode this MCS reliably
+    /// (threshold-decider operating points, after Veins/NIST tables).
+    pub fn snir_threshold_db(self) -> f64 {
+        match self {
+            Mcs::Bpsk12 => 1.0,
+            Mcs::Bpsk34 => 4.0,
+            Mcs::Qpsk12 => 6.0,
+            Mcs::Qpsk34 => 8.5,
+            Mcs::Qam16_12 => 11.5,
+            Mcs::Qam16_34 => 15.0,
+            Mcs::Qam64_23 => 19.5,
+            Mcs::Qam64_34 => 21.0,
+        }
+    }
+}
+
+/// On-air duration of a frame of `psdu_bits` (MAC frame bits) at `mcs`.
+pub fn frame_duration(psdu_bits: usize, mcs: Mcs) -> SimDuration {
+    let data_bits = SERVICE_BITS + psdu_bits + TAIL_BITS;
+    let symbols = data_bits.div_ceil(mcs.bits_per_symbol());
+    SimDuration::from_micros(PREAMBLE_US + SIGNAL_US + symbols as i64 * SYMBOL_US)
+}
+
+/// Radio configuration of one NIC — part of the paper's `CommModel`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhyConfig {
+    /// Transmit power.
+    pub tx_power: Milliwatts,
+    /// Modulation and coding scheme for all transmissions.
+    pub mcs: Mcs,
+    /// Receiver sensitivity: weaker frames are invisible (not even noise).
+    pub sensitivity: Dbm,
+    /// Carrier-sense threshold: frames above this make the medium busy.
+    pub cs_threshold: Dbm,
+    /// Thermal noise floor.
+    pub noise_floor: Dbm,
+}
+
+impl Default for PhyConfig {
+    /// Veins 802.11p defaults: 20 mW transmit power, QPSK 1/2 (6 Mbit/s),
+    /// -89 dBm sensitivity, -65 dBm carrier sense, -110 dBm noise.
+    fn default() -> Self {
+        PhyConfig {
+            tx_power: Milliwatts(20.0),
+            mcs: Mcs::default(),
+            sensitivity: Dbm(-89.0),
+            cs_threshold: Dbm(-65.0),
+            noise_floor: Dbm(crate::units::THERMAL_NOISE_DBM),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrates_match_standard_table() {
+        assert_eq!(Mcs::Bpsk12.bitrate_bps(), 3_000_000);
+        assert_eq!(Mcs::Qpsk12.bitrate_bps(), 6_000_000);
+        assert_eq!(Mcs::Qam64_34.bitrate_bps(), 27_000_000);
+    }
+
+    #[test]
+    fn bits_per_symbol() {
+        assert_eq!(Mcs::Bpsk12.bits_per_symbol(), 24);
+        assert_eq!(Mcs::Qpsk12.bits_per_symbol(), 48);
+        assert_eq!(Mcs::Qam64_34.bits_per_symbol(), 216);
+    }
+
+    #[test]
+    fn frame_duration_of_paper_beacon() {
+        // 200-bit PSDU at 6 Mbit/s: data bits = 16+200+6 = 222 -> 5 symbols
+        // -> 40 us PLCP + 40 us data = 80 us.
+        let d = frame_duration(200, Mcs::Qpsk12);
+        assert_eq!(d, SimDuration::from_micros(80));
+    }
+
+    #[test]
+    fn duration_grows_with_size_and_shrinks_with_rate() {
+        let small = frame_duration(200, Mcs::Qpsk12);
+        let large = frame_duration(4000, Mcs::Qpsk12);
+        let fast = frame_duration(4000, Mcs::Qam64_34);
+        assert!(large > small);
+        assert!(fast < large);
+    }
+
+    #[test]
+    fn minimum_one_symbol() {
+        let d = frame_duration(0, Mcs::Qam64_34);
+        assert_eq!(d, SimDuration::from_micros(PREAMBLE_US + SIGNAL_US + SYMBOL_US));
+    }
+
+    #[test]
+    fn snir_thresholds_increase_with_rate() {
+        let mut last = 0.0;
+        for mcs in [
+            Mcs::Bpsk12,
+            Mcs::Bpsk34,
+            Mcs::Qpsk12,
+            Mcs::Qpsk34,
+            Mcs::Qam16_12,
+            Mcs::Qam16_34,
+            Mcs::Qam64_23,
+            Mcs::Qam64_34,
+        ] {
+            assert!(mcs.snir_threshold_db() > last);
+            last = mcs.snir_threshold_db();
+        }
+    }
+
+    #[test]
+    fn default_config_is_veins_like() {
+        let c = PhyConfig::default();
+        assert_eq!(c.tx_power.0, 20.0);
+        assert_eq!(c.sensitivity.0, -89.0);
+        assert_eq!(c.mcs, Mcs::Qpsk12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Radio units and physical constants.
+//!
+//! Powers are carried as linear milliwatts ([`Milliwatts`]) in computations
+//! and as [`Dbm`] at configuration boundaries, with explicit conversions —
+//! mixing the two silently is the classic radio-simulation bug.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in vacuum, m/s. Veins derives its default propagation
+/// delay as `distance / SPEED_OF_LIGHT`; ComFASE's delay and DoS attacks
+/// overwrite exactly that value.
+pub const SPEED_OF_LIGHT_MPS: f64 = 299_792_458.0;
+
+/// Centre frequency of the WAVE control channel (CCH, channel 178), Hz.
+pub const CCH_FREQ_HZ: f64 = 5.890e9;
+
+/// Centre frequency of WAVE service channel 176, Hz.
+pub const SCH1_FREQ_HZ: f64 = 5.880e9;
+
+/// Thermal noise floor used by Veins for a 10 MHz 802.11p channel, dBm.
+pub const THERMAL_NOISE_DBM: f64 = -110.0;
+
+/// Power in dBm (decibel-milliwatts).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Dbm(pub f64);
+
+/// Power in linear milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Milliwatts(pub f64);
+
+impl Dbm {
+    /// Converts to linear milliwatts.
+    pub fn to_milliwatts(self) -> Milliwatts {
+        Milliwatts(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl Milliwatts {
+    /// Zero power.
+    pub const ZERO: Milliwatts = Milliwatts(0.0);
+
+    /// Converts to dBm. Zero or negative power maps to `-inf` dBm.
+    pub fn to_dbm(self) -> Dbm {
+        if self.0 <= 0.0 {
+            Dbm(f64::NEG_INFINITY)
+        } else {
+            Dbm(10.0 * self.0.log10())
+        }
+    }
+}
+
+impl From<Dbm> for Milliwatts {
+    fn from(d: Dbm) -> Self {
+        d.to_milliwatts()
+    }
+}
+
+impl From<Milliwatts> for Dbm {
+    fn from(m: Milliwatts) -> Self {
+        m.to_dbm()
+    }
+}
+
+impl std::ops::Add for Milliwatts {
+    type Output = Milliwatts;
+    fn add(self, rhs: Milliwatts) -> Milliwatts {
+        Milliwatts(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Milliwatts {
+    fn add_assign(&mut self, rhs: Milliwatts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<f64> for Milliwatts {
+    type Output = Milliwatts;
+    fn mul(self, rhs: f64) -> Milliwatts {
+        Milliwatts(self.0 * rhs)
+    }
+}
+
+/// Ratio of two linear powers expressed in dB.
+pub fn ratio_db(num: Milliwatts, den: Milliwatts) -> f64 {
+    10.0 * (num.0 / den.0).log10()
+}
+
+/// Wavelength (metres) at a carrier frequency.
+pub fn wavelength_m(freq_hz: f64) -> f64 {
+    SPEED_OF_LIGHT_MPS / freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_round_trip() {
+        for v in [-110.0, -89.0, 0.0, 20.0] {
+            let back = Dbm(v).to_milliwatts().to_dbm().0;
+            assert!((back - v).abs() < 1e-9, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn known_conversions() {
+        assert!((Dbm(0.0).to_milliwatts().0 - 1.0).abs() < 1e-12);
+        assert!((Dbm(20.0).to_milliwatts().0 - 100.0).abs() < 1e-9);
+        assert!((Dbm(-30.0).to_milliwatts().0 - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_is_neg_inf_dbm() {
+        assert_eq!(Milliwatts::ZERO.to_dbm().0, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn power_addition_is_linear() {
+        let sum = Dbm(0.0).to_milliwatts() + Dbm(0.0).to_milliwatts();
+        assert!((sum.to_dbm().0 - 3.0103).abs() < 1e-3, "doubling power adds ~3 dB");
+    }
+
+    #[test]
+    fn ratio_db_of_tenfold_is_ten() {
+        assert!((ratio_db(Milliwatts(10.0), Milliwatts(1.0)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave_channel_wavelength() {
+        let lambda = wavelength_m(CCH_FREQ_HZ);
+        assert!((lambda - 0.0509).abs() < 1e-3, "5.89 GHz -> ~5.1 cm, got {lambda}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the vehicular network substrate.
+
+use bytes::Bytes;
+use comfase_des::rng::RngStream;
+use comfase_des::time::{SimDuration, SimTime};
+use comfase_wireless::decider::{decide, DeciderResult, Interferer};
+use comfase_wireless::frame::{AccessCategory, NodeId, WaveChannel, Wsm};
+use comfase_wireless::geom::Position;
+use comfase_wireless::mac::{Mac, MacAction, MacConfig};
+use comfase_wireless::mac1609::ChannelSchedule;
+use comfase_wireless::pathloss::{FreeSpace, PathLossModel, TwoRayInterference};
+use comfase_wireless::phy::{frame_duration, Mcs, PhyConfig};
+use comfase_wireless::units::{Dbm, Milliwatts, CCH_FREQ_HZ};
+use proptest::prelude::*;
+
+fn all_mcs() -> impl Strategy<Value = Mcs> {
+    prop_oneof![
+        Just(Mcs::Bpsk12),
+        Just(Mcs::Bpsk34),
+        Just(Mcs::Qpsk12),
+        Just(Mcs::Qpsk34),
+        Just(Mcs::Qam16_12),
+        Just(Mcs::Qam16_34),
+        Just(Mcs::Qam64_23),
+        Just(Mcs::Qam64_34),
+    ]
+}
+
+proptest! {
+    /// dBm ↔ mW conversions round-trip.
+    #[test]
+    fn power_round_trip(dbm in -150.0f64..50.0) {
+        let back = Dbm(dbm).to_milliwatts().to_dbm().0;
+        prop_assert!((back - dbm).abs() < 1e-9);
+    }
+
+    /// Free-space received power decreases monotonically with distance.
+    #[test]
+    fn free_space_monotone(d1 in 1.0f64..5_000.0, factor in 1.01f64..10.0) {
+        let m = FreeSpace::default();
+        let tx = Milliwatts(20.0);
+        let a = Position::on_road(0.0, 0.0);
+        let p1 = m.received_power(tx, CCH_FREQ_HZ, &a, &Position::on_road(d1, 0.0));
+        let p2 = m.received_power(tx, CCH_FREQ_HZ, &a, &Position::on_road(d1 * factor, 0.0));
+        prop_assert!(p2.0 < p1.0);
+    }
+
+    /// No path loss model ever amplifies the signal.
+    #[test]
+    fn pathloss_never_gains(d in 0.0f64..10_000.0) {
+        let tx = Milliwatts(20.0);
+        let a = Position::on_road(0.0, 0.0);
+        let b = Position::on_road(d, 0.0);
+        for model in [&FreeSpace::default() as &dyn PathLossModel, &TwoRayInterference::default()] {
+            let p = model.received_power(tx, CCH_FREQ_HZ, &a, &b);
+            prop_assert!(p.0 <= tx.0 + 1e-12, "{} gained at {d} m", model.name());
+            prop_assert!(p.0 >= 0.0);
+        }
+    }
+
+    /// Frame airtime grows with the PSDU and shrinks with the bitrate.
+    #[test]
+    fn airtime_monotone(bits in 0usize..100_000, extra in 1usize..10_000, mcs in all_mcs()) {
+        let d1 = frame_duration(bits, mcs);
+        let d2 = frame_duration(bits + extra, mcs);
+        prop_assert!(d2 >= d1);
+        let fast = frame_duration(bits, Mcs::Qam64_34);
+        let slow = frame_duration(bits, Mcs::Bpsk12);
+        prop_assert!(fast <= slow);
+        // PLCP overhead is always present.
+        prop_assert!(d1 >= SimDuration::from_micros(40));
+    }
+
+    /// Adding interference can only degrade a reception, never improve it.
+    #[test]
+    fn interference_is_monotone(
+        signal_dbm in -88.0f64..-40.0,
+        interferer_dbm in -120.0f64..-40.0,
+    ) {
+        let cfg = PhyConfig::default();
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_micros(100);
+        let clean = decide(&cfg, Dbm(signal_dbm).to_milliwatts(), t0, t1, &[]);
+        let noisy = decide(
+            &cfg,
+            Dbm(signal_dbm).to_milliwatts(),
+            t0,
+            t1,
+            &[Interferer { power: Dbm(interferer_dbm).to_milliwatts(), start: t0, end: t1 }],
+        );
+        if matches!(clean, DeciderResult::Lost(_)) {
+            prop_assert!(matches!(noisy, DeciderResult::Lost(_)));
+        }
+        if let (DeciderResult::Received { snir_db: s_clean }, DeciderResult::Received { snir_db: s_noisy }) =
+            (clean, noisy)
+        {
+            prop_assert!(s_noisy <= s_clean + 1e-9);
+        }
+    }
+
+    /// WSM encode/decode round-trips arbitrary payloads.
+    #[test]
+    fn wsm_round_trip(
+        src in any::<u32>(),
+        seq in any::<u32>(),
+        ns in 0i64..1_000_000_000_000,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        sch in any::<bool>(),
+    ) {
+        let wsm = Wsm {
+            source: NodeId(src),
+            sequence: seq,
+            created: SimTime::from_nanos(ns),
+            channel: if sch { WaveChannel::Sch1 } else { WaveChannel::Cch },
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(Wsm::decode(wsm.encode()).unwrap(), wsm);
+    }
+
+    /// Truncating an encoded WSM anywhere always fails cleanly.
+    #[test]
+    fn wsm_truncation_never_panics(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let wsm = Wsm {
+            source: NodeId(1),
+            sequence: 2,
+            created: SimTime::ZERO,
+            channel: WaveChannel::Cch,
+            payload: Bytes::from(payload),
+        };
+        let enc = wsm.encode();
+        let cut = ((enc.len() as f64) * cut_frac) as usize;
+        if cut < enc.len() {
+            prop_assert!(Wsm::decode(enc.slice(0..cut)).is_err());
+        }
+    }
+
+    /// The MAC transmits every queued frame on an idle medium, in FIFO
+    /// order per access category, and never loses one.
+    #[test]
+    fn mac_drains_queue_on_idle_medium(n in 1usize..20, seed in any::<u64>()) {
+        let mut mac = Mac::new(MacConfig::default(), RngStream::new(seed));
+        let mut pending: Vec<MacAction> = Vec::new();
+        for i in 0..n {
+            let wsm = Wsm {
+                source: NodeId(1),
+                sequence: i as u32,
+                created: SimTime::ZERO,
+                channel: WaveChannel::Cch,
+                payload: Bytes::from_static(b"x"),
+            };
+            pending.extend(mac.enqueue(wsm, AccessCategory::Vo, SimTime::ZERO));
+        }
+        let mut sent = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while let Some(action) = pending.pop() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "MAC did not converge");
+            match action {
+                MacAction::SetTimer { at, token } => {
+                    now = now.max(at);
+                    pending.extend(mac.handle_timer(token, at));
+                }
+                MacAction::StartTx(wsm) => {
+                    sent.push(wsm.sequence);
+                    now += SimDuration::from_micros(80);
+                    pending.extend(mac.tx_finished(now));
+                }
+                MacAction::Drop { .. } => prop_assert!(false, "unexpected drop"),
+            }
+        }
+        prop_assert_eq!(sent.len(), n);
+        let mut sorted = sent.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sent, sorted, "FIFO order violated");
+        prop_assert_eq!(mac.stats().sent, n as u64);
+    }
+
+    /// next_access always returns an instant where transmission is
+    /// permitted for a zero-length frame.
+    #[test]
+    fn schedule_next_access_is_eligible(ms in 0i64..1_000, switching in any::<bool>()) {
+        let s = if switching {
+            ChannelSchedule::alternating()
+        } else {
+            ChannelSchedule::default()
+        };
+        let now = SimTime::from_millis(ms);
+        let at = s.next_access(WaveChannel::Cch, now);
+        prop_assert!(at >= now);
+        prop_assert!(s.can_transmit(WaveChannel::Cch, at, SimDuration::ZERO));
+    }
+}

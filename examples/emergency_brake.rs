@@ -1,0 +1,54 @@
+//! Hazard-warning scenario from the paper's introduction: vehicles warn
+//! each other of upcoming hazards. Here the platoon leader performs an
+//! emergency stop; we compare the outcome with healthy communication
+//! against the outcome under a DoS attack that starts just before the
+//! braking.
+//!
+//! ```text
+//! cargo run --release --example emergency_brake
+//! ```
+
+use comfase::prelude::*;
+use comfase_des::time::SimTime;
+
+fn scenario() -> TrafficScenario {
+    let mut s = TrafficScenario::paper_default();
+    // Cruise at 100 km/h, brake firmly at t = 20 s with 3 m/s² — hard
+    // enough to be dangerous with stale data, survivable with fresh data.
+    s.maneuver = ManeuverKind::Braking { brake_at_s: 20.0, decel_mps2: 3.0 };
+    s.total_sim_time = SimTime::from_secs(40);
+    s
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::new(scenario(), CommModel::paper_default(), 7)?;
+
+    // Healthy communication: the platoon hears the leader's deceleration
+    // through the 10 Hz beacons and brakes in concert.
+    let golden = engine.golden_run()?;
+    println!(
+        "healthy platoon: max decel {:.2} m/s², collisions: {}",
+        golden.max_decel(),
+        golden.trace.collisions.len()
+    );
+
+    // DoS on Vehicle 2 starting 1 s before the emergency braking: the
+    // stale beacons still say "cruising at 27.8 m/s".
+    let attack = AttackSpec {
+        model: AttackModelKind::Dos,
+        value: 40.0,
+        targets: vec![2],
+        start: SimTime::from_secs(19),
+        end: SimTime::from_secs(40),
+    };
+    let run = engine.run_experiment(&attack, 0)?;
+    let verdict = engine.classify_experiment(&golden, &run);
+    println!(
+        "DoS during emergency stop: {} (max decel {:.2} m/s², {} collisions)",
+        verdict.class, verdict.max_decel_mps2, verdict.nr_collisions
+    );
+    for c in &run.trace.collisions {
+        println!("  {}: {} rear-ended {}", c.time, c.collider, c.victim);
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Roadside jammer — the "jamming attacks in the wireless channel" the
+//! paper lists as future work (§V). A noise source next to the road blasts
+//! junk frames that collide with the platoon's beacons at the SNIR
+//! decider; unlike the delay/DoS models this attacks the *physical*
+//! channel rather than the propagation-delay parameter.
+//!
+//! ```text
+//! cargo run --release --example jamming
+//! ```
+
+use comfase::campaign::classify_against;
+use comfase::prelude::*;
+use comfase::world::JammerSpec;
+use comfase_des::time::{SimDuration, SimTime};
+
+fn run(jammer: Option<JammerSpec>) -> RunLog {
+    let engine = Engine::paper_default(42).expect("valid presets");
+    let mut world =
+        World::new(engine.scenario(), engine.comm(), engine.seed()).expect("valid world");
+    if let Some(spec) = jammer {
+        world.add_jammer(spec);
+    }
+    world.run_to_end();
+    world.into_log()
+}
+
+fn main() {
+    let golden = run(None);
+    println!(
+        "clean channel : {} frames received, {} lost to interference",
+        golden.channel.received, golden.channel.lost_snir
+    );
+
+    // The platoon cruises near x = 500 m at t = 17 s; park the jammer there.
+    let jammed = run(Some(JammerSpec {
+        pos_x_m: 980.0,
+        pos_y_m: 12.0, // roadside
+        period: SimDuration::from_micros(500),
+        payload_bytes: 150,
+        start: SimTime::from_secs(17),
+        end: SimTime::from_secs(27),
+    }));
+    println!(
+        "jammed channel: {} frames received, {} lost to interference",
+        jammed.channel.received, jammed.channel.lost_snir
+    );
+
+    let verdict = classify_against(&golden, &jammed);
+    println!(
+        "classification vs. golden run: {} (max decel {:.2} m/s², {} collisions)",
+        verdict.class, verdict.max_decel_mps2, verdict.nr_collisions
+    );
+}

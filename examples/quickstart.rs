@@ -1,0 +1,54 @@
+//! Quickstart: run the paper's scenario, inject one delay attack, classify.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use comfase::prelude::*;
+use comfase_des::time::SimTime;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1 — test configuration: the paper's §IV-A presets (4-vehicle
+    // CACC platoon, sinusoidal maneuver, free-space 802.11p channel).
+    let engine = Engine::paper_default(42)?;
+    println!(
+        "scenario: {} vehicles, {:.0} s horizon, {} bits/beacon every {} ms",
+        engine.scenario().nr_vehicles(),
+        engine.scenario().total_sim_time.as_secs_f64(),
+        engine.comm().packet_size_bits,
+        engine.comm().beaconing_time.as_nanos() / 1_000_000,
+    );
+
+    // Step 2 — golden run (attack-free reference).
+    let golden = engine.golden_run()?;
+    println!(
+        "golden run: max deceleration {:.3} m/s², {} collisions",
+        golden.max_decel(),
+        golden.trace.collisions.len()
+    );
+
+    // Step 3 — one attack injection experiment: messages to and from
+    // Vehicle 2 are delayed by 1.5 s between t=17 s and t=25 s.
+    let attack = AttackSpec {
+        model: AttackModelKind::Delay,
+        value: 1.5,
+        targets: vec![2],
+        start: SimTime::from_secs(17),
+        end: SimTime::from_secs(25),
+    };
+    let run = engine.run_experiment(&attack, 0)?;
+
+    // Step 4 — classification against the golden run.
+    let verdict = engine.classify_experiment(&golden, &run);
+    println!(
+        "attacked run: {} (max decel {:.2} m/s², {} collisions)",
+        verdict.class, verdict.max_decel_mps2, verdict.nr_collisions
+    );
+    if let Some(c) = &verdict.first_collision {
+        println!(
+            "first collision at {}: {} hit {} at {:.0} m",
+            c.time, c.collider, c.victim, c.pos_m
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Property-based tests across the whole stack: arbitrary (but bounded)
+//! attack parameters must never crash the co-simulation, and key
+//! invariants must hold for every run.
+
+use comfase::prelude::*;
+use comfase_des::time::SimTime;
+use proptest::prelude::*;
+
+fn quick_engine(seed: u64) -> Engine {
+    let mut s = TrafficScenario::paper_default();
+    s.total_sim_time = SimTime::from_secs(25);
+    Engine::new(s, CommModel::paper_default(), seed).unwrap()
+}
+
+fn arb_model() -> impl Strategy<Value = AttackModelKind> {
+    prop_oneof![
+        Just(AttackModelKind::Delay),
+        Just(AttackModelKind::Dos),
+        Just(AttackModelKind::Drop),
+        Just(AttackModelKind::Falsify(FalsifiedField::Position)),
+        Just(AttackModelKind::Falsify(FalsifiedField::Speed)),
+        Just(AttackModelKind::Falsify(FalsifiedField::Acceleration)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any bounded attack runs to completion and yields a consistent log.
+    #[test]
+    fn any_attack_yields_consistent_run(
+        model in arb_model(),
+        raw_value in 0.0f64..4.0,
+        start_s in 5.0f64..20.0,
+        duration_s in 0.5f64..15.0,
+        target in 1u32..=4,
+    ) {
+        let value = match model {
+            AttackModelKind::Drop => raw_value / 4.0, // probability
+            _ => raw_value,
+        };
+        let e = quick_engine(9);
+        let attack = AttackSpec {
+            model,
+            value,
+            targets: vec![target],
+            start: SimTime::from_secs_f64(start_s),
+            end: SimTime::from_secs_f64((start_s + duration_s).min(25.0)),
+        };
+        let run = e.run_experiment(&attack, 0).unwrap();
+        prop_assert_eq!(run.final_time, SimTime::from_secs(25));
+        // Physics invariants hold for every vehicle over the whole run.
+        for (_, tr) in run.trace.iter() {
+            for (_, v) in tr.speed.iter() {
+                prop_assert!((0.0..=50.0).contains(&v), "speed {v}");
+            }
+            for (_, a) in tr.accel.iter() {
+                prop_assert!((-9.0 - 1e-9..=2.5 + 1e-9).contains(&a), "accel {a}");
+            }
+        }
+        // Channel accounting is self-consistent.
+        let ch = run.channel;
+        prop_assert!(ch.received + ch.lost_sensitivity + ch.lost_snir <= ch.links_planned);
+    }
+
+    /// Classification is deterministic: the same attack yields the same
+    /// verdict every time.
+    #[test]
+    fn classification_is_deterministic(
+        value in 0.2f64..3.0,
+        start_s in 15.0f64..20.0,
+    ) {
+        let e = quick_engine(4);
+        let golden = e.golden_run().unwrap();
+        let attack = AttackSpec {
+            model: AttackModelKind::Delay,
+            value,
+            targets: vec![2],
+            start: SimTime::from_secs_f64(start_s),
+            end: SimTime::from_secs_f64(start_s + 3.0),
+        };
+        let v1 = e.classify_experiment(&golden, &e.run_experiment(&attack, 0).unwrap());
+        let v2 = e.classify_experiment(&golden, &e.run_experiment(&attack, 0).unwrap());
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// A zero-length attack window never changes the outcome.
+    #[test]
+    fn empty_window_is_non_effective(model in arb_model(), start_s in 5.0f64..20.0) {
+        let e = quick_engine(2);
+        let golden = e.golden_run().unwrap();
+        let attack = AttackSpec {
+            model,
+            value: 2.0,
+            targets: vec![2],
+            start: SimTime::from_secs_f64(start_s),
+            end: SimTime::from_secs_f64(start_s),
+        };
+        let run = e.run_experiment(&attack, 0).unwrap();
+        let v = e.classify_experiment(&golden, &run);
+        prop_assert_eq!(v.class, Classification::NonEffective, "{:?}", v);
+    }
+
+    /// Untargeted attacks (empty intersection with the platoon would be a
+    /// config error, but delays of 0 s are weaker than physical reality
+    /// only by microseconds): a delay equal to ~the physical propagation
+    /// delay is effectively non-effective or negligible, never severe.
+    #[test]
+    fn near_physical_delay_is_harmless(start_s in 10.0f64..18.0) {
+        let e = quick_engine(3);
+        let golden = e.golden_run().unwrap();
+        let attack = AttackSpec {
+            model: AttackModelKind::Delay,
+            value: 1e-7, // 100 ns, same order as 30 m of free space
+            targets: vec![2],
+            start: SimTime::from_secs_f64(start_s),
+            end: SimTime::from_secs_f64(start_s + 5.0),
+        };
+        let run = e.run_experiment(&attack, 0).unwrap();
+        let v = e.classify_experiment(&golden, &run);
+        prop_assert!(
+            v.class <= Classification::Negligible,
+            "a 100 ns delay must be harmless, got {:?}",
+            v
+        );
+    }
+}
