@@ -9,7 +9,12 @@
 //! - `fig7_start_cell` — one delay experiment at a representative start;
 //! - `dos_experiment` — one §IV-C.2 DoS experiment;
 //! - `table2_delay_campaign_reduced` — an end-to-end (reduced) campaign
-//!   including golden run, scheduling and classification;
+//!   including golden run, scheduling and classification (prefix-fork
+//!   mode); `..._scratch` runs the same campaign from t = 0 per
+//!   experiment for comparison;
+//! - `fig5_duration_cell_forked` / `prefix_snapshot_clone` — one
+//!   experiment resumed from a shared prefix snapshot, and the cost of
+//!   the snapshot clone itself;
 //! - `classification` — Step 4 alone.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -23,7 +28,7 @@ fn delay_attack(value: f64, start: f64, dur: f64) -> AttackSpec {
     AttackSpec {
         model: AttackModelKind::Delay,
         value,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs_f64(start),
         end: SimTime::from_secs_f64(start + dur),
     }
@@ -59,7 +64,7 @@ fn bench_delay_cells(c: &mut Criterion) {
         let attack = AttackSpec {
             model: AttackModelKind::Dos,
             value: 60.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs(17),
             end: SimTime::from_secs(60),
         };
@@ -71,10 +76,38 @@ fn bench_delay_cells(c: &mut Criterion) {
 fn bench_campaign(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
+    // Stride 5: 3 values × 5 starts × 6 durations = 90 experiments.
+    let campaign = delay_campaign(5);
     group.bench_function("table2_delay_campaign_reduced", |b| {
-        // Stride 5: 3 values × 5 starts × 6 durations = 90 experiments.
-        let campaign = delay_campaign(5);
-        b.iter(|| campaign.run(comfase_bench::default_threads()).unwrap());
+        b.iter(|| {
+            campaign
+                .run_with_mode(comfase_bench::default_threads(), ExecutionMode::PrefixFork)
+                .unwrap()
+        });
+    });
+    group.bench_function("table2_delay_campaign_reduced_scratch", |b| {
+        b.iter(|| {
+            campaign
+                .run_with_mode(comfase_bench::default_threads(), ExecutionMode::FromScratch)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_fork(c: &mut Criterion) {
+    // One experiment resumed from a shared prefix snapshot vs simulated
+    // from t = 0 (`fig5_duration_cell` above is the from-scratch baseline).
+    let engine = paper_engine();
+    let attack = delay_attack(1.0, 17.0, 10.0);
+    let prefix = engine.prefix_snapshot(attack.start).unwrap();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+    group.bench_function("fig5_duration_cell_forked", |b| {
+        b.iter(|| engine.run_experiment_from(&prefix, &attack, 0));
+    });
+    group.bench_function("prefix_snapshot_clone", |b| {
+        b.iter(|| prefix.clone());
     });
     group.finish();
 }
@@ -109,7 +142,10 @@ fn bench_ablations(c: &mut Criterion) {
         });
     }
     // Path-loss ablation: free space vs two-ray interference.
-    for model in [WirelessModelKind::FreeSpace, WirelessModelKind::TwoRayInterference] {
+    for model in [
+        WirelessModelKind::FreeSpace,
+        WirelessModelKind::TwoRayInterference,
+    ] {
         let mut comm = CommModel::paper_default();
         comm.wireless_model = model;
         let engine = Engine::new(TrafficScenario::paper_default(), comm, REPRO_SEED).unwrap();
@@ -125,6 +161,7 @@ criterion_group!(
     bench_fig4,
     bench_delay_cells,
     bench_campaign,
+    bench_fork,
     bench_classification,
     bench_ablations
 );

@@ -125,5 +125,11 @@ fn bench_mac(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_traffic_step, bench_channel, bench_mac);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_traffic_step,
+    bench_channel,
+    bench_mac
+);
 criterion_main!(benches);

@@ -4,6 +4,8 @@
 //! ```text
 //! repro [--all] [--table1] [--table2] [--fig4] [--fig5] [--fig6] [--fig7]
 //!       [--delay-summary] [--dos-summary]
+//!       [--bench-campaign] time the delay campaign in both execution modes
+//!                          and write BENCH_campaign.json (not part of --all)
 //!       [--stride N]  subsample the delay campaign by N (default 1 = full 11250 runs)
 //!       [--threads N] worker threads (default: all cores)
 //!       [--csv DIR]   additionally write machine-readable CSVs into DIR
@@ -16,7 +18,7 @@ use std::time::Instant;
 use comfase::analysis;
 use comfase::campaign::{Campaign, CampaignResult};
 use comfase::config::AttackCampaignSetup;
-use comfase::prelude::{CommModel, Engine, TrafficScenario};
+use comfase::prelude::{CommModel, Engine, ExecutionMode, TrafficScenario};
 use comfase::report;
 use comfase_bench::{delay_campaign, dos_campaign, paper_engine, REPRO_SEED};
 
@@ -36,8 +38,8 @@ fn parse_args() -> Options {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--all" => artefacts.push("all".into()),
-            "--table1" | "--table2" | "--fig4" | "--fig5" | "--fig6" | "--fig7"
-            | "--heatmap" | "--delay-summary" | "--dos-summary" | "--ablations" => {
+            "--table1" | "--table2" | "--fig4" | "--fig5" | "--fig6" | "--fig7" | "--heatmap"
+            | "--delay-summary" | "--dos-summary" | "--ablations" | "--bench-campaign" => {
                 artefacts.push(arg.trim_start_matches("--").into());
             }
             "--stride" => {
@@ -54,14 +56,15 @@ fn parse_args() -> Options {
             }
             "--csv" => {
                 csv_dir = Some(std::path::PathBuf::from(
-                    args.next().unwrap_or_else(|| die("--csv needs a directory")),
+                    args.next()
+                        .unwrap_or_else(|| die("--csv needs a directory")),
                 ));
             }
             "--help" | "-h" => {
                 println!(
                     "repro: regenerate the ComFASE paper's tables and figures\n\
                      usage: repro [--all|--table1|--table2|--fig4|--fig5|--fig6|--fig7|\
-                     --delay-summary|--dos-summary] [--stride N] [--threads N]"
+                     --delay-summary|--dos-summary|--bench-campaign] [--stride N] [--threads N]"
                 );
                 std::process::exit(0);
             }
@@ -71,7 +74,12 @@ fn parse_args() -> Options {
     if artefacts.is_empty() {
         artefacts.push("all".into());
     }
-    Options { artefacts, stride, threads, csv_dir }
+    Options {
+        artefacts,
+        stride,
+        threads,
+        csv_dir,
+    }
 }
 
 fn write_csv(opts: &Options, name: &str, contents: &str) {
@@ -148,26 +156,48 @@ fn main() {
             let map = analysis::by_duration(&result.records);
             println!("{}", report::render_fig5(&map));
             println!("{}", report::render_saturation("duration", &map, 0.1));
-            write_csv(&opts, "fig5.csv", &report::class_histogram_csv("duration_s", &map));
+            write_csv(
+                &opts,
+                "fig5.csv",
+                &report::class_histogram_csv("duration_s", &map),
+            );
         }
         if wants(&opts, "fig6") {
             let map = analysis::by_value(&result.records);
             println!("{}", report::render_fig6(&map));
             println!("{}", report::render_saturation("PD value", &map, 0.1));
-            write_csv(&opts, "fig6.csv", &report::class_histogram_csv("pd_s", &map));
+            write_csv(
+                &opts,
+                "fig6.csv",
+                &report::class_histogram_csv("pd_s", &map),
+            );
         }
         if wants(&opts, "heatmap") {
-            println!("{}", report::render_heatmap(&analysis::by_start_and_value(&result.records)));
+            println!(
+                "{}",
+                report::render_heatmap(&analysis::by_start_and_value(&result.records))
+            );
         }
         if wants(&opts, "fig7") {
             let map = analysis::by_start_time(&result.records);
             println!("{}", report::render_fig7(&map));
-            write_csv(&opts, "fig7.csv", &report::class_histogram_csv("start_s", &map));
+            write_csv(
+                &opts,
+                "fig7.csv",
+                &report::class_histogram_csv("start_s", &map),
+            );
         }
-        write_csv(&opts, "delay_records.csv", &report::records_csv(&result.records));
+        write_csv(
+            &opts,
+            "delay_records.csv",
+            &report::records_csv(&result.records),
+        );
         if wants(&opts, "delay-summary") {
             println!("== Delay campaign summary (paper §IV-C.1) ==");
-            println!("{}", report::render_summary(&analysis::summary(&result.records)));
+            println!(
+                "{}",
+                report::render_summary(&analysis::summary(&result.records))
+            );
             println!(
                 "{}",
                 report::render_collider_split(&analysis::collider_split(&result.records))
@@ -181,22 +211,90 @@ fn main() {
 
     if wants(&opts, "dos-summary") {
         let campaign = dos_campaign();
-        eprintln!("running DoS campaign: {} experiments...", campaign.nr_experiments());
+        eprintln!(
+            "running DoS campaign: {} experiments...",
+            campaign.nr_experiments()
+        );
         let result = campaign.run(opts.threads).expect("campaign runs");
         println!("== DoS campaign summary (paper §IV-C.2) ==");
-        println!("{}", report::render_summary(&analysis::summary(&result.records)));
+        println!(
+            "{}",
+            report::render_summary(&analysis::summary(&result.records))
+        );
         println!(
             "{}",
             report::render_collider_split(&analysis::collider_split(&result.records))
         );
         let bands: BTreeMap<_, _> = analysis::colliders_by_start(&result.records);
         println!("{}", report::render_dos_bands(&bands));
-        write_csv(&opts, "dos_records.csv", &report::records_csv(&result.records));
+        write_csv(
+            &opts,
+            "dos_records.csv",
+            &report::records_csv(&result.records),
+        );
     }
 
     if wants(&opts, "ablations") {
         run_ablations(&opts);
     }
+
+    // Deliberately not part of --all: it runs the delay campaign twice.
+    if opts.artefacts.iter().any(|a| a == "bench-campaign") {
+        run_bench_campaign(&opts);
+    }
+}
+
+/// Times the delay campaign in both execution modes, verifies they agree,
+/// and writes machine-readable results to `BENCH_campaign.json`.
+fn run_bench_campaign(opts: &Options) {
+    let campaign = delay_campaign(opts.stride);
+    let total = campaign.nr_experiments();
+    eprintln!(
+        "benchmarking campaign throughput: {total} experiments (stride {}) on {} thread(s)...",
+        opts.stride, opts.threads
+    );
+    let t0 = Instant::now();
+    let scratch = campaign
+        .run_with_mode(opts.threads, ExecutionMode::FromScratch)
+        .expect("campaign runs");
+    let scratch_wall = t0.elapsed();
+    eprintln!("  from-scratch: {scratch_wall:.1?}");
+    let t1 = Instant::now();
+    let forked = campaign
+        .run_with_mode(opts.threads, ExecutionMode::PrefixFork)
+        .expect("campaign runs");
+    let fork_wall = t1.elapsed();
+    eprintln!("  prefix-fork:  {fork_wall:.1?}");
+    assert_eq!(
+        forked.records, scratch.records,
+        "execution modes must agree bit for bit"
+    );
+
+    let speedup = scratch_wall.as_secs_f64() / fork_wall.as_secs_f64();
+    let experiments_per_sec = total as f64 / fork_wall.as_secs_f64();
+    let json = serde_json::json!({
+        "experiments": total,
+        "stride": opts.stride,
+        "threads": opts.threads,
+        "scratch_wall_s": scratch_wall.as_secs_f64(),
+        "fork_wall_s": fork_wall.as_secs_f64(),
+        "speedup": speedup,
+        "experiments_per_sec": experiments_per_sec,
+        "prefix_snapshots": forked.stats.prefix_snapshots,
+        "snapshot_hit_rate": forked.stats.snapshot_hit_rate(),
+    });
+    let path = std::path::Path::new("BENCH_campaign.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )
+    .expect("write BENCH_campaign.json");
+    println!(
+        "campaign throughput: {speedup:.2}x speedup (prefix-fork vs from-scratch), \
+         {experiments_per_sec:.1} experiments/s on {} thread(s)",
+        opts.threads
+    );
+    eprintln!("wrote {}", path.display());
 }
 
 /// Runs the DoS campaign under four protection configurations and prints a
@@ -233,8 +331,7 @@ fn run_ablations(opts: &Options) {
     println!("{}", "-".repeat(90));
     for (name, result) in &configs {
         let s = analysis::summary(&result.records);
-        let collisions: usize =
-            result.records.iter().map(|r| r.verdict.nr_collisions).sum();
+        let collisions: usize = result.records.iter().map(|r| r.verdict.nr_collisions).sum();
         println!(
             "{:<24} | {:>7} | {:>7} | {:>11} | {:>14} | {:>11}",
             name, s.severe, s.benign, s.negligible, s.non_effective, collisions

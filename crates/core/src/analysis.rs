@@ -89,7 +89,9 @@ pub fn by_duration(records: &[ExperimentRecord]) -> BTreeMap<MillisKey, ClassCou
 pub fn by_value(records: &[ExperimentRecord]) -> BTreeMap<MillisKey, ClassCounts> {
     let mut map: BTreeMap<MillisKey, ClassCounts> = BTreeMap::new();
     for r in records {
-        map.entry(to_millis(r.spec.value)).or_default().add(r.verdict.class);
+        map.entry(to_millis(r.spec.value))
+            .or_default()
+            .add(r.verdict.class);
     }
     map
 }
@@ -135,7 +137,10 @@ impl ColliderSplit {
 /// Computes the collider attribution among severe cases.
 pub fn collider_split(records: &[ExperimentRecord]) -> ColliderSplit {
     let mut split = ColliderSplit::default();
-    for r in records.iter().filter(|r| r.verdict.class == Classification::Severe) {
+    for r in records
+        .iter()
+        .filter(|r| r.verdict.class == Classification::Severe)
+    {
         match r.verdict.collider() {
             Some(v) => *split.per_vehicle.entry(v.0).or_default() += 1,
             None => split.severe_without_collision += 1,
@@ -194,10 +199,12 @@ pub fn severity_grade(verdict: &crate::classify::Verdict) -> SeverityGrade {
     match verdict.class {
         Classification::NonEffective => SeverityGrade::Unaffected,
         Classification::Negligible => SeverityGrade::Disturbed,
-        Classification::Benign => SeverityGrade::HardBraking { decel_mps2: verdict.max_decel_mps2 },
-        Classification::Severe => {
-            SeverityGrade::EmergencyBraking { decel_mps2: verdict.max_decel_mps2 }
-        }
+        Classification::Benign => SeverityGrade::HardBraking {
+            decel_mps2: verdict.max_decel_mps2,
+        },
+        Classification::Severe => SeverityGrade::EmergencyBraking {
+            decel_mps2: verdict.max_decel_mps2,
+        },
     }
 }
 
@@ -236,7 +243,10 @@ pub fn by_start_and_value(
 ) -> BTreeMap<(MillisKey, MillisKey), ClassCounts> {
     let mut map: BTreeMap<(MillisKey, MillisKey), ClassCounts> = BTreeMap::new();
     for r in records {
-        let key = (to_millis(r.spec.start.as_secs_f64()), to_millis(r.spec.value));
+        let key = (
+            to_millis(r.spec.start.as_secs_f64()),
+            to_millis(r.spec.value),
+        );
         map.entry(key).or_default().add(r.verdict.class);
     }
     map
@@ -261,7 +271,10 @@ pub fn colliders_by_start(records: &[ExperimentRecord]) -> BTreeMap<MillisKey, O
     records
         .iter()
         .map(|r| {
-            (to_millis(r.spec.start.as_secs_f64()), r.verdict.collider().map(|v| v.0))
+            (
+                to_millis(r.spec.start.as_secs_f64()),
+                r.verdict.collider().map(|v| v.0),
+            )
         })
         .collect()
 }
@@ -299,7 +312,7 @@ mod tests {
             spec: AttackSpec {
                 model: AttackModelKind::Delay,
                 value,
-                targets: vec![2],
+                targets: vec![2].into(),
                 start: SimTime::from_secs_f64(start),
                 end: SimTime::from_secs_f64(start + dur),
             },
@@ -396,8 +409,7 @@ mod tests {
     #[test]
     fn severity_grades_rank_correctly() {
         let r = sample();
-        let grades: Vec<SeverityGrade> =
-            r.iter().map(|x| severity_grade(&x.verdict)).collect();
+        let grades: Vec<SeverityGrade> = r.iter().map(|x| severity_grade(&x.verdict)).collect();
         assert_eq!(grades[6], SeverityGrade::Unaffected);
         assert_eq!(grades[0], SeverityGrade::Disturbed);
         assert!(matches!(grades[1], SeverityGrade::HardBraking { .. }));

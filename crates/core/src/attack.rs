@@ -23,6 +23,7 @@
 //! `CommModelEditor` step.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -115,7 +116,11 @@ pub struct AttackSpec {
     /// or field offset (falsification).
     pub value: f64,
     /// Vehicles under attack (`targetVehicles`).
-    pub targets: Vec<u32>,
+    ///
+    /// Shared (`Arc`) because a campaign clones the spec into every
+    /// experiment and every record; serialized as a plain sequence.
+    #[serde(with = "serde_targets")]
+    pub targets: Arc<[u32]>,
     /// Attack initiation time.
     pub start: SimTime,
     /// Attack end time (exclusive).
@@ -152,6 +157,22 @@ impl AttackSpec {
     }
 }
 
+/// Serde adapter for `Arc<[u32]>` (the workspace `serde` has no `rc`
+/// feature): serialized exactly like a `Vec<u32>`.
+mod serde_targets {
+    use std::sync::Arc;
+
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(targets: &Arc<[u32]>, s: S) -> Result<S::Ok, S::Error> {
+        targets.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Arc<[u32]>, D::Error> {
+        Ok(Vec::<u32>::deserialize(d)?.into())
+    }
+}
+
 fn link_targeted(targets: &HashSet<NodeId>, tx: NodeId, rx: NodeId) -> bool {
     // The attacks are injected in the sender & receiver modules of the
     // target vehicle (§IV-A.3): both its outgoing and incoming messages
@@ -178,7 +199,9 @@ impl ChannelInterceptor for DelayInterceptor {
         if link_targeted(&self.targets, tx, rx) {
             LinkFate::Deliver { delay: self.delay }
         } else {
-            LinkFate::Deliver { delay: default_delay }
+            LinkFate::Deliver {
+                delay: default_delay,
+            }
         }
     }
 }
@@ -200,11 +223,14 @@ impl ChannelInterceptor for DropInterceptor {
         default_delay: SimDuration,
         _wsm: &Wsm,
     ) -> LinkFate {
-        if link_targeted(&self.targets, tx, rx) && self.rng.bernoulli(self.probability.clamp(0.0, 1.0))
+        if link_targeted(&self.targets, tx, rx)
+            && self.rng.bernoulli(self.probability.clamp(0.0, 1.0))
         {
             LinkFate::Drop
         } else {
-            LinkFate::Deliver { delay: default_delay }
+            LinkFate::Deliver {
+                delay: default_delay,
+            }
         }
     }
 }
@@ -228,7 +254,9 @@ impl ChannelInterceptor for FalsifyInterceptor {
         wsm: &Wsm,
     ) -> LinkFate {
         if !self.targets.contains(&tx) {
-            return LinkFate::Deliver { delay: default_delay };
+            return LinkFate::Deliver {
+                delay: default_delay,
+            };
         }
         match PlatoonBeacon::decode(Bytes::clone(&wsm.payload)) {
             Ok(mut beacon) => {
@@ -239,10 +267,15 @@ impl ChannelInterceptor for FalsifyInterceptor {
                 }
                 let mut modified = wsm.clone();
                 modified.payload = beacon.encode();
-                LinkFate::DeliverModified { delay: default_delay, wsm: modified }
+                LinkFate::DeliverModified {
+                    delay: default_delay,
+                    wsm: modified,
+                }
             }
             // Not a platooning beacon: leave it alone.
-            Err(_) => LinkFate::Deliver { delay: default_delay },
+            Err(_) => LinkFate::Deliver {
+                delay: default_delay,
+            },
         }
     }
 }
@@ -273,7 +306,7 @@ mod tests {
         AttackSpec {
             model,
             value,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs(17),
             end: SimTime::from_secs(20),
         }
@@ -281,7 +314,10 @@ mod tests {
 
     #[test]
     fn duration_is_end_minus_start() {
-        assert_eq!(spec(AttackModelKind::Delay, 1.0).duration(), SimDuration::from_secs(3));
+        assert_eq!(
+            spec(AttackModelKind::Delay, 1.0).duration(),
+            SimDuration::from_secs(3)
+        );
     }
 
     #[test]
@@ -290,10 +326,20 @@ mod tests {
         let dflt = SimDuration::from_nanos(100);
         // Message sent by the target.
         let fate = i.intercept(NodeId(2), NodeId(1), SimTime::ZERO, dflt, &wsm_from(2));
-        assert_eq!(fate, LinkFate::Deliver { delay: SimDuration::from_secs(3) });
+        assert_eq!(
+            fate,
+            LinkFate::Deliver {
+                delay: SimDuration::from_secs(3)
+            }
+        );
         // Message received by the target.
         let fate = i.intercept(NodeId(1), NodeId(2), SimTime::ZERO, dflt, &wsm_from(1));
-        assert_eq!(fate, LinkFate::Deliver { delay: SimDuration::from_secs(3) });
+        assert_eq!(
+            fate,
+            LinkFate::Deliver {
+                delay: SimDuration::from_secs(3)
+            }
+        );
         // Unrelated link untouched.
         let fate = i.intercept(NodeId(3), NodeId(4), SimTime::ZERO, dflt, &wsm_from(3));
         assert_eq!(fate, LinkFate::Deliver { delay: dflt });
@@ -302,9 +348,19 @@ mod tests {
     #[test]
     fn dos_is_delay_with_total_sim_time() {
         let mut i = spec(AttackModelKind::Dos, 60.0).build_interceptor(1);
-        let fate =
-            i.intercept(NodeId(2), NodeId(3), SimTime::ZERO, SimDuration::from_nanos(50), &wsm_from(2));
-        assert_eq!(fate, LinkFate::Deliver { delay: SimDuration::from_secs(60) });
+        let fate = i.intercept(
+            NodeId(2),
+            NodeId(3),
+            SimTime::ZERO,
+            SimDuration::from_nanos(50),
+            &wsm_from(2),
+        );
+        assert_eq!(
+            fate,
+            LinkFate::Deliver {
+                delay: SimDuration::from_secs(60)
+            }
+        );
     }
 
     #[test]
@@ -330,7 +386,10 @@ mod tests {
         let b = run(7);
         assert_eq!(a, b, "same seed, same drops");
         let dropped = a.iter().filter(|&&d| d).count();
-        assert!((20..=80).contains(&dropped), "~50% drop rate, got {dropped}");
+        assert!(
+            (20..=80).contains(&dropped),
+            "~50% drop rate, got {dropped}"
+        );
     }
 
     #[test]
@@ -371,8 +430,8 @@ mod tests {
 
     #[test]
     fn falsify_only_affects_frames_sent_by_target() {
-        let mut i = spec(AttackModelKind::Falsify(FalsifiedField::Acceleration), 5.0)
-            .build_interceptor(1);
+        let mut i =
+            spec(AttackModelKind::Falsify(FalsifiedField::Acceleration), 5.0).build_interceptor(1);
         // Frame *to* the target keeps its payload.
         let fate = i.intercept(
             NodeId(1),
@@ -391,8 +450,13 @@ mod tests {
             (FalsifiedField::Acceleration, 4.0),
         ] {
             let mut i = spec(AttackModelKind::Falsify(field), 3.0).build_interceptor(1);
-            match i.intercept(NodeId(2), NodeId(3), SimTime::ZERO, SimDuration::ZERO, &wsm_from(2))
-            {
+            match i.intercept(
+                NodeId(2),
+                NodeId(3),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                &wsm_from(2),
+            ) {
                 LinkFate::DeliverModified { wsm, .. } => {
                     let b = PlatoonBeacon::decode(wsm.payload).unwrap();
                     let got = match field {
@@ -420,9 +484,16 @@ mod tests {
     #[test]
     fn table_i_registry() {
         assert_eq!(AttackModelKind::Delay.name(), "Delay");
-        assert_eq!(AttackModelKind::Dos.target_parameter(), "Propagation delay (PD)");
-        assert!(AttackModelKind::Delay.real_world_example().contains("reactive jamming"));
-        assert!(AttackModelKind::Dos.real_world_example().contains("jamming"));
+        assert_eq!(
+            AttackModelKind::Dos.target_parameter(),
+            "Propagation delay (PD)"
+        );
+        assert!(AttackModelKind::Delay
+            .real_world_example()
+            .contains("reactive jamming"));
+        assert!(AttackModelKind::Dos
+            .real_world_example()
+            .contains("jamming"));
         assert_eq!(
             AttackModelKind::Falsify(FalsifiedField::Speed).name(),
             "Falsify-Speed"

@@ -6,11 +6,25 @@
 //! independent simulations) and classifies each against the golden run
 //! (Step 4). The paper ran its 11 250 delay experiments in about 7 hours
 //! on an 8-core machine; the pure-Rust stack finishes them in minutes.
+//!
+//! # Prefix forking
+//!
+//! Every experiment sharing an `attackStartTime` simulates an *identical*
+//! attack-free prefix `[0, start)` — in the paper's delay campaign that is
+//! 450 experiments per start time. The default execution mode
+//! ([`ExecutionMode::PrefixFork`]) therefore builds one [`World`] snapshot
+//! per distinct start time (in parallel across the workers) and **forks**
+//! each experiment from its snapshot instead of re-simulating from t = 0.
+//! Forked runs are bit-identical to from-scratch runs
+//! ([`ExecutionMode::FromScratch`]); the engine's tests and the
+//! `tests` crate assert this end to end.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+use comfase_des::time::SimTime;
 
 use crate::attack::AttackSpec;
 use crate::classify::{classify, ClassificationParams, Verdict};
@@ -18,6 +32,43 @@ use crate::config::AttackCampaignSetup;
 use crate::engine::Engine;
 use crate::error::ComfaseError;
 use crate::log::RunLog;
+use crate::world::World;
+
+/// How the campaign executes its experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Fork each experiment from a shared attack-free prefix snapshot —
+    /// one snapshot per distinct attack start time (the default).
+    #[default]
+    PrefixFork,
+    /// Simulate every experiment from t = 0. Slower; kept as the
+    /// reference implementation for equivalence tests and benchmarks.
+    FromScratch,
+}
+
+/// Execution counters of one campaign run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Prefix snapshots built (one per distinct attack start time; 0 in
+    /// [`ExecutionMode::FromScratch`]).
+    pub prefix_snapshots: usize,
+    /// Experiments forked from a prefix snapshot.
+    pub forked_runs: usize,
+    /// Experiments simulated from t = 0.
+    pub scratch_runs: usize,
+}
+
+impl CampaignStats {
+    /// Fraction of experiments that reused a prefix snapshot (0.0–1.0).
+    pub fn snapshot_hit_rate(&self) -> f64 {
+        let total = self.forked_runs + self.scratch_runs;
+        if total == 0 {
+            0.0
+        } else {
+            self.forked_runs as f64 / total as f64
+        }
+    }
+}
 
 /// Result of one attack injection experiment (one `AttackCampaignLog`
 /// entry, classified).
@@ -40,6 +91,9 @@ pub struct CampaignResult {
     pub params: ClassificationParams,
     /// The golden run log.
     pub golden: RunLog,
+    /// Execution counters (snapshot reuse).
+    #[serde(default)]
+    pub stats: CampaignStats,
 }
 
 impl CampaignResult {
@@ -59,6 +113,9 @@ impl CampaignResult {
 pub struct Campaign {
     engine: Engine,
     setup: AttackCampaignSetup,
+    /// Test hook: make experiment `i` fail with a synthetic error.
+    #[cfg(test)]
+    fail_experiment: Option<usize>,
 }
 
 impl Campaign {
@@ -71,7 +128,12 @@ impl Campaign {
     /// vectors, out-of-range times).
     pub fn new(engine: Engine, setup: AttackCampaignSetup) -> Result<Self, ComfaseError> {
         setup.validate(engine.scenario())?;
-        Ok(Campaign { engine, setup })
+        Ok(Campaign {
+            engine,
+            setup,
+            #[cfg(test)]
+            fail_experiment: None,
+        })
     }
 
     /// The campaign setup.
@@ -89,7 +151,8 @@ impl Campaign {
         self.setup.nr_experiments()
     }
 
-    /// Runs the whole campaign on `threads` worker threads.
+    /// Runs the whole campaign on `threads` worker threads with the
+    /// default execution mode ([`ExecutionMode::PrefixFork`]).
     ///
     /// # Errors
     ///
@@ -99,7 +162,24 @@ impl Campaign {
     ///
     /// Panics if `threads == 0`.
     pub fn run(&self, threads: usize) -> Result<CampaignResult, ComfaseError> {
-        self.run_with_progress(threads, |_, _| {})
+        self.run_with_mode_and_progress(threads, ExecutionMode::default(), |_, _| {})
+    }
+
+    /// Runs the whole campaign with an explicit execution mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation-construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_with_mode(
+        &self,
+        threads: usize,
+        mode: ExecutionMode,
+    ) -> Result<CampaignResult, ComfaseError> {
+        self.run_with_mode_and_progress(threads, mode, |_, _| {})
     }
 
     /// Runs the campaign, invoking `progress(done, total)` as experiments
@@ -120,6 +200,28 @@ impl Campaign {
     where
         P: Fn(usize, usize) + Sync,
     {
+        self.run_with_mode_and_progress(threads, ExecutionMode::default(), progress)
+    }
+
+    /// Runs the campaign with an explicit execution mode, invoking
+    /// `progress(done, total)` as experiments complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation-construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_with_mode_and_progress<P>(
+        &self,
+        threads: usize,
+        mode: ExecutionMode,
+        progress: P,
+    ) -> Result<CampaignResult, ComfaseError>
+    where
+        P: Fn(usize, usize) + Sync,
+    {
         assert!(threads > 0, "at least one worker thread required");
         let specs = self.engine.expand_campaign(&self.setup)?;
         let total = specs.len();
@@ -127,19 +229,35 @@ impl Campaign {
         let golden = self.engine.golden_run()?;
         let params = ClassificationParams::from_golden(&golden.trace);
 
+        // Prefix phase (fork mode): one attack-free snapshot per distinct
+        // start time, built in parallel across the workers.
+        let (starts, prefixes) = match mode {
+            ExecutionMode::PrefixFork => self.build_prefixes(threads, &specs)?,
+            ExecutionMode::FromScratch => (Vec::new(), Vec::new()),
+        };
+        let stats = CampaignStats {
+            prefix_snapshots: prefixes.len(),
+            forked_runs: if prefixes.is_empty() { 0 } else { total },
+            scratch_runs: if prefixes.is_empty() { total } else { 0 },
+        };
+
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
         let records: Mutex<Vec<ExperimentRecord>> = Mutex::new(Vec::with_capacity(total));
         let first_error: Mutex<Option<ComfaseError>> = Mutex::new(None);
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads.min(total.max(1)) {
                 scope.spawn(|_| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
                     }
-                    match self.engine.run_experiment(&specs[i], i as u64) {
+                    match self.execute_one(&specs[i], i, &starts, &prefixes) {
                         Ok(run) => {
                             let verdict = classify(&golden.trace, &run.trace, &params);
                             records.lock().push(ExperimentRecord {
@@ -152,6 +270,11 @@ impl Campaign {
                         }
                         Err(e) => {
                             first_error.lock().get_or_insert(e);
+                            // Stop the whole campaign, not just this
+                            // worker: park the cursor past the end and
+                            // raise the abort flag for in-flight peers.
+                            next.store(total, Ordering::Relaxed);
+                            abort.store(true, Ordering::Relaxed);
                             break;
                         }
                     }
@@ -165,7 +288,89 @@ impl Campaign {
         }
         let mut records = records.into_inner();
         records.sort_by_key(|r| r.index);
-        Ok(CampaignResult { records, params, golden })
+        Ok(CampaignResult {
+            records,
+            params,
+            golden,
+            stats,
+        })
+    }
+
+    /// Builds one attack-free prefix snapshot per distinct start time, in
+    /// parallel. Returns the sorted start times and their snapshots,
+    /// index-aligned.
+    fn build_prefixes(
+        &self,
+        threads: usize,
+        specs: &[AttackSpec],
+    ) -> Result<(Vec<SimTime>, Vec<World>), ComfaseError> {
+        let mut starts: Vec<SimTime> = specs.iter().map(|s| s.start).collect();
+        starts.sort_unstable();
+        starts.dedup();
+
+        let slots: Vec<Mutex<Option<World>>> = starts.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let first_error: Mutex<Option<ComfaseError>> = Mutex::new(None);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(starts.len().max(1)) {
+                scope.spawn(|_| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= starts.len() {
+                        break;
+                    }
+                    match self.engine.prefix_snapshot(starts[i]) {
+                        Ok(world) => *slots[i].lock() = Some(world),
+                        Err(e) => {
+                            first_error.lock().get_or_insert(e);
+                            next.store(starts.len(), Ordering::Relaxed);
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("prefix worker panicked");
+
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        let prefixes = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every prefix snapshot was built"))
+            .collect();
+        Ok((starts, prefixes))
+    }
+
+    /// Runs one experiment, forking from its prefix snapshot when one is
+    /// available.
+    fn execute_one(
+        &self,
+        spec: &AttackSpec,
+        index: usize,
+        starts: &[SimTime],
+        prefixes: &[World],
+    ) -> Result<RunLog, ComfaseError> {
+        #[cfg(test)]
+        if self.fail_experiment == Some(index) {
+            return Err(ComfaseError::InvalidConfig(format!(
+                "injected failure at experiment {index}"
+            )));
+        }
+        if prefixes.is_empty() {
+            return self.engine.run_experiment(spec, index as u64);
+        }
+        let k = starts
+            .binary_search(&spec.start)
+            .expect("a prefix snapshot exists for every start time");
+        Ok(self
+            .engine
+            .run_experiment_from(&prefixes[k], spec, index as u64))
     }
 }
 
@@ -220,6 +425,32 @@ mod tests {
     }
 
     #[test]
+    fn fork_and_scratch_modes_agree() {
+        let c = small_campaign();
+        let forked = c.run_with_mode(2, ExecutionMode::PrefixFork).unwrap();
+        let scratch = c.run_with_mode(2, ExecutionMode::FromScratch).unwrap();
+        assert_eq!(forked.records, scratch.records);
+        assert_eq!(forked.params, scratch.params);
+        assert_eq!(forked.golden, scratch.golden);
+    }
+
+    #[test]
+    fn stats_count_snapshots_and_reuse() {
+        let c = small_campaign();
+        let forked = c.run(2).unwrap();
+        // Two distinct start times, 8 experiments.
+        assert_eq!(forked.stats.prefix_snapshots, 2);
+        assert_eq!(forked.stats.forked_runs, 8);
+        assert_eq!(forked.stats.scratch_runs, 0);
+        assert_eq!(forked.stats.snapshot_hit_rate(), 1.0);
+        let scratch = c.run_with_mode(2, ExecutionMode::FromScratch).unwrap();
+        assert_eq!(scratch.stats.prefix_snapshots, 0);
+        assert_eq!(scratch.stats.forked_runs, 0);
+        assert_eq!(scratch.stats.scratch_runs, 8);
+        assert_eq!(scratch.stats.snapshot_hit_rate(), 0.0);
+    }
+
+    #[test]
     fn progress_reaches_total() {
         let c = small_campaign();
         let max_seen = AtomicUsize::new(0);
@@ -232,6 +463,43 @@ mod tests {
     }
 
     #[test]
+    fn failing_experiment_aborts_the_campaign_promptly() {
+        let mut c = small_campaign();
+        c.fail_experiment = Some(2);
+        let completed = AtomicUsize::new(0);
+        // Serial run: experiments 0 and 1 complete, 2 fails, and the abort
+        // must keep the worker from draining 3..8.
+        let err = c
+            .run_with_mode_and_progress(1, ExecutionMode::FromScratch, |done, _| {
+                completed.fetch_max(done, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("injected failure"), "{err}");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            2,
+            "campaign must stop at the failure"
+        );
+    }
+
+    #[test]
+    fn failing_experiment_surfaces_error_across_workers() {
+        let mut c = small_campaign();
+        c.fail_experiment = Some(0);
+        let completed = AtomicUsize::new(0);
+        let err = c
+            .run_with_mode_and_progress(4, ExecutionMode::FromScratch, |done, _| {
+                completed.fetch_max(done, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert!(matches!(err, ComfaseError::InvalidConfig(_)), "{err:?}");
+        assert!(
+            completed.load(Ordering::Relaxed) < 8,
+            "the abort flag must keep workers from draining the whole campaign"
+        );
+    }
+
+    #[test]
     fn long_strong_attacks_classified_severe() {
         let c = small_campaign();
         let result = c.run(4).unwrap();
@@ -239,7 +507,10 @@ mod tests {
         let severe: Vec<_> = result
             .records
             .iter()
-            .filter(|r| r.spec.value == 2.0 && r.spec.duration() == comfase_des::time::SimDuration::from_secs(6))
+            .filter(|r| {
+                r.spec.value == 2.0
+                    && r.spec.duration() == comfase_des::time::SimDuration::from_secs(6)
+            })
             .collect();
         assert_eq!(severe.len(), 2);
         for r in severe {

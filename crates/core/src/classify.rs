@@ -115,8 +115,8 @@ pub fn classify(
     // behaviour of the vehicles (identical speed profiles as in the golden
     // run)". An unchanged run is non-effective even in scenarios whose
     // golden run itself brakes hard.
-    let unchanged = max_dev <= params.identical_speed_eps_mps
-        && nr_collisions == golden.collisions.len();
+    let unchanged =
+        max_dev <= params.identical_speed_eps_mps && nr_collisions == golden.collisions.len();
     let class = if unchanged {
         Classification::NonEffective
     } else if first_collision.is_some() || max_decel > params.comfortable_decel_mps2 {
@@ -241,13 +241,22 @@ mod tests {
     fn boundary_values_follow_paper_inequalities() {
         // decel exactly at golden max -> negligible (<=);
         let run = trace(&[(27.0, 0.0), (26.9, -1.53)]);
-        assert_eq!(classify(&golden(), &run, &params()).class, Classification::Negligible);
+        assert_eq!(
+            classify(&golden(), &run, &params()).class,
+            Classification::Negligible
+        );
         // decel exactly 5 -> benign (<=);
         let run = trace(&[(27.0, 0.0), (26.0, -5.0)]);
-        assert_eq!(classify(&golden(), &run, &params()).class, Classification::Benign);
+        assert_eq!(
+            classify(&golden(), &run, &params()).class,
+            Classification::Benign
+        );
         // just above 5 -> severe.
         let run = trace(&[(27.0, 0.0), (26.0, -5.01)]);
-        assert_eq!(classify(&golden(), &run, &params()).class, Classification::Severe);
+        assert_eq!(
+            classify(&golden(), &run, &params()).class,
+            Classification::Severe
+        );
     }
 
     #[test]

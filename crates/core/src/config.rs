@@ -125,10 +125,16 @@ impl TrafficScenario {
     ///
     /// Returns the first inconsistency found.
     pub fn validate(&self) -> Result<(), ComfaseError> {
-        self.platoon.validate().map_err(ComfaseError::InvalidConfig)?;
-        self.vehicle.validate().map_err(ComfaseError::InvalidConfig)?;
+        self.platoon
+            .validate()
+            .map_err(ComfaseError::InvalidConfig)?;
+        self.vehicle
+            .validate()
+            .map_err(ComfaseError::InvalidConfig)?;
         if self.total_sim_time <= SimTime::ZERO {
-            return Err(ComfaseError::InvalidConfig("total simulation time must be positive".into()));
+            return Err(ComfaseError::InvalidConfig(
+                "total simulation time must be positive".into(),
+            ));
         }
         if self.platoon.lane >= self.road.nr_lanes() {
             return Err(ComfaseError::InvalidConfig(format!(
@@ -196,10 +202,14 @@ impl CommModel {
     /// Returns the first inconsistency found.
     pub fn validate(&self) -> Result<(), ComfaseError> {
         if self.packet_size_bits == 0 {
-            return Err(ComfaseError::InvalidConfig("packet size must be positive".into()));
+            return Err(ComfaseError::InvalidConfig(
+                "packet size must be positive".into(),
+            ));
         }
         if self.beaconing_time <= SimDuration::ZERO {
-            return Err(ComfaseError::InvalidConfig("beaconing time must be positive".into()));
+            return Err(ComfaseError::InvalidConfig(
+                "beaconing time must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -270,7 +280,9 @@ impl AttackCampaignSetup {
     /// Returns the first inconsistency found.
     pub fn validate(&self, scenario: &TrafficScenario) -> Result<(), ComfaseError> {
         if self.target_vehicles.is_empty() {
-            return Err(ComfaseError::InvalidConfig("at least one target vehicle required".into()));
+            return Err(ComfaseError::InvalidConfig(
+                "at least one target vehicle required".into(),
+            ));
         }
         for &t in &self.target_vehicles {
             if scenario.platoon.index_of(t).is_none() {

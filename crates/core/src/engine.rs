@@ -34,10 +34,18 @@ impl Engine {
     /// # Errors
     ///
     /// Fails if the scenario or communication model is invalid.
-    pub fn new(scenario: TrafficScenario, comm: CommModel, seed: u64) -> Result<Self, ComfaseError> {
+    pub fn new(
+        scenario: TrafficScenario,
+        comm: CommModel,
+        seed: u64,
+    ) -> Result<Self, ComfaseError> {
         scenario.validate()?;
         comm.validate()?;
-        Ok(Engine { scenario, comm, seed })
+        Ok(Engine {
+            scenario,
+            comm,
+            seed,
+        })
     }
 
     /// An engine for the paper's demonstration setup (§IV-A).
@@ -47,7 +55,11 @@ impl Engine {
     /// Never fails for the built-in presets; the `Result` mirrors
     /// [`Engine::new`].
     pub fn paper_default(seed: u64) -> Result<Self, ComfaseError> {
-        Engine::new(TrafficScenario::paper_default(), CommModel::paper_default(), seed)
+        Engine::new(
+            TrafficScenario::paper_default(),
+            CommModel::paper_default(),
+            seed,
+        )
     }
 
     /// The configured scenario.
@@ -106,6 +118,45 @@ impl Engine {
         Ok(world.into_log())
     }
 
+    /// Builds an attack-free prefix snapshot: a [`World`] simulated from
+    /// t = 0 to `until` with the pristine communication model.
+    ///
+    /// A campaign with many experiments sharing the same `attack.start`
+    /// builds this once and forks each experiment from it with
+    /// [`Engine::run_experiment_from`], skipping the shared prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-construction failures.
+    pub fn prefix_snapshot(&self, until: SimTime) -> Result<World, ComfaseError> {
+        let mut world = World::new(&self.scenario, &self.comm, self.seed)?;
+        world.run_until(until);
+        Ok(world)
+    }
+
+    /// Step 3, one experiment, resumed from a prefix snapshot.
+    ///
+    /// `prefix` must be a snapshot produced by
+    /// [`Engine::prefix_snapshot`]`(attack.start)` on this engine; the run
+    /// is then bit-identical to [`Engine::run_experiment`] with the same
+    /// `attack` and `experiment_index`, at a fraction of the cost.
+    pub fn run_experiment_from(
+        &self,
+        prefix: &World,
+        attack: &AttackSpec,
+        experiment_index: u64,
+    ) -> RunLog {
+        let mut world = prefix.clone();
+        // The prefix already covers [0, attack.start); phases two and three
+        // are identical to `run_experiment`.
+        world.run_until(attack.start);
+        world.install_attack(attack.build_interceptor(self.seed ^ experiment_index));
+        world.run_until(attack.end.min(world.total_time()));
+        world.clear_attack();
+        world.run_to_end();
+        world.into_log()
+    }
+
     /// Step 4 for one experiment: classify against a golden run.
     pub fn classify_experiment(&self, golden: &RunLog, run: &RunLog) -> Verdict {
         let params = ClassificationParams::from_golden(&golden.trace);
@@ -124,6 +175,8 @@ impl Engine {
     ) -> Result<Vec<AttackSpec>, ComfaseError> {
         setup.validate(&self.scenario)?;
         let total = self.scenario.total_sim_time;
+        // One shared allocation for all specs instead of a Vec clone each.
+        let targets: std::sync::Arc<[u32]> = setup.target_vehicles.as_slice().into();
         let mut specs = Vec::with_capacity(setup.nr_experiments());
         for &start_s in &setup.attack_starts_s {
             for &value in &setup.attack_values {
@@ -137,7 +190,7 @@ impl Engine {
                     specs.push(AttackSpec {
                         model: setup.attack_model,
                         value,
-                        targets: setup.target_vehicles.clone(),
+                        targets: targets.clone(),
                         start,
                         end: end.min(total),
                     });
@@ -189,7 +242,7 @@ mod tests {
         let attack = AttackSpec {
             model: AttackModelKind::Dos,
             value: 60.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs(17),
             end: SimTime::from_secs(30),
         };
@@ -208,13 +261,39 @@ mod tests {
         let attack = AttackSpec {
             model: AttackModelKind::Delay,
             value: 1.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs(17),
             end: SimTime::from_secs(17), // empty window
         };
         let run = e.run_experiment(&attack, 0).unwrap();
         let verdict = e.classify_experiment(&golden, &run);
-        assert_eq!(verdict.class, Classification::NonEffective, "verdict {verdict:?}");
+        assert_eq!(
+            verdict.class,
+            Classification::NonEffective,
+            "verdict {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn forked_experiment_is_bit_identical_to_from_scratch() {
+        let e = quick_engine();
+        let attack = AttackSpec {
+            model: AttackModelKind::Delay,
+            value: 2.0,
+            targets: vec![2].into(),
+            start: SimTime::from_secs(17),
+            end: SimTime::from_secs(22),
+        };
+        let scratch = e.run_experiment(&attack, 3).unwrap();
+        let prefix = e.prefix_snapshot(attack.start).unwrap();
+        let forked = e.run_experiment_from(&prefix, &attack, 3);
+        assert_eq!(
+            scratch, forked,
+            "fork-resumed run must equal the from-scratch run"
+        );
+        // The prefix is reusable: forking again gives the same log.
+        let again = e.run_experiment_from(&prefix, &attack, 3);
+        assert_eq!(forked, again);
     }
 
     #[test]
@@ -257,13 +336,16 @@ mod tests {
         let attack = AttackSpec {
             model: AttackModelKind::Delay,
             value: 2.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs(17),
             end: SimTime::from_secs(22),
         };
         assert_eq!(attack.duration(), SimDuration::from_secs(5));
         let run = e.run_experiment(&attack, 3).unwrap();
         assert_eq!(run.final_time, SimTime::from_secs(30));
-        assert!(run.channel.links_delay_modified > 0, "attack must have touched links");
+        assert!(
+            run.channel.links_delay_modified > 0,
+            "attack must have touched links"
+        );
     }
 }

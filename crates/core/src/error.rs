@@ -43,7 +43,9 @@ mod tests {
             ComfaseError::InvalidConfig("x".into()).to_string(),
             "invalid configuration: x"
         );
-        assert!(ComfaseError::UnknownTarget(7).to_string().contains("vehicle 7"));
+        assert!(ComfaseError::UnknownTarget(7)
+            .to_string()
+            .contains("vehicle 7"));
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! let attack = AttackSpec {
 //!     model: AttackModelKind::Delay,
 //!     value: 1.0, // seconds of propagation delay
-//!     targets: vec![2],
+//!     targets: vec![2].into(),
 //!     start: SimTime::from_secs(17),
 //!     end: SimTime::from_secs(22),
 //! };
@@ -63,7 +63,9 @@ pub mod world;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
-    pub use crate::campaign::{Campaign, CampaignResult, ExperimentRecord};
+    pub use crate::campaign::{
+        Campaign, CampaignResult, CampaignStats, ExecutionMode, ExperimentRecord,
+    };
     pub use crate::classify::{Classification, ClassificationParams, Verdict};
     pub use crate::config::{
         AttackCampaignSetup, CommModel, ManeuverKind, TrafficScenario, WirelessModelKind,

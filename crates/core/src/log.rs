@@ -21,7 +21,7 @@ pub struct VehicleCommStats {
 }
 
 /// The complete log of one simulation run (golden or attacked).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunLog {
     /// Per-vehicle trajectories and collision incidents (from the traffic
     /// simulator — speed, acceleration/deceleration, position, §II-C).
@@ -49,8 +49,8 @@ impl RunLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use comfase_traffic::vehicle::{Vehicle, VehicleId, VehicleSpec};
     use comfase_traffic::network::LaneIndex;
+    use comfase_traffic::vehicle::{Vehicle, VehicleId, VehicleSpec};
 
     fn small_log() -> RunLog {
         let mut trace = TrafficTrace::new();

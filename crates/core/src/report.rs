@@ -52,12 +52,7 @@ pub fn render_table2(delay: &AttackCampaignSetup, dos: &AttackCampaignSetup) -> 
         if v.len() <= 4 {
             format!("{v:?}")
         } else {
-            format!(
-                "{:.1} to {:.1} ({} values)",
-                v[0],
-                v[v.len() - 1],
-                v.len()
-            )
+            format!("{:.1} to {:.1} ({} values)", v[0], v[v.len() - 1], v.len())
         }
     };
     let mut out = String::new();
@@ -94,7 +89,12 @@ pub fn render_fig4(golden: &RunLog, sample_every_s: f64) -> String {
     let ids = golden.trace.vehicle_ids();
     let mut header = format!("{:>6}", "t(s)");
     for id in &ids {
-        let _ = write!(header, " | {:>9} {:>9}", format!("v{}(m/s)", id.0), format!("a{}", id.0));
+        let _ = write!(
+            header,
+            " | {:>9} {:>9}",
+            format!("v{}(m/s)", id.0),
+            format!("a{}", id.0)
+        );
     }
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
@@ -233,7 +233,10 @@ pub fn render_heatmap(map: &BTreeMap<(MillisKey, MillisKey), ClassCounts>) -> St
     values.sort_unstable();
     values.dedup();
     let mut out = String::new();
-    let _ = writeln!(out, "Severe-count heatmap: rows = attack start (s), cols = PD value (s)");
+    let _ = writeln!(
+        out,
+        "Severe-count heatmap: rows = attack start (s), cols = PD value (s)"
+    );
     let mut header = format!("{:>8}", "start\\PD");
     for v in &values {
         let _ = write!(header, " {:>5.1}", *v as f64 / 1000.0);
@@ -337,7 +340,9 @@ pub fn records_csv(records: &[crate::campaign::ExperimentRecord]) -> String {
             r.spec.end.as_secs_f64(),
             r.verdict.class,
             r.verdict.max_decel_mps2,
-            r.verdict.collider().map_or(String::from(""), |v| v.0.to_string())
+            r.verdict
+                .collider()
+                .map_or(String::from(""), |v| v.0.to_string())
         );
     }
     out
@@ -464,7 +469,10 @@ mod tests {
         map.insert(1500, a);
         let csv = class_histogram_csv("pd_s", &map);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "pd_s,non_effective,negligible,benign,severe");
+        assert_eq!(
+            lines.next().unwrap(),
+            "pd_s,non_effective,negligible,benign,severe"
+        );
         assert_eq!(lines.next().unwrap(), "1.5,0,0,1,1");
     }
 
@@ -479,7 +487,7 @@ mod tests {
             spec: AttackSpec {
                 model: AttackModelKind::Delay,
                 value: 1.4,
-                targets: vec![2],
+                targets: vec![2].into(),
                 start: SimTime::from_secs(17),
                 end: SimTime::from_secs(20),
             },

@@ -132,7 +132,10 @@ impl TeleopScenario {
 
     /// The same scenario over a 4G-like cellular bearer.
     pub fn highway_cellular() -> Self {
-        TeleopScenario { link: TeleopLink::lte_default(), ..TeleopScenario::highway_default() }
+        TeleopScenario {
+            link: TeleopLink::lte_default(),
+            ..TeleopScenario::highway_default()
+        }
     }
 
     /// Validates the scenario.
@@ -141,25 +144,38 @@ impl TeleopScenario {
     ///
     /// Returns the first inconsistency found.
     pub fn validate(&self) -> Result<(), ComfaseError> {
-        self.vehicle.validate().map_err(ComfaseError::InvalidConfig)?;
+        self.vehicle
+            .validate()
+            .map_err(ComfaseError::InvalidConfig)?;
         if self.obstacle_pos_m <= self.start_pos_m {
             return Err(ComfaseError::InvalidConfig(
                 "obstacle must be ahead of the vehicle".into(),
             ));
         }
         if !self.road.contains(self.obstacle_pos_m) || !self.road.contains(self.start_pos_m) {
-            return Err(ComfaseError::InvalidConfig("positions must be on the road".into()));
+            return Err(ComfaseError::InvalidConfig(
+                "positions must be on the road".into(),
+            ));
         }
         if self.cruise_speed_mps <= 0.0 {
-            return Err(ComfaseError::InvalidConfig("cruise speed must be positive".into()));
+            return Err(ComfaseError::InvalidConfig(
+                "cruise speed must be positive".into(),
+            ));
         }
         if self.command_period <= SimDuration::ZERO {
-            return Err(ComfaseError::InvalidConfig("command period must be positive".into()));
+            return Err(ComfaseError::InvalidConfig(
+                "command period must be positive".into(),
+            ));
         }
         if self.planning_decel_mps2 <= 0.0 {
-            return Err(ComfaseError::InvalidConfig("planning decel must be positive".into()));
+            return Err(ComfaseError::InvalidConfig(
+                "planning decel must be positive".into(),
+            ));
         }
-        if let TeleopLink::Cellular { loss_probability, .. } = self.link {
+        if let TeleopLink::Cellular {
+            loss_probability, ..
+        } = self.link
+        {
             if !(0.0..=1.0).contains(&loss_probability) {
                 return Err(ComfaseError::InvalidConfig(format!(
                     "loss probability {loss_probability} outside [0, 1]"
@@ -245,12 +261,24 @@ enum TeleopEvent {
     TrafficStep,
     VehicleUplink,
     OperatorDownlink,
-    MacTimer { node: u32, token: u64 },
-    TxEnd { node: u32 },
-    RxStart { reception: Box<PlannedReception> },
-    RxEnd { reception: Box<PlannedReception> },
+    MacTimer {
+        node: u32,
+        token: u64,
+    },
+    TxEnd {
+        node: u32,
+    },
+    RxStart {
+        reception: Box<PlannedReception>,
+    },
+    RxEnd {
+        reception: Box<PlannedReception>,
+    },
     /// A cellular packet arrives at its destination node.
-    CellularDeliver { rx: u32, wsm: Wsm },
+    CellularDeliver {
+        rx: u32,
+        wsm: Wsm,
+    },
 }
 
 const PRIO_RADIO: i16 = -10;
@@ -413,11 +441,17 @@ impl TeleopWorld {
         let mut comm = std::collections::BTreeMap::new();
         comm.insert(
             TELEOP_VEHICLE,
-            VehicleCommStats { mac: self.vehicle_mac.stats(), ..Default::default() },
+            VehicleCommStats {
+                mac: self.vehicle_mac.stats(),
+                ..Default::default()
+            },
         );
         comm.insert(
             OPERATOR_NODE,
-            VehicleCommStats { mac: self.operator_mac.stats(), ..Default::default() },
+            VehicleCommStats {
+                mac: self.operator_mac.stats(),
+                ..Default::default()
+            },
         );
         RunLog {
             trace: self.traffic.into_trace(),
@@ -458,7 +492,11 @@ impl TeleopWorld {
                 let actions = self.mac_mut(from).enqueue(wsm, AccessCategory::Vo, now);
                 self.apply_mac_actions(from, actions);
             }
-            TeleopLink::Cellular { latency, jitter, loss_probability } => {
+            TeleopLink::Cellular {
+                latency,
+                jitter,
+                loss_probability,
+            } => {
                 // Bearer loss process.
                 if self.cell_rng.bernoulli(loss_probability.clamp(0.0, 1.0)) {
                     self.cell_lost += 1;
@@ -470,9 +508,7 @@ impl TeleopWorld {
                 let default_delay = latency + jitter_draw;
                 // Attack interception at the bearer level.
                 let fate = match self.cell_interceptor.as_mut() {
-                    Some(i) => {
-                        i.intercept(NodeId(from), NodeId(to), now, default_delay, &wsm)
-                    }
+                    Some(i) => i.intercept(NodeId(from), NodeId(to), now, default_delay, &wsm),
                     None => comfase_wireless::channel::LinkFate::Deliver {
                         delay: default_delay,
                     },
@@ -524,12 +560,17 @@ impl TeleopWorld {
         let now = self.sim.now();
         // Vehicle control: track the last received command with a
         // proportional speed loop; with no command yet, hold cruise speed.
-        let veh = self.traffic.vehicle(VehicleId(TELEOP_VEHICLE)).expect("vehicle exists");
+        let veh = self
+            .traffic
+            .vehicle(VehicleId(TELEOP_VEHICLE))
+            .expect("vehicle exists");
         let target = self
             .last_command
             .map_or(self.scenario.cruise_speed_mps, |c| c.target_speed_mps);
         let accel = 1.0 * (target - veh.state.speed_mps);
-        self.traffic.command_accel(VehicleId(TELEOP_VEHICLE), accel).expect("vehicle exists");
+        self.traffic
+            .command_accel(VehicleId(TELEOP_VEHICLE), accel)
+            .expect("vehicle exists");
         let collisions = self.traffic.step();
         // A collision ends remote operability; the collider is removed by
         // policy, nothing further to drive.
@@ -550,7 +591,8 @@ impl TeleopWorld {
         }
         let next = now + SimDuration::from_millis(10);
         if next <= self.scenario.total_sim_time {
-            self.sim.schedule_at_with_priority(next, PRIO_TRAFFIC, TeleopEvent::TrafficStep);
+            self.sim
+                .schedule_at_with_priority(next, PRIO_TRAFFIC, TeleopEvent::TrafficStep);
         }
     }
 
@@ -576,7 +618,8 @@ impl TeleopWorld {
         }
         let next = now + self.scenario.command_period;
         if next <= self.scenario.total_sim_time {
-            self.sim.schedule_at_with_priority(next, PRIO_APP, TeleopEvent::VehicleUplink);
+            self.sim
+                .schedule_at_with_priority(next, PRIO_APP, TeleopEvent::VehicleUplink);
         }
     }
 
@@ -586,8 +629,8 @@ impl TeleopWorld {
         // distance of the obstacle.
         let target = match &self.believed {
             Some(status) => {
-                let braking_dist = status.speed_mps * status.speed_mps
-                    / (2.0 * self.scenario.planning_decel_mps2);
+                let braking_dist =
+                    status.speed_mps * status.speed_mps / (2.0 * self.scenario.planning_decel_mps2);
                 let stop_point = self.scenario.obstacle_pos_m
                     - self.scenario.vehicle.length_m
                     - self.scenario.safety_margin_m
@@ -600,7 +643,10 @@ impl TeleopWorld {
             }
             None => self.scenario.cruise_speed_mps,
         };
-        let cmd = CommandMsg { target_speed_mps: target, issued: now };
+        let cmd = CommandMsg {
+            target_speed_mps: target,
+            issued: now,
+        };
         self.seq += 1;
         let wsm = Wsm {
             source: NodeId(OPERATOR_NODE),
@@ -612,7 +658,8 @@ impl TeleopWorld {
         self.send(OPERATOR_NODE, TELEOP_VEHICLE, wsm);
         let next = now + self.scenario.command_period;
         if next <= self.scenario.total_sim_time {
-            self.sim.schedule_at_with_priority(next, PRIO_APP, TeleopEvent::OperatorDownlink);
+            self.sim
+                .schedule_at_with_priority(next, PRIO_APP, TeleopEvent::OperatorDownlink);
         }
     }
 
@@ -638,12 +685,16 @@ impl TeleopWorld {
                         self.sim.schedule_at_with_priority(
                             r.start,
                             PRIO_RADIO,
-                            TeleopEvent::RxStart { reception: Box::new(r.clone()) },
+                            TeleopEvent::RxStart {
+                                reception: Box::new(r.clone()),
+                            },
                         );
                         self.sim.schedule_at_with_priority(
                             r.end,
                             PRIO_RADIO,
-                            TeleopEvent::RxEnd { reception: Box::new(r) },
+                            TeleopEvent::RxEnd {
+                                reception: Box::new(r),
+                            },
                         );
                     }
                 }
@@ -666,14 +717,24 @@ mod tests {
     use crate::attack::{AttackModelKind, AttackSpec};
 
     fn scenario() -> TeleopScenario {
-        TeleopScenario { total_sim_time: SimTime::from_secs(60), ..TeleopScenario::highway_default() }
+        TeleopScenario {
+            total_sim_time: SimTime::from_secs(60),
+            ..TeleopScenario::highway_default()
+        }
     }
 
     #[test]
     fn status_and_command_round_trip() {
-        let s = StatusMsg { pos_m: 123.0, speed_mps: 19.5, sampled: SimTime::from_secs(3) };
+        let s = StatusMsg {
+            pos_m: 123.0,
+            speed_mps: 19.5,
+            sampled: SimTime::from_secs(3),
+        };
         assert_eq!(StatusMsg::decode(s.encode()), Some(s));
-        let c = CommandMsg { target_speed_mps: 0.0, issued: SimTime::from_secs(4) };
+        let c = CommandMsg {
+            target_speed_mps: 0.0,
+            issued: SimTime::from_secs(4),
+        };
         assert_eq!(CommandMsg::decode(c.encode()), Some(c));
         // Cross-decoding fails on the tag.
         assert_eq!(StatusMsg::decode(c.encode()), None);
@@ -687,7 +748,10 @@ mod tests {
         assert!(w.commands_received() > 100, "command link alive");
         assert!(w.statuses_received() > 100, "status link alive");
         let log = w.into_log();
-        assert!(!log.trace.has_collision(), "operator must stop the vehicle in time");
+        assert!(
+            !log.trace.has_collision(),
+            "operator must stop the vehicle in time"
+        );
         let tr = log.trace.vehicle(VehicleId(TELEOP_VEHICLE)).unwrap();
         let final_pos = *tr.pos.values().last().unwrap();
         // Stopped short of the obstacle but well past the start.
@@ -708,7 +772,7 @@ mod tests {
         let attack = AttackSpec {
             model: AttackModelKind::Dos,
             value: 60.0,
-            targets: vec![TELEOP_VEHICLE],
+            targets: vec![TELEOP_VEHICLE].into(),
             start: SimTime::from_secs(20),
             end: SimTime::from_secs(60),
         };
@@ -732,7 +796,7 @@ mod tests {
                 let attack = AttackSpec {
                     model: AttackModelKind::Delay,
                     value: pd,
-                    targets: vec![TELEOP_VEHICLE],
+                    targets: vec![TELEOP_VEHICLE].into(),
                     start: SimTime::ZERO,
                     end: SimTime::from_secs(60),
                 };
@@ -742,7 +806,10 @@ mod tests {
             let log = w.into_log();
             let tr = log.trace.vehicle(VehicleId(TELEOP_VEHICLE)).unwrap();
             let final_pos = *tr.pos.values().last().unwrap();
-            (scenario().obstacle_pos_m - scenario().vehicle.length_m - final_pos, log)
+            (
+                scenario().obstacle_pos_m - scenario().vehicle.length_m - final_pos,
+                log,
+            )
         };
         let (clean_margin, _) = margin(None);
         let (delayed_margin, log) = margin(Some(1.0));
@@ -776,14 +843,17 @@ mod tests {
         let attack = AttackSpec {
             model: AttackModelKind::Dos,
             value: 60.0,
-            targets: vec![TELEOP_VEHICLE],
+            targets: vec![TELEOP_VEHICLE].into(),
             start: SimTime::from_secs(20),
             end: SimTime::from_secs(60),
         };
         w.install_attack(attack.build_interceptor(0));
         w.run_to_end();
         let log = w.into_log();
-        assert!(log.trace.has_collision(), "DoS on the bearer must crash the vehicle");
+        assert!(
+            log.trace.has_collision(),
+            "DoS on the bearer must crash the vehicle"
+        );
     }
 
     #[test]
@@ -795,7 +865,7 @@ mod tests {
                 let attack = AttackSpec {
                     model: AttackModelKind::Delay,
                     value: pd,
-                    targets: vec![TELEOP_VEHICLE],
+                    targets: vec![TELEOP_VEHICLE].into(),
                     start: SimTime::ZERO,
                     end: scenario.total_sim_time,
                 };
@@ -816,7 +886,11 @@ mod tests {
         let run = |seed| {
             let mut w = TeleopWorld::new(&TeleopScenario::highway_cellular(), seed).unwrap();
             w.run_to_end();
-            (w.commands_received(), w.statuses_received(), w.cellular_losses())
+            (
+                w.commands_received(),
+                w.statuses_received(),
+                w.cellular_losses(),
+            )
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
@@ -825,7 +899,11 @@ mod tests {
     #[test]
     fn cellular_loss_probability_validated() {
         let mut s = TeleopScenario::highway_cellular();
-        if let TeleopLink::Cellular { ref mut loss_probability, .. } = s.link {
+        if let TeleopLink::Cellular {
+            ref mut loss_probability,
+            ..
+        } = s.link
+        {
             *loss_probability = 1.5;
         }
         assert!(s.validate().is_err());

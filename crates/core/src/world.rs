@@ -35,7 +35,9 @@ use comfase_wireless::frame::{AccessCategory, NodeId, WaveChannel, Wsm};
 use comfase_wireless::geom::Position;
 use comfase_wireless::mac::{Mac, MacAction, MacConfig};
 use comfase_wireless::mac1609::ChannelSchedule;
-use comfase_wireless::pathloss::{FreeSpace, LogNormalShadowing, PathLossModel, TwoRayInterference};
+use comfase_wireless::pathloss::{
+    FreeSpace, LogNormalShadowing, PathLossModel, TwoRayInterference,
+};
 use comfase_wireless::phy::PhyConfig;
 use comfase_wireless::units::CCH_FREQ_HZ;
 
@@ -74,7 +76,7 @@ pub struct JammerSpec {
 const JAMMER_NODE_BASE: u32 = 1_000_000;
 
 /// Events flowing through the world's kernel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum WorldEvent {
     /// Advance the traffic simulation by one step (TraCI loop).
     TrafficStep,
@@ -92,7 +94,7 @@ enum WorldEvent {
     JammerTx { jammer: usize },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     mac: Mac,
     app: PlatoonApp,
@@ -102,14 +104,23 @@ struct Node {
 
 fn build_maneuver(kind: ManeuverKind, base_speed: f64) -> Box<dyn Maneuver> {
     match kind {
-        ManeuverKind::ConstantSpeed => Box::new(ConstantSpeed { speed_mps: base_speed }),
-        ManeuverKind::Sinusoidal { amplitude_mps, freq_hz, start_s } => Box::new(Sinusoidal {
+        ManeuverKind::ConstantSpeed => Box::new(ConstantSpeed {
+            speed_mps: base_speed,
+        }),
+        ManeuverKind::Sinusoidal {
+            amplitude_mps,
+            freq_hz,
+            start_s,
+        } => Box::new(Sinusoidal {
             base_mps: base_speed,
             amplitude_mps,
             freq_hz,
             start: SimTime::from_secs_f64(start_s),
         }),
-        ManeuverKind::Braking { brake_at_s, decel_mps2 } => Box::new(Braking {
+        ManeuverKind::Braking {
+            brake_at_s,
+            decel_mps2,
+        } => Box::new(Braking {
             cruise_mps: base_speed,
             brake_at: SimTime::from_secs_f64(brake_at_s),
             decel_mps2,
@@ -132,7 +143,19 @@ fn build_pathloss(kind: WirelessModelKind) -> Box<dyn PathLossModel> {
 }
 
 /// The composed simulation of one experiment run.
-#[derive(Debug)]
+///
+/// `World` is `Clone`: a clone is a complete snapshot of the simulation
+/// state — event queue, clock, vehicles, traces, MAC/medium/application
+/// state, and RNG streams — so a clone run forward is bit-identical to the
+/// original run forward. The campaign runner exploits this to simulate each
+/// attack-free prefix (t = 0 to `attackStartTime`) once and fork every
+/// experiment that shares it.
+///
+/// # Panics
+///
+/// Cloning panics if an attack interceptor is installed (see
+/// [`Medium`]'s `Clone`): snapshots are taken at attack-free points only.
+#[derive(Debug, Clone)]
 pub struct World {
     sim: Simulator<WorldEvent>,
     traffic: TrafficSim,
@@ -164,6 +187,11 @@ impl World {
         let sim: Simulator<WorldEvent> = Simulator::new(seed);
         let mut traffic = TrafficSim::new(scenario.road.clone(), sim.rng(StreamId(0)));
         traffic.set_trace_config(TraceConfig { sample_every: 1 });
+        // The run length is known up front: size the per-step trace buffers
+        // once instead of growing them across thousands of steps.
+        let planned_steps =
+            scenario.total_sim_time.as_nanos() / SimDuration::from_millis(10).as_nanos();
+        traffic.reserve_trace_capacity(planned_steps as usize + 1);
         let medium = Medium::with_models(
             build_pathloss(comm.wireless_model),
             CCH_FREQ_HZ,
@@ -174,7 +202,10 @@ impl World {
         let lane_offset_y = scenario.road.lane_center_offset(lane);
         let leader_id = scenario.platoon.leader();
         let mut nodes = BTreeMap::new();
-        for (vehicle, pos) in scenario.platoon.initial_positions(scenario.vehicle.length_m) {
+        for (vehicle, pos) in scenario
+            .platoon
+            .initial_positions(scenario.vehicle.length_m)
+        {
             traffic.add_vehicle(Vehicle::new(
                 VehicleId(vehicle),
                 scenario.vehicle.clone(),
@@ -198,7 +229,10 @@ impl World {
                     leader_id,
                     pred,
                     scenario.platoon.controller,
-                    scenario.platoon.staleness_timeout_s.map(SimDuration::from_secs_f64),
+                    scenario
+                        .platoon
+                        .staleness_timeout_s
+                        .map(SimDuration::from_secs_f64),
                 )
             };
             let mac_cfg = MacConfig {
@@ -215,7 +249,15 @@ impl World {
             } else {
                 scenario.safety_monitor.map(SafetyMonitor::new)
             };
-            nodes.insert(vehicle, Node { mac, app, monitor, active: true });
+            nodes.insert(
+                vehicle,
+                Node {
+                    mac,
+                    app,
+                    monitor,
+                    active: true,
+                },
+            );
         }
 
         // Radio-less background traffic driven by the built-in
@@ -312,7 +354,15 @@ impl World {
         let comm = self
             .nodes
             .iter()
-            .map(|(&v, n)| (v, VehicleCommStats { mac: n.mac.stats(), app: n.app.stats() }))
+            .map(|(&v, n)| {
+                (
+                    v,
+                    VehicleCommStats {
+                        mac: n.mac.stats(),
+                        app: n.app.stats(),
+                    },
+                )
+            })
             .collect();
         RunLog {
             trace: self.traffic.into_trace(),
@@ -335,7 +385,11 @@ impl World {
     /// Safety-monitor interventions of one vehicle so far (`None` if the
     /// vehicle has no monitor).
     pub fn monitor_interventions(&self, vehicle: u32) -> Option<u64> {
-        self.nodes.get(&vehicle)?.monitor.as_ref().map(SafetyMonitor::interventions)
+        self.nodes
+            .get(&vehicle)?
+            .monitor
+            .as_ref()
+            .map(SafetyMonitor::interventions)
     }
 
     /// Attaches an RF jammer to the scenario. May be called any number of
@@ -343,13 +397,12 @@ impl World {
     pub fn add_jammer(&mut self, spec: JammerSpec) {
         let idx = self.jammers.len();
         let node = NodeId(JAMMER_NODE_BASE + idx as u32);
-        self.medium.update_position(
-            node,
-            Position::on_road(spec.pos_x_m, spec.pos_y_m),
-        );
+        self.medium
+            .update_position(node, Position::on_road(spec.pos_x_m, spec.pos_y_m));
         let start = spec.start.max(self.sim.now());
         self.jammers.push(spec);
-        self.sim.schedule_at_with_priority(start, PRIO_RADIO, WorldEvent::JammerTx { jammer: idx });
+        self.sim
+            .schedule_at_with_priority(start, PRIO_RADIO, WorldEvent::JammerTx { jammer: idx });
     }
 
     fn sync_positions(&mut self) {
@@ -361,7 +414,8 @@ impl World {
             .map(|v| (v.id.0, v.state.pos_m - v.spec.length_m / 2.0))
             .collect();
         for (id, x) in updates {
-            self.medium.update_position(NodeId(id), Position::on_road(x, self.lane_offset_y));
+            self.medium
+                .update_position(NodeId(id), Position::on_road(x, self.lane_offset_y));
         }
     }
 
@@ -409,17 +463,22 @@ impl World {
             self.sim.schedule_at_with_priority(
                 r.start,
                 PRIO_RADIO,
-                WorldEvent::RxStart { reception: Box::new(r.clone()) },
+                WorldEvent::RxStart {
+                    reception: Box::new(r.clone()),
+                },
             );
             self.sim.schedule_at_with_priority(
                 r.end,
                 PRIO_RADIO,
-                WorldEvent::RxEnd { reception: Box::new(r) },
+                WorldEvent::RxEnd {
+                    reception: Box::new(r),
+                },
             );
         }
         let next = now + spec.period;
         if next < spec.end && next <= self.total_time {
-            self.sim.schedule_at_with_priority(next, PRIO_RADIO, WorldEvent::JammerTx { jammer });
+            self.sim
+                .schedule_at_with_priority(next, PRIO_RADIO, WorldEvent::JammerTx { jammer });
         }
     }
 
@@ -433,7 +492,9 @@ impl World {
             if !node.active {
                 continue;
             }
-            let Some(veh) = self.traffic.vehicle(VehicleId(v)) else { continue };
+            let Some(veh) = self.traffic.vehicle(VehicleId(v)) else {
+                continue;
+            };
             if !veh.active {
                 continue;
             }
@@ -450,7 +511,10 @@ impl World {
                         .traffic
                         .vehicle(lead)
                         .map_or(ego.speed_mps, |l| l.state.speed_mps);
-                    RadarReading { gap_m: gap, closing_speed_mps: ego.speed_mps - lead_speed }
+                    RadarReading {
+                        gap_m: gap,
+                        closing_speed_mps: ego.speed_mps - lead_speed,
+                    }
                 });
             let mut accel = node.app.control(now, ego, radar, self.step_len_s);
             if let Some(monitor) = node.monitor.as_mut() {
@@ -458,7 +522,9 @@ impl World {
                     accel = brake;
                 }
             }
-            self.traffic.command_accel(VehicleId(v), accel).expect("vehicle exists");
+            self.traffic
+                .command_accel(VehicleId(v), accel)
+                .expect("vehicle exists");
         }
 
         // Advance kinematics; handle collisions (SUMO removes the collider,
@@ -474,17 +540,22 @@ impl World {
 
         let next = now + self.step_len;
         if next <= self.total_time {
-            self.sim.schedule_at_with_priority(next, PRIO_TRAFFIC, WorldEvent::TrafficStep);
+            self.sim
+                .schedule_at_with_priority(next, PRIO_TRAFFIC, WorldEvent::TrafficStep);
         }
     }
 
     fn on_beacon_timer(&mut self, vehicle: u32) {
         let now = self.sim.now();
-        let Some(node) = self.nodes.get_mut(&vehicle) else { return };
+        let Some(node) = self.nodes.get_mut(&vehicle) else {
+            return;
+        };
         if !node.active {
             return;
         }
-        let Some(veh) = self.traffic.vehicle(VehicleId(vehicle)) else { return };
+        let Some(veh) = self.traffic.vehicle(VehicleId(vehicle)) else {
+            return;
+        };
         let beacon = node.app.make_beacon(
             now,
             veh.state.pos_m,
@@ -507,7 +578,8 @@ impl World {
 
         let next = now + self.beacon_interval;
         if next <= self.total_time {
-            self.sim.schedule_at_with_priority(next, PRIO_BEACON, WorldEvent::Beacon { vehicle });
+            self.sim
+                .schedule_at_with_priority(next, PRIO_BEACON, WorldEvent::Beacon { vehicle });
         }
     }
 
@@ -533,12 +605,16 @@ impl World {
                         self.sim.schedule_at_with_priority(
                             r.start,
                             PRIO_RADIO,
-                            WorldEvent::RxStart { reception: Box::new(r.clone()) },
+                            WorldEvent::RxStart {
+                                reception: Box::new(r.clone()),
+                            },
                         );
                         self.sim.schedule_at_with_priority(
                             r.end,
                             PRIO_RADIO,
-                            WorldEvent::RxEnd { reception: Box::new(r) },
+                            WorldEvent::RxEnd {
+                                reception: Box::new(r),
+                            },
                         );
                     }
                 }
@@ -552,7 +628,9 @@ impl World {
     fn on_rx_start(&mut self, reception: PlannedReception) {
         let now = self.sim.now();
         let rx = reception.rx.0;
-        let Some(node) = self.nodes.get_mut(&rx) else { return };
+        let Some(node) = self.nodes.get_mut(&rx) else {
+            return;
+        };
         if !node.active {
             return;
         }
@@ -566,7 +644,9 @@ impl World {
     fn on_rx_end(&mut self, reception: PlannedReception) {
         let now = self.sim.now();
         let rx = reception.rx.0;
-        let Some(node) = self.nodes.get_mut(&rx) else { return };
+        let Some(node) = self.nodes.get_mut(&rx) else {
+            return;
+        };
         if !node.active {
             return;
         }
@@ -590,7 +670,12 @@ mod tests {
     use crate::config::{CommModel, TrafficScenario};
 
     fn build() -> World {
-        World::new(&TrafficScenario::paper_default(), &CommModel::paper_default(), 42).unwrap()
+        World::new(
+            &TrafficScenario::paper_default(),
+            &CommModel::paper_default(),
+            42,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -612,7 +697,10 @@ mod tests {
         assert!(log.channel.received > 0, "nothing received");
         // Followers actually used leader/predecessor beacons.
         for v in [2u32, 3, 4] {
-            assert!(log.comm[&v].app.beacons_used > 0, "vehicle {v} used no beacons");
+            assert!(
+                log.comm[&v].app.beacons_used > 0,
+                "vehicle {v} used no beacons"
+            );
         }
     }
 
@@ -639,7 +727,11 @@ mod tests {
             )
             .unwrap();
             w.run_until(SimTime::from_secs(10));
-            w.traffic().vehicles().iter().map(|v| v.state.pos_m).collect::<Vec<_>>()
+            w.traffic()
+                .vehicles()
+                .iter()
+                .map(|v| v.state.pos_m)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
     }
@@ -663,7 +755,10 @@ mod tests {
         let log = w.into_log();
         // Background vehicles get ids 5 and 6 and are traced like any
         // other vehicle.
-        let tr = log.trace.vehicle(VehicleId(5)).expect("background vehicle traced");
+        let tr = log
+            .trace
+            .vehicle(VehicleId(5))
+            .expect("background vehicle traced");
         assert!(tr.pos.max_value().unwrap() > 350.0, "vehicle 5 moved");
         assert!(!log.trace.has_collision());
         // They have no radio: only the 4 platoon NICs exist.
@@ -725,7 +820,11 @@ mod tests {
         let mut w = World::new(&scenario, &CommModel::paper_default(), 1).unwrap();
         w.run_to_end();
         let log = w.into_log();
-        assert!(log.channel.lost_snir > 10, "scenario jammer active: {:?}", log.channel);
+        assert!(
+            log.channel.lost_snir > 10,
+            "scenario jammer active: {:?}",
+            log.channel
+        );
     }
 
     #[test]
@@ -772,7 +871,7 @@ mod tests {
         let attack = AttackSpec {
             model: AttackModelKind::Dos,
             value: 60.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs(17),
             end: SimTime::from_secs(60),
         };
@@ -796,10 +895,7 @@ mod tests {
         let (protected, interventions) = run(true);
         assert_eq!(none, None);
         assert!(unprotected.has_collision(), "paper behaviour: DoS collides");
-        assert!(
-            interventions.unwrap() > 0,
-            "monitor must have intervened"
-        );
+        assert!(interventions.unwrap() > 0, "monitor must have intervened");
         // The monitor prevents the pile-up entirely or at least reduces it.
         assert!(
             protected.trace.collisions.len() < unprotected.trace.collisions.len()

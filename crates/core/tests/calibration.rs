@@ -33,7 +33,7 @@ fn dos_attacks_are_always_severe_with_collisions() {
         let attack = AttackSpec {
             model: AttackModelKind::Dos,
             value: 60.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs_f64(start),
             end: SimTime::from_secs(60),
         };
@@ -56,7 +56,7 @@ fn long_high_delay_attack_is_severe() {
     let attack = AttackSpec {
         model: AttackModelKind::Delay,
         value: 3.0,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(17),
         end: SimTime::from_secs(47),
     };
@@ -89,7 +89,7 @@ fn probe_shapes() {
             let attack = AttackSpec {
                 model: AttackModelKind::Delay,
                 value: pd,
-                targets: vec![2],
+                targets: vec![2].into(),
                 start: SimTime::from_secs(17),
                 end: SimTime::from_secs_f64(17.0 + dur),
             };
@@ -110,7 +110,7 @@ fn probe_shapes() {
         let attack = AttackSpec {
             model: AttackModelKind::Delay,
             value: 1.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs_f64(start),
             end: SimTime::from_secs_f64(start + 5.0),
         };

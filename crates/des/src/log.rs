@@ -50,7 +50,11 @@ pub struct LogEntry {
 
 impl fmt::Display for LogEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {} {}] {}", self.time, self.level, self.source, self.message)
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.time, self.level, self.source, self.message
+        )
     }
 }
 
@@ -83,7 +87,12 @@ impl EventLog {
     /// Creates a log keeping at most `capacity` entries at `min_level` or
     /// above.
     pub fn new(min_level: LogLevel, capacity: usize) -> Self {
-        EventLog { min_level, capacity, entries: Vec::new(), dropped: 0 }
+        EventLog {
+            min_level,
+            capacity,
+            entries: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// A log that records nothing (level filter above Error is impossible,

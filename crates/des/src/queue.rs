@@ -28,7 +28,7 @@ impl EventId {
 /// Lower values are delivered first (OMNeT++ convention). The default is 0.
 pub type EventPriority = i16;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Scheduled<E> {
     time: SimTime,
     priority: EventPriority,
@@ -63,6 +63,10 @@ impl<E> Ord for Scheduled<E> {
 /// here. Events can be [cancelled](EventQueue::cancel) by id; cancellation is
 /// O(1) (lazy removal on pop).
 ///
+/// When `E: Clone` the whole queue is `Clone`: a clone is an exact snapshot
+/// (same pending events, same sequence counter, same statistics), so a run
+/// resumed from the clone delivers the identical event sequence.
+///
 /// # Examples
 ///
 /// ```
@@ -75,7 +79,7 @@ impl<E> Ord for Scheduled<E> {
 /// let (t, e) = q.pop().unwrap();
 /// assert_eq!((t, e), (SimTime::from_secs(1), "sooner"));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     cancelled: HashSet<u64>,
@@ -118,7 +122,12 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Reverse(Scheduled { time, priority, seq, payload }));
+        self.heap.push(Reverse(Scheduled {
+            time,
+            priority,
+            seq,
+            payload,
+        }));
         EventId(seq)
     }
 

@@ -92,7 +92,10 @@ impl RngStream {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.uniform()
     }
 
@@ -247,7 +250,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "overwhelmingly unlikely to be identity");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "overwhelmingly unlikely to be identity"
+        );
     }
 
     #[test]

@@ -28,7 +28,12 @@ use crate::rng::{RngStream, StreamId};
 use crate::time::{SimDuration, SimTime};
 
 /// Discrete-event simulation kernel over event payload type `E`.
-#[derive(Debug)]
+///
+/// When `E: Clone` the kernel is `Clone`: a clone is a bit-exact snapshot of
+/// clock, pending events, and seed, so execution resumed from the clone is
+/// indistinguishable from the original continuing (RNG streams are derived
+/// statelessly from the seed and are unaffected by snapshotting).
+#[derive(Debug, Clone)]
 pub struct Simulator<E> {
     now: SimTime,
     queue: EventQueue<E>,
@@ -38,7 +43,11 @@ pub struct Simulator<E> {
 impl<E> Simulator<E> {
     /// Creates a kernel at t = 0 with the given base RNG seed.
     pub fn new(seed: u64) -> Self {
-        Simulator { now: SimTime::ZERO, queue: EventQueue::new(), seed }
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            seed,
+        }
     }
 
     /// Current simulation time.
@@ -65,7 +74,11 @@ impl<E> Simulator<E> {
     ///
     /// Panics if `time` is in the past (before [`Simulator::now`]).
     pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
-        assert!(time >= self.now, "cannot schedule into the past: {time} < {}", self.now);
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
         self.queue.schedule(time, event)
     }
 
@@ -91,7 +104,11 @@ impl<E> Simulator<E> {
         priority: EventPriority,
         event: E,
     ) -> EventId {
-        assert!(time >= self.now, "cannot schedule into the past: {time} < {}", self.now);
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
         self.queue.schedule_with_priority(time, priority, event)
     }
 

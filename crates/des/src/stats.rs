@@ -151,7 +151,10 @@ impl TimeSeries {
 
     /// Creates an empty series with room for `n` samples.
     pub fn with_capacity(n: usize) -> Self {
-        TimeSeries { times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+        TimeSeries {
+            times: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+        }
     }
 
     /// Appends one sample.
@@ -161,7 +164,10 @@ impl TimeSeries {
     /// Panics if `time` is earlier than the previous sample.
     pub fn record(&mut self, time: SimTime, value: f64) {
         if let Some(&last) = self.times.last() {
-            assert!(time >= last, "time series must be recorded in order: {time} < {last}");
+            assert!(
+                time >= last,
+                "time series must be recorded in order: {time} < {last}"
+            );
         }
         self.times.push(time);
         self.values.push(value);
@@ -237,7 +243,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
-        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Adds one observation.
@@ -298,12 +310,18 @@ impl Recorder {
 
     /// Adds an observation to the named scalar statistic.
     pub fn record_scalar(&mut self, name: &str, value: f64) {
-        self.scalars.entry(name.to_owned()).or_default().record(value);
+        self.scalars
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
     }
 
     /// Appends a sample to the named output vector.
     pub fn record_vector(&mut self, name: &str, time: SimTime, value: f64) {
-        self.vectors.entry(name.to_owned()).or_default().record(time, value);
+        self.vectors
+            .entry(name.to_owned())
+            .or_default()
+            .record(time, value);
     }
 
     /// Looks up a scalar statistic.
@@ -410,8 +428,10 @@ mod tests {
         for i in 0..10 {
             ts.record(SimTime::from_secs(i), i as f64);
         }
-        let w: Vec<f64> =
-            ts.window(SimTime::from_secs(3), SimTime::from_secs(6)).map(|(_, v)| v).collect();
+        let w: Vec<f64> = ts
+            .window(SimTime::from_secs(3), SimTime::from_secs(6))
+            .map(|(_, v)| v)
+            .collect();
         assert_eq!(w, vec![3.0, 4.0, 5.0, 6.0]);
     }
 

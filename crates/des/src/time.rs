@@ -29,7 +29,9 @@ pub const NANOS_PER_SEC: i64 = 1_000_000_000;
 /// let t = SimTime::from_secs_f64(1.5) + SimDuration::from_millis(250);
 /// assert_eq!(t.as_secs_f64(), 1.75);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(i64);
 
 /// A signed span of simulation time, in integer nanoseconds.
@@ -42,7 +44,9 @@ pub struct SimTime(i64);
 /// let beacon_interval = SimDuration::from_secs_f64(0.1);
 /// assert_eq!(beacon_interval * 10, SimDuration::from_secs(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(i64);
 
 impl SimTime {
@@ -203,7 +207,10 @@ impl SimDuration {
 }
 
 fn secs_to_nanos(secs: f64) -> i64 {
-    assert!(secs.is_finite(), "simulation time must be finite, got {secs}");
+    assert!(
+        secs.is_finite(),
+        "simulation time must be finite, got {secs}"
+    );
     let ns = (secs * NANOS_PER_SEC as f64).round();
     assert!(
         ns >= i64::MIN as f64 && ns <= i64::MAX as f64,
@@ -379,7 +386,10 @@ mod tests {
 
     #[test]
     fn saturating_add_clamps() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

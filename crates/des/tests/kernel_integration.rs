@@ -82,7 +82,11 @@ fn mm1_matches_analytic_utilisation() {
     // rho = lambda / mu = 0.5 -> L = rho / (1 - rho) = 1.0.
     let r = run_mm1(7, 5.0, 10.0, 20_000);
     assert!((r.utilisation - 0.5).abs() < 0.02, "rho {}", r.utilisation);
-    assert!((r.mean_in_system - 1.0).abs() < 0.15, "L {}", r.mean_in_system);
+    assert!(
+        (r.mean_in_system - 1.0).abs() < 0.15,
+        "L {}",
+        r.mean_in_system
+    );
     // Throughput equals the arrival rate in a stable queue.
     let throughput = r.served as f64 / 20_000.0;
     assert!((throughput - 5.0).abs() < 0.1, "X {throughput}");

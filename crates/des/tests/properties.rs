@@ -2,9 +2,22 @@
 
 use comfase_des::queue::EventQueue;
 use comfase_des::rng::{RngStream, StreamId};
+use comfase_des::sim::Simulator;
 use comfase_des::stats::{RunningStats, TimeSeries};
 use comfase_des::time::{SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// Drives a self-feeding simulation (each event with value `v > 0` spawns a
+/// follow-up at a deterministic offset) until `limit`, recording every
+/// delivery.
+fn run_feedback_sim(sim: &mut Simulator<u32>, log: &mut Vec<(i64, u32)>, limit: SimTime) {
+    sim.run_until(limit, |sim, t, v| {
+        log.push((t.as_nanos(), v));
+        if v > 0 {
+            sim.schedule_in(SimDuration::from_nanos(1 + i64::from(v) * 37), v - 1);
+        }
+    });
+}
 
 proptest! {
     /// Popping the queue always yields events in non-decreasing time order,
@@ -65,6 +78,44 @@ proptest! {
             got.insert(i);
         }
         prop_assert_eq!(got, expect);
+    }
+
+    /// Snapshotting the kernel at an arbitrary point and resuming the clone
+    /// reproduces the uninterrupted execution exactly: same deliveries in
+    /// the same order, same clock, same counters.
+    #[test]
+    fn kernel_snapshot_resume_equals_uninterrupted(
+        seeds in proptest::collection::vec((0i64..1_000_000, 0u32..8), 1..100),
+        cut in 0i64..1_000_000,
+    ) {
+        let horizon = SimTime::from_nanos(1_000_010);
+        let build = || {
+            let mut sim = Simulator::new(42);
+            for &(t, v) in &seeds {
+                sim.schedule_at(SimTime::from_nanos(t), v);
+            }
+            sim
+        };
+
+        // Uninterrupted reference run.
+        let mut reference = build();
+        let mut reference_log = Vec::new();
+        run_feedback_sim(&mut reference, &mut reference_log, horizon);
+
+        // Run to the cut point, snapshot, drop the original, resume the
+        // clone to the horizon.
+        let mut original = build();
+        let mut resumed_log = Vec::new();
+        run_feedback_sim(&mut original, &mut resumed_log, SimTime::from_nanos(cut));
+        let mut resumed = original.clone();
+        drop(original);
+        run_feedback_sim(&mut resumed, &mut resumed_log, horizon);
+
+        prop_assert_eq!(resumed_log, reference_log);
+        prop_assert_eq!(resumed.now(), reference.now());
+        prop_assert_eq!(resumed.pending(), reference.pending());
+        prop_assert_eq!(resumed.scheduled(), reference.scheduled());
+        prop_assert_eq!(resumed.delivered(), reference.delivered());
     }
 
     /// SimTime float round-trip is within 0.5 ns of the fixed-point value.

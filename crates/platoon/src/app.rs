@@ -35,6 +35,7 @@ pub struct AppStats {
 }
 
 /// Role of the vehicle in the platoon.
+#[derive(Clone)]
 enum Role {
     Leader {
         maneuver: Box<dyn Maneuver>,
@@ -61,15 +62,26 @@ impl std::fmt::Debug for Role {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Role::Leader { .. } => f.write_str("Leader"),
-            Role::Follower { leader, predecessor, .. } => {
-                write!(f, "Follower {{ leader: {leader}, predecessor: {predecessor} }}")
+            Role::Follower {
+                leader,
+                predecessor,
+                ..
+            } => {
+                write!(
+                    f,
+                    "Follower {{ leader: {leader}, predecessor: {predecessor} }}"
+                )
             }
         }
     }
 }
 
 /// The platooning application of one vehicle.
-#[derive(Debug)]
+///
+/// `PlatoonApp` is `Clone`: a clone snapshots the role (including controller
+/// state and beacon knowledge), sequence counter, and statistics, so a
+/// forked run continues with identical control behaviour.
+#[derive(Debug, Clone)]
 pub struct PlatoonApp {
     vehicle: u32,
     role: Role,
@@ -82,7 +94,10 @@ impl PlatoonApp {
     pub fn leader(vehicle: u32, maneuver: Box<dyn Maneuver>) -> Self {
         PlatoonApp {
             vehicle,
-            role: Role::Leader { maneuver, control: LeaderControl::default() },
+            role: Role::Leader {
+                maneuver,
+                control: LeaderControl::default(),
+            },
             seq: 0,
             stats: AppStats::default(),
         }
@@ -160,7 +175,13 @@ impl PlatoonApp {
             Role::Leader { .. } => {
                 self.stats.beacons_ignored += 1;
             }
-            Role::Follower { leader, predecessor, last_leader, last_pred, .. } => {
+            Role::Follower {
+                leader,
+                predecessor,
+                last_leader,
+                last_pred,
+                ..
+            } => {
                 let mut used = false;
                 if beacon.vehicle == *leader {
                     *last_leader = Some(beacon);
@@ -252,7 +273,12 @@ impl PlatoonApp {
                     *degraded_steps += 1;
                     self.stats.degraded_steps = *degraded_steps;
                 }
-                let input = ControllerInput { ego, radar, radio, dt_s };
+                let input = ControllerInput {
+                    ego,
+                    radar,
+                    radio,
+                    dt_s,
+                };
                 controller.desired_accel(&input)
             }
         }
@@ -268,7 +294,13 @@ impl PlatoonApp {
     ) -> PlatoonBeacon {
         self.seq = self.seq.wrapping_add(1);
         self.stats.beacons_sent += 1;
-        PlatoonBeacon { vehicle: self.vehicle, pos_m, speed_mps, accel_mps2, sampled: now }
+        PlatoonBeacon {
+            vehicle: self.vehicle,
+            pos_m,
+            speed_mps,
+            accel_mps2,
+            sampled: now,
+        }
     }
 }
 
@@ -292,7 +324,10 @@ mod tests {
     }
 
     fn ego(speed: f64) -> EgoState {
-        EgoState { speed_mps: speed, accel_mps2: 0.0 }
+        EgoState {
+            speed_mps: speed,
+            accel_mps2: 0.0,
+        }
     }
 
     #[test]
@@ -322,7 +357,10 @@ mod tests {
         let a = app.control(
             SimTime::ZERO,
             ego(27.78),
-            Some(RadarReading { gap_m: 5.0, closing_speed_mps: 0.0 }),
+            Some(RadarReading {
+                gap_m: 5.0,
+                closing_speed_mps: 0.0,
+            }),
             0.01,
         );
         assert!(a.abs() < 1e-9, "settled platoon stays settled: {a}");
@@ -336,10 +374,16 @@ mod tests {
         let a = app.control(
             SimTime::from_secs(50), // 50 s later, no newer beacon
             ego(27.78),
-            Some(RadarReading { gap_m: 5.0, closing_speed_mps: 0.0 }),
+            Some(RadarReading {
+                gap_m: 5.0,
+                closing_speed_mps: 0.0,
+            }),
             0.01,
         );
-        assert!((a - 1.5).abs() < 1e-9, "stale feedforward still applied: {a}");
+        assert!(
+            (a - 1.5).abs() < 1e-9,
+            "stale feedforward still applied: {a}"
+        );
     }
 
     #[test]
@@ -356,7 +400,10 @@ mod tests {
         let fresh = app.control(
             SimTime::from_millis(100),
             ego(27.78),
-            Some(RadarReading { gap_m: 5.0, closing_speed_mps: 0.0 }),
+            Some(RadarReading {
+                gap_m: 5.0,
+                closing_speed_mps: 0.0,
+            }),
             0.01,
         );
         assert!(fresh > 1.0, "fresh feedforward applied: {fresh}");
@@ -366,10 +413,16 @@ mod tests {
         let stale = app.control(
             SimTime::from_secs(2),
             ego(27.78),
-            Some(RadarReading { gap_m: 5.0, closing_speed_mps: 0.0 }),
+            Some(RadarReading {
+                gap_m: 5.0,
+                closing_speed_mps: 0.0,
+            }),
             0.01,
         );
-        assert!(stale < 0.5, "stale feedforward must not be applied: {stale}");
+        assert!(
+            stale < 0.5,
+            "stale feedforward must not be applied: {stale}"
+        );
         assert_eq!(app.stats().degraded_steps, 1);
     }
 
@@ -386,7 +439,10 @@ mod tests {
         let a = app.control(
             SimTime::from_millis(100),
             ego(27.78),
-            Some(RadarReading { gap_m: 5.0, closing_speed_mps: 0.0 }),
+            Some(RadarReading {
+                gap_m: 5.0,
+                closing_speed_mps: 0.0,
+            }),
             0.01,
         );
         assert!(a.abs() < 1e-9);
@@ -395,7 +451,10 @@ mod tests {
         app.control(
             SimTime::from_secs(1),
             ego(27.78),
-            Some(RadarReading { gap_m: 5.0, closing_speed_mps: 0.0 }),
+            Some(RadarReading {
+                gap_m: 5.0,
+                closing_speed_mps: 0.0,
+            }),
             0.01,
         );
         assert_eq!(app.stats().degraded_steps, 1);

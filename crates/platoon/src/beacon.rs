@@ -92,12 +92,18 @@ mod tests {
     fn truncation_detected() {
         let enc = beacon().encode();
         let cut = enc.slice(0..enc.len() - 1);
-        assert!(PlatoonBeacon::decode(cut).unwrap_err().contains("truncated"));
+        assert!(PlatoonBeacon::decode(cut)
+            .unwrap_err()
+            .contains("truncated"));
     }
 
     #[test]
     fn negative_values_survive() {
-        let b = PlatoonBeacon { accel_mps2: -9.0, pos_m: -1.0, ..beacon() };
+        let b = PlatoonBeacon {
+            accel_mps2: -9.0,
+            pos_m: -1.0,
+            ..beacon()
+        };
         assert_eq!(PlatoonBeacon::decode(b.encode()).unwrap(), b);
     }
 }

@@ -66,7 +66,7 @@ pub struct ControllerInput {
 }
 
 /// A longitudinal platooning controller for follower vehicles.
-pub trait LongitudinalController: std::fmt::Debug + Send {
+pub trait LongitudinalController: std::fmt::Debug + Send + Sync {
     /// Desired acceleration for this step, m/s² (clamped by dynamics).
     fn desired_accel(&mut self, input: &ControllerInput) -> f64;
 
@@ -75,6 +75,16 @@ pub trait LongitudinalController: std::fmt::Debug + Send {
 
     /// Resets internal state (used when re-running scenarios).
     fn reset(&mut self) {}
+
+    /// Clones the controller — including its internal state — into a new
+    /// box (needed to snapshot a running follower application).
+    fn clone_box(&self) -> Box<dyn LongitudinalController>;
+}
+
+impl Clone for Box<dyn LongitudinalController> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Constant-spacing CACC (Rajamani), Plexe's `CACC` controller.
@@ -95,7 +105,12 @@ pub struct PathCacc {
 
 impl Default for PathCacc {
     fn default() -> Self {
-        PathCacc { spacing_m: 5.0, c1: 0.5, omega_n: 0.2, xi: 1.0 }
+        PathCacc {
+            spacing_m: 5.0,
+            c1: 0.5,
+            omega_n: 0.2,
+            xi: 1.0,
+        }
     }
 }
 
@@ -128,6 +143,10 @@ impl LongitudinalController for PathCacc {
     fn name(&self) -> &'static str {
         "PathCACC"
     }
+
+    fn clone_box(&self) -> Box<dyn LongitudinalController> {
+        Box::new(*self)
+    }
 }
 
 /// Gap-regulation CACC of Milanés & Shladover (paper reference \[30\]).
@@ -150,7 +169,13 @@ pub struct MsCacc {
 
 impl Default for MsCacc {
     fn default() -> Self {
-        MsCacc { time_gap_s: 0.6, standstill_m: 2.0, kp: 0.45, kd: 0.25, setpoint_mps: None }
+        MsCacc {
+            time_gap_s: 0.6,
+            standstill_m: 2.0,
+            kp: 0.45,
+            kd: 0.25,
+            setpoint_mps: None,
+        }
     }
 }
 
@@ -158,8 +183,7 @@ impl LongitudinalController for MsCacc {
     fn desired_accel(&mut self, input: &ControllerInput) -> f64 {
         let v = input.ego.speed_mps;
         let setpoint = self.setpoint_mps.get_or_insert(v);
-        let gap_err =
-            input.radar.gap_m - self.standstill_m - self.time_gap_s * v;
+        let gap_err = input.radar.gap_m - self.standstill_m - self.time_gap_s * v;
         let gap_err_rate = input.radio.pred_speed_mps - v - self.time_gap_s * input.ego.accel_mps2;
         *setpoint += (self.kp * gap_err + self.kd * gap_err_rate) * input.dt_s;
         // Convert the speed setpoint to an acceleration command with a
@@ -173,6 +197,10 @@ impl LongitudinalController for MsCacc {
 
     fn reset(&mut self) {
         self.setpoint_mps = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn LongitudinalController> {
+        Box::new(*self)
     }
 }
 
@@ -194,15 +222,19 @@ pub struct Ploeg {
 
 impl Default for Ploeg {
     fn default() -> Self {
-        Ploeg { time_gap_s: 0.5, standstill_m: 2.0, kp: 0.2, kd: 0.7, u_mps2: 0.0 }
+        Ploeg {
+            time_gap_s: 0.5,
+            standstill_m: 2.0,
+            kp: 0.2,
+            kd: 0.7,
+            u_mps2: 0.0,
+        }
     }
 }
 
 impl LongitudinalController for Ploeg {
     fn desired_accel(&mut self, input: &ControllerInput) -> f64 {
-        let e = input.radar.gap_m
-            - self.standstill_m
-            - self.time_gap_s * input.ego.speed_mps;
+        let e = input.radar.gap_m - self.standstill_m - self.time_gap_s * input.ego.speed_mps;
         let e_dot = -input.radar.closing_speed_mps - self.time_gap_s * input.ego.accel_mps2;
         // ḣu = (1/h)(−u + kp·e + kd·ė + a_pred)
         let u_dot = (self.kp * e + self.kd * e_dot + input.radio.pred_accel_mps2 - self.u_mps2)
@@ -217,6 +249,10 @@ impl LongitudinalController for Ploeg {
 
     fn reset(&mut self) {
         self.u_mps2 = 0.0;
+    }
+
+    fn clone_box(&self) -> Box<dyn LongitudinalController> {
+        Box::new(*self)
     }
 }
 
@@ -235,7 +271,12 @@ pub struct Acc {
 
 impl Default for Acc {
     fn default() -> Self {
-        Acc { time_gap_s: 1.2, standstill_m: 2.0, k1: 0.23, k2: 0.74 }
+        Acc {
+            time_gap_s: 1.2,
+            standstill_m: 2.0,
+            k1: 0.23,
+            k2: 0.74,
+        }
     }
 }
 
@@ -247,6 +288,10 @@ impl LongitudinalController for Acc {
 
     fn name(&self) -> &'static str {
         "ACC"
+    }
+
+    fn clone_box(&self) -> Box<dyn LongitudinalController> {
+        Box::new(*self)
     }
 }
 
@@ -283,8 +328,14 @@ mod tests {
 
     fn steady_input(gap: f64) -> ControllerInput {
         ControllerInput {
-            ego: EgoState { speed_mps: 27.78, accel_mps2: 0.0 },
-            radar: RadarReading { gap_m: gap, closing_speed_mps: 0.0 },
+            ego: EgoState {
+                speed_mps: 27.78,
+                accel_mps2: 0.0,
+            },
+            radar: RadarReading {
+                gap_m: gap,
+                closing_speed_mps: 0.0,
+            },
             radio: RadioData {
                 pred_speed_mps: 27.78,
                 pred_accel_mps2: 0.0,
@@ -381,8 +432,14 @@ mod tests {
         let dt = 0.01;
         for _ in 0..20_000 {
             let input = ControllerInput {
-                ego: EgoState { speed_mps: speed, accel_mps2: 0.0 },
-                radar: RadarReading { gap_m: gap, closing_speed_mps: speed - pred_speed },
+                ego: EgoState {
+                    speed_mps: speed,
+                    accel_mps2: 0.0,
+                },
+                radar: RadarReading {
+                    gap_m: gap,
+                    closing_speed_mps: speed - pred_speed,
+                },
                 radio: RadioData {
                     pred_speed_mps: pred_speed,
                     pred_accel_mps2: 0.0,
@@ -407,7 +464,11 @@ mod tests {
         let base = c.desired_accel(&input);
         input.radio.leader_accel_mps2 = 99.0;
         input.radio.pred_accel_mps2 = -99.0;
-        assert_eq!(c.desired_accel(&input), base, "ACC must not read radio data");
+        assert_eq!(
+            c.desired_accel(&input),
+            base,
+            "ACC must not read radio data"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use comfase_des::time::SimTime;
 
 /// A leader speed profile.
-pub trait Maneuver: std::fmt::Debug + Send {
+pub trait Maneuver: std::fmt::Debug + Send + Sync {
     /// Desired leader speed at `t`, m/s.
     fn desired_speed(&self, t: SimTime) -> f64;
 
@@ -21,6 +21,16 @@ pub trait Maneuver: std::fmt::Debug + Send {
 
     /// Maneuver name for reports.
     fn name(&self) -> &'static str;
+
+    /// Clones the maneuver into a new box (needed to snapshot a running
+    /// leader application).
+    fn clone_box(&self) -> Box<dyn Maneuver>;
+}
+
+impl Clone for Box<dyn Maneuver> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Constant cruise speed.
@@ -41,6 +51,10 @@ impl Maneuver for ConstantSpeed {
 
     fn name(&self) -> &'static str {
         "ConstantSpeed"
+    }
+
+    fn clone_box(&self) -> Box<dyn Maneuver> {
+        Box::new(*self)
     }
 }
 
@@ -101,6 +115,10 @@ impl Maneuver for Sinusoidal {
     fn name(&self) -> &'static str {
         "Sinusoidal"
     }
+
+    fn clone_box(&self) -> Box<dyn Maneuver> {
+        Box::new(*self)
+    }
 }
 
 /// Cruise, then brake hard at a fixed time — an emergency-braking scenario
@@ -134,6 +152,10 @@ impl Maneuver for Braking {
 
     fn name(&self) -> &'static str {
         "Braking"
+    }
+
+    fn clone_box(&self) -> Box<dyn Maneuver> {
+        Box::new(*self)
     }
 }
 

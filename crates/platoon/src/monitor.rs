@@ -31,7 +31,11 @@ impl Default for SafetyMonitorConfig {
     /// over 10 s) but catches an attack-induced closure early enough to
     /// stop within the gap.
     fn default() -> Self {
-        SafetyMonitorConfig { ttc_threshold_s: 2.5, min_gap_m: 2.0, brake_mps2: 8.0 }
+        SafetyMonitorConfig {
+            ttc_threshold_s: 2.5,
+            min_gap_m: 2.0,
+            brake_mps2: 8.0,
+        }
     }
 }
 
@@ -59,7 +63,11 @@ pub struct SafetyMonitor {
 impl SafetyMonitor {
     /// Creates a monitor.
     pub fn new(config: SafetyMonitorConfig) -> Self {
-        SafetyMonitor { config, interventions: 0, latched: false }
+        SafetyMonitor {
+            config,
+            interventions: 0,
+            latched: false,
+        }
     }
 
     /// The configuration.
@@ -80,11 +88,15 @@ impl SafetyMonitor {
             return MonitorDecision::Pass;
         };
         let closing = radar.closing_speed_mps;
-        let ttc = if closing > 1e-6 { radar.gap_m / closing } else { f64::INFINITY };
+        let ttc = if closing > 1e-6 {
+            radar.gap_m / closing
+        } else {
+            f64::INFINITY
+        };
         let hazard = ttc < self.config.ttc_threshold_s || radar.gap_m < self.config.min_gap_m;
         // Release criterion (with margin) for a latched monitor.
-        let clear = ttc > self.config.ttc_threshold_s * 1.5
-            && radar.gap_m > self.config.min_gap_m * 1.5;
+        let clear =
+            ttc > self.config.ttc_threshold_s * 1.5 && radar.gap_m > self.config.min_gap_m * 1.5;
         if hazard || (self.latched && !clear) {
             self.latched = true;
             self.interventions += 1;
@@ -101,7 +113,10 @@ mod tests {
     use super::*;
 
     fn radar(gap: f64, closing: f64) -> RadarReading {
-        RadarReading { gap_m: gap, closing_speed_mps: closing }
+        RadarReading {
+            gap_m: gap,
+            closing_speed_mps: closing,
+        }
     }
 
     #[test]
@@ -117,14 +132,20 @@ mod tests {
     fn brakes_on_low_ttc() {
         let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
         // 5 m gap closing at 4 m/s => TTC 1.25 s < 2.5 s.
-        assert_eq!(m.check(Some(&radar(5.0, 4.0))), MonitorDecision::EmergencyBrake(-8.0));
+        assert_eq!(
+            m.check(Some(&radar(5.0, 4.0))),
+            MonitorDecision::EmergencyBrake(-8.0)
+        );
         assert_eq!(m.interventions(), 1);
     }
 
     #[test]
     fn brakes_on_tiny_gap_even_without_closing() {
         let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
-        assert_eq!(m.check(Some(&radar(1.0, -0.5))), MonitorDecision::EmergencyBrake(-8.0));
+        assert_eq!(
+            m.check(Some(&radar(1.0, -0.5))),
+            MonitorDecision::EmergencyBrake(-8.0)
+        );
     }
 
     #[test]
@@ -137,10 +158,16 @@ mod tests {
     #[test]
     fn latched_until_clear_with_margin() {
         let mut m = SafetyMonitor::new(SafetyMonitorConfig::default());
-        assert!(matches!(m.check(Some(&radar(5.0, 4.0))), MonitorDecision::EmergencyBrake(_)));
+        assert!(matches!(
+            m.check(Some(&radar(5.0, 4.0))),
+            MonitorDecision::EmergencyBrake(_)
+        ));
         // Hazard nominally over (TTC = 3 s > 2.5) but not by the 1.5x
         // margin: stay latched.
-        assert!(matches!(m.check(Some(&radar(6.0, 2.0))), MonitorDecision::EmergencyBrake(_)));
+        assert!(matches!(
+            m.check(Some(&radar(6.0, 2.0))),
+            MonitorDecision::EmergencyBrake(_)
+        ));
         // Fully clear: release.
         assert_eq!(m.check(Some(&radar(10.0, 0.1))), MonitorDecision::Pass);
         // Interventions counted both latched steps.
@@ -157,9 +184,15 @@ mod tests {
 
     #[test]
     fn custom_brake_strength() {
-        let cfg = SafetyMonitorConfig { brake_mps2: 6.0, ..SafetyMonitorConfig::default() };
+        let cfg = SafetyMonitorConfig {
+            brake_mps2: 6.0,
+            ..SafetyMonitorConfig::default()
+        };
         let mut m = SafetyMonitor::new(cfg);
-        assert_eq!(m.check(Some(&radar(1.0, 5.0))), MonitorDecision::EmergencyBrake(-6.0));
+        assert_eq!(
+            m.check(Some(&radar(1.0, 5.0))),
+            MonitorDecision::EmergencyBrake(-6.0)
+        );
         assert_eq!(m.config().brake_mps2, 6.0);
     }
 }

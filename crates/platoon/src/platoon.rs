@@ -111,7 +111,10 @@ impl PlatoonSpec {
             return Err(format!("spacing must be positive, got {}", self.spacing_m));
         }
         if self.initial_speed_mps < 0.0 {
-            return Err(format!("initial speed cannot be negative, got {}", self.initial_speed_mps));
+            return Err(format!(
+                "initial speed cannot be negative, got {}",
+                self.initial_speed_mps
+            ));
         }
         Ok(())
     }
@@ -179,7 +182,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must not be empty")]
     fn leader_of_empty_panics() {
-        let p = PlatoonSpec { members: vec![], ..PlatoonSpec::paper_default() };
+        let p = PlatoonSpec {
+            members: vec![],
+            ..PlatoonSpec::paper_default()
+        };
         p.leader();
     }
 }

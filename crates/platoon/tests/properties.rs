@@ -23,8 +23,14 @@ fn arb_input() -> impl Strategy<Value = ControllerInput> {
         -9.0f64..2.5,   // leader accel
     )
         .prop_map(|(v, a, gap, closing, pv, pa, lv, la)| ControllerInput {
-            ego: EgoState { speed_mps: v, accel_mps2: a },
-            radar: RadarReading { gap_m: gap, closing_speed_mps: closing },
+            ego: EgoState {
+                speed_mps: v,
+                accel_mps2: a,
+            },
+            radar: RadarReading {
+                gap_m: gap,
+                closing_speed_mps: closing,
+            },
             radio: RadioData {
                 pred_speed_mps: pv,
                 pred_accel_mps2: pa,

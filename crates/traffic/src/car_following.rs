@@ -41,6 +41,16 @@ pub trait CarFollowingModel: std::fmt::Debug + Send + Sync {
 
     /// Model name for logs and reports.
     fn name(&self) -> &'static str;
+
+    /// Clones the model into a new box (needed to snapshot a running
+    /// simulation that owns its model as a trait object).
+    fn clone_box(&self) -> Box<dyn CarFollowingModel>;
+}
+
+impl Clone for Box<dyn CarFollowingModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// SUMO's Krauss model (Krauß 1998): drive as fast as allowed while always
@@ -55,7 +65,10 @@ pub struct Krauss {
 
 impl Default for Krauss {
     fn default() -> Self {
-        Krauss { reaction_time_s: 1.0, sigma: 0.0 }
+        Krauss {
+            reaction_time_s: 1.0,
+            sigma: 0.0,
+        }
     }
 }
 
@@ -89,6 +102,10 @@ impl CarFollowingModel for Krauss {
     fn name(&self) -> &'static str {
         "Krauss"
     }
+
+    fn clone_box(&self) -> Box<dyn CarFollowingModel> {
+        Box::new(self.clone())
+    }
 }
 
 /// Intelligent Driver Model (Treiber et al. 2000).
@@ -104,7 +121,11 @@ pub struct Idm {
 
 impl Default for Idm {
     fn default() -> Self {
-        Idm { min_gap_m: 2.0, time_headway_s: 1.2, delta: 4.0 }
+        Idm {
+            min_gap_m: 2.0,
+            time_headway_s: 1.2,
+            delta: 4.0,
+        }
     }
 }
 
@@ -131,6 +152,10 @@ impl CarFollowingModel for Idm {
     fn name(&self) -> &'static str {
         "IDM"
     }
+
+    fn clone_box(&self) -> Box<dyn CarFollowingModel> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -154,14 +179,20 @@ mod tests {
     fn krauss_accelerates_on_free_road() {
         let k = Krauss::default();
         let a = k.accel(&free_input(10.0));
-        assert!((a - 2.0).abs() < 1e-9, "should accelerate at full ability, got {a}");
+        assert!(
+            (a - 2.0).abs() < 1e-9,
+            "should accelerate at full ability, got {a}"
+        );
     }
 
     #[test]
     fn krauss_respects_speed_limit() {
         let k = Krauss::default();
         let a = k.accel(&free_input(30.0));
-        assert!(a.abs() < 1e-9, "at the limit, no further acceleration, got {a}");
+        assert!(
+            a.abs() < 1e-9,
+            "at the limit, no further acceleration, got {a}"
+        );
     }
 
     #[test]
@@ -201,7 +232,10 @@ mod tests {
 
     #[test]
     fn krauss_sigma_dawdles() {
-        let k = Krauss { sigma: 1.0, ..Krauss::default() };
+        let k = Krauss {
+            sigma: 1.0,
+            ..Krauss::default()
+        };
         let mut input = free_input(10.0);
         input.noise = 1.0;
         let a_noisy = k.accel(&input);
@@ -247,7 +281,10 @@ mod tests {
         let idm = Idm::default();
         let mut v: f64 = 0.0;
         for _ in 0..2000 {
-            let a = idm.accel(&CfInput { speed_mps: v, ..free_input(v) });
+            let a = idm.accel(&CfInput {
+                speed_mps: v,
+                ..free_input(v)
+            });
             v = (v + a * 0.1).max(0.0);
         }
         assert!((v - 30.0).abs() < 0.5, "IDM equilibrium speed {v}");

@@ -55,14 +55,18 @@ pub enum CollisionPolicy {
 /// subsequent steps for `RemoveCollider`/`StopBoth`.
 pub fn detect_collisions(time: SimTime, vehicles: &[Vehicle]) -> Vec<Collision> {
     // Sort indices per lane by front position, rear to front.
-    let mut idx: Vec<usize> = (0..vehicles.len()).filter(|&i| vehicles[i].active).collect();
+    let mut idx: Vec<usize> = (0..vehicles.len())
+        .filter(|&i| vehicles[i].active)
+        .collect();
     idx.sort_by(|&a, &b| {
         let va = &vehicles[a];
         let vb = &vehicles[b];
-        va.state
-            .lane
-            .cmp(&vb.state.lane)
-            .then(va.state.pos_m.partial_cmp(&vb.state.pos_m).expect("positions are finite"))
+        va.state.lane.cmp(&vb.state.lane).then(
+            va.state
+                .pos_m
+                .partial_cmp(&vb.state.pos_m)
+                .expect("positions are finite"),
+        )
     });
     let mut out = Vec::new();
     for pair in idx.windows(2) {
@@ -140,7 +144,11 @@ mod tests {
     #[test]
     fn chain_collision_reports_each_adjacent_pair() {
         // Three vehicles all overlapping.
-        let vehicles = vec![veh(1, 100.0, 0, 10.0), veh(2, 98.0, 0, 15.0), veh(3, 96.0, 0, 20.0)];
+        let vehicles = vec![
+            veh(1, 100.0, 0, 10.0),
+            veh(2, 98.0, 0, 15.0),
+            veh(3, 96.0, 0, 20.0),
+        ];
         let cs = detect_collisions(SimTime::ZERO, &vehicles);
         assert_eq!(cs.len(), 2);
         assert_eq!(cs[0].collider, VehicleId(3));

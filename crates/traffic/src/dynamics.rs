@@ -53,7 +53,13 @@ pub fn apply_actuation_lag(spec: &VehicleSpec, current: f64, commanded: f64, dt_
 /// # Panics
 ///
 /// Panics if `dt_s <= 0`.
-pub fn integrate(spec: &VehicleSpec, speed: f64, accel: f64, commanded: f64, dt_s: f64) -> StepOutcome {
+pub fn integrate(
+    spec: &VehicleSpec,
+    speed: f64,
+    accel: f64,
+    commanded: f64,
+    dt_s: f64,
+) -> StepOutcome {
     assert!(dt_s > 0.0, "step size must be positive");
     let cmd = clamp_command(spec, commanded);
     let mut a = apply_actuation_lag(spec, accel, cmd, dt_s);
@@ -64,7 +70,11 @@ pub fn integrate(spec: &VehicleSpec, speed: f64, accel: f64, commanded: f64, dt_
     // actually realised, not the commanded one.
     let realised = (new_speed - speed) / dt_s;
     let distance = (speed + new_speed) / 2.0 * dt_s;
-    StepOutcome { accel_mps2: realised, speed_mps: new_speed, distance_m: distance }
+    StepOutcome {
+        accel_mps2: realised,
+        speed_mps: new_speed,
+        distance_m: distance,
+    }
 }
 
 /// Integrates a [`Vehicle`] in place over `dt_s` seconds using its current
@@ -90,7 +100,10 @@ mod tests {
     use crate::vehicle::VehicleId;
 
     fn lagless_spec() -> VehicleSpec {
-        VehicleSpec { actuation_lag_s: 0.0, ..VehicleSpec::paper_platooning_car() }
+        VehicleSpec {
+            actuation_lag_s: 0.0,
+            ..VehicleSpec::paper_platooning_car()
+        }
     }
 
     #[test]

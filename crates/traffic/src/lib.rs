@@ -51,8 +51,8 @@ pub mod collision;
 pub mod dynamics;
 pub mod network;
 pub mod simulation;
-pub mod traci;
 pub mod trace;
+pub mod traci;
 pub mod vehicle;
 
 pub use collision::{Collision, CollisionPolicy};

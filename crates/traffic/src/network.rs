@@ -53,7 +53,13 @@ impl Road {
         Road {
             id: id.into(),
             length_m,
-            lanes: vec![Lane { width_m, speed_limit_mps }; nr_lanes as usize],
+            lanes: vec![
+                Lane {
+                    width_m,
+                    speed_limit_mps
+                };
+                nr_lanes as usize
+            ],
         }
     }
 
@@ -79,7 +85,9 @@ impl Road {
     ///
     /// Panics if the lane index is out of range.
     pub fn speed_limit(&self, idx: LaneIndex) -> f64 {
-        self.lane(idx).expect("lane index out of range").speed_limit_mps
+        self.lane(idx)
+            .expect("lane index out of range")
+            .speed_limit_mps
     }
 
     /// `true` if `pos` lies on the road.

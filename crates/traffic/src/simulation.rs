@@ -48,7 +48,11 @@ impl fmt::Display for TrafficError {
 impl std::error::Error for TrafficError {}
 
 /// A microscopic traffic simulation on one road.
-#[derive(Debug)]
+///
+/// `TrafficSim` is `Clone`: a clone is a full snapshot (vehicles, RNG state,
+/// trace, collision bookkeeping), so a clone stepped forward produces exactly
+/// the same states the original would have.
+#[derive(Debug, Clone)]
 pub struct TrafficSim {
     road: Road,
     vehicles: Vec<Vehicle>,
@@ -110,6 +114,13 @@ impl TrafficSim {
         self.trace_cfg = cfg;
     }
 
+    /// Pre-sizes per-vehicle trace buffers for runs of known length
+    /// (`samples` ≈ planned steps / `sample_every`), avoiding repeated
+    /// reallocation in the per-step logging hot path.
+    pub fn reserve_trace_capacity(&mut self, samples: usize) {
+        self.trace.set_capacity_hint(samples);
+    }
+
     /// The road being simulated.
     pub fn road(&self) -> &Road {
         &self.road
@@ -147,7 +158,10 @@ impl TrafficSim {
         if !self.road.contains(vehicle.state.pos_m) {
             return Err(TrafficError::OffRoad {
                 vehicle: vehicle.id,
-                reason: format!("position {} outside [0, {}]", vehicle.state.pos_m, self.road.length_m),
+                reason: format!(
+                    "position {} outside [0, {}]",
+                    vehicle.state.pos_m, self.road.length_m
+                ),
             });
         }
         self.vehicles.push(vehicle);
@@ -175,7 +189,9 @@ impl TrafficSim {
     ///
     /// Fails if the vehicle does not exist.
     pub fn set_external_control(&mut self, id: VehicleId) -> Result<(), TrafficError> {
-        self.vehicle_mut(id).ok_or(TrafficError::UnknownVehicle(id))?.set_external_control();
+        self.vehicle_mut(id)
+            .ok_or(TrafficError::UnknownVehicle(id))?
+            .set_external_control();
         Ok(())
     }
 
@@ -185,7 +201,9 @@ impl TrafficSim {
     ///
     /// Fails if the vehicle does not exist.
     pub fn command_accel(&mut self, id: VehicleId, accel_mps2: f64) -> Result<(), TrafficError> {
-        self.vehicle_mut(id).ok_or(TrafficError::UnknownVehicle(id))?.command_accel(accel_mps2);
+        self.vehicle_mut(id)
+            .ok_or(TrafficError::UnknownVehicle(id))?
+            .command_accel(accel_mps2);
         Ok(())
     }
 
@@ -231,7 +249,10 @@ impl TrafficSim {
                 speed_mps: v.state.speed_mps,
                 gap_m: leader.as_ref().map(|(_, g)| *g),
                 leader_speed_mps: leader.as_ref().map_or(0.0, |(l, _)| l.state.speed_mps),
-                speed_limit_mps: self.road.speed_limit(v.state.lane).min(v.spec.max_speed_mps),
+                speed_limit_mps: self
+                    .road
+                    .speed_limit(v.state.lane)
+                    .min(v.spec.max_speed_mps),
                 max_accel_mps2: v.spec.max_accel_mps2,
                 service_decel_mps2: v.spec.max_decel_mps2.min(4.5),
                 dt_s: self.step_len_s,
@@ -255,8 +276,7 @@ impl TrafficSim {
         collisions.retain(|c| {
             // Unordered pair: with `RegisterOnly` a vehicle may pass through
             // another, which must not count as a second incident.
-            let pair =
-                (c.collider.min(c.victim), c.collider.max(c.victim));
+            let pair = (c.collider.min(c.victim), c.collider.max(c.victim));
             if self.reported_pairs.contains(&pair) {
                 false
             } else {
@@ -286,7 +306,10 @@ impl TrafficSim {
         self.trace.record_collisions(&collisions);
 
         // Phase 4: trajectory log.
-        if self.steps.is_multiple_of(u64::from(self.trace_cfg.sample_every)) {
+        if self
+            .steps
+            .is_multiple_of(u64::from(self.trace_cfg.sample_every))
+        {
             self.trace.record_step(self.time, &self.vehicles);
         }
         collisions
@@ -323,7 +346,13 @@ mod tests {
     }
 
     fn car(id: u32, pos: f64, speed: f64) -> Vehicle {
-        Vehicle::new(VehicleId(id), VehicleSpec::default_car(), pos, LaneIndex(0), speed)
+        Vehicle::new(
+            VehicleId(id),
+            VehicleSpec::default_car(),
+            pos,
+            LaneIndex(0),
+            speed,
+        )
     }
 
     #[test]
@@ -358,7 +387,10 @@ mod tests {
         ));
         let mut v = car(2, 100.0, 20.0);
         v.state.lane = LaneIndex(9);
-        assert!(matches!(s.add_vehicle(v), Err(TrafficError::OffRoad { .. })));
+        assert!(matches!(
+            s.add_vehicle(v),
+            Err(TrafficError::OffRoad { .. })
+        ));
     }
 
     #[test]
@@ -385,7 +417,11 @@ mod tests {
         s.add_vehicle(car(1, 0.0, 0.0)).unwrap();
         s.run_steps(6000); // 60 s
         let v = s.vehicle(VehicleId(1)).unwrap();
-        assert!((v.state.speed_mps - v.spec.max_speed_mps).abs() < 0.1, "speed {}", v.state.speed_mps);
+        assert!(
+            (v.state.speed_mps - v.spec.max_speed_mps).abs() < 0.1,
+            "speed {}",
+            v.state.speed_mps
+        );
     }
 
     #[test]
@@ -407,7 +443,11 @@ mod tests {
         s.command_accel(VehicleId(1), -4.0).unwrap();
         s.run_steps(100); // 1 s at -4 m/s^2
         let v = s.vehicle(VehicleId(1)).unwrap();
-        assert!((v.state.speed_mps - 16.0).abs() < 0.01, "speed {}", v.state.speed_mps);
+        assert!(
+            (v.state.speed_mps - 16.0).abs() < 0.01,
+            "speed {}",
+            v.state.speed_mps
+        );
     }
 
     #[test]
@@ -476,7 +516,10 @@ mod tests {
     fn deterministic_given_equal_seeds() {
         let run = |seed: u64| {
             let mut s = TrafficSim::new(Road::paper_highway(), RngStream::new(seed));
-            s.set_car_following_model(Box::new(Krauss { sigma: 0.5, ..Krauss::default() }));
+            s.set_car_following_model(Box::new(Krauss {
+                sigma: 0.5,
+                ..Krauss::default()
+            }));
             s.add_vehicle(car(1, 200.0, 20.0)).unwrap();
             s.add_vehicle(car(2, 150.0, 25.0)).unwrap();
             s.run_steps(2000);

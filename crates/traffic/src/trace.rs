@@ -26,9 +26,22 @@ pub struct VehicleTrace {
 }
 
 impl VehicleTrace {
+    /// Creates an empty trace with room for `samples` samples per series.
+    pub fn with_capacity(samples: usize) -> Self {
+        VehicleTrace {
+            speed: TimeSeries::with_capacity(samples),
+            accel: TimeSeries::with_capacity(samples),
+            pos: TimeSeries::with_capacity(samples),
+        }
+    }
+
     /// Largest deceleration magnitude observed, m/s² (0 if never braked).
     pub fn max_decel(&self) -> f64 {
-        self.accel.values().iter().copied().fold(0.0, |m, a| if -a > m { -a } else { m })
+        self.accel
+            .values()
+            .iter()
+            .copied()
+            .fold(0.0, |m, a| if -a > m { -a } else { m })
     }
 
     /// Largest acceleration observed, m/s² (0 if never accelerated).
@@ -71,6 +84,18 @@ pub struct TrafficTrace {
     per_vehicle: BTreeMap<VehicleId, VehicleTrace>,
     /// All collision incidents, in time order.
     pub collisions: Vec<Collision>,
+    /// Expected samples per vehicle; new per-vehicle buffers are created with
+    /// this capacity. Purely a performance hint, so not part of the log.
+    #[serde(skip)]
+    capacity_hint: usize,
+}
+
+// Manual equality: the capacity hint is an allocation detail, so a trace
+// recorded with pre-sized buffers equals the same trace recorded without.
+impl PartialEq for TrafficTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.per_vehicle == other.per_vehicle && self.collisions == other.collisions
+    }
 }
 
 impl TrafficTrace {
@@ -79,10 +104,20 @@ impl TrafficTrace {
         Self::default()
     }
 
+    /// Sets the expected number of samples per vehicle so trace buffers are
+    /// allocated once up front instead of growing step by step.
+    pub fn set_capacity_hint(&mut self, samples: usize) {
+        self.capacity_hint = samples;
+    }
+
     /// Records the current state of every active vehicle.
     pub fn record_step(&mut self, time: SimTime, vehicles: &[Vehicle]) {
+        let hint = self.capacity_hint;
         for v in vehicles.iter().filter(|v| v.active) {
-            let tr = self.per_vehicle.entry(v.id).or_default();
+            let tr = self
+                .per_vehicle
+                .entry(v.id)
+                .or_insert_with(|| VehicleTrace::with_capacity(hint));
             tr.speed.record(time, v.state.speed_mps);
             tr.accel.record(time, v.state.accel_mps2);
             tr.pos.record(time, v.state.pos_m);
@@ -111,7 +146,10 @@ impl TrafficTrace {
 
     /// Largest deceleration across all vehicles, m/s².
     pub fn max_decel_overall(&self) -> f64 {
-        self.per_vehicle.values().map(VehicleTrace::max_decel).fold(0.0, f64::max)
+        self.per_vehicle
+            .values()
+            .map(VehicleTrace::max_decel)
+            .fold(0.0, f64::max)
     }
 
     /// First collision incident, if any.
@@ -181,7 +219,10 @@ mod tests {
             let speed = if i == 5 { 17.5 } else { 20.0 };
             b.record_step(SimTime::from_secs(i), &[veh(1, 0.0, speed, 0.0)]);
         }
-        let dev = a.vehicle(VehicleId(1)).unwrap().max_speed_deviation(b.vehicle(VehicleId(1)).unwrap());
+        let dev = a
+            .vehicle(VehicleId(1))
+            .unwrap()
+            .max_speed_deviation(b.vehicle(VehicleId(1)).unwrap());
         assert!((dev - 2.5).abs() < 1e-12);
     }
 

@@ -74,7 +74,13 @@ pub fn execute(sim: &mut TrafficSim, cmd: TraciCommand) -> Result<TraciResponse,
             sim.step();
             Ok(TraciResponse::Ok)
         }
-        TraciCommand::AddVehicle { id, spec, pos_m, lane, speed_mps } => {
+        TraciCommand::AddVehicle {
+            id,
+            spec,
+            pos_m,
+            lane,
+            speed_mps,
+        } => {
             sim.add_vehicle(Vehicle::new(id, spec, pos_m, lane, speed_mps))?;
             Ok(TraciResponse::Ok)
         }

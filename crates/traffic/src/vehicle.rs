@@ -70,19 +70,34 @@ impl VehicleSpec {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.length_m <= 0.0 {
-            return Err(format!("vehicle length must be positive, got {}", self.length_m));
+            return Err(format!(
+                "vehicle length must be positive, got {}",
+                self.length_m
+            ));
         }
         if self.max_speed_mps <= 0.0 {
-            return Err(format!("max speed must be positive, got {}", self.max_speed_mps));
+            return Err(format!(
+                "max speed must be positive, got {}",
+                self.max_speed_mps
+            ));
         }
         if self.max_accel_mps2 <= 0.0 {
-            return Err(format!("max accel must be positive, got {}", self.max_accel_mps2));
+            return Err(format!(
+                "max accel must be positive, got {}",
+                self.max_accel_mps2
+            ));
         }
         if self.max_decel_mps2 <= 0.0 {
-            return Err(format!("max decel must be positive, got {}", self.max_decel_mps2));
+            return Err(format!(
+                "max decel must be positive, got {}",
+                self.max_decel_mps2
+            ));
         }
         if self.actuation_lag_s < 0.0 {
-            return Err(format!("actuation lag cannot be negative, got {}", self.actuation_lag_s));
+            return Err(format!(
+                "actuation lag cannot be negative, got {}",
+                self.actuation_lag_s
+            ));
         }
         Ok(())
     }
@@ -151,7 +166,12 @@ impl Vehicle {
         Vehicle {
             id,
             spec,
-            state: VehicleState { pos_m, speed_mps, accel_mps2: 0.0, lane },
+            state: VehicleState {
+                pos_m,
+                speed_mps,
+                accel_mps2: 0.0,
+                lane,
+            },
             control_mode: ControlMode::CarFollowing,
             commanded_accel_mps2: 0.0,
             active: true,
@@ -185,7 +205,13 @@ mod tests {
     use super::*;
 
     fn veh(id: u32, pos: f64) -> Vehicle {
-        Vehicle::new(VehicleId(id), VehicleSpec::paper_platooning_car(), pos, LaneIndex(0), 20.0)
+        Vehicle::new(
+            VehicleId(id),
+            VehicleSpec::paper_platooning_car(),
+            pos,
+            LaneIndex(0),
+            20.0,
+        )
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! can account for interference, and answers carrier-sense queries for the
 //! MAC.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -49,7 +49,7 @@ pub enum LinkFate {
 
 /// Per-link hook consulted for every transmission — ComFASE's
 /// `CommModelEditor` attaches attack models here.
-pub trait ChannelInterceptor: std::fmt::Debug + Send {
+pub trait ChannelInterceptor: std::fmt::Debug + Send + Sync {
     /// Decides the fate of the frame on the `tx -> rx` link.
     fn intercept(
         &mut self,
@@ -126,23 +126,59 @@ struct Ongoing {
 }
 
 /// The shared analogue medium.
+///
+/// Node positions and ongoing receptions are kept in `BTreeMap`s so the
+/// transmission fan-out order depends only on node ids — never on hash
+/// state — which keeps runs bit-reproducible across instances (a forked
+/// snapshot and a from-scratch run fan out identically).
 #[derive(Debug)]
 pub struct Medium {
     pathloss: Box<dyn PathLossModel>,
     freq_hz: f64,
     phy: PhyConfig,
-    positions: HashMap<NodeId, Position>,
-    ongoing: HashMap<NodeId, Vec<Ongoing>>,
+    positions: BTreeMap<NodeId, Position>,
+    ongoing: BTreeMap<NodeId, Vec<Ongoing>>,
     interceptor: Option<Box<dyn ChannelInterceptor>>,
     next_frame_id: u64,
     stats: ChannelStats,
+}
+
+impl Clone for Medium {
+    /// Snapshots the medium state for forked execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interceptor is installed: interceptors are stateful
+    /// trait objects installed only for the attack window, and snapshots are
+    /// taken at attack-free points (before `attackStartTime`).
+    fn clone(&self) -> Self {
+        assert!(
+            self.interceptor.is_none(),
+            "cannot snapshot a Medium with an installed interceptor; \
+             fork before installing the attack"
+        );
+        Medium {
+            pathloss: self.pathloss.clone(),
+            freq_hz: self.freq_hz,
+            phy: self.phy,
+            positions: self.positions.clone(),
+            ongoing: self.ongoing.clone(),
+            interceptor: None,
+            next_frame_id: self.next_frame_id,
+            stats: self.stats,
+        }
+    }
 }
 
 impl Medium {
     /// Creates a medium on the WAVE control channel with free-space path
     /// loss and Veins-default PHY parameters.
     pub fn new() -> Self {
-        Medium::with_models(Box::new(FreeSpace::default()), CCH_FREQ_HZ, PhyConfig::default())
+        Medium::with_models(
+            Box::new(FreeSpace::default()),
+            CCH_FREQ_HZ,
+            PhyConfig::default(),
+        )
     }
 
     /// Creates a medium with explicit models — the paper's `wirelessModel`
@@ -152,8 +188,8 @@ impl Medium {
             pathloss,
             freq_hz,
             phy,
-            positions: HashMap::new(),
-            ongoing: HashMap::new(),
+            positions: BTreeMap::new(),
+            ongoing: BTreeMap::new(),
             interceptor: None,
             next_frame_id: 0,
             stats: ChannelStats::default(),
@@ -214,7 +250,9 @@ impl Medium {
     pub fn default_propagation_delay(&self, tx: NodeId, rx: NodeId) -> Option<SimDuration> {
         let a = self.positions.get(&tx)?;
         let b = self.positions.get(&rx)?;
-        Some(SimDuration::from_secs_f64(a.distance_to(b) / SPEED_OF_LIGHT_MPS))
+        Some(SimDuration::from_secs_f64(
+            a.distance_to(b) / SPEED_OF_LIGHT_MPS,
+        ))
     }
 
     /// Starts a transmission at `now`. Returns the planned fan-out; the
@@ -225,7 +263,10 @@ impl Medium {
     ///
     /// Panics if the sender has no registered position.
     pub fn transmit(&mut self, tx: NodeId, wsm: Wsm, now: SimTime) -> TransmitOutcome {
-        let tx_pos = *self.positions.get(&tx).expect("transmitter must be registered");
+        let tx_pos = *self
+            .positions
+            .get(&tx)
+            .expect("transmitter must be registered");
         let frame_id = self.next_frame_id;
         self.next_frame_id += 1;
         self.stats.transmissions += 1;
@@ -238,7 +279,9 @@ impl Medium {
             .map(|(id, p)| (*id, *p))
             .collect();
         for (rx, rx_pos) in rx_nodes {
-            let power = self.pathloss.received_power(self.phy.tx_power, self.freq_hz, &tx_pos, &rx_pos);
+            let power =
+                self.pathloss
+                    .received_power(self.phy.tx_power, self.freq_hz, &tx_pos, &rx_pos);
             // Frames an order of magnitude below the noise floor can neither
             // be decoded nor meaningfully interfere; skip them.
             if power.to_dbm().0 < self.phy.noise_floor.0 - 10.0 {
@@ -248,7 +291,9 @@ impl Medium {
                 SimDuration::from_secs_f64(tx_pos.distance_to(&rx_pos) / SPEED_OF_LIGHT_MPS);
             let fate = match self.interceptor.as_mut() {
                 Some(i) => i.intercept(tx, rx, now, default_delay, &wsm),
-                None => LinkFate::Deliver { delay: default_delay },
+                None => LinkFate::Deliver {
+                    delay: default_delay,
+                },
             };
             let (delay, wsm_out) = match fate {
                 LinkFate::Deliver { delay } => {
@@ -257,7 +302,10 @@ impl Medium {
                     }
                     (delay, wsm.clone())
                 }
-                LinkFate::DeliverModified { delay, wsm: modified } => {
+                LinkFate::DeliverModified {
+                    delay,
+                    wsm: modified,
+                } => {
                     if delay != default_delay {
                         self.stats.links_delay_modified += 1;
                     }
@@ -281,7 +329,11 @@ impl Medium {
                 above_cs: power.to_dbm().0 >= self.phy.cs_threshold.0,
             });
         }
-        TransmitOutcome { frame_id, duration, receptions }
+        TransmitOutcome {
+            frame_id,
+            duration,
+            receptions,
+        }
     }
 
     /// Registers a reception as ongoing (call at its start time) so it is
@@ -304,7 +356,11 @@ impl Medium {
             .iter()
             .filter(|o| o.frame_id != planned.frame_id)
             .filter(|o| o.start < planned.end && o.end > planned.start)
-            .map(|o| Interferer { power: o.power, start: o.start, end: o.end })
+            .map(|o| Interferer {
+                power: o.power,
+                start: o.start,
+                end: o.end,
+            })
             .collect();
         // Prune receptions strictly in the past. The just-finished frame
         // (and any frame ending at exactly `now`) stays one round longer so
@@ -314,7 +370,13 @@ impl Medium {
             own.finished = true;
         }
         list.retain(|o| o.end >= now);
-        let result = decide(&self.phy, planned.power, planned.start, planned.end, &interferers);
+        let result = decide(
+            &self.phy,
+            planned.power,
+            planned.start,
+            planned.end,
+            &interferers,
+        );
         match result {
             DeciderResult::Received { .. } => self.stats.received += 1,
             DeciderResult::Lost(LossReason::BelowSensitivity) => self.stats.lost_sensitivity += 1,
@@ -395,7 +457,10 @@ mod tests {
     fn far_node_gets_nothing() {
         let mut m = medium_with_two_nodes(100_000.0);
         let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
-        assert!(out.receptions.is_empty(), "100 km is far below the noise floor");
+        assert!(
+            out.receptions.is_empty(),
+            "100 km is far below the noise floor"
+        );
     }
 
     #[test]
@@ -419,8 +484,14 @@ mod tests {
         let r3 = out3.receptions.iter().find(|r| r.rx == NodeId(2)).unwrap();
         m.reception_started(r1);
         m.reception_started(r3);
-        assert_eq!(m.reception_finished(r1), DeciderResult::Lost(LossReason::Snir));
-        assert_eq!(m.reception_finished(r3), DeciderResult::Lost(LossReason::Snir));
+        assert_eq!(
+            m.reception_finished(r1),
+            DeciderResult::Lost(LossReason::Snir)
+        );
+        assert_eq!(
+            m.reception_finished(r3),
+            DeciderResult::Lost(LossReason::Snir)
+        );
         assert_eq!(m.stats().lost_snir, 2);
     }
 
@@ -433,9 +504,15 @@ mod tests {
         let mid = r.start + (r.end - r.start) / 2;
         assert!(m.is_busy(NodeId(2), mid));
         assert!(!m.is_busy(NodeId(2), r.end + SimDuration::from_micros(1)));
-        assert!(!m.is_busy(NodeId(1), mid), "sender's own medium state is tracked by its MAC");
+        assert!(
+            !m.is_busy(NodeId(1), mid),
+            "sender's own medium state is tracked by its MAC"
+        );
         m.reception_finished(r);
-        assert!(!m.is_busy(NodeId(2), mid), "finished receptions don't keep the medium busy");
+        assert!(
+            !m.is_busy(NodeId(2), mid),
+            "finished receptions don't keep the medium busy"
+        );
     }
 
     #[derive(Debug)]
@@ -506,7 +583,10 @@ mod tests {
         ) -> LinkFate {
             let mut modified = wsm.clone();
             modified.payload = Bytes::from_static(b"lies");
-            LinkFate::DeliverModified { delay: default, wsm: modified }
+            LinkFate::DeliverModified {
+                delay: default,
+                wsm: modified,
+            }
         }
     }
 

@@ -131,7 +131,13 @@ mod tests {
             start: t(0),
             end: t(1),
         };
-        let r = decide(&cfg(), Dbm(-70.0).to_milliwatts(), t(0), t(1), &[interferer]);
+        let r = decide(
+            &cfg(),
+            Dbm(-70.0).to_milliwatts(),
+            t(0),
+            t(1),
+            &[interferer],
+        );
         assert_eq!(r, DeciderResult::Lost(LossReason::Snir));
     }
 
@@ -142,7 +148,13 @@ mod tests {
             start: t(2),
             end: t(3),
         };
-        let r = decide(&cfg(), Dbm(-70.0).to_milliwatts(), t(0), t(1), &[interferer]);
+        let r = decide(
+            &cfg(),
+            Dbm(-70.0).to_milliwatts(),
+            t(0),
+            t(1),
+            &[interferer],
+        );
         assert!(r.is_received());
     }
 
@@ -171,7 +183,13 @@ mod tests {
             start: t(0),
             end: t(1),
         };
-        let r = decide(&cfg(), Dbm(-70.0).to_milliwatts(), t(0), t(1), &[interferer]);
+        let r = decide(
+            &cfg(),
+            Dbm(-70.0).to_milliwatts(),
+            t(0),
+            t(1),
+            &[interferer],
+        );
         assert!(r.is_received());
     }
 
@@ -181,8 +199,18 @@ mod tests {
         // Signal -80 dBm; threshold for QPSK12 is 6 dB -> interference+noise
         // budget is -86 dBm. Each interferer at -88 dBm: alone SNIR ~7.9 dB
         // (ok), both sum to -84.9 dBm -> SNIR ~4.9 dB (lost).
-        let mk = |s, e| Interferer { power: Dbm(-88.0).to_milliwatts(), start: s, end: e };
-        let one = decide(&cfg(), Dbm(-80.0).to_milliwatts(), t(0), t(1), &[mk(t(0), t(1))]);
+        let mk = |s, e| Interferer {
+            power: Dbm(-88.0).to_milliwatts(),
+            start: s,
+            end: e,
+        };
+        let one = decide(
+            &cfg(),
+            Dbm(-80.0).to_milliwatts(),
+            t(0),
+            t(1),
+            &[mk(t(0), t(1))],
+        );
         assert!(one.is_received());
         let both = decide(
             &cfg(),
@@ -202,7 +230,13 @@ mod tests {
             start: SimTime::from_micros(400),
             end: SimTime::from_micros(600),
         };
-        let r = decide(&cfg(), Dbm(-70.0).to_milliwatts(), t(0), SimTime::from_micros(1000), &[interferer]);
+        let r = decide(
+            &cfg(),
+            Dbm(-70.0).to_milliwatts(),
+            t(0),
+            SimTime::from_micros(1000),
+            &[interferer],
+        );
         assert_eq!(r, DeciderResult::Lost(LossReason::Snir));
     }
 }

@@ -101,10 +101,19 @@ impl Wsm {
         };
         let len = buf.get_u32() as usize;
         if buf.remaining() < len {
-            return Err(format!("payload truncated: want {len}, have {}", buf.remaining()));
+            return Err(format!(
+                "payload truncated: want {len}, have {}",
+                buf.remaining()
+            ));
         }
         let payload = buf.copy_to_bytes(len);
-        Ok(Wsm { source, sequence, created, channel, payload })
+        Ok(Wsm {
+            source,
+            sequence,
+            created,
+            channel,
+            payload,
+        })
     }
 }
 
@@ -177,7 +186,9 @@ mod tests {
         let m = wsm(b"");
         let mut raw = BytesMut::from(&m.encode()[..]);
         raw[16] = 9; // channel tag offset: 4 + 4 + 8
-        assert!(Wsm::decode(raw.freeze()).unwrap_err().contains("invalid channel"));
+        assert!(Wsm::decode(raw.freeze())
+            .unwrap_err()
+            .contains("invalid channel"));
     }
 
     #[test]

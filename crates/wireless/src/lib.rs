@@ -60,6 +60,6 @@ pub mod units;
 
 pub use channel::{ChannelInterceptor, LinkFate, Medium, PlannedReception, TransmitOutcome};
 pub use frame::{AccessCategory, NodeId, WaveChannel, Wsm};
-pub use mac::{Mac, MacAction, MacConfig};
 pub use geom::Position;
+pub use mac::{Mac, MacAction, MacConfig};
 pub use phy::{Mcs, PhyConfig};

@@ -49,10 +49,26 @@ impl EdcaParams {
     /// 802.11p EDCA defaults for an access category.
     pub fn for_category(ac: AccessCategory) -> Self {
         match ac {
-            AccessCategory::Vo => EdcaParams { aifsn: 2, cw_min: 3, cw_max: 7 },
-            AccessCategory::Vi => EdcaParams { aifsn: 3, cw_min: 7, cw_max: 15 },
-            AccessCategory::Be => EdcaParams { aifsn: 6, cw_min: 15, cw_max: 1023 },
-            AccessCategory::Bk => EdcaParams { aifsn: 9, cw_min: 15, cw_max: 1023 },
+            AccessCategory::Vo => EdcaParams {
+                aifsn: 2,
+                cw_min: 3,
+                cw_max: 7,
+            },
+            AccessCategory::Vi => EdcaParams {
+                aifsn: 3,
+                cw_min: 7,
+                cw_max: 15,
+            },
+            AccessCategory::Be => EdcaParams {
+                aifsn: 6,
+                cw_min: 15,
+                cw_max: 1023,
+            },
+            AccessCategory::Bk => EdcaParams {
+                aifsn: 9,
+                cw_min: 15,
+                cw_max: 1023,
+            },
         }
     }
 }
@@ -145,7 +161,10 @@ enum State {
 }
 
 /// The EDCA MAC entity of one NIC.
-#[derive(Debug)]
+///
+/// `Mac` is `Clone`: a clone snapshots the queues, contention state, and RNG
+/// stream, so a forked run continues with the exact same backoff draws.
+#[derive(Debug, Clone)]
 pub struct Mac {
     config: MacConfig,
     queues: [VecDeque<Wsm>; 4],
@@ -170,8 +189,12 @@ fn ac_index(ac: AccessCategory) -> usize {
     }
 }
 
-const AC_ORDER: [AccessCategory; 4] =
-    [AccessCategory::Vo, AccessCategory::Vi, AccessCategory::Be, AccessCategory::Bk];
+const AC_ORDER: [AccessCategory; 4] = [
+    AccessCategory::Vo,
+    AccessCategory::Vi,
+    AccessCategory::Be,
+    AccessCategory::Bk,
+];
 
 impl Mac {
     /// Creates an idle MAC.
@@ -209,7 +232,10 @@ impl Mac {
         let q = &mut self.queues[ac_index(ac)];
         if q.len() >= self.config.queue_capacity {
             self.stats.dropped_queue_full += 1;
-            return vec![MacAction::Drop { wsm, reason: DropReason::QueueFull }];
+            return vec![MacAction::Drop {
+                wsm,
+                reason: DropReason::QueueFull,
+            }];
         }
         q.push_back(wsm);
         self.stats.enqueued += 1;
@@ -223,7 +249,9 @@ impl Mac {
     /// A timer armed via [`MacAction::SetTimer`] expired.
     pub fn handle_timer(&mut self, token: u64, now: SimTime) -> Vec<MacAction> {
         match self.state {
-            State::Contending { token: t, deadline, .. } if t == token => {
+            State::Contending {
+                token: t, deadline, ..
+            } if t == token => {
                 debug_assert!(now >= deadline);
                 self.slots_left = 0;
                 self.backoff_required = false;
@@ -236,9 +264,16 @@ impl Mac {
                         return Vec::new();
                     }
                 };
-                let wsm = self.queues[ac_index(ac)].front().expect("non-empty").clone();
+                let wsm = self.queues[ac_index(ac)]
+                    .front()
+                    .expect("non-empty")
+                    .clone();
                 let channel = wsm.channel;
-                if !self.config.schedule.can_transmit(channel, now, SimDuration::ZERO) {
+                if !self
+                    .config
+                    .schedule
+                    .can_transmit(channel, now, SimDuration::ZERO)
+                {
                     // Wrong interval or guard: defer to the next access slot.
                     self.state = State::Deferred;
                     self.stats.deferrals += 1;
@@ -260,8 +295,8 @@ impl Mac {
         if let State::Contending { aifs_end, .. } = self.state {
             // Freeze the backoff: bank the slots not yet counted down.
             if now > aifs_end {
-                let consumed = ((now - aifs_end).as_nanos()
-                    / self.config.slot.as_nanos().max(1)) as u32;
+                let consumed =
+                    ((now - aifs_end).as_nanos() / self.config.slot.as_nanos().max(1)) as u32;
                 self.slots_left = self.slots_left.saturating_sub(consumed);
             }
             self.backoff_required = true;
@@ -283,7 +318,11 @@ impl Mac {
 
     /// Our own transmission completed.
     pub fn tx_finished(&mut self, now: SimTime) -> Vec<MacAction> {
-        assert_eq!(self.state, State::Transmitting, "tx_finished outside transmission");
+        assert_eq!(
+            self.state,
+            State::Transmitting,
+            "tx_finished outside transmission"
+        );
         self.state = State::Idle;
         // Post-transmission contention always uses a fresh random backoff.
         self.backoff_required = true;
@@ -324,8 +363,16 @@ impl Mac {
         let deadline = aifs_end + self.config.slot * i64::from(self.slots_left);
         let token = self.next_token;
         self.next_token += 1;
-        self.state = State::Contending { token, started: start, aifs_end, deadline };
-        vec![MacAction::SetTimer { at: deadline, token }]
+        self.state = State::Contending {
+            token,
+            started: start,
+            aifs_end,
+            deadline,
+        };
+        vec![MacAction::SetTimer {
+            at: deadline,
+            token,
+        }]
     }
 }
 
@@ -390,7 +437,10 @@ mod tests {
         assert!(cfg.aifs(AccessCategory::Vo) < cfg.aifs(AccessCategory::Vi));
         assert!(cfg.aifs(AccessCategory::Vi) < cfg.aifs(AccessCategory::Be));
         assert!(cfg.aifs(AccessCategory::Be) < cfg.aifs(AccessCategory::Bk));
-        assert_eq!(cfg.aifs(AccessCategory::Be), SimDuration::from_micros(32 + 6 * 13));
+        assert_eq!(
+            cfg.aifs(AccessCategory::Be),
+            SimDuration::from_micros(32 + 6 * 13)
+        );
     }
 
     #[test]
@@ -432,7 +482,10 @@ mod tests {
     #[test]
     fn queue_capacity_enforced() {
         let mut m = Mac::new(
-            MacConfig { queue_capacity: 2, ..MacConfig::default() },
+            MacConfig {
+                queue_capacity: 2,
+                ..MacConfig::default()
+            },
             RngStream::new(1),
         );
         m.medium_busy(SimTime::ZERO); // keep frames queued
@@ -441,7 +494,10 @@ mod tests {
         let actions = m.enqueue(wsm(2), AccessCategory::Vo, SimTime::ZERO);
         assert!(matches!(
             actions[..],
-            [MacAction::Drop { reason: DropReason::QueueFull, .. }]
+            [MacAction::Drop {
+                reason: DropReason::QueueFull,
+                ..
+            }]
         ));
         assert_eq!(m.stats().dropped_queue_full, 1);
         assert_eq!(m.queue_len(), 2);

@@ -38,7 +38,10 @@ impl Default for ChannelSchedule {
 impl ChannelSchedule {
     /// A schedule with alternating CCH/SCH access enabled.
     pub fn alternating() -> Self {
-        ChannelSchedule { switching: true, ..ChannelSchedule::default() }
+        ChannelSchedule {
+            switching: true,
+            ..ChannelSchedule::default()
+        }
     }
 
     /// Which channel the radio listens to at `now`.

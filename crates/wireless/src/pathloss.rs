@@ -25,6 +25,18 @@ pub trait PathLossModel: std::fmt::Debug + Send + Sync {
 
     /// Model name for configuration dumps.
     fn name(&self) -> &'static str;
+
+    /// Clones the model into a new box (needed to snapshot a [`Medium`]
+    /// that owns its model as a trait object).
+    ///
+    /// [`Medium`]: crate::channel::Medium
+    fn clone_box(&self) -> Box<dyn PathLossModel>;
+}
+
+impl Clone for Box<dyn PathLossModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Free-space (Friis) path loss with configurable exponent.
@@ -62,6 +74,10 @@ impl PathLossModel for FreeSpace {
 
     fn name(&self) -> &'static str {
         "FreeSpace"
+    }
+
+    fn clone_box(&self) -> Box<dyn PathLossModel> {
+        Box::new(*self)
     }
 }
 
@@ -115,6 +131,10 @@ impl PathLossModel for TwoRayInterference {
     fn name(&self) -> &'static str {
         "TwoRayInterference"
     }
+
+    fn clone_box(&self) -> Box<dyn PathLossModel> {
+        Box::new(*self)
+    }
 }
 
 /// Free-space path loss with spatially correlated log-normal shadowing.
@@ -139,7 +159,12 @@ pub struct LogNormalShadowing {
 
 impl Default for LogNormalShadowing {
     fn default() -> Self {
-        LogNormalShadowing { alpha: 2.0, sigma_db: 4.0, correlation_m: 10.0, seed: 0x5AD0 }
+        LogNormalShadowing {
+            alpha: 2.0,
+            sigma_db: 4.0,
+            correlation_m: 10.0,
+            seed: 0x5AD0,
+        }
     }
 }
 
@@ -180,6 +205,10 @@ impl PathLossModel for LogNormalShadowing {
 
     fn name(&self) -> &'static str {
         "LogNormalShadowing"
+    }
+
+    fn clone_box(&self) -> Box<dyn PathLossModel> {
+        Box::new(*self)
     }
 }
 
@@ -241,7 +270,10 @@ mod tests {
         let fs = FreeSpace::default().received_power(tx, CCH_FREQ_HZ, &p(0.0), &p(20.0));
         let tr = TwoRayInterference::default().received_power(tx, CCH_FREQ_HZ, &p(0.0), &p(20.0));
         let diff_db = (fs.to_dbm().0 - tr.to_dbm().0).abs();
-        assert!(diff_db < 12.0, "two-ray within fading envelope of free space, diff {diff_db} dB");
+        assert!(
+            diff_db < 12.0,
+            "two-ray within fading envelope of free space, diff {diff_db} dB"
+        );
     }
 
     #[test]
@@ -280,8 +312,7 @@ mod tests {
     fn shadowing_statistics_match_sigma() {
         let m = LogNormalShadowing::default();
         let n = 10_000;
-        let draws: Vec<f64> =
-            (0..n).map(|i| m.shadow_db(i as f64 * 50.0, 0.0)).collect();
+        let draws: Vec<f64> = (0..n).map(|i| m.shadow_db(i as f64 * 50.0, 0.0)).collect();
         let mean = draws.iter().sum::<f64>() / n as f64;
         let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.2, "mean {mean}");

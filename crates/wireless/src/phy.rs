@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn minimum_one_symbol() {
         let d = frame_duration(0, Mcs::Qam64_34);
-        assert_eq!(d, SimDuration::from_micros(PREAMBLE_US + SIGNAL_US + SYMBOL_US));
+        assert_eq!(
+            d,
+            SimDuration::from_micros(PREAMBLE_US + SIGNAL_US + SYMBOL_US)
+        );
     }
 
     #[test]

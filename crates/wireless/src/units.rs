@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn power_addition_is_linear() {
         let sum = Dbm(0.0).to_milliwatts() + Dbm(0.0).to_milliwatts();
-        assert!((sum.to_dbm().0 - 3.0103).abs() < 1e-3, "doubling power adds ~3 dB");
+        assert!(
+            (sum.to_dbm().0 - 3.0103).abs() < 1e-3,
+            "doubling power adds ~3 dB"
+        );
     }
 
     #[test]
@@ -129,6 +132,9 @@ mod tests {
     #[test]
     fn wave_channel_wavelength() {
         let lambda = wavelength_m(CCH_FREQ_HZ);
-        assert!((lambda - 0.0509).abs() < 1e-3, "5.89 GHz -> ~5.1 cm, got {lambda}");
+        assert!(
+            (lambda - 0.0509).abs() < 1e-3,
+            "5.89 GHz -> ~5.1 cm, got {lambda}"
+        );
     }
 }

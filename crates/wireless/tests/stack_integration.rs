@@ -34,9 +34,17 @@ impl RadioWorld {
         let mut macs = Vec::new();
         for (i, &x) in positions.iter().enumerate() {
             medium.update_position(NodeId(i as u32), Position::on_road(x, 0.0));
-            macs.push(Mac::new(MacConfig::default(), RngStream::new(100 + i as u64)));
+            macs.push(Mac::new(
+                MacConfig::default(),
+                RngStream::new(100 + i as u64),
+            ));
         }
-        RadioWorld { sim, medium, macs, delivered: Vec::new() }
+        RadioWorld {
+            sim,
+            medium,
+            macs,
+            delivered: Vec::new(),
+        }
     }
 
     fn wsm(&self, src: u32, seq: u32) -> Wsm {
@@ -61,13 +69,15 @@ impl RadioWorld {
         for a in actions {
             match a {
                 MacAction::SetTimer { at, token } => {
-                    self.sim.schedule_at(at.max(now), Ev::MacTimer { node, token });
+                    self.sim
+                        .schedule_at(at.max(now), Ev::MacTimer { node, token });
                 }
                 MacAction::StartTx(wsm) => {
                     let out = self.medium.transmit(NodeId(node), wsm, now);
                     self.sim.schedule_at(now + out.duration, Ev::TxEnd { node });
                     for r in out.receptions {
-                        self.sim.schedule_at(r.start, Ev::RxStart(Box::new(r.clone())));
+                        self.sim
+                            .schedule_at(r.start, Ev::RxStart(Box::new(r.clone())));
                         self.sim.schedule_at(r.end, Ev::RxEnd(Box::new(r)));
                     }
                 }

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let attack = AttackSpec {
         model: AttackModelKind::Delay,
         value: 2.0,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(17),
         end: SimTime::from_secs(37),
     };

@@ -36,7 +36,9 @@ impl ChannelInterceptor for SelectiveReplayJammer {
         _wsm: &Wsm,
     ) -> LinkFate {
         if tx != self.target && rx != self.target {
-            return LinkFate::Deliver { delay: default_delay };
+            return LinkFate::Deliver {
+                delay: default_delay,
+            };
         }
         self.seen += 1;
         if self.seen.is_multiple_of(self.drop_every) {

@@ -23,9 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    println!("{}", report::render_summary(&analysis::summary(&result.records)));
-    println!("{}", report::render_collider_split(&analysis::collider_split(&result.records)));
-    println!("{}", report::render_dos_bands(&analysis::colliders_by_start(&result.records)));
+    println!(
+        "{}",
+        report::render_summary(&analysis::summary(&result.records))
+    );
+    println!(
+        "{}",
+        report::render_collider_split(&analysis::collider_split(&result.records))
+    );
+    println!(
+        "{}",
+        report::render_dos_bands(&analysis::colliders_by_start(&result.records))
+    );
 
     // The paper's observation: by attacking only Vehicle 2, the attacker
     // also makes Vehicles 3 and 4 crash, depending on where in the driving

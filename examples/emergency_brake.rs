@@ -15,7 +15,10 @@ fn scenario() -> TrafficScenario {
     let mut s = TrafficScenario::paper_default();
     // Cruise at 100 km/h, brake firmly at t = 20 s with 3 m/s² — hard
     // enough to be dangerous with stale data, survivable with fresh data.
-    s.maneuver = ManeuverKind::Braking { brake_at_s: 20.0, decel_mps2: 3.0 };
+    s.maneuver = ManeuverKind::Braking {
+        brake_at_s: 20.0,
+        decel_mps2: 3.0,
+    };
     s.total_sim_time = SimTime::from_secs(40);
     s
 }
@@ -37,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let attack = AttackSpec {
         model: AttackModelKind::Dos,
         value: 40.0,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(19),
         end: SimTime::from_secs(40),
     };

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let attack = AttackSpec {
         model: AttackModelKind::Delay,
         value: 1.5,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(17),
         end: SimTime::from_secs(25),
     };

@@ -40,15 +40,22 @@ fn main() {
     println!("{}", "-".repeat(62));
     for (name, result) in [("unprotected", &unprotected), ("monitored", &protected)] {
         let s = analysis::summary(&result.records);
-        let collisions: usize =
-            result.records.iter().map(|r| r.verdict.nr_collisions).sum();
+        let collisions: usize = result.records.iter().map(|r| r.verdict.nr_collisions).sum();
         println!(
             "{:<14} | {:>7} | {:>7} | {:>11} | {:>11}",
             name, s.severe, s.benign, s.negligible, collisions
         );
     }
-    let before: usize = unprotected.records.iter().map(|r| r.verdict.nr_collisions).sum();
-    let after: usize = protected.records.iter().map(|r| r.verdict.nr_collisions).sum();
+    let before: usize = unprotected
+        .records
+        .iter()
+        .map(|r| r.verdict.nr_collisions)
+        .sum();
+    let after: usize = protected
+        .records
+        .iter()
+        .map(|r| r.verdict.nr_collisions)
+        .sum();
     println!(
         "\nthe monitor eliminates {} of {} collisions ({}%)",
         before - after,

@@ -21,7 +21,10 @@ fn run(scenario: &TeleopScenario, attack: Option<AttackSpec>) -> (f64, bool) {
     }
     world.run_to_end();
     let log = world.into_log();
-    let tr = log.trace.vehicle(VehicleId(TELEOP_VEHICLE)).expect("traced");
+    let tr = log
+        .trace
+        .vehicle(VehicleId(TELEOP_VEHICLE))
+        .expect("traced");
     (*tr.pos.values().last().unwrap(), log.trace.has_collision())
 }
 
@@ -44,7 +47,7 @@ fn main() {
         let attack = AttackSpec {
             model: AttackModelKind::Delay,
             value: pd,
-            targets: vec![TELEOP_VEHICLE],
+            targets: vec![TELEOP_VEHICLE].into(),
             start: SimTime::ZERO,
             end: SimTime::from_secs(60),
         };
@@ -59,7 +62,7 @@ fn main() {
     let dos = AttackSpec {
         model: AttackModelKind::Dos,
         value: 60.0,
-        targets: vec![TELEOP_VEHICLE],
+        targets: vec![TELEOP_VEHICLE].into(),
         start: SimTime::from_secs(20),
         end: SimTime::from_secs(60),
     };

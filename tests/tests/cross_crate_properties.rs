@@ -43,7 +43,7 @@ proptest! {
         let attack = AttackSpec {
             model,
             value,
-            targets: vec![target],
+            targets: vec![target].into(),
             start: SimTime::from_secs_f64(start_s),
             end: SimTime::from_secs_f64((start_s + duration_s).min(25.0)),
         };
@@ -75,7 +75,7 @@ proptest! {
         let attack = AttackSpec {
             model: AttackModelKind::Delay,
             value,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs_f64(start_s),
             end: SimTime::from_secs_f64(start_s + 3.0),
         };
@@ -92,7 +92,7 @@ proptest! {
         let attack = AttackSpec {
             model,
             value: 2.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs_f64(start_s),
             end: SimTime::from_secs_f64(start_s),
         };
@@ -112,7 +112,7 @@ proptest! {
         let attack = AttackSpec {
             model: AttackModelKind::Delay,
             value: 1e-7, // 100 ns, same order as 30 m of free space
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs_f64(start_s),
             end: SimTime::from_secs_f64(start_s + 5.0),
         };

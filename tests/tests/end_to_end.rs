@@ -59,7 +59,10 @@ fn golden_run_statistics_are_plausible() {
     // Radio actually worked: ~10 beacons/s/vehicle for 30 s, all received
     // by 3 peers within close range.
     assert!(golden.channel.transmissions >= 4 * 280);
-    assert!(golden.channel.received > golden.channel.transmissions, "broadcast fan-out");
+    assert!(
+        golden.channel.received > golden.channel.transmissions,
+        "broadcast fan-out"
+    );
     assert_eq!(golden.channel.links_dropped_by_interceptor, 0);
     assert_eq!(golden.channel.links_delay_modified, 0);
 }
@@ -71,7 +74,7 @@ fn delay_attack_changes_only_the_attack_window_onwards() {
     let attack = AttackSpec {
         model: AttackModelKind::Delay,
         value: 1.0,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(17),
         end: SimTime::from_secs(20),
     };
@@ -100,7 +103,7 @@ fn dos_blocks_all_target_communication() {
     let attack = AttackSpec {
         model: AttackModelKind::Dos,
         value: 30.0,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(10),
         end: SimTime::from_secs(30),
     };
@@ -125,7 +128,7 @@ fn attacking_everyone_disables_the_whole_platoon_network() {
     let attack = AttackSpec {
         model: AttackModelKind::Dos,
         value: 30.0,
-        targets: vec![1, 2, 3, 4],
+        targets: vec![1, 2, 3, 4].into(),
         start: SimTime::from_secs(5),
         end: SimTime::from_secs(30),
     };
@@ -143,7 +146,7 @@ fn falsification_attack_perturbs_followers() {
     let attack = AttackSpec {
         model: AttackModelKind::Falsify(FalsifiedField::Acceleration),
         value: 3.0, // leader pretends to accelerate 3 m/s² harder
-        targets: vec![1],
+        targets: vec![1].into(),
         start: SimTime::from_secs(15),
         end: SimTime::from_secs(25),
     };
@@ -159,7 +162,7 @@ fn drop_attack_loses_frames_probabilistically() {
     let attack = AttackSpec {
         model: AttackModelKind::Drop,
         value: 0.7,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(10),
         end: SimTime::from_secs(25),
     };
@@ -199,7 +202,7 @@ fn attack_window_restores_cleanly() {
     let attack = AttackSpec {
         model: AttackModelKind::Delay,
         value: 2.0,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(10),
         end: SimTime::from_secs(12),
     };
@@ -219,7 +222,7 @@ fn verdicts_expose_the_responsible_vehicle() {
     let attack = AttackSpec {
         model: AttackModelKind::Dos,
         value: 40.0,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(17),
         end: SimTime::from_secs(40),
     };
@@ -236,6 +239,47 @@ fn verdicts_expose_the_responsible_vehicle() {
     assert_eq!(c.collider, collider);
     assert!(c.time > attack.start);
     assert!(c.overlap_m >= 0.0);
+}
+
+#[test]
+fn forking_campaign_is_identical_to_from_scratch_campaign() {
+    // The prefix-fork runner must reproduce the reference from-scratch
+    // runner bit for bit: same records, same verdicts, same golden run.
+    let setup = AttackCampaignSetup {
+        attack_model: AttackModelKind::Delay,
+        target_vehicles: vec![2],
+        attack_values: vec![0.4, 1.6],
+        attack_starts_s: vec![17.0, 19.4],
+        attack_durations_s: vec![2.0, 8.0],
+    };
+    let campaign = Campaign::new(engine(35), setup).unwrap();
+    let forked = campaign
+        .run_with_mode(2, ExecutionMode::PrefixFork)
+        .unwrap();
+    let scratch = campaign
+        .run_with_mode(2, ExecutionMode::FromScratch)
+        .unwrap();
+    assert_eq!(forked.records, scratch.records);
+    assert_eq!(forked.params, scratch.params);
+    assert_eq!(forked.golden, scratch.golden);
+    // Two distinct start times → two prefix snapshots shared by 8 runs.
+    assert_eq!(forked.stats.prefix_snapshots, 2);
+    assert_eq!(forked.stats.forked_runs, 8);
+    assert_eq!(scratch.stats.scratch_runs, 8);
+}
+
+#[test]
+fn world_snapshot_fork_resumes_bit_identically() {
+    // Clone a running world mid-simulation; the clone and the original
+    // must produce identical logs (traces, channel stats, comm counters).
+    let scenario = quick_scenario(30);
+    let comm = CommModel::paper_default();
+    let mut world = World::new(&scenario, &comm, 42).unwrap();
+    world.run_until(SimTime::from_secs(14));
+    let mut fork = world.clone();
+    world.run_to_end();
+    fork.run_to_end();
+    assert_eq!(world.into_log(), fork.into_log());
 }
 
 #[test]
@@ -257,7 +301,7 @@ fn beacon_staleness_is_bounded_by_delay_value() {
     let attack = AttackSpec {
         model: AttackModelKind::Delay,
         value: 1.0,
-        targets: vec![2],
+        targets: vec![2].into(),
         start: SimTime::from_secs(15),
         end: SimTime::from_secs(25),
     };

@@ -23,8 +23,12 @@ fn safety_monitor_campaign_prevents_dos_collisions() {
     };
     let unprotected = run(false);
     let protected = run(true);
-    let collisions =
-        |r: &CampaignResult| r.records.iter().map(|x| x.verdict.nr_collisions).sum::<usize>();
+    let collisions = |r: &CampaignResult| {
+        r.records
+            .iter()
+            .map(|x| x.verdict.nr_collisions)
+            .sum::<usize>()
+    };
     assert!(collisions(&unprotected) > 0, "baseline must collide");
     assert!(
         collisions(&protected) < collisions(&unprotected),
@@ -114,7 +118,7 @@ fn teleop_delay_campaign_sweep() {
             let attack = AttackSpec {
                 model: AttackModelKind::Delay,
                 value: pd,
-                targets: vec![TELEOP_VEHICLE],
+                targets: vec![TELEOP_VEHICLE].into(),
                 start: SimTime::ZERO,
                 end: scenario.total_sim_time,
             };
@@ -129,7 +133,10 @@ fn teleop_delay_campaign_sweep() {
         margins[0] > margins[1] && margins[1] > margins[2],
         "margins must shrink with delay: {margins:?}"
     );
-    assert!(margins[0] > 5.0, "healthy run keeps a healthy margin: {margins:?}");
+    assert!(
+        margins[0] > 5.0,
+        "healthy run keeps a healthy margin: {margins:?}"
+    );
 }
 
 #[test]
@@ -146,7 +153,7 @@ fn teleop_status_falsification_is_dangerous() {
             let attack = AttackSpec {
                 model: AttackModelKind::Delay,
                 value: offset,
-                targets: vec![TELEOP_VEHICLE],
+                targets: vec![TELEOP_VEHICLE].into(),
                 start: SimTime::ZERO,
                 end: scenario.total_sim_time,
             };
@@ -157,7 +164,10 @@ fn teleop_status_falsification_is_dangerous() {
         log.trace.has_collision()
     };
     assert!(!run(0.0));
-    assert!(run(2.0), "2 s of stale state must defeat the operator's planning");
+    assert!(
+        run(2.0),
+        "2 s of stale state must defeat the operator's planning"
+    );
 }
 
 #[test]
@@ -170,7 +180,7 @@ fn staleness_failsafe_mitigates_dos() {
         let attack = AttackSpec {
             model: AttackModelKind::Dos,
             value: 60.0,
-            targets: vec![2],
+            targets: vec![2].into(),
             start: SimTime::from_secs(17),
             end: SimTime::from_secs(40),
         };
@@ -191,10 +201,16 @@ fn staleness_failsafe_mitigates_dos() {
         let mut scenario = TrafficScenario::paper_default();
         scenario.total_sim_time = SimTime::from_secs(40);
         scenario.platoon.staleness_timeout_s = Some(0.5);
-        Engine::new(scenario, CommModel::paper_default(), 42).unwrap().golden_run().unwrap()
+        Engine::new(scenario, CommModel::paper_default(), 42)
+            .unwrap()
+            .golden_run()
+            .unwrap()
     };
     for v in [2u32, 3, 4] {
-        assert_eq!(golden.comm[&v].app.degraded_steps, 0, "vehicle {v} degraded in golden run");
+        assert_eq!(
+            golden.comm[&v].app.degraded_steps, 0,
+            "vehicle {v} degraded in golden run"
+        );
     }
 }
 
@@ -206,7 +222,7 @@ fn multi_target_attack_hits_all_targets() {
     let attack = AttackSpec {
         model: AttackModelKind::Dos,
         value: 30.0,
-        targets: vec![2, 3],
+        targets: vec![2, 3].into(),
         start: SimTime::from_secs(10),
         end: SimTime::from_secs(30),
     };
