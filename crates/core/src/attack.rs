@@ -22,7 +22,7 @@
 //! medium by the engine for the attack window — ComFASE's
 //! `CommModelEditor` step.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -137,7 +137,9 @@ impl AttackSpec {
     ///
     /// `seed` feeds the deterministic RNG of probabilistic models.
     pub fn build_interceptor(&self, seed: u64) -> Box<dyn ChannelInterceptor> {
-        let targets: HashSet<NodeId> = self.targets.iter().map(|&v| NodeId(v)).collect();
+        // BTreeSet keeps interceptor state order-deterministic for
+        // snapshot/fork runs (membership-only today, but cheap insurance).
+        let targets: BTreeSet<NodeId> = self.targets.iter().map(|&v| NodeId(v)).collect();
         match self.model {
             AttackModelKind::Delay | AttackModelKind::Dos => Box::new(DelayInterceptor {
                 delay: SimDuration::from_secs_f64(self.value),
@@ -173,7 +175,7 @@ mod serde_targets {
     }
 }
 
-fn link_targeted(targets: &HashSet<NodeId>, tx: NodeId, rx: NodeId) -> bool {
+fn link_targeted(targets: &BTreeSet<NodeId>, tx: NodeId, rx: NodeId) -> bool {
     // The attacks are injected in the sender & receiver modules of the
     // target vehicle (§IV-A.3): both its outgoing and incoming messages
     // are affected.
@@ -184,7 +186,7 @@ fn link_targeted(targets: &HashSet<NodeId>, tx: NodeId, rx: NodeId) -> bool {
 #[derive(Debug)]
 struct DelayInterceptor {
     delay: SimDuration,
-    targets: HashSet<NodeId>,
+    targets: BTreeSet<NodeId>,
 }
 
 impl ChannelInterceptor for DelayInterceptor {
@@ -210,7 +212,7 @@ impl ChannelInterceptor for DelayInterceptor {
 #[derive(Debug)]
 struct DropInterceptor {
     probability: f64,
-    targets: HashSet<NodeId>,
+    targets: BTreeSet<NodeId>,
     rng: RngStream,
 }
 
@@ -241,7 +243,7 @@ impl ChannelInterceptor for DropInterceptor {
 struct FalsifyInterceptor {
     field: FalsifiedField,
     offset: f64,
-    targets: HashSet<NodeId>,
+    targets: BTreeSet<NodeId>,
 }
 
 impl ChannelInterceptor for FalsifyInterceptor {

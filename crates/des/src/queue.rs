@@ -6,7 +6,7 @@
 //! scheduled, which makes runs reproducible regardless of heap internals.
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::SimTime;
 
@@ -82,10 +82,14 @@ impl<E> Ord for Scheduled<E> {
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
-    cancelled: HashSet<u64>,
+    // BTreeSet (not HashSet) so snapshot/fork state stays order-deterministic.
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     scheduled_total: u64,
     delivered_total: u64,
+    // Sim-sanitizer state: timestamp of the last delivered event, so debug
+    // builds catch any non-monotone delivery at the queue boundary.
+    last_popped: Option<SimTime>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -99,10 +103,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             scheduled_total: 0,
             delivered_total: 0,
+            last_popped: None,
         }
     }
 
@@ -153,6 +158,13 @@ impl<E> EventQueue<E> {
         self.skip_cancelled();
         let Reverse(s) = self.heap.pop()?;
         self.delivered_total += 1;
+        debug_assert!(
+            self.last_popped.is_none_or(|last| s.time >= last),
+            "future event set delivered out of order: {} after {}",
+            s.time,
+            self.last_popped.unwrap_or(SimTime::ZERO),
+        );
+        self.last_popped = Some(s.time);
         Some((s.time, s.payload))
     }
 
@@ -188,6 +200,9 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.cancelled.clear();
+        // A cleared queue may be reused for a fresh run from t = 0, so the
+        // monotonicity sanitizer restarts too.
+        self.last_popped = None;
     }
 
     fn live_cancelled(&self) -> usize {

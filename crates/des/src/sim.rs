@@ -122,7 +122,15 @@ impl<E> Simulator<E> {
     /// (the clock is then left untouched; call [`Simulator::advance_to`]).
     pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
         let (t, e) = self.queue.pop_at_or_before(limit)?;
-        debug_assert!(t >= self.now);
+        // Sim sanitizer: the kernel clock must never run backwards, and the
+        // queue must honour the limit (either would silently desynchronise
+        // forked runs from scratch runs).
+        debug_assert!(
+            t >= self.now,
+            "kernel clock would run backwards: event at {t} while now is {}",
+            self.now
+        );
+        debug_assert!(t <= limit, "event at {t} delivered past the limit {limit}");
         self.now = t;
         Some((t, e))
     }

@@ -1,0 +1,173 @@
+//! Diagnostic types and rendering (rustc-style text and machine JSON).
+
+use std::fmt::Write as _;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (kebab-case, see [`crate::rules::RULES`]).
+    pub rule: String,
+    /// File the violation is in, as passed to the checker.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+}
+
+/// A whole-run report.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every violation found, in (file, line) order.
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// `true` when the scan found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders rustc-style text diagnostics.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "error[{}]: {}", v.rule, v.message);
+            let _ = writeln!(out, "  --> {}:{}", v.file, v.line);
+            if !v.snippet.is_empty() {
+                let n = v.line.to_string();
+                let pad = " ".repeat(n.len());
+                let _ = writeln!(out, "{pad} |");
+                let _ = writeln!(out, "{n} | {}", v.snippet);
+                let _ = writeln!(out, "{pad} |");
+            }
+            let _ = writeln!(
+                out,
+                "   = help: if this site is genuinely safe, exempt it with \
+                 `// comfase-lint: allow({}, reason = \"...\")`\n",
+                v.rule
+            );
+        }
+        match self.violations.len() {
+            0 => {
+                let _ = writeln!(
+                    out,
+                    "comfase-lint: {} file(s) scanned, no determinism violations",
+                    self.files_scanned
+                );
+            }
+            n => {
+                let _ = writeln!(
+                    out,
+                    "comfase-lint: {n} determinism violation(s) in {} file(s) scanned",
+                    self.files_scanned
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"violation_count\": {},", self.violations.len());
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}",
+                json_string(&v.rule),
+                json_string(&v.file),
+                v.line,
+                json_string(&v.message),
+                json_string(&v.snippet),
+            );
+            out.push('}');
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![Violation {
+                rule: "hash-collections".into(),
+                file: "crates/des/src/queue.rs".into(),
+                line: 85,
+                message: "`HashSet` in simulation-state code".into(),
+                snippet: "cancelled: HashSet<u64>,".into(),
+            }],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn text_has_rustc_style_location() {
+        let text = sample().render_text();
+        assert!(text.contains("error[hash-collections]"));
+        assert!(text.contains("--> crates/des/src/queue.rs:85"));
+        assert!(text.contains("1 determinism violation(s)"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = sample();
+        r.violations[0].snippet = "say \"hi\"\tnow".into();
+        let json = r.render_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\\\"hi\\\"\\tnow"));
+        assert!(json.contains("\"line\": 85"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn clean_report_renders_empty_array() {
+        let r = Report {
+            violations: vec![],
+            files_scanned: 2,
+        };
+        assert!(r.render_json().contains("\"violations\": []"));
+        assert!(r.render_text().contains("no determinism violations"));
+    }
+}

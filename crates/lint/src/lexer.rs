@@ -1,0 +1,531 @@
+//! A minimal, comment- and string-aware tokenizer for Rust source.
+//!
+//! The auditor's rules are lexical: they look for identifiers and short
+//! token sequences (`HashMap`, `Instant :: now`, `static mut`, a
+//! `.partial_cmp(..).unwrap()` chain). A full parse is unnecessary — what
+//! *is* necessary is never matching inside comments, doc comments, string
+//! literals, or char literals, and knowing the line of every token. This
+//! module provides exactly that, with zero dependencies, so the CI gate
+//! builds instantly and cannot be broken by upstream churn.
+//!
+//! The lexer also extracts the two pieces of file-level metadata the rules
+//! need:
+//!
+//! * [`AllowAnnotation`]s — `// comfase-lint: allow(<rule>, reason = "...")`
+//!   comments that exempt a single site;
+//! * test regions ([`test_line_ranges`]) — line spans of `#[cfg(test)]` /
+//!   `#[test]` items, which are exempt from the determinism rules (tests may
+//!   freely use wall clocks and hash maps; simulation state may not).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `static`, `mut`, ...).
+    Ident,
+    /// A punctuation token. `::` is a single token; everything else is one
+    /// character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokenKind,
+    /// The token text.
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` if this is an identifier with the given text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// `true` if this is a punctuation token with the given text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// A parsed `// comfase-lint: allow(...)` annotation.
+///
+/// A well-formed annotation names a rule and carries a non-empty reason:
+///
+/// ```text
+/// // comfase-lint: allow(hash-collections, reason = "membership-only set")
+/// ```
+///
+/// It exempts matching violations on its own line (trailing comment) and on
+/// the line directly below (standalone comment line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowAnnotation {
+    /// 1-based line the annotation comment is on.
+    pub line: u32,
+    /// The rule name inside `allow(...)` (may be unknown; validated later).
+    pub rule: String,
+    /// The reason string (empty when missing — then `problem` is set).
+    pub reason: String,
+    /// `Some(description)` when the annotation is malformed and must be
+    /// reported instead of honoured.
+    pub problem: Option<String>,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All identifier/punctuation tokens outside comments and literals.
+    pub tokens: Vec<Token>,
+    /// All `comfase-lint:` annotations found in line comments.
+    pub allows: Vec<AllowAnnotation>,
+}
+
+const MARKER: &str = "comfase-lint:";
+
+/// Lexes `source` into tokens and lint annotations.
+pub fn lex(source: &str) -> LexedFile {
+    let bytes = source.as_bytes();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &source[start..i];
+                if let Some(pos) = comment.find(MARKER) {
+                    out.allows
+                        .push(parse_annotation(line, &comment[pos + MARKER.len()..]));
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(bytes, i, &mut line),
+            b'\'' => i = skip_char_or_lifetime(bytes, i, &mut line),
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                // String prefixes: r"", r#""#, b"", br"", b''; also raw
+                // identifiers r#name.
+                match (text, bytes.get(i)) {
+                    ("r" | "br" | "b" | "rb", Some(&b'"')) => {
+                        i = if text.contains('r') {
+                            skip_raw_string(bytes, i, 0, &mut line)
+                        } else {
+                            skip_string(bytes, i, &mut line)
+                        };
+                    }
+                    ("r" | "br" | "b" | "rb", Some(&b'#')) => {
+                        let mut hashes = 0usize;
+                        let mut j = i;
+                        while bytes.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&b'"') {
+                            i = skip_raw_string(bytes, j, hashes, &mut line);
+                        } else {
+                            // Raw identifier (r#match): lex the ident after the '#'.
+                            i = j;
+                            let start = i;
+                            while i < bytes.len()
+                                && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                            {
+                                i += 1;
+                            }
+                            out.tokens.push(Token {
+                                kind: TokenKind::Ident,
+                                text: source[start..i].to_string(),
+                                line,
+                            });
+                        }
+                    }
+                    ("b", Some(&b'\'')) => i = skip_char_or_lifetime(bytes, i, &mut line),
+                    _ => out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: text.to_string(),
+                        line,
+                    }),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers produce no tokens; just consume them (taking care
+                // not to swallow the `..` of a range like `0..10`).
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&b'.')
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                    {
+                        i += 1;
+                    }
+                }
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: "::".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"..."` string starting at the opening quote (or at a `b`/`r`
+/// prefix position where `bytes[i]` is the quote). Returns the index after
+/// the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(bytes[i], b'"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                // Escapes cover two bytes; `\<newline>` (line continuation)
+                // still advances the line counter.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string whose opening quote is at `i` with `hashes` hash
+/// marks. Returns the index after the closing delimiter.
+fn skip_raw_string(bytes: &[u8], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(bytes[i], b'"');
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Consumes either a lifetime (`'a`, no token emitted) or a char literal
+/// (`'x'`, `'\n'`), starting at the `'`. Returns the index after it.
+fn skip_char_or_lifetime(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(bytes[i], b'\'');
+    i += 1;
+    if i >= bytes.len() {
+        return i;
+    }
+    let c = bytes[i];
+    if (c == b'_' || c.is_ascii_alphabetic()) && bytes.get(i + 1) != Some(&b'\'') {
+        // Lifetime: consume the identifier and stop (no closing quote).
+        while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+            i += 1;
+        }
+        return i;
+    }
+    // Char literal; handle escapes and give up at end of line (malformed).
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Parses the text after `comfase-lint:` into an [`AllowAnnotation`].
+fn parse_annotation(line: u32, rest: &str) -> AllowAnnotation {
+    let malformed = |problem: &str| AllowAnnotation {
+        line,
+        rule: String::new(),
+        reason: String::new(),
+        problem: Some(problem.to_string()),
+    };
+    let rest = rest.trim();
+    let Some(body) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return malformed("expected `allow(<rule>, reason = \"...\")`");
+    };
+    let Some((rule, reason_part)) = body.split_once(',') else {
+        return malformed("missing `reason = \"...\"` (a non-empty reason is required)");
+    };
+    let rule = rule.trim().to_string();
+    let Some(reason_value) = reason_part.trim().strip_prefix("reason") else {
+        return malformed("expected `reason = \"...\"` after the rule name");
+    };
+    let Some(quoted) = reason_value.trim().strip_prefix('=') else {
+        return malformed("expected `=` after `reason`");
+    };
+    let quoted = quoted.trim();
+    let reason = quoted
+        .strip_prefix('"')
+        .and_then(|q| q.strip_suffix('"'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return malformed("the reason must be a non-empty quoted string");
+    }
+    AllowAnnotation {
+        line,
+        rule,
+        reason: reason.to_string(),
+        problem: None,
+    }
+}
+
+/// Returns the inclusive line ranges of test-only items: any item annotated
+/// `#[test]` or `#[cfg(test)]` (including `mod tests { ... }` blocks).
+///
+/// These regions are exempt from the determinism rules.
+pub fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(tokens, i + 1, "[", "]") else {
+            break;
+        };
+        let attr = &tokens[i + 2..close];
+        let is_test = (attr.len() == 1 && attr[0].is_ident("test"))
+            || (attr.iter().any(|t| t.is_ident("cfg")) && attr.iter().any(|t| t.is_ident("test")));
+        if !is_test {
+            i = close + 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip any further attributes, then find the item body (or `;`).
+        let mut j = close + 1;
+        while tokens.get(j).is_some_and(|t| t.is_punct("#"))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+        {
+            match matching(tokens, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => return ranges,
+            }
+        }
+        let mut end = None;
+        while let Some(t) = tokens.get(j) {
+            if t.is_punct(";") {
+                end = Some(j);
+                break;
+            }
+            if t.is_punct("{") {
+                end = matching(tokens, j, "{", "}");
+                break;
+            }
+            j += 1;
+        }
+        match end {
+            Some(e) => {
+                ranges.push((start_line, tokens[e].line));
+                i = e + 1;
+            }
+            None => {
+                ranges.push((start_line, u32::MAX));
+                break;
+            }
+        }
+    }
+    ranges
+}
+
+/// Index of the token matching the opener at `open_idx` (`tokens[open_idx]`
+/// must be `open`), or `None` if unbalanced.
+fn matching(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    debug_assert!(tokens[open_idx].is_punct(open));
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            /// doc HashMap
+            let s = "HashMap";
+            let r = r#"HashMap"#;
+            let c = 'H';
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a HashMap<u32, u32>) {}");
+        assert!(ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn numbers_and_ranges_survive() {
+        let ids = idents("for i in 0..10 { let x = 1.5e3; HashSet }");
+        assert!(ids.contains(&"HashSet".to_string()));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let lexed = lex("std::env::var");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["std", "::", "env", "::", "var"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_strings_count_lines() {
+        // Both a hard newline and a `\`-continuation inside a string advance
+        // the line counter.
+        let lexed = lex("let a = \"x\ny \\\nz\";\nHashMap");
+        let t = lexed.tokens.last().unwrap();
+        assert!(t.is_ident("HashMap"));
+        assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn well_formed_annotation_parses() {
+        let lexed = lex("// comfase-lint: allow(hash-collections, reason = \"membership only\")");
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.rule, "hash-collections");
+        assert_eq!(a.reason, "membership only");
+        assert!(a.problem.is_none());
+    }
+
+    #[test]
+    fn annotation_without_reason_is_malformed() {
+        let lexed = lex("// comfase-lint: allow(wall-clock)");
+        assert!(lexed.allows[0].problem.is_some());
+        let lexed = lex("// comfase-lint: allow(wall-clock, reason = \"\")");
+        assert!(lexed.allows[0].problem.is_some());
+        let lexed = lex("// comfase-lint: deny(everything)");
+        assert!(lexed.allows[0].problem.is_some());
+    }
+
+    #[test]
+    fn cfg_test_mod_region_found() {
+        let src = "struct A;\n#[cfg(test)]\nmod tests {\n fn x() {}\n}\nstruct B;";
+        let lexed = lex(src);
+        let ranges = test_line_ranges(&lexed.tokens);
+        assert_eq!(ranges, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn test_fn_region_found() {
+        let src = "#[test]\nfn yes() {\n body();\n}\nfn no() {}";
+        let lexed = lex(src);
+        let ranges = test_line_ranges(&lexed.tokens);
+        assert_eq!(ranges, vec![(1, 4)]);
+    }
+
+    #[test]
+    fn non_test_attrs_are_not_regions() {
+        let src = "#[derive(Debug)]\nstruct A { x: u32 }";
+        let lexed = lex(src);
+        assert!(test_line_ranges(&lexed.tokens).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nstruct A { b: usize }";
+        let lexed = lex(src);
+        assert_eq!(test_line_ranges(&lexed.tokens), vec![(1, 2)]);
+    }
+}

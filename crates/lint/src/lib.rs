@@ -1,0 +1,83 @@
+//! # comfase-lint — the ComFASE-RS determinism auditor
+//!
+//! ComFASE-RS's value proposition is *repeatable* fault/attack campaigns:
+//! the golden-run vs. injected-run comparison (paper §IV) and the
+//! prefix-fork campaign runner are only sound if two runs with the same
+//! seed are bit-identical. That property was nearly lost once already —
+//! PR 1 had to convert the wireless `Medium`'s `HashMap`s to `BTreeMap`s by
+//! hand after fork runs diverged from scratch runs purely through hash
+//! iteration order.
+//!
+//! This crate makes that class of regression a CI failure instead of a
+//! debugging session. It is a workspace-aware static-analysis pass over the
+//! five simulation crates (`des`, `traffic`, `wireless`, `platoon`, `core`)
+//! enforcing five invariants:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `hash-collections` | no `HashMap`/`HashSet` in simulation-state code |
+//! | `wall-clock`       | no `Instant`/`SystemTime` reads in sim code |
+//! | `ambient-rng`      | no `thread_rng`/`rand::random`/`from_entropy` |
+//! | `global-state`     | no `static mut`/`lazy_static`/`OnceLock`, no `std::env` reads |
+//! | `float-ordering`   | no `.partial_cmp(..).unwrap()`; use `total_cmp` |
+//!
+//! Test code (`#[cfg(test)]`, `#[test]`) is exempt. A production site can be
+//! exempted only with an inline annotation carrying a non-empty reason:
+//!
+//! ```text
+//! // comfase-lint: allow(hash-collections, reason = "membership-only, never iterated")
+//! ```
+//!
+//! Run it as a CI gate with `cargo run -p comfase-lint -- --workspace`; add
+//! `--format json` for the machine-readable report.
+//!
+//! ## Implementation notes
+//!
+//! The pass is deliberately **dependency-free**: a comment/string-aware
+//! tokenizer ([`lexer`]) feeds lexical rules ([`rules`]). The invariants are
+//! lexical by nature (forbidden names and short token sequences), so a full
+//! AST buys nothing here, while zero dependencies keep the gate instant to
+//! build, immune to upstream churn, and auditable end to end.
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use diagnostics::{Report, Violation};
+
+/// Scans the given files (as read from disk) and builds a [`Report`].
+///
+/// `root` is only used to shorten paths in diagnostics.
+///
+/// # Errors
+///
+/// Fails if a file cannot be read.
+pub fn scan_files(root: &Path, files: &[std::path::PathBuf]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in files {
+        let source = fs::read_to_string(path)?;
+        let label = workspace::display_path(root, path);
+        report.violations.extend(rules::check_file(&label, &source));
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Scans the five simulation crates of the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Fails if the workspace layout is missing a simulation crate or a file
+/// cannot be read.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let files = workspace::sim_source_files(root)?;
+    scan_files(root, &files)
+}

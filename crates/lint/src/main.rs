@@ -1,0 +1,151 @@
+//! CLI for the determinism auditor.
+//!
+//! ```text
+//! comfase-lint --workspace [--format text|json] [--out FILE] [--root DIR]
+//! comfase-lint PATH...     [--format text|json] [--out FILE]
+//! comfase-lint --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use comfase_lint::{rules, workspace, Report};
+
+struct Options {
+    workspace: bool,
+    list_rules: bool,
+    json: bool,
+    out: Option<PathBuf>,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: comfase-lint (--workspace | PATH...) \
+                     [--format text|json] [--out FILE] [--root DIR] [--list-rules]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        list_rules: false,
+        json: false,
+        out: None,
+        root: None,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--list-rules" => opts.list_rules = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format expects `text` or `json`, got {other:?}")),
+            },
+            "--out" => match it.next() {
+                Some(path) => opts.out = Some(PathBuf::from(path)),
+                None => return Err("--out expects a file path".to_string()),
+            },
+            "--root" => match it.next() {
+                Some(path) => opts.root = Some(PathBuf::from(path)),
+                None => return Err("--root expects a directory".to_string()),
+            },
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.list_rules && !opts.workspace && opts.paths.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<Report, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => workspace::find_workspace_root(&cwd)
+            .ok_or("no workspace root found above the current directory (try --root)")?,
+    };
+    if opts.workspace {
+        comfase_lint::scan_workspace(&root).map_err(|e| e.to_string())
+    } else {
+        let mut files = Vec::new();
+        for path in &opts.paths {
+            if path.is_dir() {
+                workspace::collect_rs(path, &mut files).map_err(|e| e.to_string())?;
+            } else {
+                files.push(path.clone());
+            }
+        }
+        files.sort();
+        comfase_lint::scan_files(&root, &files).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::RULES {
+            println!("{:<18} {}", rule.id, rule.summary);
+            println!("{:<18}   why: {}", "", rule.why);
+        }
+        // The annotation meta-rule is reported but can never itself be
+        // `allow(...)`-ed, so it lives outside `rules::RULES`.
+        println!(
+            "{:<18} malformed `comfase-lint:` annotation (missing/empty reason, unknown rule)",
+            rules::BAD_ANNOTATION
+        );
+        println!(
+            "{:<18}   why: an exemption without a reviewable justification is a silent hole in the audit",
+            ""
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match run(&opts) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("comfase-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if opts.json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("comfase-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            // Keep the human-readable summary on stderr so `--out` stays
+            // machine-clean on stdout.
+            eprintln!(
+                "comfase-lint: wrote report ({} violation(s)) to {}",
+                report.violations.len(),
+                path.display()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,435 @@
+//! The determinism rule set (D1–D5) and the per-file checker.
+//!
+//! Each rule guards one way a simulation run can silently stop being
+//! bit-reproducible. The campaign runner's golden-run comparison and the
+//! prefix-fork optimisation are only sound when two runs with the same seed
+//! are identical; these rules turn the known ways of losing that property
+//! into CI failures. See `DESIGN.md` ("Determinism invariants") for the full
+//! rationale of each rule.
+
+use crate::diagnostics::Violation;
+use crate::lexer::{lex, test_line_ranges, Token, TokenKind};
+
+/// One auditor rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable kebab-case id, used in diagnostics and `allow(...)`.
+    pub id: &'static str,
+    /// One-line description of what the rule forbids.
+    pub summary: &'static str,
+    /// Why violating it breaks reproducibility.
+    pub why: &'static str,
+}
+
+/// Rule id for D1.
+pub const HASH_COLLECTIONS: &str = "hash-collections";
+/// Rule id for D2.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// Rule id for D3.
+pub const AMBIENT_RNG: &str = "ambient-rng";
+/// Rule id for D4.
+pub const GLOBAL_STATE: &str = "global-state";
+/// Rule id for D5.
+pub const FLOAT_ORDERING: &str = "float-ordering";
+/// Pseudo-rule id for malformed `comfase-lint:` annotations.
+pub const BAD_ANNOTATION: &str = "bad-annotation";
+
+/// The full rule set, in diagnostic order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: HASH_COLLECTIONS,
+        summary: "no `HashMap`/`HashSet` in simulation-state code (use `BTreeMap`/`BTreeSet`)",
+        why: "hash iteration order is randomized per process, so any iteration \
+              or serialization leaks nondeterminism into forked/snapshot runs",
+    },
+    Rule {
+        id: WALL_CLOCK,
+        summary: "no wall-clock reads (`Instant`, `SystemTime`) in simulation code",
+        why: "simulation time must come from the DES kernel clock; wall-clock \
+              values differ between runs and between fork points",
+    },
+    Rule {
+        id: AMBIENT_RNG,
+        summary: "no ambient randomness (`thread_rng`, `rand::random`, `from_entropy`, `OsRng`)",
+        why: "all randomness must flow from seeded `comfase-des` RNG streams so \
+              equal seeds give bit-identical runs",
+    },
+    Rule {
+        id: GLOBAL_STATE,
+        summary: "no mutable globals (`static mut`, `lazy_static`, `OnceLock`) or `std::env` reads",
+        why: "process-global state survives across experiments and forks, and \
+              environment reads make results depend on the host shell",
+    },
+    Rule {
+        id: FLOAT_ORDERING,
+        summary: "no `.partial_cmp(..).unwrap()`/`.expect(..)` on floats (use `total_cmp`)",
+        why: "partial comparisons panic or reorder on NaN; `total_cmp` gives a \
+              deterministic total order for every input",
+    },
+];
+
+/// `true` if `id` names a real rule (annotations may only reference these).
+pub fn is_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Identifiers that fire D1 wherever they appear in non-test code.
+const HASH_IDENTS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "RandomState",
+    "AHashMap",
+    "AHashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "IndexMap",
+    "IndexSet",
+];
+
+/// Identifiers that fire D2.
+const CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+
+/// Identifiers that fire D3.
+const RNG_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// Identifiers that fire D4 on their own.
+const GLOBAL_IDENTS: &[&str] = &["lazy_static", "OnceLock", "OnceCell", "LazyLock"];
+
+/// `env::<fn>` calls that fire D4.
+const ENV_FNS: &[&str] = &["var", "vars", "var_os", "vars_os", "args", "args_os"];
+
+/// Scans one file and returns its violations.
+///
+/// `file` is only used to label diagnostics. Test regions (`#[cfg(test)]`,
+/// `#[test]`) are exempt; sites carrying a well-formed matching
+/// `comfase-lint: allow(...)` annotation (same line or the line above) are
+/// suppressed; malformed annotations are themselves reported as
+/// [`BAD_ANNOTATION`] violations.
+pub fn check_file(file: &str, source: &str) -> Vec<Violation> {
+    let lexed = lex(source);
+    let test_ranges = test_line_ranges(&lexed.tokens);
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let in_tests = |line: u32| test_ranges.iter().any(|&(s, e)| s <= line && line <= e);
+
+    let mut raw: Vec<(&'static str, u32, String)> = Vec::new();
+    scan_tokens(&lexed.tokens, &mut raw);
+
+    let mut out = Vec::new();
+    for (rule_id, line, message) in raw {
+        if in_tests(line) {
+            continue;
+        }
+        let allowed = lexed.allows.iter().any(|a| {
+            a.problem.is_none() && a.rule == rule_id && (a.line == line || a.line + 1 == line)
+        });
+        if allowed {
+            continue;
+        }
+        out.push(Violation {
+            rule: rule_id.to_string(),
+            file: file.to_string(),
+            line,
+            message,
+            snippet: snippet(line),
+        });
+    }
+    for a in &lexed.allows {
+        if in_tests(a.line) {
+            continue;
+        }
+        let problem = match &a.problem {
+            Some(p) => Some(p.clone()),
+            None if !is_rule(&a.rule) => Some(format!(
+                "unknown rule `{}`; known rules: {}",
+                a.rule,
+                RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+            )),
+            None => None,
+        };
+        if let Some(p) = problem {
+            out.push(Violation {
+                rule: BAD_ANNOTATION.to_string(),
+                file: file.to_string(),
+                line: a.line,
+                message: format!("malformed lint annotation: {p}"),
+                snippet: snippet(a.line),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+/// Runs every rule over the token stream, pushing `(rule, line, message)`.
+fn scan_tokens(tokens: &[Token], raw: &mut Vec<(&'static str, u32, String)>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            // D4: `static mut` items.
+            continue;
+        }
+        let text = t.text.as_str();
+        if HASH_IDENTS.contains(&text) {
+            raw.push((
+                HASH_COLLECTIONS,
+                t.line,
+                format!(
+                    "`{text}` in simulation-state code: iteration order is \
+                     nondeterministic and breaks fork bit-identity; use \
+                     `BTreeMap`/`BTreeSet`"
+                ),
+            ));
+        } else if CLOCK_IDENTS.contains(&text) {
+            raw.push((
+                WALL_CLOCK,
+                t.line,
+                format!(
+                    "wall-clock `{text}` in simulation code: time must come \
+                     from the DES kernel (`Simulator::now`), never the host clock"
+                ),
+            ));
+        } else if RNG_IDENTS.contains(&text) {
+            raw.push((
+                AMBIENT_RNG,
+                t.line,
+                format!(
+                    "ambient randomness `{text}`: use a seeded \
+                     `comfase_des::rng::RngStream` so equal seeds reproduce runs"
+                ),
+            ));
+        } else if GLOBAL_IDENTS.contains(&text) {
+            raw.push((
+                GLOBAL_STATE,
+                t.line,
+                format!(
+                    "`{text}` creates process-global state that leaks across \
+                     experiments; thread state through `World` instead"
+                ),
+            ));
+        } else if text == "static" && tokens.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            raw.push((
+                GLOBAL_STATE,
+                t.line,
+                "`static mut` is mutable global state; thread state through \
+                 `World` instead"
+                    .to_string(),
+            ));
+        } else if text == "env"
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokenKind::Ident && ENV_FNS.contains(&n.text.as_str()))
+        {
+            raw.push((
+                GLOBAL_STATE,
+                t.line,
+                format!(
+                    "`env::{}` read in simulation code: results must not depend \
+                     on the host environment; take configuration explicitly",
+                    tokens[i + 2].text
+                ),
+            ));
+        } else if text == "std"
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_ident("env"))
+            && !tokens.get(i + 3).is_some_and(|n| n.is_punct("::"))
+        {
+            // `use std::env;` (the qualified-call form is caught above).
+            raw.push((
+                GLOBAL_STATE,
+                t.line,
+                "`std::env` in simulation code: results must not depend on the \
+                 host environment"
+                    .to_string(),
+            ));
+        } else if text == "rand" && tokens.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+            if tokens.get(i + 2).is_some_and(|n| n.is_ident("random")) {
+                raw.push((
+                    AMBIENT_RNG,
+                    t.line,
+                    "`rand::random` draws from the thread-local RNG; use a \
+                     seeded `comfase_des::rng::RngStream`"
+                        .to_string(),
+                ));
+            }
+        } else if text == "partial_cmp"
+            && i > 0
+            && tokens[i - 1].is_punct(".")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            // D5: `.partial_cmp(..)` whose result is immediately unwrapped.
+            if let Some(close) = matching_paren(tokens, i + 1) {
+                if tokens.get(close + 1).is_some_and(|n| n.is_punct("."))
+                    && tokens
+                        .get(close + 2)
+                        .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                {
+                    raw.push((
+                        FLOAT_ORDERING,
+                        t.line,
+                        format!(
+                            "`.partial_cmp(..).{}()` panics or misorders on NaN; \
+                             use `f64::total_cmp` for a deterministic total order",
+                            tokens[close + 2].text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(src: &str) -> Vec<String> {
+        check_file("test.rs", src)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn hash_map_field_fires() {
+        assert_eq!(
+            rules_hit("struct S { m: HashMap<u32, u32> }"),
+            vec![HASH_COLLECTIONS]
+        );
+    }
+
+    #[test]
+    fn instant_now_fires() {
+        assert_eq!(
+            rules_hit("fn f() { let t = Instant::now(); }"),
+            vec![WALL_CLOCK]
+        );
+    }
+
+    #[test]
+    fn thread_rng_and_rand_random_fire() {
+        assert_eq!(
+            rules_hit("fn f() { let x = thread_rng(); let y: f64 = rand::random(); }"),
+            vec![AMBIENT_RNG, AMBIENT_RNG]
+        );
+    }
+
+    #[test]
+    fn static_mut_and_env_fire() {
+        assert_eq!(
+            rules_hit("static mut COUNTER: u32 = 0;"),
+            vec![GLOBAL_STATE]
+        );
+        assert_eq!(
+            rules_hit("fn f() { let p = std::env::var(\"PATH\"); }"),
+            vec![GLOBAL_STATE]
+        );
+        assert_eq!(rules_hit("use std::env;"), vec![GLOBAL_STATE]);
+    }
+
+    #[test]
+    fn immutable_static_is_fine() {
+        assert!(rules_hit("static NAME: &str = \"x\";").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_fires_across_lines() {
+        let src = "fn f(a: f64, b: f64) { a.partial_cmp(&b)\n    .unwrap(); }";
+        assert_eq!(rules_hit(src), vec![FLOAT_ORDERING]);
+    }
+
+    #[test]
+    fn partial_cmp_definition_does_not_fire() {
+        let src = "impl PartialOrd for S { fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) } }";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn handled_partial_cmp_does_not_fire() {
+        assert!(rules_hit(
+            "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap_or(Ordering::Equal); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n fn t() { let i = Instant::now(); }\n}";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_same_line_and_next_line() {
+        let trailing = "struct S { m: HashSet<u32> } // comfase-lint: allow(hash-collections, reason = \"membership only\")";
+        assert!(rules_hit(trailing).is_empty());
+        let above =
+            "// comfase-lint: allow(hash-collections, reason = \"membership only\")\nstruct S { m: HashSet<u32> }";
+        assert!(rules_hit(above).is_empty());
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src =
+            "// comfase-lint: allow(wall-clock, reason = \"wrong rule\")\nstruct S { m: HashSet<u32> }";
+        assert_eq!(rules_hit(src), vec![HASH_COLLECTIONS]);
+    }
+
+    #[test]
+    fn malformed_annotation_is_reported() {
+        assert_eq!(
+            rules_hit("// comfase-lint: allow(hash-collections)"),
+            vec![BAD_ANNOTATION]
+        );
+        assert_eq!(
+            rules_hit("// comfase-lint: allow(no-such-rule, reason = \"hm\")"),
+            vec![BAD_ANNOTATION]
+        );
+    }
+
+    #[test]
+    fn clean_source_is_silent() {
+        let src = "use std::collections::BTreeMap;\nstruct S { m: BTreeMap<u32, u32> }";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn violations_carry_location_and_snippet() {
+        let v = check_file("crates/x/src/a.rs", "\nstruct S { m: HashMap<u32, u32> }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].file, "crates/x/src/a.rs");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].snippet.contains("HashMap"));
+    }
+}

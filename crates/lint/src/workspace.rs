@@ -1,0 +1,104 @@
+//! Workspace discovery: which files the `--workspace` scan covers.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The simulation crates whose `src/` trees must uphold the determinism
+/// invariants. Test/bench/example code and the tooling crates (`bench`,
+/// `lint`) are intentionally not scanned.
+pub const SIM_CRATES: &[&str] = &["des", "traffic", "wireless", "platoon", "core"];
+
+/// Walks up from `start` to the first directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(contents) = fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// All `.rs` files under `crates/<sim>/src` for every simulation crate,
+/// sorted for deterministic reports.
+pub fn sim_source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for krate in SIM_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simulation crate source dir missing: {}", src.display()),
+            ));
+        }
+        collect_rs(&src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir` (also sorted by the caller).
+pub fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders `path` relative to `root` when possible (for stable diagnostics).
+pub fn display_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_crate_list_matches_workspace_layout() {
+        // The lint crate lives in crates/lint; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        for krate in SIM_CRATES {
+            assert!(
+                root.join("crates").join(krate).join("src").is_dir(),
+                "missing sim crate {krate}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_root_found_from_nested_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let root = find_workspace_root(&here).expect("root");
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn display_path_strips_root() {
+        let root = Path::new("/a/b");
+        assert_eq!(
+            display_path(root, Path::new("/a/b/crates/des/src/lib.rs")),
+            "crates/des/src/lib.rs"
+        );
+        assert_eq!(display_path(root, Path::new("/x/y.rs")), "/x/y.rs");
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: malformed or ineffective allow annotations are violations
+//! themselves, on top of the rule they failed to suppress.
+
+// comfase-lint: allow(hash-collections)
+use std::collections::HashMap;
+
+pub struct A {
+    // comfase-lint: allow(hash-collections, reason = "")
+    m: HashMap<u64, u64>,
+}
+
+pub struct B {
+    // comfase-lint: allow(no-such-rule, reason = "typo in the rule name")
+    s: std::collections::HashSet<u64>,
+}

@@ -1,0 +1,24 @@
+//! Fixture: idiomatic deterministic simulation code — zero violations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct World {
+    nodes: BTreeMap<u64, f64>,
+    quarantined: BTreeSet<u64>,
+}
+
+pub fn sort_positions(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn furthest(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}
+
+/// A doc-comment mentioning HashMap, Instant::now() and thread_rng() must
+/// not fire — comments are not code.
+pub fn documented() {}
+
+pub fn strings_are_not_code() -> &'static str {
+    "HashMap::new() and SystemTime::now() inside a string literal"
+}

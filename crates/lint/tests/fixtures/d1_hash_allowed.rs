@@ -1,0 +1,9 @@
+//! Fixture: rule `hash-collections` suppressed by a well-formed annotation.
+
+// comfase-lint: allow(hash-collections, reason = "interned keys never iterated")
+use std::collections::HashMap;
+
+pub struct Cache {
+    // comfase-lint: allow(hash-collections, reason = "lookup only, order never observed")
+    entries: HashMap<u64, f64>,
+}

@@ -1,0 +1,12 @@
+//! Fixture: rule `hash-collections` must fire on every hashed container.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_id: HashMap<u64, String>,
+    seen: HashSet<u64>,
+}
+
+pub fn build() -> std::collections::HashMap<String, u32> {
+    std::collections::HashMap::new()
+}

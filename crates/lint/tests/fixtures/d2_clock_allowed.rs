@@ -1,0 +1,7 @@
+//! Fixture: rule `wall-clock` suppressed by a well-formed annotation.
+
+pub fn wall_elapsed() -> std::time::Duration {
+    // comfase-lint: allow(wall-clock, reason = "progress reporting only, never fed into the sim")
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

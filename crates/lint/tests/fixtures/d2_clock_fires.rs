@@ -1,0 +1,15 @@
+//! Fixture: rule `wall-clock` must fire on wall-clock reads in non-test code.
+
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+}

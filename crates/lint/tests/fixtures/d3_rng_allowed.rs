@@ -1,0 +1,6 @@
+//! Fixture: rule `ambient-rng` suppressed by a well-formed annotation.
+
+pub fn session_token() -> u64 {
+    // comfase-lint: allow(ambient-rng, reason = "token is for log labelling, not sim state")
+    rand::random()
+}

@@ -1,0 +1,15 @@
+//! Fixture: rule `ambient-rng` must fire on OS-entropy randomness.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}
+
+pub fn seeded() -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::from_entropy()
+}

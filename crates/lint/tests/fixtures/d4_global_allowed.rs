@@ -1,0 +1,6 @@
+//! Fixture: rule `global-state` suppressed by a well-formed annotation.
+
+pub fn cli_args() -> Vec<String> {
+    // comfase-lint: allow(global-state, reason = "binary entry point parses its own argv")
+    std::env::args().collect()
+}

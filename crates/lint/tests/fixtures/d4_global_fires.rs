@@ -1,0 +1,13 @@
+//! Fixture: rule `global-state` must fire on mutable globals and env reads.
+
+static mut COUNTER: u64 = 0;
+
+pub static REGISTRY: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+
+pub fn config_dir() -> Option<String> {
+    std::env::var("COMFASE_CONFIG").ok()
+}
+
+pub fn first_arg() -> Option<String> {
+    std::env::args().nth(1)
+}

@@ -1,0 +1,7 @@
+//! Fixture: rule `float-ordering` suppressed by a well-formed annotation.
+
+pub fn sort_checked(xs: &mut [f64]) {
+    debug_assert!(xs.iter().all(|x| !x.is_nan()));
+    // comfase-lint: allow(float-ordering, reason = "inputs asserted NaN-free one line up")
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,11 @@
+//! Fixture: rule `float-ordering` must fire on unwrap'd partial comparisons.
+
+pub fn sort_positions(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn max_gap(gaps: &[f64]) -> Option<f64> {
+    gaps.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("gap comparison"))
+}

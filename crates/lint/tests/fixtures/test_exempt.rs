@@ -1,0 +1,27 @@
+//! Fixture: code inside `#[cfg(test)]` / `#[test]` items is exempt from all
+//! rules — the invariants protect simulation state, not test harnesses
+//! (which may legitimately time themselves or use a throwaway HashMap).
+
+pub fn simulation_code() -> u64 {
+    42
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let start = std::time::Instant::now();
+        assert_eq!(simulation_code(), 42);
+        let _elapsed = start.elapsed();
+        let _lucky: u64 = rand::random();
+    }
+
+    #[test]
+    fn hashed_containers_are_fine_in_tests() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

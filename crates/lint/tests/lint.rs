@@ -1,0 +1,301 @@
+//! End-to-end tests for the `comfase-lint` binary.
+//!
+//! Two layers:
+//!
+//! 1. **The real workspace is clean** — the auditor run exactly as CI runs it
+//!    must find zero violations in the five simulation crates. This is the
+//!    regression guard: reintroducing a `HashMap` field, an `Instant::now()`
+//!    or a `thread_rng()` anywhere in simulation code fails this test.
+//! 2. **Fixture corpus** — for every rule there is a fixture where it fires
+//!    and one where a well-formed `allow` annotation suppresses it, plus
+//!    clean/bad-annotation/test-exemption cases. Fixtures live in
+//!    `tests/fixtures/` (not compiled by cargo; only the auditor reads them).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+struct Outcome {
+    code: i32,
+    stdout: String,
+    stderr: String,
+}
+
+fn lint(args: &[&str]) -> Outcome {
+    let output = Command::new(env!("CARGO_BIN_EXE_comfase-lint"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("run comfase-lint");
+    Outcome {
+        code: output.status.code().expect("exit code"),
+        stdout: String::from_utf8(output.stdout).expect("utf-8 stdout"),
+        stderr: String::from_utf8(output.stderr).expect("utf-8 stderr"),
+    }
+}
+
+fn lint_fixture(name: &str) -> Outcome {
+    let path = fixture(name);
+    lint(&[path.to_str().expect("fixture path")])
+}
+
+#[test]
+fn real_workspace_has_no_violations() {
+    let out = lint(&["--workspace"]);
+    assert_eq!(
+        out.code, 0,
+        "workspace must be determinism-clean, got:\n{}",
+        out.stdout
+    );
+    assert!(
+        out.stdout.contains("no determinism violations"),
+        "{}",
+        out.stdout
+    );
+}
+
+#[test]
+fn hash_collections_fires_and_is_suppressible() {
+    let fires = lint_fixture("d1_hash_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    assert!(
+        fires.stdout.contains("error[hash-collections]"),
+        "{}",
+        fires.stdout
+    );
+    // Both the `use` line and each field/expression site are reported.
+    assert!(
+        fires.stdout.matches("error[hash-collections]").count() >= 3,
+        "{}",
+        fires.stdout
+    );
+
+    let allowed = lint_fixture("d1_hash_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+#[test]
+fn wall_clock_fires_and_is_suppressible() {
+    let fires = lint_fixture("d2_clock_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    assert!(
+        fires.stdout.contains("error[wall-clock]"),
+        "{}",
+        fires.stdout
+    );
+
+    let allowed = lint_fixture("d2_clock_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+#[test]
+fn ambient_rng_fires_and_is_suppressible() {
+    let fires = lint_fixture("d3_rng_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    assert!(
+        fires.stdout.contains("error[ambient-rng]"),
+        "{}",
+        fires.stdout
+    );
+    // thread_rng, rand::random, from_entropy: three distinct sites.
+    assert!(
+        fires.stdout.matches("error[ambient-rng]").count() >= 3,
+        "{}",
+        fires.stdout
+    );
+
+    let allowed = lint_fixture("d3_rng_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+#[test]
+fn global_state_fires_and_is_suppressible() {
+    let fires = lint_fixture("d4_global_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    assert!(
+        fires.stdout.contains("error[global-state]"),
+        "{}",
+        fires.stdout
+    );
+    // static mut, OnceLock, env::var, env::args: four distinct sites.
+    assert!(
+        fires.stdout.matches("error[global-state]").count() >= 4,
+        "{}",
+        fires.stdout
+    );
+
+    let allowed = lint_fixture("d4_global_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+#[test]
+fn float_ordering_fires_and_is_suppressible() {
+    let fires = lint_fixture("d5_float_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    assert!(
+        fires.stdout.contains("error[float-ordering]"),
+        "{}",
+        fires.stdout
+    );
+    // Both `.unwrap()` and `.expect(..)` after `.partial_cmp(..)` fire.
+    assert!(
+        fires.stdout.matches("error[float-ordering]").count() >= 2,
+        "{}",
+        fires.stdout
+    );
+
+    let allowed = lint_fixture("d5_float_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let out = lint_fixture("clean.rs");
+    assert_eq!(out.code, 0, "{}", out.stdout);
+    assert!(
+        out.stdout.contains("no determinism violations"),
+        "{}",
+        out.stdout
+    );
+}
+
+#[test]
+fn malformed_annotations_are_violations_and_do_not_suppress() {
+    let out = lint_fixture("bad_annotation.rs");
+    assert_eq!(out.code, 1, "{}", out.stdout);
+    // The underlying rule still fires (the annotation was ineffective)...
+    assert!(
+        out.stdout.contains("error[hash-collections]"),
+        "{}",
+        out.stdout
+    );
+    // ...and each malformed annotation is reported in its own right:
+    // missing reason, empty reason, unknown rule name.
+    assert!(
+        out.stdout.matches("error[bad-annotation]").count() >= 3,
+        "{}",
+        out.stdout
+    );
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let out = lint_fixture("test_exempt.rs");
+    assert_eq!(out.code, 0, "{}", out.stdout);
+}
+
+#[test]
+fn fixture_directory_scan_aggregates() {
+    let dir = fixture("");
+    let out = lint(&[dir.to_str().expect("fixtures dir")]);
+    assert_eq!(out.code, 1);
+    for rule in [
+        "hash-collections",
+        "wall-clock",
+        "ambient-rng",
+        "global-state",
+        "float-ordering",
+        "bad-annotation",
+    ] {
+        assert!(
+            out.stdout.contains(&format!("error[{rule}]")),
+            "rule {rule} missing from aggregate scan:\n{}",
+            out.stdout
+        );
+    }
+}
+
+#[test]
+fn json_report_shape() {
+    let path = fixture("d1_hash_fires.rs");
+    let out = lint(&["--format", "json", path.to_str().expect("fixture path")]);
+    assert_eq!(out.code, 1);
+    assert!(out.stdout.contains("\"version\": 1"), "{}", out.stdout);
+    assert!(
+        out.stdout.contains("\"files_scanned\": 1"),
+        "{}",
+        out.stdout
+    );
+    assert!(
+        out.stdout.contains("\"rule\": \"hash-collections\""),
+        "{}",
+        out.stdout
+    );
+    assert!(out.stdout.contains("\"line\": "), "{}", out.stdout);
+    // The declared count matches the number of violation objects. (Brace
+    // balancing would be misleading here: snippets may contain `{`.)
+    let declared: usize = out
+        .stdout
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"violation_count\": "))
+        .and_then(|n| n.trim_end_matches(',').parse().ok())
+        .expect("violation_count field");
+    assert_eq!(out.stdout.matches("\"rule\": ").count(), declared);
+    assert!(declared >= 3, "{}", out.stdout);
+    assert!(out.stdout.trim_end().ends_with('}'), "{}", out.stdout);
+}
+
+#[test]
+fn out_flag_writes_report_file() {
+    let report = std::env::temp_dir().join(format!("comfase-lint-{}.json", std::process::id()));
+    let path = fixture("clean.rs");
+    let out = lint(&[
+        "--format",
+        "json",
+        "--out",
+        report.to_str().expect("report path"),
+        path.to_str().expect("fixture path"),
+    ]);
+    assert_eq!(out.code, 0, "{}", out.stderr);
+    assert!(
+        out.stdout.is_empty(),
+        "stdout stays machine-clean with --out"
+    );
+    assert!(out.stderr.contains("wrote report"), "{}", out.stderr);
+    let written = std::fs::read_to_string(&report).expect("report file");
+    assert!(written.contains("\"violation_count\": 0"), "{written}");
+    std::fs::remove_file(&report).ok();
+}
+
+#[test]
+fn list_rules_covers_all_rules() {
+    let out = lint(&["--list-rules"]);
+    assert_eq!(out.code, 0);
+    for rule in [
+        "hash-collections",
+        "wall-clock",
+        "ambient-rng",
+        "global-state",
+        "float-ordering",
+        "bad-annotation",
+    ] {
+        assert!(out.stdout.contains(rule), "{rule} missing:\n{}", out.stdout);
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let none = lint(&[]);
+    assert_eq!(none.code, 2);
+    assert!(none.stderr.contains("usage:"), "{}", none.stderr);
+
+    let unknown = lint(&["--frobnicate"]);
+    assert_eq!(unknown.code, 2);
+    assert!(
+        unknown.stderr.contains("unknown flag"),
+        "{}",
+        unknown.stderr
+    );
+}

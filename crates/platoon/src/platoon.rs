@@ -101,7 +101,7 @@ impl PlatoonSpec {
         if self.members.is_empty() {
             return Err("platoon must have at least one member".into());
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &m in &self.members {
             if !seen.insert(m) {
                 return Err(format!("duplicate member id {m}"));

@@ -61,12 +61,12 @@ pub fn detect_collisions(time: SimTime, vehicles: &[Vehicle]) -> Vec<Collision> 
     idx.sort_by(|&a, &b| {
         let va = &vehicles[a];
         let vb = &vehicles[b];
-        va.state.lane.cmp(&vb.state.lane).then(
-            va.state
-                .pos_m
-                .partial_cmp(&vb.state.pos_m)
-                .expect("positions are finite"),
-        )
+        // total_cmp: deterministic total order even if a position ever goes
+        // NaN (a panic here would differ between fork and scratch runs).
+        va.state
+            .lane
+            .cmp(&vb.state.lane)
+            .then(va.state.pos_m.total_cmp(&vb.state.pos_m))
     });
     let mut out = Vec::new();
     for pair in idx.windows(2) {

@@ -61,6 +61,12 @@ pub fn integrate(
     dt_s: f64,
 ) -> StepOutcome {
     assert!(dt_s > 0.0, "step size must be positive");
+    // Sim sanitizer: a NaN/infinite kinematic input poisons every downstream
+    // comparison (collision sorting, controller gains) in run-dependent ways.
+    debug_assert!(
+        speed.is_finite() && accel.is_finite() && commanded.is_finite(),
+        "non-finite dynamics input: speed {speed}, accel {accel}, commanded {commanded}"
+    );
     let cmd = clamp_command(spec, commanded);
     let mut a = apply_actuation_lag(spec, accel, cmd, dt_s);
     a = clamp_command(spec, a);
@@ -70,6 +76,10 @@ pub fn integrate(
     // actually realised, not the commanded one.
     let realised = (new_speed - speed) / dt_s;
     let distance = (speed + new_speed) / 2.0 * dt_s;
+    debug_assert!(
+        realised.is_finite() && new_speed.is_finite() && distance.is_finite(),
+        "non-finite integration outcome: accel {realised}, speed {new_speed}, distance {distance}"
+    );
     StepOutcome {
         accel_mps2: realised,
         speed_mps: new_speed,
@@ -90,6 +100,11 @@ pub fn step_vehicle(vehicle: &mut Vehicle, dt_s: f64) -> StepOutcome {
     vehicle.state.speed_mps = out.speed_mps;
     vehicle.state.accel_mps2 = out.accel_mps2;
     vehicle.state.pos_m += out.distance_m;
+    debug_assert!(
+        vehicle.state.pos_m.is_finite(),
+        "vehicle {:?} position became non-finite",
+        vehicle.id
+    );
     out
 }
 

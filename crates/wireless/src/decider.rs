@@ -87,6 +87,12 @@ pub fn decide(
         }
     }
     let snir_db = ratio_db(signal, noise + worst);
+    // Sim sanitizer: a NaN SNIR would fail the threshold comparison silently
+    // and lose the frame without a `LossReason` the stats can explain.
+    debug_assert!(
+        !snir_db.is_nan(),
+        "SNIR is NaN (signal {signal:?}, noise {noise:?}, interference {worst:?})"
+    );
     if snir_db >= config.mcs.snir_threshold_db() {
         DeciderResult::Received { snir_db }
     } else {
