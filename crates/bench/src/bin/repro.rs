@@ -9,6 +9,12 @@
 //!       [--stride N]  subsample the delay campaign by N (default 1 = full 11250 runs)
 //!       [--threads N] worker threads (default: all cores)
 //!       [--csv DIR]   additionally write machine-readable CSVs into DIR
+//!       [--metrics]   collect deterministic telemetry; write results/metrics.json
+//!                     (+ metrics_dos.json) and the host-side results/profile.json
+//!       [--progress]  live per-experiment progress line on stderr
+//!       [--quiet]     suppress progress output
+//!       [--chrome-trace FILE]  write a golden-run event trace loadable in
+//!                              chrome://tracing or ui.perfetto.dev
 //! ```
 
 use std::collections::BTreeMap;
@@ -16,9 +22,11 @@ use std::io::Write;
 use std::time::Instant;
 
 use comfase::analysis;
-use comfase::campaign::{Campaign, CampaignResult};
+use comfase::campaign::{Campaign, CampaignObserver, CampaignPhase, CampaignResult};
 use comfase::config::AttackCampaignSetup;
-use comfase::prelude::{CommModel, Engine, ExecutionMode, TrafficScenario};
+use comfase::prelude::{
+    chrome_trace_json, CommModel, Engine, ExecutionMode, HostProfiler, ObsConfig, TrafficScenario,
+};
 use comfase::report;
 use comfase_bench::{delay_campaign, dos_campaign, paper_engine, REPRO_SEED};
 
@@ -27,6 +35,52 @@ struct Options {
     stride: usize,
     threads: usize,
     csv_dir: Option<std::path::PathBuf>,
+    metrics: bool,
+    progress: bool,
+    quiet: bool,
+    chrome_trace: Option<std::path::PathBuf>,
+}
+
+/// Campaign hooks of the repro harness: a wall-clock phase profiler
+/// (host-side only — nothing flows back into the simulations) plus the
+/// stderr progress line.
+struct ReproObserver {
+    profiler: HostProfiler,
+    progress: bool,
+    quiet: bool,
+}
+
+impl ReproObserver {
+    fn new(opts: &Options) -> Self {
+        ReproObserver {
+            profiler: HostProfiler::new(),
+            progress: opts.progress,
+            quiet: opts.quiet,
+        }
+    }
+}
+
+impl CampaignObserver for ReproObserver {
+    fn phase_started(&self, phase: CampaignPhase) {
+        self.profiler.begin(phase.name());
+    }
+
+    fn phase_finished(&self, phase: CampaignPhase) {
+        self.profiler.end(phase.name());
+    }
+
+    fn experiment_done(&self, done: usize, total: usize) {
+        if self.quiet {
+            return;
+        }
+        if self.progress || done.is_multiple_of(500) || done == total {
+            eprint!(
+                "\r  {done}/{total} ({:.0}%)",
+                100.0 * done as f64 / total as f64
+            );
+            let _ = std::io::stderr().flush();
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -34,10 +88,23 @@ fn parse_args() -> Options {
     let mut stride = 1usize;
     let mut threads = comfase_bench::default_threads();
     let mut csv_dir = None;
+    let mut metrics = false;
+    let mut progress = false;
+    let mut quiet = false;
+    let mut chrome_trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--all" => artefacts.push("all".into()),
+            "--metrics" => metrics = true,
+            "--progress" => progress = true,
+            "--quiet" => quiet = true,
+            "--chrome-trace" => {
+                chrome_trace = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--chrome-trace needs a file path")),
+                ));
+            }
             "--table1" | "--table2" | "--fig4" | "--fig5" | "--fig6" | "--fig7" | "--heatmap"
             | "--delay-summary" | "--dos-summary" | "--ablations" | "--bench-campaign" => {
                 artefacts.push(arg.trim_start_matches("--").into());
@@ -64,7 +131,8 @@ fn parse_args() -> Options {
                 println!(
                     "repro: regenerate the ComFASE paper's tables and figures\n\
                      usage: repro [--all|--table1|--table2|--fig4|--fig5|--fig6|--fig7|\
-                     --delay-summary|--dos-summary|--bench-campaign] [--stride N] [--threads N]"
+                     --delay-summary|--dos-summary|--bench-campaign] [--stride N] [--threads N]\n\
+                     \x20      [--metrics] [--progress|--quiet] [--chrome-trace FILE] [--csv DIR]"
                 );
                 std::process::exit(0);
             }
@@ -74,12 +142,28 @@ fn parse_args() -> Options {
     if artefacts.is_empty() {
         artefacts.push("all".into());
     }
+    if progress && quiet {
+        die("--progress and --quiet are mutually exclusive");
+    }
     Options {
         artefacts,
         stride,
         threads,
         csv_dir,
+        metrics,
+        progress,
+        quiet,
+        chrome_trace,
     }
+}
+
+/// Writes a campaign artifact into `results/`, creating the directory.
+fn write_results_file(name: &str, contents: &[u8]) {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write results file");
+    eprintln!("wrote {}", path.display());
 }
 
 fn write_csv(opts: &Options, name: &str, contents: &str) {
@@ -99,28 +183,40 @@ fn wants(opts: &Options, name: &str) -> bool {
     opts.artefacts.iter().any(|a| a == name || a == "all")
 }
 
-fn run_delay(opts: &Options) -> CampaignResult {
-    let campaign = delay_campaign(opts.stride);
+fn obs_config(opts: &Options) -> ObsConfig {
+    if opts.metrics {
+        ObsConfig::metrics_only()
+    } else {
+        ObsConfig::disabled()
+    }
+}
+
+fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
+    let campaign = delay_campaign(opts.stride).with_obs(obs_config(opts));
     let total = campaign.nr_experiments();
-    eprintln!(
-        "running delay campaign: {total} experiments (stride {}) on {} thread(s)...",
-        opts.stride, opts.threads
-    );
+    if !opts.quiet {
+        eprintln!(
+            "running delay campaign: {total} experiments (stride {}) on {} thread(s)...",
+            opts.stride, opts.threads
+        );
+    }
     let t0 = Instant::now();
     let result = campaign
-        .run_with_progress(opts.threads, |done, total| {
-            if done % 500 == 0 || done == total {
-                eprint!("\r  {done}/{total}");
-                let _ = std::io::stderr().flush();
-            }
-        })
+        .run_with_observer(opts.threads, ExecutionMode::PrefixFork, observer)
         .expect("campaign runs");
-    eprintln!("\ndelay campaign finished in {:.1?}", t0.elapsed());
+    if !opts.quiet {
+        eprintln!("\ndelay campaign finished in {:.1?}", t0.elapsed());
+    }
     result
 }
 
 fn main() {
     let opts = parse_args();
+    let observer = ReproObserver::new(&opts);
+
+    if let Some(path) = &opts.chrome_trace {
+        write_chrome_trace(path);
+    }
 
     if wants(&opts, "table1") {
         println!("{}", report::render_table1());
@@ -151,7 +247,18 @@ fn main() {
         .iter()
         .any(|a| wants(&opts, a));
     if needs_delay {
-        let result = run_delay(&opts);
+        let result = run_delay(&opts, &observer);
+        if let Some(metrics) = &result.metrics {
+            write_results_file("metrics.json", &metrics.to_json_bytes());
+            write_csv(
+                &opts,
+                "loss_breakdown.csv",
+                &report::loss_breakdown_csv(metrics),
+            );
+            if wants(&opts, "delay-summary") {
+                println!("{}", report::render_loss_breakdown(metrics));
+            }
+        }
         if wants(&opts, "fig5") {
             let map = analysis::by_duration(&result.records);
             println!("{}", report::render_fig5(&map));
@@ -210,12 +317,20 @@ fn main() {
     }
 
     if wants(&opts, "dos-summary") {
-        let campaign = dos_campaign();
-        eprintln!(
-            "running DoS campaign: {} experiments...",
-            campaign.nr_experiments()
-        );
-        let result = campaign.run(opts.threads).expect("campaign runs");
+        let campaign = dos_campaign().with_obs(obs_config(&opts));
+        if !opts.quiet {
+            eprintln!(
+                "running DoS campaign: {} experiments...",
+                campaign.nr_experiments()
+            );
+        }
+        let result = campaign
+            .run_with_observer(opts.threads, ExecutionMode::PrefixFork, &observer)
+            .expect("campaign runs");
+        if let Some(metrics) = &result.metrics {
+            write_results_file("metrics_dos.json", &metrics.to_json_bytes());
+            println!("{}", report::render_loss_breakdown(metrics));
+        }
         println!("== DoS campaign summary (paper §IV-C.2) ==");
         println!(
             "{}",
@@ -242,6 +357,47 @@ fn main() {
     if opts.artefacts.iter().any(|a| a == "bench-campaign") {
         run_bench_campaign(&opts);
     }
+
+    if opts.metrics {
+        write_profile(&opts, &observer.profiler);
+    }
+}
+
+/// Writes the host-side wall-clock profile (`results/profile.json`).
+///
+/// Wall-clock numbers live here and only here — `metrics.json` carries
+/// exclusively sim-derived, deterministic values.
+fn write_profile(opts: &Options, profiler: &HostProfiler) {
+    let phases: BTreeMap<String, f64> = profiler.report().into_iter().collect();
+    let json = serde_json::json!({
+        "threads": opts.threads,
+        "stride": opts.stride,
+        "phase_wall_s": phases,
+        "total_wall_s": profiler.total_seconds(),
+    });
+    write_results_file(
+        "profile.json",
+        serde_json::to_string_pretty(&json)
+            .expect("serializable")
+            .as_bytes(),
+    );
+}
+
+/// Runs the attack-free golden run with full event tracing and writes a
+/// chrome://tracing / Perfetto-loadable JSON trace.
+fn write_chrome_trace(path: &std::path::Path) {
+    eprintln!("tracing golden run for {}...", path.display());
+    let engine = paper_engine().with_obs(ObsConfig::with_trace());
+    let golden = engine.golden_run().expect("golden run");
+    let trace = chrome_trace_json(&golden.obs.events);
+    if golden.obs.dropped_events > 0 {
+        eprintln!(
+            "  note: {} events beyond the trace capacity were dropped",
+            golden.obs.dropped_events
+        );
+    }
+    std::fs::write(path, trace).expect("write chrome trace");
+    eprintln!("wrote {}", path.display());
 }
 
 /// Times the delay campaign in both execution modes, verifies they agree,

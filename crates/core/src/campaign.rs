@@ -25,6 +25,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use comfase_des::time::SimTime;
+use comfase_obs::{CampaignMetrics, ExperimentMetrics, HostProfiler, ObsConfig};
 
 use crate::attack::AttackSpec;
 use crate::classify::{classify, ClassificationParams, Verdict};
@@ -44,6 +45,68 @@ pub enum ExecutionMode {
     /// Simulate every experiment from t = 0. Slower; kept as the
     /// reference implementation for equivalence tests and benchmarks.
     FromScratch,
+}
+
+/// The coarse phases of a campaign run, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignPhase {
+    /// Step 2: the attack-free reference run.
+    Golden,
+    /// Prefix snapshots (one per distinct attack start time; skipped in
+    /// [`ExecutionMode::FromScratch`]).
+    Prefixes,
+    /// Step 3 + 4: the experiment sweep.
+    Experiments,
+}
+
+impl CampaignPhase {
+    /// Stable phase name for profiles and progress lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            CampaignPhase::Golden => "golden",
+            CampaignPhase::Prefixes => "prefixes",
+            CampaignPhase::Experiments => "experiments",
+        }
+    }
+}
+
+/// Host-side hooks into a campaign run — phase boundaries and experiment
+/// completions. Implementations may read wall clocks; nothing they observe
+/// flows back into simulation state, so determinism of the run itself is
+/// unaffected.
+pub trait CampaignObserver: Sync {
+    /// A phase is about to start.
+    fn phase_started(&self, phase: CampaignPhase) {
+        let _ = phase;
+    }
+
+    /// A phase completed.
+    fn phase_finished(&self, phase: CampaignPhase) {
+        let _ = phase;
+    }
+
+    /// An experiment finished (`done` of `total`). Called from worker
+    /// threads, possibly concurrently.
+    fn experiment_done(&self, done: usize, total: usize) {
+        let _ = (done, total);
+    }
+}
+
+/// Observer that does nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl CampaignObserver for NullObserver {}
+
+/// A [`HostProfiler`] times each campaign phase.
+impl CampaignObserver for HostProfiler {
+    fn phase_started(&self, phase: CampaignPhase) {
+        self.begin(phase.name());
+    }
+
+    fn phase_finished(&self, phase: CampaignPhase) {
+        self.end(phase.name());
+    }
 }
 
 /// Execution counters of one campaign run.
@@ -94,6 +157,11 @@ pub struct CampaignResult {
     /// Execution counters (snapshot reuse).
     #[serde(default)]
     pub stats: CampaignStats,
+    /// The `metrics.json` artifact, when the engine ran with telemetry
+    /// enabled ([`Engine::with_obs`]). Sim-derived only: byte-identical
+    /// across execution modes and thread counts.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<CampaignMetrics>,
 }
 
 impl CampaignResult {
@@ -134,6 +202,14 @@ impl Campaign {
             #[cfg(test)]
             fail_experiment: None,
         })
+    }
+
+    /// Enables telemetry on the underlying engine, so every run contributes
+    /// to the campaign's `metrics.json` artifact.
+    #[must_use]
+    pub fn with_obs(mut self, cfg: ObsConfig) -> Self {
+        self.engine = self.engine.with_obs(cfg);
+        self
     }
 
     /// The campaign setup.
@@ -222,19 +298,54 @@ impl Campaign {
     where
         P: Fn(usize, usize) + Sync,
     {
+        self.run_impl(threads, mode, &progress, &NullObserver)
+    }
+
+    /// Runs the campaign with host-side observer hooks (phase boundaries,
+    /// experiment completions) — e.g. a [`HostProfiler`] or a progress
+    /// reporter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulation-construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_with_observer(
+        &self,
+        threads: usize,
+        mode: ExecutionMode,
+        observer: &dyn CampaignObserver,
+    ) -> Result<CampaignResult, ComfaseError> {
+        self.run_impl(threads, mode, &|_, _| {}, observer)
+    }
+
+    fn run_impl(
+        &self,
+        threads: usize,
+        mode: ExecutionMode,
+        progress: &(dyn Fn(usize, usize) + Sync),
+        observer: &dyn CampaignObserver,
+    ) -> Result<CampaignResult, ComfaseError> {
         assert!(threads > 0, "at least one worker thread required");
+        let collect_metrics = self.engine.obs().metrics;
         let specs = self.engine.expand_campaign(&self.setup)?;
         let total = specs.len();
         // Step 2: golden run (once).
+        observer.phase_started(CampaignPhase::Golden);
         let golden = self.engine.golden_run()?;
+        observer.phase_finished(CampaignPhase::Golden);
         let params = ClassificationParams::from_golden(&golden.trace);
 
         // Prefix phase (fork mode): one attack-free snapshot per distinct
         // start time, built in parallel across the workers.
+        observer.phase_started(CampaignPhase::Prefixes);
         let (starts, prefixes) = match mode {
             ExecutionMode::PrefixFork => self.build_prefixes(threads, &specs)?,
             ExecutionMode::FromScratch => (Vec::new(), Vec::new()),
         };
+        observer.phase_finished(CampaignPhase::Prefixes);
         let stats = CampaignStats {
             prefix_snapshots: prefixes.len(),
             forked_runs: if prefixes.is_empty() { 0 } else { total },
@@ -245,8 +356,11 @@ impl Campaign {
         let done = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let records: Mutex<Vec<ExperimentRecord>> = Mutex::new(Vec::with_capacity(total));
+        let metrics_rows: Mutex<Vec<ExperimentMetrics>> =
+            Mutex::new(Vec::with_capacity(if collect_metrics { total } else { 0 }));
         let first_error: Mutex<Option<ComfaseError>> = Mutex::new(None);
 
+        observer.phase_started(CampaignPhase::Experiments);
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads.min(total.max(1)) {
                 scope.spawn(|_| loop {
@@ -260,6 +374,11 @@ impl Campaign {
                     match self.execute_one(&specs[i], i, &starts, &prefixes) {
                         Ok(run) => {
                             let verdict = classify(&golden.trace, &run.trace, &params);
+                            if collect_metrics {
+                                metrics_rows
+                                    .lock()
+                                    .push(run.experiment_metrics(i, verdict.class.to_string()));
+                            }
                             records.lock().push(ExperimentRecord {
                                 index: i,
                                 spec: specs[i].clone(),
@@ -267,6 +386,7 @@ impl Campaign {
                             });
                             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                             progress(d, total);
+                            observer.experiment_done(d, total);
                         }
                         Err(e) => {
                             first_error.lock().get_or_insert(e);
@@ -282,17 +402,27 @@ impl Campaign {
             }
         })
         .expect("campaign worker panicked");
+        observer.phase_finished(CampaignPhase::Experiments);
 
         if let Some(e) = first_error.into_inner() {
             return Err(e);
         }
         let mut records = records.into_inner();
         records.sort_by_key(|r| r.index);
+        // CampaignMetrics::build re-sorts the rows by experiment index, so
+        // the artifact is independent of worker-thread completion order.
+        let metrics = collect_metrics.then(|| {
+            CampaignMetrics::build(
+                metrics_rows.into_inner(),
+                Some(golden.experiment_metrics(0, "Golden".to_string())),
+            )
+        });
         Ok(CampaignResult {
             records,
             params,
             golden,
             stats,
+            metrics,
         })
     }
 

@@ -12,6 +12,7 @@
 //! Campaign iteration (the three nested loops) lives in [`crate::campaign`].
 
 use comfase_des::time::SimTime;
+use comfase_obs::ObsConfig;
 
 use crate::attack::AttackSpec;
 use crate::classify::{classify, ClassificationParams, Verdict};
@@ -26,6 +27,7 @@ pub struct Engine {
     scenario: TrafficScenario,
     comm: CommModel,
     seed: u64,
+    obs: ObsConfig,
 }
 
 impl Engine {
@@ -45,7 +47,22 @@ impl Engine {
             scenario,
             comm,
             seed,
+            obs: ObsConfig::disabled(),
         })
+    }
+
+    /// Enables telemetry for every world this engine builds. All recorded
+    /// values are sim-derived, so runs stay bit-identical across execution
+    /// modes and thread counts.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The telemetry configuration.
+    pub fn obs(&self) -> ObsConfig {
+        self.obs
     }
 
     /// An engine for the paper's demonstration setup (§IV-A).
@@ -83,7 +100,7 @@ impl Engine {
     ///
     /// Propagates world-construction failures.
     pub fn golden_run(&self) -> Result<RunLog, ComfaseError> {
-        let mut world = World::new(&self.scenario, &self.comm, self.seed)?;
+        let mut world = World::with_obs(&self.scenario, &self.comm, self.seed, self.obs)?;
         world.run_to_end();
         Ok(world.into_log())
     }
@@ -105,7 +122,7 @@ impl Engine {
         attack: &AttackSpec,
         experiment_index: u64,
     ) -> Result<RunLog, ComfaseError> {
-        let mut world = World::new(&self.scenario, &self.comm, self.seed)?;
+        let mut world = World::with_obs(&self.scenario, &self.comm, self.seed, self.obs)?;
         // Line 12: simulate with the pristine model until the attack starts.
         world.run_until(attack.start);
         // Line 11 + 13: install the updated communication model, simulate
@@ -129,7 +146,7 @@ impl Engine {
     ///
     /// Propagates world-construction failures.
     pub fn prefix_snapshot(&self, until: SimTime) -> Result<World, ComfaseError> {
-        let mut world = World::new(&self.scenario, &self.comm, self.seed)?;
+        let mut world = World::with_obs(&self.scenario, &self.comm, self.seed, self.obs)?;
         world.run_until(until);
         Ok(world)
     }

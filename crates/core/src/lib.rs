@@ -64,7 +64,8 @@ pub mod world;
 pub mod prelude {
     pub use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
     pub use crate::campaign::{
-        Campaign, CampaignResult, CampaignStats, ExecutionMode, ExperimentRecord,
+        Campaign, CampaignObserver, CampaignPhase, CampaignResult, CampaignStats, ExecutionMode,
+        ExperimentRecord, NullObserver,
     };
     pub use crate::classify::{Classification, ClassificationParams, Verdict};
     pub use crate::config::{
@@ -75,4 +76,8 @@ pub mod prelude {
     pub use crate::log::RunLog;
     pub use crate::teleop::{TeleopLink, TeleopScenario, TeleopWorld};
     pub use crate::world::{JammerSpec, World};
+    pub use comfase_obs::{
+        chrome_trace_json, CampaignMetrics, ExperimentMetrics, FrameBreakdown, HostProfiler,
+        KernelCounters, MetricsSnapshot, ObsConfig,
+    };
 }

@@ -6,7 +6,9 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use comfase_des::time::SimTime;
+use comfase_obs::{FrameBreakdown, KernelCounters, MetricsSnapshot};
 use comfase_platoon::app::AppStats;
+use comfase_traffic::simulation::TrafficStats;
 use comfase_traffic::trace::TrafficTrace;
 use comfase_wireless::channel::ChannelStats;
 use comfase_wireless::mac::MacStats;
@@ -32,6 +34,17 @@ pub struct RunLog {
     pub comm: BTreeMap<u32, VehicleCommStats>,
     /// Time the run ended.
     pub final_time: SimTime,
+    /// DES-kernel event accounting (scheduled/delivered/cancelled/pending).
+    #[serde(default)]
+    pub kernel: KernelCounters,
+    /// Traffic-level safety counters (steps, collisions, hard braking).
+    #[serde(default)]
+    pub traffic_stats: TrafficStats,
+    /// Named telemetry counters, histograms and trace events. Empty unless
+    /// the run was built with telemetry enabled
+    /// ([`crate::world::World::with_obs`]).
+    #[serde(default)]
+    pub obs: MetricsSnapshot,
 }
 
 impl RunLog {
@@ -43,6 +56,59 @@ impl RunLog {
     /// `true` if any collision incident was recorded.
     pub fn has_collision(&self) -> bool {
         self.trace.has_collision()
+    }
+
+    /// Attributes every frame of the run to its fate, combining channel,
+    /// MAC and telemetry counters.
+    ///
+    /// The identity `links_planned == received + lost_snir +
+    /// lost_sensitivity + rx_inactive + in_flight_at_end` holds exactly
+    /// when the run was recorded with telemetry enabled; without telemetry
+    /// the `rx_inactive` share is indistinguishable from links still in
+    /// flight and is folded into `in_flight_at_end`.
+    pub fn frame_breakdown(&self) -> FrameBreakdown {
+        let ch = &self.channel;
+        let decided = ch.received + ch.lost_snir + ch.lost_sensitivity;
+        let rx_inactive = self.obs.counter("phy.rx.inactive");
+        let in_flight_at_end = ch
+            .links_planned
+            .saturating_sub(decided)
+            .saturating_sub(rx_inactive);
+        let mac_dropped_queue_full: u64 =
+            self.comm.values().map(|c| c.mac.dropped_queue_full).sum();
+        let mac_deferrals: u64 = self.comm.values().map(|c| c.mac.deferrals).sum();
+        let mac_deferrals_guard: u64 = self.comm.values().map(|c| c.mac.deferrals_guard).sum();
+        FrameBreakdown {
+            transmissions: ch.transmissions,
+            links_planned: ch.links_planned,
+            received: ch.received,
+            lost_snir: ch.lost_snir,
+            lost_sensitivity: ch.lost_sensitivity,
+            dropped_interceptor: ch.links_dropped_by_interceptor,
+            below_noise: ch.links_below_noise,
+            rx_inactive,
+            in_flight_at_end,
+            mac_dropped_queue_full,
+            mac_deferrals_busy: mac_deferrals.saturating_sub(mac_deferrals_guard),
+            mac_deferrals_guard,
+        }
+    }
+
+    /// Builds the per-experiment metrics row for `metrics.json`.
+    pub fn experiment_metrics(
+        &self,
+        index: usize,
+        classification: String,
+    ) -> comfase_obs::ExperimentMetrics {
+        comfase_obs::ExperimentMetrics {
+            index,
+            classification,
+            max_decel_mps2: self.max_decel(),
+            collisions: self.traffic_stats.collisions,
+            kernel: self.kernel,
+            frames: self.frame_breakdown(),
+            counters: self.obs.counters.clone(),
+        }
     }
 }
 
@@ -69,6 +135,9 @@ mod tests {
             channel: ChannelStats::default(),
             comm,
             final_time: SimTime::from_secs(1),
+            kernel: KernelCounters::default(),
+            traffic_stats: TrafficStats::default(),
+            obs: MetricsSnapshot::default(),
         }
     }
 
@@ -87,5 +156,37 @@ mod tests {
         let log = small_log();
         assert_eq!(log.max_decel(), 0.0);
         assert!(!log.has_collision());
+    }
+
+    #[test]
+    fn frame_breakdown_combines_channel_mac_and_telemetry() {
+        let mut log = small_log();
+        log.channel.transmissions = 10;
+        log.channel.links_planned = 30;
+        log.channel.received = 20;
+        log.channel.lost_snir = 4;
+        log.channel.lost_sensitivity = 1;
+        log.channel.links_dropped_by_interceptor = 7;
+        log.channel.links_below_noise = 2;
+        log.obs.counters.insert("phy.rx.inactive".into(), 3);
+        log.comm.get_mut(&1).unwrap().mac = MacStats {
+            dropped_queue_full: 5,
+            deferrals: 9,
+            deferrals_guard: 4,
+            ..MacStats::default()
+        };
+        let f = log.frame_breakdown();
+        assert_eq!(f.rx_inactive, 3);
+        assert_eq!(f.in_flight_at_end, 2, "30 - 20 - 4 - 1 - 3");
+        assert_eq!(
+            f.links_planned,
+            f.received + f.lost_snir + f.lost_sensitivity + f.rx_inactive + f.in_flight_at_end
+        );
+        assert_eq!(f.dropped_interceptor, 7);
+        assert_eq!(f.below_noise, 2);
+        assert_eq!(f.mac_dropped_queue_full, 5);
+        assert_eq!(f.mac_deferrals_busy, 5);
+        assert_eq!(f.mac_deferrals_guard, 4);
+        assert_eq!(f.not_delivered(), 10);
     }
 }

@@ -325,6 +325,88 @@ pub fn fig4_csv(golden: &RunLog, sample_every_s: f64) -> String {
     out
 }
 
+/// Renders the campaign-wide packet-loss breakdown: where every frame of
+/// the sweep ended up, attributed by cause (telemetry-enabled campaigns
+/// only — see [`crate::campaign::CampaignResult::metrics`]).
+pub fn render_loss_breakdown(metrics: &comfase_obs::CampaignMetrics) -> String {
+    let f = &metrics.aggregate.frames;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Packet-loss breakdown over {} experiments:",
+        metrics.experiments
+    );
+    let _ = writeln!(out, "{:<28} | {:>14}", "fate", "links");
+    let _ = writeln!(out, "{}", "-".repeat(45));
+    let pct = |n: u64| {
+        if f.links_planned == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / f.links_planned as f64
+        }
+    };
+    let mut row = |label: &str, n: u64| {
+        let _ = writeln!(out, "{label:<28} | {n:>14} ({:.1}%)", pct(n));
+    };
+    row("received", f.received);
+    row("lost: SNIR (interference)", f.lost_snir);
+    row("lost: below sensitivity", f.lost_sensitivity);
+    row("lost: receiver inactive", f.rx_inactive);
+    row("in flight at end", f.in_flight_at_end);
+    let _ = writeln!(out, "{}", "-".repeat(45));
+    let _ = writeln!(
+        out,
+        "{:<28} | {:>14} (100.0%)",
+        "links planned", f.links_planned
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Never planned (pre-channel):");
+    let _ = writeln!(
+        out,
+        "  dropped by interceptor {:>10}   below noise floor {:>10}",
+        f.dropped_interceptor, f.below_noise
+    );
+    let _ = writeln!(
+        out,
+        "MAC layer: queue-full drops {:>7}   deferrals busy {:>10}   deferrals guard {:>8}",
+        f.mac_dropped_queue_full, f.mac_deferrals_busy, f.mac_deferrals_guard
+    );
+    out
+}
+
+/// CSV rendering of the loss breakdown, one row per experiment plus an
+/// `aggregate` row.
+pub fn loss_breakdown_csv(metrics: &comfase_obs::CampaignMetrics) -> String {
+    let mut out = String::from(
+        "index,transmissions,links_planned,received,lost_snir,lost_sensitivity,\
+         dropped_interceptor,below_noise,rx_inactive,in_flight_at_end,\
+         mac_dropped_queue_full,mac_deferrals_busy,mac_deferrals_guard\n",
+    );
+    let mut row = |label: String, f: &comfase_obs::FrameBreakdown| {
+        let _ = writeln!(
+            out,
+            "{label},{},{},{},{},{},{},{},{},{},{},{},{}",
+            f.transmissions,
+            f.links_planned,
+            f.received,
+            f.lost_snir,
+            f.lost_sensitivity,
+            f.dropped_interceptor,
+            f.below_noise,
+            f.rx_inactive,
+            f.in_flight_at_end,
+            f.mac_dropped_queue_full,
+            f.mac_deferrals_busy,
+            f.mac_deferrals_guard
+        );
+    };
+    for exp in &metrics.per_experiment {
+        row(exp.index.to_string(), &exp.frames);
+    }
+    row(String::from("aggregate"), &metrics.aggregate.frames);
+    out
+}
+
 /// CSV dump of every experiment record
 /// (`index,model,value,start,end,class,max_decel,collider`).
 pub fn records_csv(records: &[crate::campaign::ExperimentRecord]) -> String {
@@ -371,6 +453,47 @@ mod tests {
         assert!(t.contains("0.2 to 3.0 (15 values)"), "{t}");
         assert!(t.contains("17.0 to 21.8 (25 values)"), "{t}");
         assert!(t.contains("until totalSimTime"), "{t}");
+    }
+
+    #[test]
+    fn loss_breakdown_renders_and_exports_csv() {
+        let row = |index: usize| comfase_obs::ExperimentMetrics {
+            index,
+            classification: String::from("Benign"),
+            max_decel_mps2: 2.0,
+            collisions: 0,
+            kernel: comfase_obs::KernelCounters::default(),
+            frames: comfase_obs::FrameBreakdown {
+                transmissions: 100,
+                links_planned: 300,
+                received: 250,
+                lost_snir: 30,
+                lost_sensitivity: 5,
+                dropped_interceptor: 12,
+                below_noise: 3,
+                rx_inactive: 10,
+                in_flight_at_end: 5,
+                mac_dropped_queue_full: 1,
+                mac_deferrals_busy: 7,
+                mac_deferrals_guard: 2,
+            },
+            counters: Default::default(),
+        };
+        let metrics = comfase_obs::CampaignMetrics::build(vec![row(0), row(1)], None);
+
+        let text = render_loss_breakdown(&metrics);
+        assert!(text.contains("2 experiments"), "{text}");
+        assert!(text.contains("lost: SNIR"), "{text}");
+        // 500/600 received → 83.3 % of links planned.
+        assert!(text.contains("(83.3%)"), "{text}");
+        assert!(text.contains("dropped by interceptor         24"), "{text}");
+
+        let csv = loss_breakdown_csv(&metrics);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 rows + aggregate:\n{csv}");
+        assert!(lines[0].starts_with("index,transmissions,links_planned"));
+        assert_eq!(lines[1], "0,100,300,250,30,5,12,3,10,5,1,7,2");
+        assert_eq!(lines[3], "aggregate,200,600,500,60,10,24,6,20,10,2,14,4");
     }
 
     #[test]

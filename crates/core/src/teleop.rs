@@ -453,11 +453,21 @@ impl TeleopWorld {
                 ..Default::default()
             },
         );
+        let kernel = comfase_obs::KernelCounters {
+            scheduled: self.sim.scheduled(),
+            delivered: self.sim.delivered(),
+            cancelled: self.sim.cancelled(),
+            pending_at_end: self.sim.pending() as u64,
+        };
+        let traffic_stats = self.traffic.stats();
         RunLog {
             trace: self.traffic.into_trace(),
             channel: self.medium.stats(),
             comm,
             final_time: self.sim.now(),
+            kernel,
+            traffic_stats,
+            obs: comfase_obs::MetricsSnapshot::default(),
         }
     }
 

@@ -21,6 +21,8 @@ use std::collections::BTreeMap;
 use comfase_des::rng::StreamId;
 use comfase_des::sim::Simulator;
 use comfase_des::time::{SimDuration, SimTime};
+use comfase_obs::trace::TRACK_KERNEL;
+use comfase_obs::{HistSpec, KernelCounters, ObsConfig, Recorder, SimRecorder, TraceKind};
 use comfase_platoon::app::PlatoonApp;
 use comfase_platoon::beacon::PlatoonBeacon;
 use comfase_platoon::controller::{EgoState, RadarReading};
@@ -50,6 +52,15 @@ use crate::log::{RunLog, VehicleCommStats};
 const PRIO_RADIO: i16 = -10;
 const PRIO_TRAFFIC: i16 = 0;
 const PRIO_BEACON: i16 = 10;
+
+/// Bucket layout of the received-power histogram (`phy.rx.power_dbm`):
+/// −110 dBm (near the noise floor) to −30 dBm (bumper distance) in 2 dB
+/// bins.
+const RX_POWER_HIST: HistSpec = HistSpec {
+    lo: -110.0,
+    hi: -30.0,
+    bins: 40,
+};
 
 /// A deliberate RF noise source attached to the scenario — the "jamming
 /// attacks in the wireless channel" the paper lists as future work. The
@@ -168,6 +179,9 @@ pub struct World {
     total_time: SimTime,
     lane_offset_y: f64,
     jammers: Vec<JammerSpec>,
+    /// Deterministic telemetry recorder. Part of cloned state, so a forked
+    /// run carries the prefix's counters exactly like a from-scratch run.
+    obs: SimRecorder,
 }
 
 impl World {
@@ -180,6 +194,22 @@ impl World {
         scenario: &TrafficScenario,
         comm: &CommModel,
         seed: u64,
+    ) -> Result<World, ComfaseError> {
+        World::with_obs(scenario, comm, seed, ObsConfig::disabled())
+    }
+
+    /// Builds a world with a telemetry configuration. With
+    /// [`ObsConfig::disabled`] this is identical to [`World::new`] — the
+    /// recorder degenerates to a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either configuration is invalid.
+    pub fn with_obs(
+        scenario: &TrafficScenario,
+        comm: &CommModel,
+        seed: u64,
+        obs: ObsConfig,
     ) -> Result<World, ComfaseError> {
         scenario.validate()?;
         comm.validate()?;
@@ -288,6 +318,7 @@ impl World {
             total_time: scenario.total_sim_time,
             lane_offset_y,
             jammers: Vec::new(),
+            obs: SimRecorder::new(obs),
         };
         world.sync_positions();
         for spec in scenario_jammers {
@@ -327,11 +358,16 @@ impl World {
     /// Installs an attack interceptor on the wireless channel
     /// (`CommModelEditor`, Algo. 1 line 11).
     pub fn install_attack(&mut self, interceptor: Box<dyn ChannelInterceptor>) {
+        self.obs.inc("attack.installed");
+        self.obs
+            .trace_event(self.sim.now(), TRACK_KERNEL, "attack.on", TraceKind::Mark);
         self.medium.set_interceptor(interceptor);
     }
 
     /// Removes the attack, restoring the original communication model.
     pub fn clear_attack(&mut self) {
+        self.obs
+            .trace_event(self.sim.now(), TRACK_KERNEL, "attack.off", TraceKind::Mark);
         self.medium.clear_interceptor();
     }
 
@@ -364,11 +400,21 @@ impl World {
                 )
             })
             .collect();
+        let kernel = KernelCounters {
+            scheduled: self.sim.scheduled(),
+            delivered: self.sim.delivered(),
+            cancelled: self.sim.cancelled(),
+            pending_at_end: self.sim.pending() as u64,
+        };
+        let traffic_stats = self.traffic.stats();
         RunLog {
             trace: self.traffic.into_trace(),
             channel: self.medium.stats(),
             comm,
             final_time: self.sim.now(),
+            kernel,
+            traffic_stats,
+            obs: self.obs.into_snapshot(),
         }
     }
 
@@ -420,6 +466,17 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: WorldEvent) {
+        if self.obs.enabled() {
+            self.obs.inc(match &ev {
+                WorldEvent::TrafficStep => "kernel.dispatch.traffic_step",
+                WorldEvent::Beacon { .. } => "kernel.dispatch.beacon",
+                WorldEvent::MacTimer { .. } => "kernel.dispatch.mac_timer",
+                WorldEvent::TxEnd { .. } => "kernel.dispatch.tx_end",
+                WorldEvent::RxStart { .. } => "kernel.dispatch.rx_start",
+                WorldEvent::RxEnd { .. } => "kernel.dispatch.rx_end",
+                WorldEvent::JammerTx { .. } => "kernel.dispatch.jammer_tx",
+            });
+        }
         match ev {
             WorldEvent::TrafficStep => self.on_traffic_step(),
             WorldEvent::Beacon { vehicle } => self.on_beacon_timer(vehicle),
@@ -531,6 +588,9 @@ impl World {
         // which also silences its radio).
         let collisions = self.traffic.step();
         for c in &collisions {
+            self.obs.inc("traffic.collisions");
+            self.obs
+                .trace_event(now, c.collider.0, "collision", TraceKind::Mark);
             if let Some(node) = self.nodes.get_mut(&c.collider.0) {
                 node.active = false;
             }
@@ -596,6 +656,12 @@ impl World {
                 }
                 MacAction::StartTx(wsm) => {
                     let out = self.medium.transmit(NodeId(vehicle), wsm, now);
+                    if self.obs.enabled() {
+                        self.obs.inc("phy.tx.frames");
+                        self.obs.trace_event(now, vehicle, "tx", TraceKind::Begin);
+                        self.obs
+                            .trace_event(now + out.duration, vehicle, "tx", TraceKind::End);
+                    }
                     self.sim.schedule_at_with_priority(
                         now + out.duration,
                         PRIO_RADIO,
@@ -645,12 +711,31 @@ impl World {
         let now = self.sim.now();
         let rx = reception.rx.0;
         let Some(node) = self.nodes.get_mut(&rx) else {
+            // Planned for a radio that never decodes (jammer node) — the
+            // link leaves the accounting here.
+            self.obs.inc("phy.rx.inactive");
             return;
         };
         if !node.active {
+            // Receiver crashed mid-flight; same attribution.
+            self.obs.inc("phy.rx.inactive");
             return;
         }
         let result = self.medium.reception_finished(&reception);
+        if self.obs.enabled() {
+            self.obs.observe(
+                "phy.rx.power_dbm",
+                RX_POWER_HIST,
+                reception.power.to_dbm().0,
+            );
+            if result.is_received() {
+                self.obs.inc("phy.rx.ok");
+                self.obs.trace_event(now, rx, "rx", TraceKind::Mark);
+            } else {
+                self.obs.inc("phy.rx.lost");
+                self.obs.trace_event(now, rx, "rx.lost", TraceKind::Mark);
+            }
+        }
         if result.is_received() {
             if let Ok(beacon) = PlatoonBeacon::decode(reception.wsm.payload.clone()) {
                 node.app.on_beacon(beacon);

@@ -4,6 +4,7 @@
 //! would be both slow and useless. Instead each run can collect a bounded
 //! [`EventLog`] that analysis code (or a failing test) inspects afterwards.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -79,18 +80,23 @@ impl fmt::Display for LogEntry {
 pub struct EventLog {
     min_level: LogLevel,
     capacity: usize,
-    entries: Vec<LogEntry>,
+    entries: VecDeque<LogEntry>,
     dropped: u64,
 }
 
+/// Pre-sizing clamp for [`EventLog::new`]: a huge configured capacity must
+/// not turn into a huge up-front allocation.
+const PRESIZE_CLAMP: usize = 4096;
+
 impl EventLog {
     /// Creates a log keeping at most `capacity` entries at `min_level` or
-    /// above.
+    /// above. The ring buffer is pre-sized (up to a clamp) so steady-state
+    /// logging neither reallocates nor shifts entries.
     pub fn new(min_level: LogLevel, capacity: usize) -> Self {
         EventLog {
             min_level,
             capacity,
-            entries: Vec::new(),
+            entries: VecDeque::with_capacity(capacity.min(PRESIZE_CLAMP)),
             dropped: 0,
         }
     }
@@ -113,10 +119,10 @@ impl EventLog {
             return;
         }
         if self.entries.len() == self.capacity {
-            self.entries.remove(0);
+            self.entries.pop_front();
             self.dropped += 1;
         }
-        self.entries.push(LogEntry {
+        self.entries.push_back(LogEntry {
             time,
             level,
             source: source.into(),
@@ -125,7 +131,7 @@ impl EventLog {
     }
 
     /// The retained entries, oldest first.
-    pub fn entries(&self) -> &[LogEntry] {
+    pub fn entries(&self) -> &VecDeque<LogEntry> {
         &self.entries
     }
 
@@ -169,6 +175,14 @@ mod tests {
         assert_eq!(log.dropped(), 2);
         assert_eq!(log.entries()[0].message, "m2");
         assert_eq!(log.entries()[2].message, "m4");
+    }
+
+    #[test]
+    fn buffer_is_presized_and_clamped() {
+        let log = EventLog::new(LogLevel::Trace, 100);
+        assert!(log.entries.capacity() >= 100);
+        let huge = EventLog::new(LogLevel::Trace, usize::MAX);
+        assert!(huge.entries.capacity() <= 2 * PRESIZE_CLAMP);
     }
 
     #[test]

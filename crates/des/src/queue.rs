@@ -87,6 +87,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     scheduled_total: u64,
     delivered_total: u64,
+    cancelled_total: u64,
     // Sim-sanitizer state: timestamp of the last delivered event, so debug
     // builds catch any non-monotone delivery at the queue boundary.
     last_popped: Option<SimTime>,
@@ -107,6 +108,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             scheduled_total: 0,
             delivered_total: 0,
+            cancelled_total: 0,
             last_popped: None,
         }
     }
@@ -144,7 +146,11 @@ impl<E> EventQueue<E> {
         if id.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(id.0)
+        let fresh = self.cancelled.insert(id.0);
+        if fresh {
+            self.cancelled_total += 1;
+        }
+        fresh
     }
 
     /// Time of the next pending event, if any.
@@ -194,6 +200,15 @@ impl<E> EventQueue<E> {
     /// Total number of events delivered via `pop`.
     pub fn delivered_total(&self) -> u64 {
         self.delivered_total
+    }
+
+    /// Total number of successful cancellations.
+    ///
+    /// A cancelled event that was already cancelled (or never existed)
+    /// does not count; this is the number of events that were scheduled
+    /// and will never be delivered.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
     }
 
     /// Drops every pending event.
@@ -307,6 +322,19 @@ mod tests {
         q.pop();
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.delivered_total(), 1);
+    }
+
+    #[test]
+    fn cancelled_total_counts_only_fresh_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        let b = q.schedule(t(2), ());
+        assert_eq!(q.cancelled_total(), 0);
+        q.cancel(a);
+        q.cancel(a); // double cancel: not counted again
+        q.cancel(EventId(999)); // unknown id: not counted
+        q.cancel(b);
+        assert_eq!(q.cancelled_total(), 2);
     }
 
     #[test]

@@ -166,6 +166,11 @@ impl<E> Simulator<E> {
         self.queue.scheduled_total()
     }
 
+    /// Total events cancelled before delivery.
+    pub fn cancelled(&self) -> u64 {
+        self.queue.cancelled_total()
+    }
+
     /// Runs the kernel with a handler closure until `limit`, then advances
     /// the clock to `limit`. Returns the number of events processed.
     ///

@@ -6,8 +6,10 @@ use std::path::{Path, PathBuf};
 
 /// The simulation crates whose `src/` trees must uphold the determinism
 /// invariants. Test/bench/example code and the tooling crates (`bench`,
-/// `lint`) are intentionally not scanned.
-pub const SIM_CRATES: &[&str] = &["des", "traffic", "wireless", "platoon", "core"];
+/// `lint`) are intentionally not scanned. The telemetry crate (`obs`) is
+/// scanned too: its sim-side recorders must never read host clocks — only
+/// the explicitly waived host profiler section may.
+pub const SIM_CRATES: &[&str] = &["des", "traffic", "wireless", "platoon", "core", "obs"];
 
 /// Walks up from `start` to the first directory whose `Cargo.toml` declares
 /// `[workspace]`.

@@ -1,0 +1,26 @@
+//! Fixture: the `wall-clock` rule keeps firing inside the telemetry crate
+//! scope. A recorder that stamps sim events with the host clock is exactly
+//! the bug the rule exists to catch — the waiver on the host profiler must
+//! not bleed over to recorder code.
+
+use std::time::Instant;
+
+pub struct LeakyRecorder {
+    started: Instant,
+    pub events: Vec<(u128, &'static str)>,
+}
+
+impl LeakyRecorder {
+    pub fn new() -> Self {
+        LeakyRecorder {
+            started: Instant::now(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Wrong: timestamps telemetry with elapsed host time instead of the
+    /// simulation clock, so the "deterministic" artifact varies per host.
+    pub fn record(&mut self, name: &'static str) {
+        self.events.push((self.started.elapsed().as_nanos(), name));
+    }
+}

@@ -3,7 +3,7 @@
 //! Two layers:
 //!
 //! 1. **The real workspace is clean** — the auditor run exactly as CI runs it
-//!    must find zero violations in the five simulation crates. This is the
+//!    must find zero violations in the six audited crates. This is the
 //!    regression guard: reintroducing a `HashMap` field, an `Instant::now()`
 //!    or a `thread_rng()` anywhere in simulation code fails this test.
 //! 2. **Fixture corpus** — for every rule there is a fixture where it fires
@@ -158,6 +158,30 @@ fn float_ordering_fires_and_is_suppressible() {
 
     let allowed = lint_fixture("d5_float_allowed.rs");
     assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+/// The telemetry crate (`obs`) sits inside the lint scope: its host
+/// profiler is waived per clock-read site, so a clock read anywhere else
+/// in the crate — e.g. a recorder stamping events with host time — still
+/// fails the audit.
+#[test]
+fn obs_telemetry_wall_clock_policy() {
+    let fires = lint_fixture("obs_hostprof_clock_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    // Both the `use` and the `Instant::now()` / `elapsed()` sites report.
+    assert!(
+        fires.stdout.matches("error[wall-clock]").count() >= 2,
+        "{}",
+        fires.stdout
+    );
+
+    let allowed = lint_fixture("obs_hostprof_clock_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+    assert!(
+        allowed.stdout.contains("no determinism violations"),
+        "{}",
+        allowed.stdout
+    );
 }
 
 #[test]

@@ -1,0 +1,41 @@
+//! # comfase-obs — deterministic observability for ComFASE-RS
+//!
+//! A telemetry layer for the simulation stack, split along one hard line:
+//!
+//! - **Sim-side** ([`recorder`], [`trace`], [`metrics`]): everything stamped
+//!   with [`SimTime`](comfase_des::time::SimTime) and recorded *inside* a
+//!   simulation. These values are part of the deterministic run state — a
+//!   forked run and a from-scratch run record byte-identical metrics, and
+//!   worker-thread count never changes them. Nothing here may touch the host
+//!   clock; the `comfase-lint` auditor enforces this (this crate is inside
+//!   its workspace scope).
+//! - **Host-side** ([`hostprof`]): wall-clock phase profiling of the
+//!   campaign *runner* (how long the golden run took, not what happened in
+//!   it). This is the only module allowed to read the host clock, under
+//!   explicit per-site `wall-clock` waivers each carrying its reason, and
+//!   its output is kept out of the deterministic `metrics.json` artifact.
+//!
+//! The central abstraction is the [`Recorder`](recorder::Recorder) trait
+//! with two implementations: [`MemRecorder`](recorder::MemRecorder)
+//! (counters + fixed-bucket histograms + a bounded trace-event buffer) and
+//! the zero-cost [`NullRecorder`](recorder::NullRecorder). Simulation state
+//! holds the `Clone`-able [`SimRecorder`](recorder::SimRecorder) handle so
+//! snapshot/fork execution carries recorded telemetry along with the rest of
+//! the world state.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hostprof;
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use hostprof::HostProfiler;
+pub use metrics::{
+    AggregateMetrics, CampaignMetrics, ExperimentMetrics, FrameBreakdown, KernelCounters,
+};
+pub use recorder::{
+    HistSpec, MemRecorder, MetricsSnapshot, NullRecorder, ObsConfig, Recorder, SimRecorder,
+};
+pub use trace::{chrome_trace_json, TraceEvent, TraceKind};

@@ -1,0 +1,161 @@
+//! Sim-time-stamped trace events and chrome://tracing export.
+//!
+//! A [`TraceEvent`] marks one point (or span edge) on a simulation
+//! timeline: a beacon leaving a MAC, a frame surviving the SNIR decider, a
+//! collision. Events carry [`SimTime`] — never host time — so a recorded
+//! trace is as deterministic as the run that produced it.
+//!
+//! [`chrome_trace_json`] renders a slice of events in the Trace Event
+//! Format understood by `chrome://tracing` and <https://ui.perfetto.dev>:
+//! each world track (vehicle, jammer, kernel) becomes one timeline row.
+
+use std::borrow::Cow;
+
+use serde::{Deserialize, Serialize};
+
+use comfase_des::time::SimTime;
+
+/// What kind of timeline mark an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A single point on the timeline (phase `i` in the trace format).
+    Mark,
+    /// Opens a span on its track (phase `B`).
+    Begin,
+    /// Closes the most recent open span on its track (phase `E`).
+    End,
+}
+
+impl TraceKind {
+    /// The Trace Event Format phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            TraceKind::Mark => "i",
+            TraceKind::Begin => "B",
+            TraceKind::End => "E",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: SimTime,
+    /// Timeline row the event belongs to (vehicle id, jammer id, or a
+    /// reserved track such as [`TRACK_KERNEL`]).
+    pub track: u32,
+    /// Event name (static in the instrumented code; owned after a
+    /// serde round-trip).
+    pub name: Cow<'static, str>,
+    /// Point or span edge.
+    pub kind: TraceKind,
+}
+
+/// Track id used for world-level events (attack windows, kernel marks)
+/// that belong to no single vehicle.
+pub const TRACK_KERNEL: u32 = u32::MAX;
+
+/// Renders events as a chrome://tracing JSON document.
+///
+/// Timestamps are microseconds (the format's unit) with nanosecond
+/// fractions preserved. Tracks map to thread ids under a single process.
+/// The output for a given event slice is byte-stable: same events in, same
+/// bytes out.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts_us = e.time.as_nanos() as f64 / 1000.0;
+        let name = json_escape(e.name.as_ref());
+        out.push_str(&format!(
+            "{{\"name\":{name},\"cat\":\"sim\",\"ph\":\"{}\",\"ts\":{ts_us},\
+             \"pid\":0,\"tid\":{}{}}}",
+            e.kind.phase(),
+            e.track,
+            if e.kind == TraceKind::Mark {
+                ",\"s\":\"t\""
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders `s` as a quoted JSON string (escaping quotes, backslashes, and
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: i64, track: u32, name: &'static str, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(ns),
+            track,
+            name: Cow::Borrowed(name),
+            kind,
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let events = vec![
+            ev(1_500, 1, "tx", TraceKind::Mark),
+            ev(2_000, 2, "attack", TraceKind::Begin),
+            ev(9_000, 2, "attack", TraceKind::End),
+        ];
+        let json = chrome_trace_json(&events);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let list = v["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[0]["ph"], "i");
+        assert_eq!(list[0]["ts"], 1.5);
+        assert_eq!(list[1]["ph"], "B");
+        assert_eq!(list[2]["ph"], "E");
+        assert_eq!(list[0]["tid"], 1);
+    }
+
+    #[test]
+    fn export_is_byte_stable() {
+        let events = vec![ev(42, 7, "x", TraceKind::Mark)];
+        assert_eq!(chrome_trace_json(&events), chrome_trace_json(&events));
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_document() {
+        let json = chrome_trace_json(&[]);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(v["traceEvents"].as_array().expect("array").is_empty());
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let e = ev(10, 3, "rx.ok", TraceKind::Mark);
+        let json = serde_json::to_string(&e).expect("serialize");
+        let back: TraceEvent = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, e);
+    }
+}

@@ -57,6 +57,6 @@ pub mod vehicle;
 
 pub use collision::{Collision, CollisionPolicy};
 pub use network::{Lane, LaneIndex, Road};
-pub use simulation::{TrafficError, TrafficSim};
+pub use simulation::{TrafficError, TrafficSim, TrafficStats, HARD_DECEL_MPS2};
 pub use trace::{TrafficTrace, VehicleTrace};
 pub use vehicle::{Vehicle, VehicleId, VehicleSpec};

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use comfase_des::rng::RngStream;
 use comfase_des::time::{SimDuration, SimTime};
 
@@ -47,6 +49,28 @@ impl fmt::Display for TrafficError {
 
 impl std::error::Error for TrafficError {}
 
+/// Deceleration threshold (m/s², as a positive magnitude) above which a
+/// braking sample counts as a hard-braking excursion in
+/// [`TrafficStats::hard_decel_samples`]. Emergency-braking manoeuvres and
+/// fault-induced overreactions exceed it; comfortable service braking
+/// (≲ 3 m/s²) does not.
+pub const HARD_DECEL_MPS2: f64 = 4.0;
+
+/// Safety-relevant traffic counters, updated on every step.
+///
+/// Part of deterministic run state: values depend only on the scenario and
+/// seed, so forked and from-scratch runs agree exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Simulation steps executed.
+    pub steps: u64,
+    /// Collision incidents detected (deduplicated per vehicle pair).
+    pub collisions: u64,
+    /// Vehicle·step samples with deceleration stronger than
+    /// [`HARD_DECEL_MPS2`].
+    pub hard_decel_samples: u64,
+}
+
 /// A microscopic traffic simulation on one road.
 ///
 /// `TrafficSim` is `Clone`: a clone is a full snapshot (vehicles, RNG state,
@@ -66,6 +90,7 @@ pub struct TrafficSim {
     trace_cfg: TraceConfig,
     rng: RngStream,
     reported_pairs: Vec<(VehicleId, VehicleId)>,
+    stats: TrafficStats,
 }
 
 impl TrafficSim {
@@ -85,6 +110,7 @@ impl TrafficSim {
             trace_cfg: TraceConfig::default(),
             rng,
             reported_pairs: Vec::new(),
+            stats: TrafficStats::default(),
         }
     }
 
@@ -267,9 +293,13 @@ impl TrafficSim {
         // Phase 2: integrate dynamics.
         for v in self.vehicles.iter_mut().filter(|v| v.active) {
             step_vehicle(v, self.step_len_s);
+            if v.state.accel_mps2 <= -HARD_DECEL_MPS2 {
+                self.stats.hard_decel_samples += 1;
+            }
         }
         self.time += self.step_len;
         self.steps += 1;
+        self.stats.steps += 1;
 
         // Phase 3: collisions.
         let mut collisions = detect_collisions(self.time, &self.vehicles);
@@ -303,6 +333,7 @@ impl TrafficSim {
                 CollisionPolicy::RegisterOnly => {}
             }
         }
+        self.stats.collisions += collisions.len() as u64;
         self.trace.record_collisions(&collisions);
 
         // Phase 4: trajectory log.
@@ -322,6 +353,11 @@ impl TrafficSim {
             total += self.step().len();
         }
         total
+    }
+
+    /// Safety-relevant counters accumulated so far.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
     }
 
     /// The trajectory log so far.
@@ -510,6 +546,28 @@ mod tests {
         s.run_steps(100);
         let tr = s.trace().vehicle(VehicleId(1)).unwrap();
         assert_eq!(tr.speed.len(), 10);
+    }
+
+    #[test]
+    fn stats_count_steps_collisions_and_hard_braking() {
+        let mut s = sim();
+        assert_eq!(s.stats(), TrafficStats::default());
+        // A stopped leader forces the follower into an emergency stop and
+        // eventually a collision (follower under external control keeps speed).
+        s.add_vehicle(car(1, 100.0, 5.0)).unwrap();
+        s.add_vehicle(car(2, 90.0, 30.0)).unwrap();
+        s.set_external_control(VehicleId(1)).unwrap();
+        s.set_external_control(VehicleId(2)).unwrap();
+        s.command_accel(VehicleId(1), -5.0).unwrap();
+        s.command_accel(VehicleId(2), 0.0).unwrap();
+        s.run_steps(200);
+        let st = s.stats();
+        assert_eq!(st.steps, 200);
+        assert_eq!(st.collisions, 1);
+        assert!(
+            st.hard_decel_samples > 0,
+            "commanded -5 m/s² must register as hard braking"
+        );
     }
 
     #[test]

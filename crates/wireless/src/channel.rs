@@ -102,6 +102,10 @@ pub struct ChannelStats {
     pub links_planned: u64,
     /// Links dropped by the interceptor.
     pub links_dropped_by_interceptor: u64,
+    /// Links skipped in the fan-out because the received power would be
+    /// far below the noise floor (neither decodable nor interfering).
+    #[serde(default)]
+    pub links_below_noise: u64,
     /// Links with modified propagation delay.
     pub links_delay_modified: u64,
     /// Links with payload modified.
@@ -285,6 +289,7 @@ impl Medium {
             // Frames an order of magnitude below the noise floor can neither
             // be decoded nor meaningfully interfere; skip them.
             if power.to_dbm().0 < self.phy.noise_floor.0 - 10.0 {
+                self.stats.links_below_noise += 1;
                 continue;
             }
             let default_delay =

@@ -141,8 +141,13 @@ pub struct MacStats {
     pub sent: u64,
     /// Frames dropped due to a full queue.
     pub dropped_queue_full: u64,
-    /// Contention attempts that found the medium busy and were deferred.
+    /// Contention attempts that were deferred (busy medium or closed
+    /// channel interval); superset of [`MacStats::deferrals_guard`].
     pub deferrals: u64,
+    /// Deferrals caused by the IEEE 1609.4 channel schedule (wrong
+    /// interval or guard window), as opposed to a busy medium.
+    #[serde(default)]
+    pub deferrals_guard: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -277,6 +282,7 @@ impl Mac {
                     // Wrong interval or guard: defer to the next access slot.
                     self.state = State::Deferred;
                     self.stats.deferrals += 1;
+                    self.stats.deferrals_guard += 1;
                     let at = self.config.schedule.next_access(channel, now);
                     return self.start_contention_at(at);
                 }
