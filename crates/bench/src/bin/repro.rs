@@ -15,6 +15,19 @@
 //!       [--quiet]     suppress progress output
 //!       [--chrome-trace FILE]  write a golden-run event trace loadable in
 //!                              chrome://tracing or ui.perfetto.dev
+//!       [--journal PATH]  checkpoint the delay campaign to an append-only
+//!                         journal (one fsync'd line per finished experiment)
+//!       [--resume]    skip experiments the journal already records as
+//!                     completed (requires --journal); the merged metrics
+//!                     artifact is byte-identical to an uninterrupted run
+//!       [--failure-policy abort|quarantine[:N]]  keep running past failed
+//!                     experiments, aborting only after N failures
+//!                     (default: abort on the first failure)
+//!       [--max-events N]  deterministic per-experiment watchdog: fail any
+//!                         experiment whose simulation delivers > N events
+//!       [--wall-deadline SECS]  stop claiming new experiments after SECS
+//!                               wall-clock seconds (host-side, graceful;
+//!                               pairs with --journal/--resume)
 //! ```
 
 use std::collections::BTreeMap;
@@ -25,7 +38,8 @@ use comfase::analysis;
 use comfase::campaign::{Campaign, CampaignObserver, CampaignPhase, CampaignResult};
 use comfase::config::AttackCampaignSetup;
 use comfase::prelude::{
-    chrome_trace_json, CommModel, Engine, ExecutionMode, HostProfiler, ObsConfig, TrafficScenario,
+    chrome_trace_json, CommModel, Engine, EventBudget, ExecutionMode, FailurePolicy, HostProfiler,
+    ObsConfig, RunConfig, TrafficScenario,
 };
 use comfase::report;
 use comfase_bench::{delay_campaign, dos_campaign, paper_engine, REPRO_SEED};
@@ -39,6 +53,11 @@ struct Options {
     progress: bool,
     quiet: bool,
     chrome_trace: Option<std::path::PathBuf>,
+    journal: Option<std::path::PathBuf>,
+    resume: bool,
+    failure_policy: FailurePolicy,
+    max_events: Option<u64>,
+    wall_deadline: Option<f64>,
 }
 
 /// Campaign hooks of the repro harness: a wall-clock phase profiler
@@ -92,6 +111,11 @@ fn parse_args() -> Options {
     let mut progress = false;
     let mut quiet = false;
     let mut chrome_trace = None;
+    let mut journal = None;
+    let mut resume = false;
+    let mut failure_policy = FailurePolicy::Abort;
+    let mut max_events = None;
+    let mut wall_deadline = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -99,6 +123,36 @@ fn parse_args() -> Options {
             "--metrics" => metrics = true,
             "--progress" => progress = true,
             "--quiet" => quiet = true,
+            "--resume" => resume = true,
+            "--journal" => {
+                journal = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--journal needs a file path")),
+                ));
+            }
+            "--failure-policy" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| die("--failure-policy needs abort or quarantine[:N]"));
+                failure_policy = parse_failure_policy(&spec);
+            }
+            "--max-events" => {
+                max_events = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--max-events needs a positive integer")),
+                );
+            }
+            "--wall-deadline" => {
+                wall_deadline = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|s| *s > 0.0)
+                        .unwrap_or_else(|| {
+                            die("--wall-deadline needs a positive number of seconds")
+                        }),
+                );
+            }
             "--chrome-trace" => {
                 chrome_trace = Some(std::path::PathBuf::from(
                     args.next()
@@ -132,7 +186,9 @@ fn parse_args() -> Options {
                     "repro: regenerate the ComFASE paper's tables and figures\n\
                      usage: repro [--all|--table1|--table2|--fig4|--fig5|--fig6|--fig7|\
                      --delay-summary|--dos-summary|--bench-campaign] [--stride N] [--threads N]\n\
-                     \x20      [--metrics] [--progress|--quiet] [--chrome-trace FILE] [--csv DIR]"
+                     \x20      [--metrics] [--progress|--quiet] [--chrome-trace FILE] [--csv DIR]\n\
+                     \x20      [--journal PATH] [--resume] [--failure-policy abort|quarantine[:N]]\n\
+                     \x20      [--max-events N] [--wall-deadline SECS]"
                 );
                 std::process::exit(0);
             }
@@ -145,6 +201,9 @@ fn parse_args() -> Options {
     if progress && quiet {
         die("--progress and --quiet are mutually exclusive");
     }
+    if resume && journal.is_none() {
+        die("--resume requires --journal");
+    }
     Options {
         artefacts,
         stride,
@@ -154,6 +213,24 @@ fn parse_args() -> Options {
         progress,
         quiet,
         chrome_trace,
+        journal,
+        resume,
+        failure_policy,
+        max_events,
+        wall_deadline,
+    }
+}
+
+/// Parses `abort`, `quarantine` (unbounded) or `quarantine:N` (circuit
+/// breaker after N failures).
+fn parse_failure_policy(spec: &str) -> FailurePolicy {
+    match spec {
+        "abort" => FailurePolicy::Abort,
+        "quarantine" => FailurePolicy::quarantine(),
+        other => match other.strip_prefix("quarantine:").map(str::parse) {
+            Some(Ok(max_failures)) => FailurePolicy::Quarantine { max_failures },
+            _ => die("--failure-policy needs abort or quarantine[:N]"),
+        },
     }
 }
 
@@ -191,8 +268,58 @@ fn obs_config(opts: &Options) -> ObsConfig {
     }
 }
 
+/// The supervision config shared by the campaign runs. The journal is
+/// bound to one campaign identity (seed + setup), so only the delay
+/// campaign — the long one worth checkpointing — gets it.
+fn run_config(opts: &Options, with_journal: bool) -> RunConfig {
+    RunConfig {
+        mode: ExecutionMode::PrefixFork,
+        failure_policy: opts.failure_policy,
+        journal: if with_journal {
+            opts.journal.clone()
+        } else {
+            None
+        },
+        resume: with_journal && opts.resume,
+        wall_deadline_s: opts.wall_deadline,
+        ..RunConfig::default()
+    }
+}
+
+fn event_budget(opts: &Options) -> EventBudget {
+    EventBudget {
+        max_delivered: opts.max_events,
+        ..EventBudget::UNLIMITED
+    }
+}
+
+/// Prints the per-kind failure summary of a quarantined campaign, if any
+/// experiments failed.
+fn report_failures(result: &CampaignResult) {
+    if result.failures.is_empty() {
+        return;
+    }
+    eprintln!(
+        "{} experiment(s) failed and were quarantined:",
+        result.failures.len()
+    );
+    for (kind, count) in result.failure_summary() {
+        eprintln!("  {kind}: {count}");
+    }
+    for failure in &result.failures {
+        eprintln!(
+            "  #{}: [{}] {}",
+            failure.index,
+            failure.kind.name(),
+            failure.payload
+        );
+    }
+}
+
 fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
-    let campaign = delay_campaign(opts.stride).with_obs(obs_config(opts));
+    let campaign = delay_campaign(opts.stride)
+        .with_obs(obs_config(opts))
+        .with_budget(event_budget(opts));
     let total = campaign.nr_experiments();
     if !opts.quiet {
         eprintln!(
@@ -202,11 +329,12 @@ fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
     }
     let t0 = Instant::now();
     let result = campaign
-        .run_with_observer(opts.threads, ExecutionMode::PrefixFork, observer)
-        .expect("campaign runs");
+        .run_supervised(opts.threads, &run_config(opts, true), observer)
+        .unwrap_or_else(|e| die(&format!("delay campaign failed: {e}")));
     if !opts.quiet {
         eprintln!("\ndelay campaign finished in {:.1?}", t0.elapsed());
     }
+    report_failures(&result);
     result
 }
 
@@ -317,7 +445,9 @@ fn main() {
     }
 
     if wants(&opts, "dos-summary") {
-        let campaign = dos_campaign().with_obs(obs_config(&opts));
+        let campaign = dos_campaign()
+            .with_obs(obs_config(&opts))
+            .with_budget(event_budget(&opts));
         if !opts.quiet {
             eprintln!(
                 "running DoS campaign: {} experiments...",
@@ -325,8 +455,9 @@ fn main() {
             );
         }
         let result = campaign
-            .run_with_observer(opts.threads, ExecutionMode::PrefixFork, &observer)
-            .expect("campaign runs");
+            .run_supervised(opts.threads, &run_config(&opts, false), &observer)
+            .unwrap_or_else(|e| die(&format!("DoS campaign failed: {e}")));
+        report_failures(&result);
         if let Some(metrics) = &result.metrics {
             write_results_file("metrics_dos.json", &metrics.to_json_bytes());
             println!("{}", report::render_loss_breakdown(metrics));

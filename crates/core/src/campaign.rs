@@ -18,20 +18,48 @@
 //! Forked runs are bit-identical to from-scratch runs
 //! ([`ExecutionMode::FromScratch`]); the engine's tests and the
 //! `tests` crate assert this end to end.
+//!
+//! # Fault tolerance
+//!
+//! A fault-injection campaign deliberately drives the simulated system
+//! into abnormal regimes, so individual experiments may fail: diverge
+//! numerically, exceed their event budget, or panic outright. The
+//! supervised entry point ([`Campaign::run_supervised`]) isolates each
+//! experiment behind a panic boundary, classifies every failure into a
+//! structured [`ExperimentFailure`], and — under
+//! [`FailurePolicy::Quarantine`] — completes the campaign with the
+//! surviving records plus a failure summary instead of discarding hours
+//! of work on the first bad experiment. Transient host failures can be
+//! retried ([`RetryPolicy`]); sim-deterministic failures (budget,
+//! divergence, panics) never are, because a retry would deterministically
+//! fail the same way.
+//!
+//! With a journal path configured, every finished experiment is
+//! checkpointed to an append-only fsync'd journal
+//! ([`crate::journal`]) and a killed campaign can be resumed with
+//! [`Campaign::resume`], reproducing the uninterrupted run's metrics
+//! byte-for-byte.
 
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use comfase_des::sim::EventBudget;
 use comfase_des::time::SimTime;
-use comfase_obs::{CampaignMetrics, ExperimentMetrics, HostProfiler, ObsConfig};
+use comfase_obs::{CampaignMetrics, ExperimentMetrics, HostProfiler, ObsConfig, WallDeadline};
 
 use crate::attack::AttackSpec;
 use crate::classify::{classify, ClassificationParams, Verdict};
 use crate::config::AttackCampaignSetup;
 use crate::engine::Engine;
 use crate::error::ComfaseError;
+use crate::journal::{read_journal, JournalEntry, JournalWriter, JOURNAL_SCHEMA_VERSION};
 use crate::log::RunLog;
 use crate::world::World;
 
@@ -90,6 +118,14 @@ pub trait CampaignObserver: Sync {
     fn experiment_done(&self, done: usize, total: usize) {
         let _ = (done, total);
     }
+
+    /// An experiment failed terminally (after any retries). Under
+    /// [`FailurePolicy::Quarantine`] the campaign continues past this
+    /// call; under [`FailurePolicy::Abort`] it is about to stop. Called
+    /// from worker threads, possibly concurrently.
+    fn experiment_failed(&self, failure: &ExperimentFailure) {
+        let _ = failure;
+    }
 }
 
 /// Observer that does nothing.
@@ -133,6 +169,158 @@ impl CampaignStats {
     }
 }
 
+/// Category of a terminal experiment failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The experiment panicked; the panic was caught at the
+    /// per-experiment isolation boundary.
+    Panicked,
+    /// The deterministic watchdog tripped: the run exceeded its
+    /// configured sim-event or sim-time budget
+    /// ([`ComfaseError::BudgetExceeded`]).
+    BudgetExceeded,
+    /// A release-mode numeric guard detected non-finite simulation state
+    /// ([`ComfaseError::NumericDiverged`]).
+    NumericDiverged,
+    /// A host-side failure — configuration, I/O, or any other engine
+    /// error that is not a deterministic property of the simulation.
+    HostError,
+}
+
+impl FailureKind {
+    /// Stable name for summaries and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panicked => "panicked",
+            FailureKind::BudgetExceeded => "budget-exceeded",
+            FailureKind::NumericDiverged => "numeric-diverged",
+            FailureKind::HostError => "host-error",
+        }
+    }
+
+    fn from_error(e: &ComfaseError) -> FailureKind {
+        match e {
+            ComfaseError::BudgetExceeded(_) => FailureKind::BudgetExceeded,
+            ComfaseError::NumericDiverged(_) => FailureKind::NumericDiverged,
+            _ => FailureKind::HostError,
+        }
+    }
+}
+
+/// Structured description of one failed experiment: everything needed to
+/// reproduce it in isolation (spec + seed) plus what went wrong.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentFailure {
+    /// Experiment index within the expanded campaign (the paper's `expNr`).
+    pub index: usize,
+    /// Failure category.
+    pub kind: FailureKind,
+    /// Human-readable payload: the error display or the panic message.
+    pub payload: String,
+    /// Engine seed of the campaign (the experiment's attack-model RNG
+    /// stream is derived from this seed and `index`).
+    pub seed: u64,
+    /// The attack spec of the failed experiment.
+    pub spec: AttackSpec,
+    /// Executions attempted, including retries (≥ 1).
+    pub attempts: u32,
+}
+
+/// What the campaign does when an experiment fails terminally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Stop the whole campaign on the first failure and return its error
+    /// (the pre-supervision behaviour, and the default).
+    #[default]
+    Abort,
+    /// Record the failure as an [`ExperimentFailure`], keep the remaining
+    /// experiments running, and report all failures in
+    /// [`CampaignResult::failures`].
+    Quarantine {
+        /// Abort anyway once *more than* this many experiments have
+        /// failed — a circuit breaker against systematically broken
+        /// campaigns. Use [`FailurePolicy::quarantine`] for "unlimited".
+        max_failures: usize,
+    },
+}
+
+impl FailurePolicy {
+    /// Quarantine with no failure limit.
+    pub fn quarantine() -> FailurePolicy {
+        FailurePolicy::Quarantine {
+            max_failures: usize::MAX,
+        }
+    }
+}
+
+/// Retry policy for **host-transient** failures (I/O errors). Failures
+/// that are deterministic properties of the simulation — panics, budget
+/// breaches, numeric divergence, invalid configuration — are never
+/// retried: re-running them would fail identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries per experiment (0 = no retries, the default).
+    pub max_retries: u32,
+    /// Base backoff slept before retry `n` as `backoff * n` (linear).
+    pub backoff: Duration,
+}
+
+fn is_host_transient(e: &ComfaseError) -> bool {
+    matches!(e, ComfaseError::Io(_))
+}
+
+/// Full configuration of a supervised campaign run.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Execution mode (prefix forking by default).
+    pub mode: ExecutionMode,
+    /// What to do when an experiment fails.
+    pub failure_policy: FailurePolicy,
+    /// Retry policy for host-transient failures.
+    pub retry: RetryPolicy,
+    /// Checkpoint journal path. When set, every finished experiment is
+    /// appended (fsync'd) to this file; see [`crate::journal`].
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal at [`RunConfig::journal`]: experiments it
+    /// records as completed are skipped (their journaled records and
+    /// metrics are merged into the result); failed and missing ones are
+    /// (re-)run. Requires `journal` to be set; a missing journal file is
+    /// treated as a fresh run.
+    pub resume: bool,
+    /// Optional host wall-clock deadline in seconds. When it expires,
+    /// workers stop claiming new experiments and the campaign returns
+    /// [`ComfaseError::BudgetExceeded`]; with a journal configured, the
+    /// finished experiments are checkpointed and the campaign can be
+    /// resumed. Host-side and therefore *not* deterministic — the
+    /// sim-side [`comfase_des::EventBudget`] is the reproducible
+    /// watchdog.
+    pub wall_deadline_s: Option<f64>,
+}
+
+/// Deterministic failure-injection hooks for robustness testing.
+///
+/// Chaos hooks fire by experiment index before the experiment simulates
+/// anything, so they are exact and thread-count independent. They exist
+/// to test the campaign supervisor itself (panic isolation, quarantine,
+/// retry, journaling) — production campaigns leave this at `default()`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Experiments that panic when executed.
+    pub panic_on: Vec<usize>,
+    /// Experiments that fail with a synthetic deterministic error.
+    pub fail_on: Vec<usize>,
+    /// `(index, n)`: experiment `index` fails with a transient host error
+    /// on its first `n` attempts, then succeeds. Attempt counts are
+    /// shared across clones of the campaign.
+    pub transient: Vec<(usize, u32)>,
+}
+
+impl ChaosConfig {
+    fn is_active(&self) -> bool {
+        !(self.panic_on.is_empty() && self.fail_on.is_empty() && self.transient.is_empty())
+    }
+}
+
 /// Result of one attack injection experiment (one `AttackCampaignLog`
 /// entry, classified).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -148,7 +336,9 @@ pub struct ExperimentRecord {
 /// Result of a full campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
-    /// One record per experiment, in `expNr` order.
+    /// One record per experiment, in `expNr` order. Under
+    /// [`FailurePolicy::Quarantine`], failed experiments have no record
+    /// here — they appear in [`CampaignResult::failures`] instead.
     pub records: Vec<ExperimentRecord>,
     /// Classification parameters derived from the golden run.
     pub params: ClassificationParams,
@@ -162,10 +352,15 @@ pub struct CampaignResult {
     /// across execution modes and thread counts.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<CampaignMetrics>,
+    /// Quarantined experiment failures, in `expNr` order. Empty when
+    /// every experiment succeeded (or under [`FailurePolicy::Abort`],
+    /// which returns the first error instead of a result).
+    #[serde(default)]
+    pub failures: Vec<ExperimentFailure>,
 }
 
 impl CampaignResult {
-    /// Number of experiments.
+    /// Number of successfully completed experiments.
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -174,6 +369,16 @@ impl CampaignResult {
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
+
+    /// Failure counts by [`FailureKind`] name — the campaign's failure
+    /// summary (empty map when nothing failed).
+    pub fn failure_summary(&self) -> BTreeMap<&'static str, usize> {
+        let mut summary = BTreeMap::new();
+        for f in &self.failures {
+            *summary.entry(f.kind.name()).or_insert(0) += 1;
+        }
+        summary
+    }
 }
 
 /// A configured attack injection campaign.
@@ -181,9 +386,10 @@ impl CampaignResult {
 pub struct Campaign {
     engine: Engine,
     setup: AttackCampaignSetup,
-    /// Test hook: make experiment `i` fail with a synthetic error.
-    #[cfg(test)]
-    fail_experiment: Option<usize>,
+    chaos: ChaosConfig,
+    /// Attempt counters for [`ChaosConfig::transient`], shared across
+    /// clones so retries observe previous attempts.
+    chaos_attempts: Arc<Mutex<BTreeMap<usize, u32>>>,
 }
 
 impl Campaign {
@@ -199,8 +405,8 @@ impl Campaign {
         Ok(Campaign {
             engine,
             setup,
-            #[cfg(test)]
-            fail_experiment: None,
+            chaos: ChaosConfig::default(),
+            chaos_attempts: Arc::new(Mutex::new(BTreeMap::new())),
         })
     }
 
@@ -209,6 +415,24 @@ impl Campaign {
     #[must_use]
     pub fn with_obs(mut self, cfg: ObsConfig) -> Self {
         self.engine = self.engine.with_obs(cfg);
+        self
+    }
+
+    /// Installs deterministic failure-injection hooks (robustness
+    /// testing; see [`ChaosConfig`]).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Installs a per-experiment event budget on the underlying engine —
+    /// the deterministic, sim-side watchdog. A run that exceeds it fails
+    /// with [`FailureKind::BudgetExceeded`], identically on every thread
+    /// count and execution mode.
+    #[must_use]
+    pub fn with_budget(mut self, budget: EventBudget) -> Self {
+        self.engine = self.engine.with_budget(budget);
         self
     }
 
@@ -228,15 +452,13 @@ impl Campaign {
     }
 
     /// Runs the whole campaign on `threads` worker threads with the
-    /// default execution mode ([`ExecutionMode::PrefixFork`]).
+    /// default execution mode ([`ExecutionMode::PrefixFork`]) and the
+    /// default failure policy ([`FailurePolicy::Abort`]).
     ///
     /// # Errors
     ///
-    /// Propagates configuration and simulation-construction errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Propagates configuration and simulation-construction errors;
+    /// `threads == 0` is [`ComfaseError::InvalidConfig`].
     pub fn run(&self, threads: usize) -> Result<CampaignResult, ComfaseError> {
         self.run_with_mode_and_progress(threads, ExecutionMode::default(), |_, _| {})
     }
@@ -245,11 +467,8 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Propagates configuration and simulation-construction errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Propagates configuration and simulation-construction errors;
+    /// `threads == 0` is [`ComfaseError::InvalidConfig`].
     pub fn run_with_mode(
         &self,
         threads: usize,
@@ -263,11 +482,8 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Propagates configuration and simulation-construction errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Propagates configuration and simulation-construction errors;
+    /// `threads == 0` is [`ComfaseError::InvalidConfig`].
     pub fn run_with_progress<P>(
         &self,
         threads: usize,
@@ -284,11 +500,8 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Propagates configuration and simulation-construction errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Propagates configuration and simulation-construction errors;
+    /// `threads == 0` is [`ComfaseError::InvalidConfig`].
     pub fn run_with_mode_and_progress<P>(
         &self,
         threads: usize,
@@ -298,7 +511,11 @@ impl Campaign {
     where
         P: Fn(usize, usize) + Sync,
     {
-        self.run_impl(threads, mode, &progress, &NullObserver)
+        let config = RunConfig {
+            mode,
+            ..RunConfig::default()
+        };
+        self.run_impl(threads, &config, &progress, &NullObserver)
     }
 
     /// Runs the campaign with host-side observer hooks (phase boundaries,
@@ -307,110 +524,299 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Propagates configuration and simulation-construction errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Propagates configuration and simulation-construction errors;
+    /// `threads == 0` is [`ComfaseError::InvalidConfig`].
     pub fn run_with_observer(
         &self,
         threads: usize,
         mode: ExecutionMode,
         observer: &dyn CampaignObserver,
     ) -> Result<CampaignResult, ComfaseError> {
-        self.run_impl(threads, mode, &|_, _| {}, observer)
+        let config = RunConfig {
+            mode,
+            ..RunConfig::default()
+        };
+        self.run_impl(threads, &config, &|_, _| {}, observer)
+    }
+
+    /// Runs the campaign under full supervision: per-experiment panic
+    /// isolation, failure classification, the configured failure policy,
+    /// retries for host-transient failures, and — when
+    /// [`RunConfig::journal`] is set — checkpointing to an append-only
+    /// journal.
+    ///
+    /// # Errors
+    ///
+    /// Under [`FailurePolicy::Abort`], the first experiment failure;
+    /// under [`FailurePolicy::Quarantine`], only campaign-level errors
+    /// (configuration, golden-run or prefix failures, journal I/O, the
+    /// quarantine circuit breaker, an expired wall deadline).
+    /// `threads == 0` is [`ComfaseError::InvalidConfig`].
+    pub fn run_supervised(
+        &self,
+        threads: usize,
+        config: &RunConfig,
+        observer: &dyn CampaignObserver,
+    ) -> Result<CampaignResult, ComfaseError> {
+        self.run_impl(threads, config, &|_, _| {}, observer)
+    }
+
+    /// Resumes a campaign from `journal`, skipping the experiments it
+    /// records as completed and re-running the failed and missing ones.
+    /// The merged result — and in particular its
+    /// [`CampaignResult::metrics`] artifact — is byte-identical to the
+    /// uninterrupted run's.
+    ///
+    /// Convenience for [`Campaign::run_supervised`] with
+    /// [`RunConfig::resume`] set; use that directly to also pick a
+    /// failure policy or execution mode.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Campaign::run_supervised`] reports, plus a journal
+    /// that is unreadable, corrupt before its final line, or written by
+    /// a different campaign (seed, size or setup mismatch).
+    pub fn resume<P: AsRef<Path>>(
+        &self,
+        journal: P,
+        threads: usize,
+    ) -> Result<CampaignResult, ComfaseError> {
+        let config = RunConfig {
+            journal: Some(journal.as_ref().to_path_buf()),
+            resume: true,
+            ..RunConfig::default()
+        };
+        self.run_supervised(threads, &config, &NullObserver)
     }
 
     fn run_impl(
         &self,
         threads: usize,
-        mode: ExecutionMode,
+        config: &RunConfig,
         progress: &(dyn Fn(usize, usize) + Sync),
         observer: &dyn CampaignObserver,
     ) -> Result<CampaignResult, ComfaseError> {
-        assert!(threads > 0, "at least one worker thread required");
+        if threads == 0 {
+            return Err(ComfaseError::InvalidConfig(
+                "at least one worker thread required".into(),
+            ));
+        }
         let collect_metrics = self.engine.obs().metrics;
         let specs = self.engine.expand_campaign(&self.setup)?;
         let total = specs.len();
-        // Step 2: golden run (once).
+
+        // Resume: fold the journal into pre-completed state.
+        let mut resumed_records: Vec<ExperimentRecord> = Vec::new();
+        let mut resumed_rows: Vec<ExperimentMetrics> = Vec::new();
+        let mut completed_idx: BTreeSet<usize> = BTreeSet::new();
+        if config.resume {
+            let path = config.journal.as_deref().ok_or_else(|| {
+                ComfaseError::InvalidConfig("resume requires a journal path".into())
+            })?;
+            if path.exists() {
+                let state = read_journal(path)?;
+                state.check_identity(self.engine.seed(), total, &self.setup)?;
+                for (index, (record, metrics)) in state.completed {
+                    completed_idx.insert(index);
+                    resumed_records.push(record);
+                    if let Some(row) = metrics {
+                        resumed_rows.push(row);
+                    }
+                }
+            }
+        }
+
+        // Step 2: golden run (once — also on resume: classification
+        // parameters and the golden metrics row are recomputed, which is
+        // deterministic and keeps the journal limited to per-experiment
+        // state).
         observer.phase_started(CampaignPhase::Golden);
         let golden = self.engine.golden_run()?;
         observer.phase_finished(CampaignPhase::Golden);
         let params = ClassificationParams::from_golden(&golden.trace);
 
+        // Journal writer: create with a header on a fresh run, append on
+        // resume. Opened before the experiment phase so an unwritable
+        // journal fails fast instead of after hours of simulation.
+        let journal = match config.journal.as_deref() {
+            Some(path) if config.resume && path.exists() => Some(JournalWriter::append_to(path)?),
+            Some(path) => Some(JournalWriter::create(
+                path,
+                &JournalEntry::Header {
+                    schema_version: JOURNAL_SCHEMA_VERSION,
+                    seed: self.engine.seed(),
+                    total,
+                    setup: self.setup.clone(),
+                },
+            )?),
+            None => None,
+        };
+
+        let pending: Vec<usize> = (0..total).filter(|i| !completed_idx.contains(i)).collect();
+
         // Prefix phase (fork mode): one attack-free snapshot per distinct
-        // start time, built in parallel across the workers.
+        // start time still pending, built in parallel across the workers.
         observer.phase_started(CampaignPhase::Prefixes);
-        let (starts, prefixes) = match mode {
-            ExecutionMode::PrefixFork => self.build_prefixes(threads, &specs)?,
+        let pending_specs: Vec<&AttackSpec> = pending.iter().map(|&i| &specs[i]).collect();
+        let (starts, prefixes) = match config.mode {
+            ExecutionMode::PrefixFork => self.build_prefixes(threads, &pending_specs)?,
             ExecutionMode::FromScratch => (Vec::new(), Vec::new()),
         };
         observer.phase_finished(CampaignPhase::Prefixes);
         let stats = CampaignStats {
             prefix_snapshots: prefixes.len(),
-            forked_runs: if prefixes.is_empty() { 0 } else { total },
-            scratch_runs: if prefixes.is_empty() { total } else { 0 },
+            forked_runs: if prefixes.is_empty() {
+                0
+            } else {
+                pending.len()
+            },
+            scratch_runs: if prefixes.is_empty() {
+                pending.len()
+            } else {
+                0
+            },
         };
 
+        let deadline = config.wall_deadline_s.map(WallDeadline::after_secs);
         let next = AtomicUsize::new(0);
-        let done = AtomicUsize::new(0);
+        let done = AtomicUsize::new(completed_idx.len());
+        let nr_failed = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
-        let records: Mutex<Vec<ExperimentRecord>> = Mutex::new(Vec::with_capacity(total));
-        let metrics_rows: Mutex<Vec<ExperimentMetrics>> =
-            Mutex::new(Vec::with_capacity(if collect_metrics { total } else { 0 }));
+        let deadline_hit = AtomicBool::new(false);
+        let records: Mutex<Vec<ExperimentRecord>> = Mutex::new(resumed_records);
+        let metrics_rows: Mutex<Vec<ExperimentMetrics>> = Mutex::new(resumed_rows);
+        let failures: Mutex<Vec<ExperimentFailure>> = Mutex::new(Vec::new());
         let first_error: Mutex<Option<ComfaseError>> = Mutex::new(None);
 
         observer.phase_started(CampaignPhase::Experiments);
+        let nr_pending = pending.len();
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(total.max(1)) {
+            for _ in 0..threads.min(nr_pending.max(1)) {
                 scope.spawn(|_| loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
+                    if let Some(d) = &deadline {
+                        if d.expired() {
+                            deadline_hit.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= nr_pending {
                         break;
                     }
-                    match self.execute_one(&specs[i], i, &starts, &prefixes) {
-                        Ok(run) => {
-                            let verdict = classify(&golden.trace, &run.trace, &params);
-                            if collect_metrics {
-                                metrics_rows
-                                    .lock()
-                                    .push(run.experiment_metrics(i, verdict.class.to_string()));
+                    let i = pending[slot];
+                    match self
+                        .run_one_supervised(&specs, i, &starts, &prefixes, config, &golden, &params)
+                    {
+                        Ok((record, row)) => {
+                            if let Some(journal) = &journal {
+                                let entry = JournalEntry::Completed {
+                                    index: i,
+                                    record: record.clone(),
+                                    metrics: row.clone(),
+                                };
+                                if let Err(e) = journal.append(&entry) {
+                                    first_error.lock().get_or_insert(e);
+                                    next.store(nr_pending, Ordering::Relaxed);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
                             }
-                            records.lock().push(ExperimentRecord {
-                                index: i,
-                                spec: specs[i].clone(),
-                                verdict,
-                            });
+                            if let Some(row) = row {
+                                metrics_rows.lock().push(row);
+                            }
+                            records.lock().push(record);
                             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                             progress(d, total);
                             observer.experiment_done(d, total);
                         }
-                        Err(e) => {
-                            first_error.lock().get_or_insert(e);
-                            // Stop the whole campaign, not just this
-                            // worker: park the cursor past the end and
-                            // raise the abort flag for in-flight peers.
-                            next.store(total, Ordering::Relaxed);
-                            abort.store(true, Ordering::Relaxed);
-                            break;
+                        Err((failure, original)) => {
+                            if let Some(journal) = &journal {
+                                let entry = JournalEntry::Failed {
+                                    failure: failure.clone(),
+                                };
+                                if let Err(e) = journal.append(&entry) {
+                                    first_error.lock().get_or_insert(e);
+                                    next.store(nr_pending, Ordering::Relaxed);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                            observer.experiment_failed(&failure);
+                            match config.failure_policy {
+                                FailurePolicy::Abort => {
+                                    let e = original.unwrap_or_else(|| {
+                                        ComfaseError::WorkerFailed(format!(
+                                            "experiment {} panicked: {}",
+                                            failure.index, failure.payload
+                                        ))
+                                    });
+                                    failures.lock().push(failure);
+                                    first_error.lock().get_or_insert(e);
+                                    // Stop the whole campaign, not just
+                                    // this worker: park the cursor past
+                                    // the end and raise the abort flag
+                                    // for in-flight peers.
+                                    next.store(nr_pending, Ordering::Relaxed);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                FailurePolicy::Quarantine { max_failures } => {
+                                    failures.lock().push(failure);
+                                    let n = nr_failed.fetch_add(1, Ordering::Relaxed) + 1;
+                                    if n > max_failures {
+                                        first_error.lock().get_or_insert(
+                                            ComfaseError::WorkerFailed(format!(
+                                                "quarantine circuit breaker: {n} experiments \
+                                                 failed (limit {max_failures})"
+                                            )),
+                                        );
+                                        next.store(nr_pending, Ordering::Relaxed);
+                                        abort.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    // Quarantined failures count toward
+                                    // progress: the campaign is done with
+                                    // them, just not successfully.
+                                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                    progress(d, total);
+                                    observer.experiment_done(d, total);
+                                }
+                            }
                         }
                     }
                 });
             }
         })
-        .expect("campaign worker panicked");
+        .map_err(|panic| ComfaseError::WorkerFailed(panic_message(panic.as_ref())))?;
         observer.phase_finished(CampaignPhase::Experiments);
 
         if let Some(e) = first_error.into_inner() {
             return Err(e);
         }
+        if deadline_hit.load(Ordering::Relaxed) {
+            let d = done.load(Ordering::Relaxed);
+            if d < total {
+                return Err(ComfaseError::BudgetExceeded(format!(
+                    "wall-clock deadline of {:.1}s reached after {d}/{total} experiments{}",
+                    config.wall_deadline_s.unwrap_or(0.0),
+                    if config.journal.is_some() {
+                        "; completed work is journaled — resume to continue"
+                    } else {
+                        ""
+                    }
+                )));
+            }
+        }
         let mut records = records.into_inner();
         records.sort_by_key(|r| r.index);
+        let mut failures = failures.into_inner();
+        failures.sort_by_key(|f| f.index);
         // CampaignMetrics::build re-sorts the rows by experiment index, so
-        // the artifact is independent of worker-thread completion order.
+        // the artifact is independent of worker-thread completion order —
+        // and, on resume, of which rows came from the journal.
         let metrics = collect_metrics.then(|| {
             CampaignMetrics::build(
                 metrics_rows.into_inner(),
@@ -423,7 +829,76 @@ impl Campaign {
             golden,
             stats,
             metrics,
+            failures,
         })
+    }
+
+    /// Executes one experiment behind the panic-isolation boundary, with
+    /// retries for host-transient failures. Returns either the classified
+    /// record (plus its metrics row when collected) or the structured
+    /// failure alongside the original error (absent for panics).
+    // The Err side is deliberately rich (full spec + failure detail for the
+    // journal and the quarantine report); it is built at most once per
+    // failed experiment, so its size is irrelevant to the hot path.
+    #[allow(clippy::too_many_arguments, clippy::result_large_err)]
+    fn run_one_supervised(
+        &self,
+        specs: &[AttackSpec],
+        index: usize,
+        starts: &[SimTime],
+        prefixes: &[World],
+        config: &RunConfig,
+        golden: &RunLog,
+        params: &ClassificationParams,
+    ) -> Result<
+        (ExperimentRecord, Option<ExperimentMetrics>),
+        (ExperimentFailure, Option<ComfaseError>),
+    > {
+        let collect_metrics = self.engine.obs().metrics;
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            // The campaign shares no mutable state with the experiment (the
+            // engine builds or clones a fresh `World` per run), so observing
+            // `self` across the unwind boundary is sound: a caught panic
+            // leaves no half-mutated campaign state behind.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let run = self.execute_one(&specs[index], index, starts, prefixes)?;
+                let verdict = classify(&golden.trace, &run.trace, params);
+                let row = collect_metrics
+                    .then(|| run.experiment_metrics(index, verdict.class.to_string()));
+                Ok::<_, ComfaseError>((
+                    ExperimentRecord {
+                        index,
+                        spec: specs[index].clone(),
+                        verdict,
+                    },
+                    row,
+                ))
+            }));
+            let (kind, payload, original) = match attempt {
+                Ok(Ok(success)) => return Ok(success),
+                Ok(Err(e)) => {
+                    if is_host_transient(&e) && attempts <= config.retry.max_retries {
+                        std::thread::sleep(config.retry.backoff * attempts);
+                        continue;
+                    }
+                    (FailureKind::from_error(&e), e.to_string(), Some(e))
+                }
+                Err(panic) => (FailureKind::Panicked, panic_message(panic.as_ref()), None),
+            };
+            return Err((
+                ExperimentFailure {
+                    index,
+                    kind,
+                    payload,
+                    seed: self.engine.seed(),
+                    spec: specs[index].clone(),
+                    attempts,
+                },
+                original,
+            ));
+        }
     }
 
     /// Builds one attack-free prefix snapshot per distinct start time, in
@@ -432,7 +907,7 @@ impl Campaign {
     fn build_prefixes(
         &self,
         threads: usize,
-        specs: &[AttackSpec],
+        specs: &[&AttackSpec],
     ) -> Result<(Vec<SimTime>, Vec<World>), ComfaseError> {
         let mut starts: Vec<SimTime> = specs.iter().map(|s| s.start).collect();
         starts.sort_unstable();
@@ -465,7 +940,7 @@ impl Campaign {
                 });
             }
         })
-        .expect("prefix worker panicked");
+        .map_err(|panic| ComfaseError::WorkerFailed(panic_message(panic.as_ref())))?;
 
         if let Some(e) = first_error.into_inner() {
             return Err(e);
@@ -486,11 +961,8 @@ impl Campaign {
         starts: &[SimTime],
         prefixes: &[World],
     ) -> Result<RunLog, ComfaseError> {
-        #[cfg(test)]
-        if self.fail_experiment == Some(index) {
-            return Err(ComfaseError::InvalidConfig(format!(
-                "injected failure at experiment {index}"
-            )));
+        if self.chaos.is_active() {
+            self.chaos_hook(index)?;
         }
         if prefixes.is_empty() {
             return self.engine.run_experiment(spec, index as u64);
@@ -498,9 +970,42 @@ impl Campaign {
         let k = starts
             .binary_search(&spec.start)
             .expect("a prefix snapshot exists for every start time");
-        Ok(self
-            .engine
-            .run_experiment_from(&prefixes[k], spec, index as u64))
+        self.engine
+            .run_experiment_from(&prefixes[k], spec, index as u64)
+    }
+
+    /// Applies the [`ChaosConfig`] failure injections for `index`.
+    fn chaos_hook(&self, index: usize) -> Result<(), ComfaseError> {
+        if self.chaos.panic_on.contains(&index) {
+            panic!("chaos: injected panic at experiment {index}");
+        }
+        if self.chaos.fail_on.contains(&index) {
+            return Err(ComfaseError::InvalidConfig(format!(
+                "injected failure at experiment {index}"
+            )));
+        }
+        if let Some(&(_, n)) = self.chaos.transient.iter().find(|(i, _)| *i == index) {
+            let mut attempts = self.chaos_attempts.lock();
+            let seen = attempts.entry(index).or_insert(0);
+            if *seen < n {
+                *seen += 1;
+                return Err(ComfaseError::Io(format!(
+                    "injected transient failure at experiment {index} (attempt {seen})"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -540,6 +1045,8 @@ mod tests {
         let result = c.run(2).unwrap();
         assert_eq!(result.len(), 8);
         assert!(!result.is_empty());
+        assert!(result.failures.is_empty());
+        assert!(result.failure_summary().is_empty());
         for (i, r) in result.records.iter().enumerate() {
             assert_eq!(r.index, i);
         }
@@ -594,8 +1101,10 @@ mod tests {
 
     #[test]
     fn failing_experiment_aborts_the_campaign_promptly() {
-        let mut c = small_campaign();
-        c.fail_experiment = Some(2);
+        let c = small_campaign().with_chaos(ChaosConfig {
+            fail_on: vec![2],
+            ..ChaosConfig::default()
+        });
         let completed = AtomicUsize::new(0);
         // Serial run: experiments 0 and 1 complete, 2 fails, and the abort
         // must keep the worker from draining 3..8.
@@ -614,8 +1123,10 @@ mod tests {
 
     #[test]
     fn failing_experiment_surfaces_error_across_workers() {
-        let mut c = small_campaign();
-        c.fail_experiment = Some(0);
+        let c = small_campaign().with_chaos(ChaosConfig {
+            fail_on: vec![0],
+            ..ChaosConfig::default()
+        });
         let completed = AtomicUsize::new(0);
         let err = c
             .run_with_mode_and_progress(4, ExecutionMode::FromScratch, |done, _| {
@@ -626,6 +1137,140 @@ mod tests {
         assert!(
             completed.load(Ordering::Relaxed) < 8,
             "the abort flag must keep workers from draining the whole campaign"
+        );
+    }
+
+    #[test]
+    fn quarantine_keeps_the_campaign_running_past_failures() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            fail_on: vec![1, 5],
+            ..ChaosConfig::default()
+        });
+        let config = RunConfig {
+            failure_policy: FailurePolicy::quarantine(),
+            ..RunConfig::default()
+        };
+        let result = c.run_supervised(2, &config, &NullObserver).unwrap();
+        assert_eq!(result.len(), 6);
+        assert_eq!(result.failures.len(), 2);
+        assert_eq!(result.failures[0].index, 1);
+        assert_eq!(result.failures[1].index, 5);
+        for f in &result.failures {
+            assert_eq!(f.kind, FailureKind::HostError);
+            assert!(f.payload.contains("injected failure"), "{}", f.payload);
+            assert_eq!(f.attempts, 1);
+        }
+        assert_eq!(result.failure_summary()[&"host-error"], 2);
+        let run_indices: Vec<usize> = result.records.iter().map(|r| r.index).collect();
+        assert_eq!(run_indices, vec![0, 2, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn quarantine_isolates_a_panicking_experiment() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            panic_on: vec![3],
+            ..ChaosConfig::default()
+        });
+        let config = RunConfig {
+            failure_policy: FailurePolicy::quarantine(),
+            ..RunConfig::default()
+        };
+        let result = c.run_supervised(2, &config, &NullObserver).unwrap();
+        assert_eq!(result.len(), 7);
+        assert_eq!(result.failures.len(), 1);
+        let f = &result.failures[0];
+        assert_eq!(f.index, 3);
+        assert_eq!(f.kind, FailureKind::Panicked);
+        assert!(f.payload.contains("injected panic"), "{}", f.payload);
+        assert_eq!(result.failure_summary()[&"panicked"], 1);
+    }
+
+    #[test]
+    fn panic_under_abort_policy_is_a_worker_failure() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            panic_on: vec![0],
+            ..ChaosConfig::default()
+        });
+        let err = c.run_with_mode(1, ExecutionMode::FromScratch).unwrap_err();
+        assert!(matches!(err, ComfaseError::WorkerFailed(_)), "{err:?}");
+        assert!(err.to_string().contains("injected panic"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_circuit_breaker_trips() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            fail_on: vec![0, 1, 2],
+            ..ChaosConfig::default()
+        });
+        let config = RunConfig {
+            mode: ExecutionMode::FromScratch,
+            failure_policy: FailurePolicy::Quarantine { max_failures: 1 },
+            ..RunConfig::default()
+        };
+        let err = c.run_supervised(1, &config, &NullObserver).unwrap_err();
+        assert!(matches!(err, ComfaseError::WorkerFailed(_)), "{err:?}");
+        assert!(err.to_string().contains("circuit breaker"), "{err}");
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            transient: vec![(4, 2)],
+            ..ChaosConfig::default()
+        });
+        let config = RunConfig {
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff: Duration::from_millis(0),
+            },
+            ..RunConfig::default()
+        };
+        let result = c.run_supervised(2, &config, &NullObserver).unwrap();
+        assert_eq!(result.len(), 8);
+        assert!(result.failures.is_empty());
+    }
+
+    #[test]
+    fn transient_failures_exhaust_retries_into_a_failure() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            transient: vec![(4, 5)],
+            ..ChaosConfig::default()
+        });
+        let config = RunConfig {
+            failure_policy: FailurePolicy::quarantine(),
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff: Duration::from_millis(0),
+            },
+            ..RunConfig::default()
+        };
+        let result = c.run_supervised(2, &config, &NullObserver).unwrap();
+        assert_eq!(result.failures.len(), 1);
+        let f = &result.failures[0];
+        assert_eq!(f.index, 4);
+        assert_eq!(f.kind, FailureKind::HostError);
+        assert_eq!(f.attempts, 2, "one initial attempt plus one retry");
+    }
+
+    #[test]
+    fn deterministic_failures_are_not_retried() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            fail_on: vec![6],
+            ..ChaosConfig::default()
+        });
+        let config = RunConfig {
+            failure_policy: FailurePolicy::quarantine(),
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff: Duration::from_millis(0),
+            },
+            ..RunConfig::default()
+        };
+        let result = c.run_supervised(1, &config, &NullObserver).unwrap();
+        assert_eq!(result.failures.len(), 1);
+        assert_eq!(
+            result.failures[0].attempts, 1,
+            "a deterministic failure must not burn retries"
         );
     }
 
@@ -657,8 +1302,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker thread")]
-    fn zero_threads_panics() {
-        let _ = small_campaign().run(0);
+    fn zero_threads_is_invalid_config() {
+        let err = small_campaign().run(0).unwrap_err();
+        assert!(matches!(err, ComfaseError::InvalidConfig(_)), "{err:?}");
+        assert!(
+            err.to_string().contains("at least one worker thread"),
+            "{err}"
+        );
     }
 }

@@ -11,6 +11,7 @@
 //!
 //! Campaign iteration (the three nested loops) lives in [`crate::campaign`].
 
+use comfase_des::sim::EventBudget;
 use comfase_des::time::SimTime;
 use comfase_obs::ObsConfig;
 
@@ -28,6 +29,7 @@ pub struct Engine {
     comm: CommModel,
     seed: u64,
     obs: ObsConfig,
+    budget: EventBudget,
 }
 
 impl Engine {
@@ -48,7 +50,30 @@ impl Engine {
             comm,
             seed,
             obs: ObsConfig::disabled(),
+            budget: EventBudget::UNLIMITED,
         })
+    }
+
+    /// Installs a sim-event / sim-time budget on every *experiment* run
+    /// this engine executes (the deterministic watchdog). Golden runs and
+    /// prefix snapshots are exempt: they are the references experiments are
+    /// measured against and must complete.
+    ///
+    /// The event counter covers the whole run from t = 0 (it is part of
+    /// the snapshot state), so forked and from-scratch experiments breach
+    /// on the identical event. For mode-identical failure records the
+    /// budget must exceed the attack-free prefix cost — a budget that a
+    /// healthy prefix already exhausts would breach during different
+    /// phases in the two modes.
+    #[must_use]
+    pub fn with_budget(mut self, budget: EventBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The experiment budget.
+    pub fn budget(&self) -> EventBudget {
+        self.budget
     }
 
     /// Enables telemetry for every world this engine builds. All recorded
@@ -116,13 +141,17 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates world-construction failures.
+    /// Propagates world-construction failures; returns
+    /// [`ComfaseError::BudgetExceeded`] / [`ComfaseError::NumericDiverged`]
+    /// when the run faults (a faulted world stops executing, so the
+    /// three-phase sequence below is safe without special-casing).
     pub fn run_experiment(
         &self,
         attack: &AttackSpec,
         experiment_index: u64,
     ) -> Result<RunLog, ComfaseError> {
         let mut world = World::with_obs(&self.scenario, &self.comm, self.seed, self.obs)?;
+        world.set_budget(self.budget);
         // Line 12: simulate with the pristine model until the attack starts.
         world.run_until(attack.start);
         // Line 11 + 13: install the updated communication model, simulate
@@ -132,6 +161,9 @@ impl Engine {
         // Line 14: restore and run to the end.
         world.clear_attack();
         world.run_to_end();
+        if let Some(fault) = world.fault() {
+            return Err(fault.to_error());
+        }
         Ok(world.into_log())
     }
 
@@ -156,14 +188,23 @@ impl Engine {
     /// `prefix` must be a snapshot produced by
     /// [`Engine::prefix_snapshot`]`(attack.start)` on this engine; the run
     /// is then bit-identical to [`Engine::run_experiment`] with the same
-    /// `attack` and `experiment_index`, at a fraction of the cost.
+    /// `attack` and `experiment_index`, at a fraction of the cost — a
+    /// faulting experiment reproduces the identical error, because all
+    /// fault state (event counters, numeric guards) is simulation state
+    /// carried by the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComfaseError::BudgetExceeded`] /
+    /// [`ComfaseError::NumericDiverged`] when the run faults.
     pub fn run_experiment_from(
         &self,
         prefix: &World,
         attack: &AttackSpec,
         experiment_index: u64,
-    ) -> RunLog {
+    ) -> Result<RunLog, ComfaseError> {
         let mut world = prefix.clone();
+        world.set_budget(self.budget);
         // The prefix already covers [0, attack.start); phases two and three
         // are identical to `run_experiment`.
         world.run_until(attack.start);
@@ -171,7 +212,10 @@ impl Engine {
         world.run_until(attack.end.min(world.total_time()));
         world.clear_attack();
         world.run_to_end();
-        world.into_log()
+        if let Some(fault) = world.fault() {
+            return Err(fault.to_error());
+        }
+        Ok(world.into_log())
     }
 
     /// Step 4 for one experiment: classify against a golden run.
@@ -303,13 +347,13 @@ mod tests {
         };
         let scratch = e.run_experiment(&attack, 3).unwrap();
         let prefix = e.prefix_snapshot(attack.start).unwrap();
-        let forked = e.run_experiment_from(&prefix, &attack, 3);
+        let forked = e.run_experiment_from(&prefix, &attack, 3).unwrap();
         assert_eq!(
             scratch, forked,
             "fork-resumed run must equal the from-scratch run"
         );
         // The prefix is reusable: forking again gives the same log.
-        let again = e.run_experiment_from(&prefix, &attack, 3);
+        let again = e.run_experiment_from(&prefix, &attack, 3).unwrap();
         assert_eq!(forked, again);
     }
 

@@ -11,6 +11,17 @@ pub enum ComfaseError {
     Traffic(String),
     /// A campaign references a vehicle that is not in the scenario.
     UnknownTarget(u32),
+    /// The run exceeded its configured sim-event or sim-time budget
+    /// (deterministic watchdog).
+    BudgetExceeded(String),
+    /// A release-mode numeric guard detected non-finite simulation state
+    /// (NaN kinematics or SNIR).
+    NumericDiverged(String),
+    /// A campaign worker thread died (its panic escaped the per-experiment
+    /// isolation boundary).
+    WorkerFailed(String),
+    /// A host I/O operation (journal, results directory) failed.
+    Io(String),
 }
 
 impl fmt::Display for ComfaseError {
@@ -21,6 +32,10 @@ impl fmt::Display for ComfaseError {
             ComfaseError::UnknownTarget(v) => {
                 write!(f, "attack target vehicle {v} is not part of the scenario")
             }
+            ComfaseError::BudgetExceeded(msg) => write!(f, "simulation budget exceeded: {msg}"),
+            ComfaseError::NumericDiverged(msg) => write!(f, "numeric divergence: {msg}"),
+            ComfaseError::WorkerFailed(msg) => write!(f, "campaign worker failed: {msg}"),
+            ComfaseError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

@@ -1,0 +1,420 @@
+//! Append-only campaign journal for checkpoint/resume.
+//!
+//! A campaign run with a journal path writes one JSON line per *finished*
+//! experiment — completed or failed — to an append-only file, fsync'd after
+//! every line. If the process is killed (OOM, SIGKILL, power loss), a later
+//! [`Campaign::resume`](crate::campaign::Campaign::resume) replays the
+//! journal, skips the experiments already completed, re-runs the failed and
+//! missing ones, and produces a [`CampaignResult`](crate::campaign::CampaignResult)
+//! whose metrics are **byte-identical** to an uninterrupted run:
+//!
+//! - every journal line is a self-contained [`JournalEntry`] — no state is
+//!   spread across lines, so replay order does not matter (the campaign
+//!   sorts by experiment index when merging);
+//! - [`ExperimentMetrics`] survive a JSON round-trip exactly (serde_json
+//!   prints `f64` with Ryu shortest-representation and parses it back to
+//!   the same bits), so journaled rows merge bit-for-bit with fresh ones;
+//! - the header pins the campaign identity (engine seed, experiment count,
+//!   attack campaign setup) and resume refuses a journal written by a
+//!   different campaign.
+//!
+//! # Torn writes
+//!
+//! A kill can land mid-`write`, leaving a truncated final line. The reader
+//! tolerates an unparseable **final** line (the experiment it described is
+//! simply re-run); an unparseable line *followed by* more entries means the
+//! file was corrupted some other way and is reported as an error.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use comfase_obs::ExperimentMetrics;
+
+use crate::campaign::{ExperimentFailure, ExperimentRecord};
+use crate::config::AttackCampaignSetup;
+use crate::error::ComfaseError;
+
+/// Version stamp written in the journal header; bumped on breaking layout
+/// changes so a resume against an old journal fails loudly.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+
+/// One line of the campaign journal.
+///
+/// Entries are transient — built, serialized, and dropped one at a time —
+/// so the size imbalance between the fat `Completed` variant and the thin
+/// `Failed` one costs nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "entry", rename_all = "snake_case")]
+pub enum JournalEntry {
+    /// First line of every journal: identifies the campaign the journal
+    /// belongs to. Resume checks it against the resuming campaign.
+    Header {
+        /// Journal layout version ([`JOURNAL_SCHEMA_VERSION`]).
+        schema_version: u32,
+        /// Engine seed of the writing campaign.
+        seed: u64,
+        /// Total number of experiments in the expanded campaign.
+        total: usize,
+        /// The attack campaign setup (expansion input).
+        setup: AttackCampaignSetup,
+    },
+    /// An experiment finished successfully.
+    Completed {
+        /// Experiment index within the expanded campaign.
+        index: usize,
+        /// The classified record (spec + verdict).
+        record: ExperimentRecord,
+        /// Per-experiment metrics row, present when the campaign collects
+        /// metrics. Required for a resumed run to reproduce `metrics.json`
+        /// byte-identically.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        metrics: Option<ExperimentMetrics>,
+    },
+    /// An experiment failed terminally (after any retries).
+    Failed {
+        /// The structured failure description.
+        failure: ExperimentFailure,
+    },
+}
+
+/// Serialised writer appending fsync'd JSON lines to a journal file.
+///
+/// All campaign workers share one writer behind a mutex: a journal line is
+/// written and flushed to disk *before* the experiment is counted done, so
+/// a kill at any instant loses at most the experiment currently in flight.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path` and writes the header line.
+    pub fn create(path: &Path, header: &JournalEntry) -> Result<Self, ComfaseError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| io_err(path, &e))?;
+            }
+        }
+        let file = File::create(path).map_err(|e| io_err(path, &e))?;
+        let writer = JournalWriter {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        };
+        writer.append(header)?;
+        Ok(writer)
+    }
+
+    /// Opens an existing journal at `path` for appending (resume).
+    pub fn append_to(path: &Path) -> Result<Self, ComfaseError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, &e))?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one entry as a single JSON line and fsyncs the file data.
+    pub fn append(&self, entry: &JournalEntry) -> Result<(), ComfaseError> {
+        let mut line = serde_json::to_vec(entry)
+            .map_err(|e| ComfaseError::Io(format!("journal encode: {e}")))?;
+        line.push(b'\n');
+        let mut file = self.file.lock();
+        file.write_all(&line).map_err(|e| io_err(&self.path, &e))?;
+        file.sync_data().map_err(|e| io_err(&self.path, &e))?;
+        Ok(())
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> ComfaseError {
+    ComfaseError::Io(format!("journal {}: {e}", path.display()))
+}
+
+/// Parsed journal contents, deduplicated by experiment index (last wins).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalState {
+    /// Header fields, if a header line was present.
+    pub header: Option<(u32, u64, usize, AttackCampaignSetup)>,
+    /// Completed experiments by index: record plus optional metrics row.
+    pub completed: BTreeMap<usize, (ExperimentRecord, Option<ExperimentMetrics>)>,
+    /// Terminal failures by index. An index later journaled as completed
+    /// (a successful re-run after resume) is removed from this map.
+    pub failures: BTreeMap<usize, ExperimentFailure>,
+}
+
+impl JournalState {
+    /// Verifies the journal was written by a campaign with the same
+    /// identity (seed, experiment count, setup) and schema version.
+    pub fn check_identity(
+        &self,
+        seed: u64,
+        total: usize,
+        setup: &AttackCampaignSetup,
+    ) -> Result<(), ComfaseError> {
+        let Some((version, j_seed, j_total, j_setup)) = &self.header else {
+            return Err(ComfaseError::Io(
+                "journal has no header line; refusing to resume".into(),
+            ));
+        };
+        if *version != JOURNAL_SCHEMA_VERSION {
+            return Err(ComfaseError::Io(format!(
+                "journal schema version {version} != supported {JOURNAL_SCHEMA_VERSION}"
+            )));
+        }
+        if *j_seed != seed || *j_total != total || j_setup != setup {
+            return Err(ComfaseError::Io(format!(
+                "journal belongs to a different campaign \
+                 (journal: seed {j_seed}, {j_total} experiments; \
+                 resuming: seed {seed}, {total} experiments)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Reads and folds a journal file into a [`JournalState`].
+///
+/// Tolerates a truncated (torn-write) **final** line; any other parse
+/// failure is an error. See the module docs for the rationale.
+pub fn read_journal(path: &Path) -> Result<JournalState, ComfaseError> {
+    let contents = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+    let lines: Vec<&str> = contents.split('\n').collect();
+    let mut state = JournalState::default();
+    for (lineno, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry: JournalEntry = match serde_json::from_str(line) {
+            Ok(entry) => entry,
+            Err(e) => {
+                // A torn write can only truncate the *last* line: everything
+                // after it must be empty for the failure to be tolerable.
+                let rest_empty = lines[lineno + 1..].iter().all(|l| l.trim().is_empty());
+                if rest_empty {
+                    break;
+                }
+                return Err(ComfaseError::Io(format!(
+                    "journal {}: corrupt entry at line {}: {e}",
+                    path.display(),
+                    lineno + 1
+                )));
+            }
+        };
+        match entry {
+            JournalEntry::Header {
+                schema_version,
+                seed,
+                total,
+                setup,
+            } => {
+                state.header = Some((schema_version, seed, total, setup));
+            }
+            JournalEntry::Completed {
+                index,
+                record,
+                metrics,
+            } => {
+                state.failures.remove(&index);
+                state.completed.insert(index, (record, metrics));
+            }
+            JournalEntry::Failed { failure } => {
+                state.failures.insert(failure.index, failure);
+            }
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{AttackModelKind, AttackSpec};
+    use crate::campaign::FailureKind;
+    use crate::classify::{Classification, Verdict};
+    use comfase_des::time::SimTime;
+
+    fn setup() -> AttackCampaignSetup {
+        AttackCampaignSetup {
+            attack_model: AttackModelKind::Delay,
+            target_vehicles: vec![2],
+            attack_values: vec![0.5],
+            attack_starts_s: vec![17.0],
+            attack_durations_s: vec![2.0],
+        }
+    }
+
+    fn spec() -> AttackSpec {
+        AttackSpec {
+            model: AttackModelKind::Delay,
+            value: 0.5,
+            targets: vec![2].into(),
+            start: SimTime::from_secs(17),
+            end: SimTime::from_secs(19),
+        }
+    }
+
+    fn record(index: usize) -> ExperimentRecord {
+        ExperimentRecord {
+            index,
+            spec: spec(),
+            verdict: Verdict {
+                class: Classification::Benign,
+                max_decel_mps2: 3.5,
+                max_speed_deviation_mps: 0.4,
+                first_collision: None,
+                nr_collisions: 0,
+            },
+        }
+    }
+
+    fn header() -> JournalEntry {
+        JournalEntry::Header {
+            schema_version: JOURNAL_SCHEMA_VERSION,
+            seed: 42,
+            total: 8,
+            setup: setup(),
+        }
+    }
+
+    #[test]
+    fn round_trips_entries_through_a_file() {
+        let dir = std::env::temp_dir().join("comfase-journal-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        let writer = JournalWriter::create(&path, &header()).unwrap();
+        writer
+            .append(&JournalEntry::Completed {
+                index: 3,
+                record: record(3),
+                metrics: None,
+            })
+            .unwrap();
+        let failure = ExperimentFailure {
+            index: 5,
+            kind: FailureKind::Panicked,
+            payload: "boom".into(),
+            seed: 42,
+            spec: spec(),
+            attempts: 1,
+        };
+        writer
+            .append(&JournalEntry::Failed {
+                failure: failure.clone(),
+            })
+            .unwrap();
+        drop(writer);
+
+        let state = read_journal(&path).unwrap();
+        state.check_identity(42, 8, &setup()).unwrap();
+        assert_eq!(state.completed.len(), 1);
+        assert_eq!(state.completed[&3].0, record(3));
+        assert_eq!(state.failures[&5], failure);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let dir = std::env::temp_dir().join("comfase-journal-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        let writer = JournalWriter::create(&path, &header()).unwrap();
+        writer
+            .append(&JournalEntry::Completed {
+                index: 0,
+                record: record(0),
+                metrics: None,
+            })
+            .unwrap();
+        drop(writer);
+        // Simulate a kill mid-write: append half a JSON line, no newline.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"entry\":\"completed\",\"ind").unwrap();
+        drop(file);
+
+        let state = read_journal(&path).unwrap();
+        assert_eq!(state.completed.len(), 1);
+        assert!(state.completed.contains_key(&0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_before_the_end_is_an_error() {
+        let dir = std::env::temp_dir().join("comfase-journal-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        let writer = JournalWriter::create(&path, &header()).unwrap();
+        drop(writer);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"garbage-not-json\n").unwrap();
+        let entry = serde_json::to_string(&JournalEntry::Completed {
+            index: 1,
+            record: record(1),
+            metrics: None,
+        })
+        .unwrap();
+        file.write_all(entry.as_bytes()).unwrap();
+        file.write_all(b"\n").unwrap();
+        drop(file);
+
+        let err = read_journal(&path).unwrap_err();
+        assert!(matches!(err, ComfaseError::Io(_)), "{err:?}");
+        assert!(err.to_string().contains("corrupt entry"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn completed_rerun_clears_an_earlier_failure() {
+        let dir = std::env::temp_dir().join("comfase-journal-rerun");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        let writer = JournalWriter::create(&path, &header()).unwrap();
+        writer
+            .append(&JournalEntry::Failed {
+                failure: ExperimentFailure {
+                    index: 2,
+                    kind: FailureKind::HostError,
+                    payload: "flaky".into(),
+                    seed: 42,
+                    spec: spec(),
+                    attempts: 1,
+                },
+            })
+            .unwrap();
+        writer
+            .append(&JournalEntry::Completed {
+                index: 2,
+                record: record(2),
+                metrics: None,
+            })
+            .unwrap();
+        drop(writer);
+
+        let state = read_journal(&path).unwrap();
+        assert!(state.failures.is_empty());
+        assert!(state.completed.contains_key(&2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn identity_mismatch_is_rejected() {
+        let state = JournalState {
+            header: Some((JOURNAL_SCHEMA_VERSION, 42, 8, setup())),
+            ..JournalState::default()
+        };
+        assert!(state.check_identity(42, 8, &setup()).is_ok());
+        assert!(state.check_identity(43, 8, &setup()).is_err());
+        assert!(state.check_identity(42, 9, &setup()).is_err());
+        let mut other = setup();
+        other.attack_values = vec![9.0];
+        assert!(state.check_identity(42, 8, &other).is_err());
+    }
+}

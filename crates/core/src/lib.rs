@@ -55,6 +55,7 @@ pub mod classify;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod journal;
 pub mod log;
 pub mod report;
 pub mod teleop;
@@ -64,8 +65,9 @@ pub mod world;
 pub mod prelude {
     pub use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
     pub use crate::campaign::{
-        Campaign, CampaignObserver, CampaignPhase, CampaignResult, CampaignStats, ExecutionMode,
-        ExperimentRecord, NullObserver,
+        Campaign, CampaignObserver, CampaignPhase, CampaignResult, CampaignStats, ChaosConfig,
+        ExecutionMode, ExperimentFailure, ExperimentRecord, FailureKind, FailurePolicy,
+        NullObserver, RetryPolicy, RunConfig,
     };
     pub use crate::classify::{Classification, ClassificationParams, Verdict};
     pub use crate::config::{
@@ -73,11 +75,13 @@ pub mod prelude {
     };
     pub use crate::engine::Engine;
     pub use crate::error::ComfaseError;
+    pub use crate::journal::{read_journal, JournalEntry, JournalState, JournalWriter};
     pub use crate::log::RunLog;
     pub use crate::teleop::{TeleopLink, TeleopScenario, TeleopWorld};
-    pub use crate::world::{JammerSpec, World};
+    pub use crate::world::{JammerSpec, RunFault, RunFaultKind, World};
+    pub use comfase_des::sim::EventBudget;
     pub use comfase_obs::{
         chrome_trace_json, CampaignMetrics, ExperimentMetrics, FrameBreakdown, HostProfiler,
-        KernelCounters, MetricsSnapshot, ObsConfig,
+        KernelCounters, MetricsSnapshot, ObsConfig, WallDeadline,
     };
 }

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use comfase_des::rng::StreamId;
-use comfase_des::sim::Simulator;
+use comfase_des::sim::{BreachKind, EventBudget, Simulator};
 use comfase_des::time::{SimDuration, SimTime};
 use comfase_obs::trace::TRACK_KERNEL;
 use comfase_obs::{HistSpec, KernelCounters, ObsConfig, Recorder, SimRecorder, TraceKind};
@@ -85,6 +85,44 @@ pub struct JammerSpec {
 
 /// Node ids from this value upward are reserved for jammers.
 const JAMMER_NODE_BASE: u32 = 1_000_000;
+
+/// What stopped a run before its configured end.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RunFaultKind {
+    /// The sim-event / sim-time budget was exhausted (deterministic
+    /// watchdog, see [`EventBudget`]).
+    BudgetExceeded,
+    /// A release-mode numeric guard found non-finite simulation state.
+    NumericDiverged,
+}
+
+/// Structured record of a faulted run.
+///
+/// Every field derives from simulation state only, so a faulting experiment
+/// produces the identical `RunFault` on every worker-thread count and in
+/// both execution modes (for budgets: provided the budget exceeds the
+/// attack-free prefix, which the engine's campaign configuration
+/// guarantees by applying budgets to full experiment runs only).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunFault {
+    /// Fault category.
+    pub kind: RunFaultKind,
+    /// Kernel clock when the fault was detected.
+    pub at: SimTime,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl RunFault {
+    /// Converts the fault into the engine error it surfaces as.
+    pub fn to_error(&self) -> ComfaseError {
+        let msg = format!("at {}: {}", self.at, self.detail);
+        match self.kind {
+            RunFaultKind::BudgetExceeded => ComfaseError::BudgetExceeded(msg),
+            RunFaultKind::NumericDiverged => ComfaseError::NumericDiverged(msg),
+        }
+    }
+}
 
 /// Events flowing through the world's kernel.
 #[derive(Debug, Clone)]
@@ -182,6 +220,8 @@ pub struct World {
     /// Deterministic telemetry recorder. Part of cloned state, so a forked
     /// run carries the prefix's counters exactly like a from-scratch run.
     obs: SimRecorder,
+    /// First fault detected during this run (sticky; stops execution).
+    fault: Option<RunFault>,
 }
 
 impl World {
@@ -319,6 +359,7 @@ impl World {
             lane_offset_y,
             jammers: Vec::new(),
             obs: SimRecorder::new(obs),
+            fault: None,
         };
         world.sync_positions();
         for spec in scenario_jammers {
@@ -371,11 +412,67 @@ impl World {
         self.medium.clear_interceptor();
     }
 
+    /// Installs a sim-event / sim-time budget on the kernel (the
+    /// deterministic watchdog). Events are counted from t = 0 — the counter
+    /// is part of the snapshot state — so forked and from-scratch runs
+    /// breach at the identical event.
+    pub fn set_budget(&mut self, budget: EventBudget) {
+        self.sim.set_budget(budget);
+    }
+
+    /// The first fault this run hit, if any. A faulted world stops
+    /// executing: further `run_until` calls return immediately.
+    pub fn fault(&self) -> Option<&RunFault> {
+        self.fault.as_ref()
+    }
+
     /// Runs the world until `limit` (clamped to the configured total time).
+    ///
+    /// Stops early — without advancing the clock to `limit` — when a fault
+    /// is detected: a kernel budget breach or a numeric guard firing in the
+    /// traffic or wireless layer. The fault is sticky (see
+    /// [`World::fault`]); subsequent calls are no-ops, which keeps the
+    /// engine's multi-phase run sequence safe without special-casing.
     pub fn run_until(&mut self, limit: SimTime) {
+        if self.fault.is_some() {
+            return;
+        }
         let limit = limit.min(self.total_time);
-        while let Some((_, ev)) = self.sim.pop_due(limit) {
+        while let Some((t, ev)) = self.sim.pop_due(limit) {
             self.dispatch(ev);
+            // Numeric guards are polled per event rather than per check
+            // site so detection order (and thus the recorded fault) is
+            // deterministic.
+            let numeric = self
+                .traffic
+                .numeric_fault()
+                .or_else(|| self.medium.numeric_fault());
+            if let Some(detail) = numeric {
+                self.fault = Some(RunFault {
+                    kind: RunFaultKind::NumericDiverged,
+                    at: t,
+                    detail: detail.to_string(),
+                });
+                return;
+            }
+        }
+        if let Some(breach) = self.sim.breach() {
+            let what = match breach.kind {
+                BreachKind::Delivered => format!(
+                    "event budget exhausted: {} events delivered, next event at {}",
+                    breach.delivered, breach.at
+                ),
+                BreachKind::SimTime => format!(
+                    "sim-time budget exhausted: next event at {} is past the allowed horizon",
+                    breach.at
+                ),
+            };
+            self.fault = Some(RunFault {
+                kind: RunFaultKind::BudgetExceeded,
+                at: self.sim.now(),
+                detail: what,
+            });
+            return;
         }
         self.sim.advance_to(limit);
     }
@@ -989,6 +1086,43 @@ mod tests {
             protected.trace.collisions.len(),
             unprotected.trace.collisions.len()
         );
+    }
+
+    #[test]
+    fn budget_breach_faults_the_run_and_is_sticky() {
+        let mut w = build();
+        w.set_budget(EventBudget {
+            max_delivered: Some(500),
+            max_sim_time: None,
+        });
+        w.run_to_end();
+        let fault = w.fault().expect("500 events cannot cover 60 s").clone();
+        assert_eq!(fault.kind, RunFaultKind::BudgetExceeded);
+        assert!(fault.detail.contains("event budget"), "{fault:?}");
+        assert!(w.now() < SimTime::from_secs(60), "run stopped early");
+        assert!(matches!(fault.to_error(), ComfaseError::BudgetExceeded(_)));
+        // Sticky: running again moves neither the clock nor the fault.
+        let frozen = w.now();
+        w.run_to_end();
+        assert_eq!(w.now(), frozen);
+        assert_eq!(w.fault(), Some(&fault));
+    }
+
+    #[test]
+    fn nan_state_faults_the_run_as_numeric_divergence() {
+        let mut w = build();
+        w.run_until(SimTime::from_secs(1));
+        w.traffic
+            .vehicle_mut(VehicleId(2))
+            .expect("vehicle 2 exists")
+            .state
+            .speed_mps = f64::NAN;
+        w.run_until(SimTime::from_secs(5));
+        let fault = w.fault().expect("NaN kinematics must fault the run");
+        assert_eq!(fault.kind, RunFaultKind::NumericDiverged);
+        assert!(fault.detail.contains("non-finite"), "{fault:?}");
+        assert!(matches!(fault.to_error(), ComfaseError::NumericDiverged(_)));
+        assert!(w.now() < SimTime::from_secs(5), "run stopped early");
     }
 
     #[test]

@@ -59,6 +59,6 @@ pub mod time;
 
 pub use queue::{EventId, EventQueue};
 pub use rng::{RngStream, StreamId};
-pub use sim::Simulator;
+pub use sim::{BreachKind, BudgetBreach, EventBudget, Simulator};
 pub use stats::{Recorder, RunningStats, TimeSeries};
 pub use time::{SimDuration, SimTime};

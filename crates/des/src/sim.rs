@@ -27,6 +27,61 @@ use crate::queue::{EventId, EventPriority, EventQueue};
 use crate::rng::{RngStream, StreamId};
 use crate::time::{SimDuration, SimTime};
 
+/// Resource budget enforced by the kernel — the deterministic watchdog.
+///
+/// Both limits are measured in *simulation* quantities (events delivered
+/// since t = 0, kernel clock), never host time, so a breach happens at the
+/// exact same event on every worker-thread count and in both snapshot/fork
+/// and from-scratch execution. The default is unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventBudget {
+    /// Maximum events the kernel may deliver (counted from t = 0, so a
+    /// forked run and a from-scratch run agree — the delivered counter is
+    /// part of the snapshot state).
+    pub max_delivered: Option<u64>,
+    /// Latest kernel-clock timestamp an event may be delivered at.
+    pub max_sim_time: Option<SimTime>,
+}
+
+impl EventBudget {
+    /// No limits (the default).
+    pub const UNLIMITED: EventBudget = EventBudget {
+        max_delivered: None,
+        max_sim_time: None,
+    };
+
+    /// True when no limit is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_delivered.is_none() && self.max_sim_time.is_none()
+    }
+}
+
+/// Which budget dimension was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreachKind {
+    /// [`EventBudget::max_delivered`] was reached.
+    Delivered,
+    /// [`EventBudget::max_sim_time`] was reached.
+    SimTime,
+}
+
+/// Sticky record of a budget breach.
+///
+/// A breach is detected lazily: only when a due event *would* exceed the
+/// budget does [`Simulator::pop_due`] refuse to deliver it and record the
+/// breach. A run that simply finishes under budget never breaches, and the
+/// recorded fields are pure simulation state — identical across execution
+/// modes and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetBreach {
+    /// Exhausted dimension.
+    pub kind: BreachKind,
+    /// Timestamp of the due event that was refused delivery.
+    pub at: SimTime,
+    /// Events delivered when the breach was detected.
+    pub delivered: u64,
+}
+
 /// Discrete-event simulation kernel over event payload type `E`.
 ///
 /// When `E: Clone` the kernel is `Clone`: a clone is a bit-exact snapshot of
@@ -38,6 +93,8 @@ pub struct Simulator<E> {
     now: SimTime,
     queue: EventQueue<E>,
     seed: u64,
+    budget: EventBudget,
+    breach: Option<BudgetBreach>,
 }
 
 impl<E> Simulator<E> {
@@ -47,7 +104,25 @@ impl<E> Simulator<E> {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             seed,
+            budget: EventBudget::UNLIMITED,
+            breach: None,
         }
+    }
+
+    /// Installs a resource budget. Replaces any previous budget; does not
+    /// clear an already-recorded breach.
+    pub fn set_budget(&mut self, budget: EventBudget) {
+        self.budget = budget;
+    }
+
+    /// The currently installed budget.
+    pub fn budget(&self) -> EventBudget {
+        self.budget
+    }
+
+    /// The recorded budget breach, if one happened.
+    pub fn breach(&self) -> Option<BudgetBreach> {
+        self.breach
     }
 
     /// Current simulation time.
@@ -120,7 +195,41 @@ impl<E> Simulator<E> {
     /// Pops the next event due at or before `limit`, advancing the clock to
     /// its timestamp. Returns `None` when no event is due by `limit`
     /// (the clock is then left untouched; call [`Simulator::advance_to`]).
+    ///
+    /// When a budget is installed and the next due event would exceed it,
+    /// the event is *not* delivered: the kernel records a sticky
+    /// [`BudgetBreach`] (see [`Simulator::breach`]) and this returns `None`
+    /// for the rest of the kernel's life.
     pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        if self.breach.is_some() {
+            return None;
+        }
+        if !self.budget.is_unlimited() {
+            let next = self.queue.peek_time()?;
+            if next > limit {
+                return None;
+            }
+            let delivered = self.queue.delivered_total();
+            let kind = if self
+                .budget
+                .max_delivered
+                .is_some_and(|max| delivered >= max)
+            {
+                Some(BreachKind::Delivered)
+            } else if self.budget.max_sim_time.is_some_and(|max| next > max) {
+                Some(BreachKind::SimTime)
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                self.breach = Some(BudgetBreach {
+                    kind,
+                    at: next,
+                    delivered,
+                });
+                return None;
+            }
+        }
         let (t, e) = self.queue.pop_at_or_before(limit)?;
         // Sim sanitizer: the kernel clock must never run backwards, and the
         // queue must honour the limit (either would silently desynchronise
@@ -194,7 +303,7 @@ impl<E> Simulator<E> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     enum Ev {
         Tick(u32),
     }
@@ -275,6 +384,80 @@ mod tests {
         let mut b = sim.rng(StreamId(3));
         assert_eq!(a.next_u64(), b.next_u64());
         assert_eq!(sim.seed(), 77);
+    }
+
+    #[test]
+    fn event_budget_breach_is_sticky_and_survives_clone() {
+        let mut sim = Simulator::new(0);
+        for k in 0..5 {
+            sim.schedule_at(SimTime::from_secs(k + 1), Ev::Tick(k as u32));
+        }
+        sim.set_budget(EventBudget {
+            max_delivered: Some(3),
+            max_sim_time: None,
+        });
+        let mut delivered = 0;
+        while sim.pop_due(SimTime::from_secs(10)).is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 3);
+        let breach = sim.breach().expect("budget must breach");
+        assert_eq!(breach.kind, BreachKind::Delivered);
+        assert_eq!(breach.delivered, 3);
+        assert_eq!(breach.at, SimTime::from_secs(4));
+        // Sticky: further pops return None even though events are pending.
+        assert_eq!(sim.pending(), 2);
+        assert!(sim.pop_due(SimTime::from_secs(10)).is_none());
+        // Clock stayed at the last delivered event.
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        // The breach is part of the snapshot state.
+        let clone = sim.clone();
+        assert_eq!(clone.breach(), sim.breach());
+    }
+
+    #[test]
+    fn sim_time_budget_refuses_late_events() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_at(SimTime::from_secs(1), Ev::Tick(0));
+        sim.schedule_at(SimTime::from_secs(5), Ev::Tick(1));
+        sim.set_budget(EventBudget {
+            max_delivered: None,
+            max_sim_time: Some(SimTime::from_secs(2)),
+        });
+        assert!(sim.pop_due(SimTime::from_secs(10)).is_some());
+        assert!(sim.pop_due(SimTime::from_secs(10)).is_none());
+        let breach = sim.breach().expect("sim-time budget must breach");
+        assert_eq!(breach.kind, BreachKind::SimTime);
+        assert_eq!(breach.at, SimTime::from_secs(5));
+        assert_eq!(breach.delivered, 1);
+    }
+
+    #[test]
+    fn budget_never_breaches_when_run_finishes_under_it() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_at(SimTime::from_secs(1), Ev::Tick(0));
+        sim.set_budget(EventBudget {
+            max_delivered: Some(1),
+            max_sim_time: None,
+        });
+        assert!(sim.pop_due(SimTime::from_secs(10)).is_some());
+        // Counter sits exactly at the limit, but no due event remains, so
+        // the run completes without a breach.
+        assert!(sim.pop_due(SimTime::from_secs(10)).is_none());
+        assert_eq!(sim.breach(), None);
+    }
+
+    #[test]
+    fn budget_ignores_events_beyond_the_pop_limit() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_at(SimTime::from_secs(5), Ev::Tick(0));
+        sim.set_budget(EventBudget {
+            max_delivered: Some(0),
+            max_sim_time: None,
+        });
+        // The only event is past the limit: no delivery attempt, no breach.
+        assert!(sim.pop_due(SimTime::from_secs(4)).is_none());
+        assert_eq!(sim.breach(), None);
     }
 
     #[test]

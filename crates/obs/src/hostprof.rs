@@ -58,6 +58,21 @@ impl HostProfiler {
         }
     }
 
+    /// Elapsed seconds of a still-open phase (most recently begun with
+    /// `name`), without ending it. `None` if no such phase is open.
+    ///
+    /// This is the clock primitive behind [`WallDeadline`]: the read uses
+    /// the start stamp taken by [`HostProfiler::begin`], keeping every
+    /// wall-clock access inside this sanctioned module.
+    pub fn open_elapsed_seconds(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .open
+            .iter()
+            .rfind(|(n, _)| n == name)
+            .map(|(_, started)| started.elapsed().as_secs_f64())
+    }
+
     /// Finished phases in completion order, as `(name, seconds)`.
     pub fn report(&self) -> Vec<(String, f64)> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -67,6 +82,53 @@ impl HostProfiler {
     /// Total seconds across all finished phases.
     pub fn total_seconds(&self) -> f64 {
         self.report().iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Host wall-clock deadline for preempting a long campaign run.
+///
+/// **Not deterministic** — this measures the machine, like everything in
+/// this module, and expiry depends on host load. It exists for operational
+/// protection (CI time limits, shared clusters): an expired deadline makes
+/// the campaign runner stop claiming new experiments and lean on its
+/// journal for resume. The *reproducible* watchdog is the sim-side event
+/// budget (`comfase_des::EventBudget`), which trips identically on every
+/// host and thread count.
+///
+/// Built on [`HostProfiler`] so the wall-clock reads stay inside the one
+/// sanctioned clock module.
+#[derive(Debug)]
+pub struct WallDeadline {
+    clock: HostProfiler,
+    budget_s: f64,
+}
+
+/// Phase name the deadline stopwatch runs under.
+const DEADLINE_PHASE: &str = "wall-deadline";
+
+impl WallDeadline {
+    /// Starts a deadline expiring `budget_s` wall-clock seconds from now.
+    pub fn after_secs(budget_s: f64) -> Self {
+        let clock = HostProfiler::new();
+        clock.begin(DEADLINE_PHASE);
+        WallDeadline { clock, budget_s }
+    }
+
+    /// The configured budget in seconds.
+    pub fn budget_seconds(&self) -> f64 {
+        self.budget_s
+    }
+
+    /// Wall-clock seconds elapsed since the deadline was started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.clock
+            .open_elapsed_seconds(DEADLINE_PHASE)
+            .unwrap_or(0.0)
+    }
+
+    /// `true` once the budget has elapsed.
+    pub fn expired(&self) -> bool {
+        self.elapsed_seconds() >= self.budget_s
     }
 }
 
@@ -101,5 +163,31 @@ mod tests {
     fn profiler_is_sync_for_worker_threads() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<HostProfiler>();
+        assert_sync::<WallDeadline>();
+    }
+
+    #[test]
+    fn open_phase_elapsed_is_readable_without_ending_it() {
+        let p = HostProfiler::new();
+        assert_eq!(p.open_elapsed_seconds("campaign"), None);
+        p.begin("campaign");
+        let secs = p.open_elapsed_seconds("campaign").unwrap();
+        assert!(secs >= 0.0);
+        // Still open: nothing finished yet.
+        assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_expire() {
+        let d = WallDeadline::after_secs(3600.0);
+        assert_eq!(d.budget_seconds(), 3600.0);
+        assert!(!d.expired());
+        assert!(d.elapsed_seconds() < 3600.0);
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let d = WallDeadline::after_secs(0.0);
+        assert!(d.expired());
     }
 }

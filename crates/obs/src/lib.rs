@@ -31,7 +31,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod trace;
 
-pub use hostprof::HostProfiler;
+pub use hostprof::{HostProfiler, WallDeadline};
 pub use metrics::{
     AggregateMetrics, CampaignMetrics, ExperimentMetrics, FrameBreakdown, KernelCounters,
 };

@@ -28,6 +28,20 @@ pub struct StepOutcome {
     pub distance_m: f64,
 }
 
+impl StepOutcome {
+    /// True when every kinematic quantity of the step is finite.
+    ///
+    /// The release-mode numeric guard: `debug_assert`s catch non-finite
+    /// kinematics during development, while [`is_finite`](Self::is_finite)
+    /// lets the simulation loop detect the same divergence in `--release`
+    /// builds and route it through the structured failure path
+    /// (`FailureKind::NumericDiverged`) instead of silently poisoning
+    /// downstream comparisons.
+    pub fn is_finite(&self) -> bool {
+        self.accel_mps2.is_finite() && self.speed_mps.is_finite() && self.distance_m.is_finite()
+    }
+}
+
 /// Clamps a commanded acceleration to the vehicle's physical ability.
 pub fn clamp_command(spec: &VehicleSpec, accel_cmd: f64) -> f64 {
     accel_cmd.clamp(-spec.max_decel_mps2, spec.max_accel_mps2)
@@ -63,10 +77,10 @@ pub fn integrate(
     assert!(dt_s > 0.0, "step size must be positive");
     // Sim sanitizer: a NaN/infinite kinematic input poisons every downstream
     // comparison (collision sorting, controller gains) in run-dependent ways.
-    debug_assert!(
-        speed.is_finite() && accel.is_finite() && commanded.is_finite(),
-        "non-finite dynamics input: speed {speed}, accel {accel}, commanded {commanded}"
-    );
+    // NaN propagates through `clamp`, so a poisoned input always surfaces as
+    // a non-finite outcome — the simulation loop checks
+    // [`StepOutcome::is_finite`] after every step (in release builds too)
+    // and reports divergence through the structured failure path.
     let cmd = clamp_command(spec, commanded);
     let mut a = apply_actuation_lag(spec, accel, cmd, dt_s);
     a = clamp_command(spec, a);
@@ -76,10 +90,6 @@ pub fn integrate(
     // actually realised, not the commanded one.
     let realised = (new_speed - speed) / dt_s;
     let distance = (speed + new_speed) / 2.0 * dt_s;
-    debug_assert!(
-        realised.is_finite() && new_speed.is_finite() && distance.is_finite(),
-        "non-finite integration outcome: accel {realised}, speed {new_speed}, distance {distance}"
-    );
     StepOutcome {
         accel_mps2: realised,
         speed_mps: new_speed,
@@ -100,11 +110,6 @@ pub fn step_vehicle(vehicle: &mut Vehicle, dt_s: f64) -> StepOutcome {
     vehicle.state.speed_mps = out.speed_mps;
     vehicle.state.accel_mps2 = out.accel_mps2;
     vehicle.state.pos_m += out.distance_m;
-    debug_assert!(
-        vehicle.state.pos_m.is_finite(),
-        "vehicle {:?} position became non-finite",
-        vehicle.id
-    );
     out
 }
 

@@ -91,6 +91,7 @@ pub struct TrafficSim {
     rng: RngStream,
     reported_pairs: Vec<(VehicleId, VehicleId)>,
     stats: TrafficStats,
+    numeric_fault: Option<String>,
 }
 
 impl TrafficSim {
@@ -111,6 +112,7 @@ impl TrafficSim {
             rng,
             reported_pairs: Vec::new(),
             stats: TrafficStats::default(),
+            numeric_fault: None,
         }
     }
 
@@ -292,7 +294,21 @@ impl TrafficSim {
 
         // Phase 2: integrate dynamics.
         for v in self.vehicles.iter_mut().filter(|v| v.active) {
-            step_vehicle(v, self.step_len_s);
+            let out = step_vehicle(v, self.step_len_s);
+            // Numeric guard (active in release builds): NaN propagates
+            // through the clamp chain, so any non-finite command or state
+            // surfaces here. First fault wins; later steps keep the original
+            // diagnosis so the report is deterministic.
+            if self.numeric_fault.is_none() && (!out.is_finite() || !v.state.pos_m.is_finite()) {
+                self.numeric_fault = Some(format!(
+                    "vehicle {} kinematics non-finite at step {}: accel {}, speed {}, pos {}",
+                    v.id,
+                    self.steps + 1,
+                    v.state.accel_mps2,
+                    v.state.speed_mps,
+                    v.state.pos_m
+                ));
+            }
             if v.state.accel_mps2 <= -HARD_DECEL_MPS2 {
                 self.stats.hard_decel_samples += 1;
             }
@@ -358,6 +374,13 @@ impl TrafficSim {
     /// Safety-relevant counters accumulated so far.
     pub fn stats(&self) -> TrafficStats {
         self.stats
+    }
+
+    /// The first numeric divergence detected by the release-mode kinematics
+    /// guard, if any (a human-readable diagnosis; the run should be treated
+    /// as failed with `FailureKind::NumericDiverged`).
+    pub fn numeric_fault(&self) -> Option<&str> {
+        self.numeric_fault.as_deref()
     }
 
     /// The trajectory log so far.
@@ -568,6 +591,22 @@ mod tests {
             st.hard_decel_samples > 0,
             "commanded -5 m/s² must register as hard braking"
         );
+    }
+
+    #[test]
+    fn nan_command_is_caught_by_the_numeric_guard() {
+        let mut s = sim();
+        s.add_vehicle(car(1, 100.0, 20.0)).unwrap();
+        assert_eq!(s.numeric_fault(), None);
+        s.set_external_control(VehicleId(1)).unwrap();
+        s.command_accel(VehicleId(1), f64::NAN).unwrap();
+        s.step();
+        let fault = s.numeric_fault().expect("NaN command must be detected");
+        assert!(fault.contains("non-finite"), "{fault}");
+        // First fault wins: further steps keep the original diagnosis.
+        let first = fault.to_string();
+        s.step();
+        assert_eq!(s.numeric_fault(), Some(first.as_str()));
     }
 
     #[test]

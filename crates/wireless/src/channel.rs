@@ -145,6 +145,7 @@ pub struct Medium {
     interceptor: Option<Box<dyn ChannelInterceptor>>,
     next_frame_id: u64,
     stats: ChannelStats,
+    numeric_fault: Option<String>,
 }
 
 impl Clone for Medium {
@@ -170,6 +171,7 @@ impl Clone for Medium {
             interceptor: None,
             next_frame_id: self.next_frame_id,
             stats: self.stats,
+            numeric_fault: self.numeric_fault.clone(),
         }
     }
 }
@@ -197,6 +199,7 @@ impl Medium {
             interceptor: None,
             next_frame_id: 0,
             stats: ChannelStats::default(),
+            numeric_fault: None,
         }
     }
 
@@ -386,8 +389,29 @@ impl Medium {
             DeciderResult::Received { .. } => self.stats.received += 1,
             DeciderResult::Lost(LossReason::BelowSensitivity) => self.stats.lost_sensitivity += 1,
             DeciderResult::Lost(LossReason::Snir) => self.stats.lost_snir += 1,
+            DeciderResult::Lost(LossReason::NumericFault) => {
+                // Counted under `lost_snir` so the frame-fate accounting
+                // identity (`links_planned == received + lost_snir + ...`)
+                // keeps holding; the run is failed via `numeric_fault()`
+                // anyway, so the statistics are never reported as trusted.
+                self.stats.lost_snir += 1;
+                if self.numeric_fault.is_none() {
+                    self.numeric_fault = Some(format!(
+                        "SNIR of frame {} at node {} evaluated to NaN \
+                         (reception [{}, {}], power {:?})",
+                        planned.frame_id, planned.rx, planned.start, planned.end, planned.power
+                    ));
+                }
+            }
         }
         result
+    }
+
+    /// The first numeric divergence detected by the SNIR guard, if any (a
+    /// human-readable diagnosis; the run should be treated as failed with
+    /// `FailureKind::NumericDiverged`).
+    pub fn numeric_fault(&self) -> Option<&str> {
+        self.numeric_fault.as_deref()
     }
 
     /// `true` if the medium is busy at `node` (some ongoing reception above

@@ -30,6 +30,10 @@ pub enum LossReason {
     BelowSensitivity,
     /// Detected but SNIR below the decoding threshold.
     Snir,
+    /// The SNIR computation produced NaN (numeric divergence in the power
+    /// model). The frame is treated as lost and the run should be failed
+    /// with `FailureKind::NumericDiverged` rather than trusted.
+    NumericFault,
 }
 
 /// Outcome of a reception attempt.
@@ -87,12 +91,13 @@ pub fn decide(
         }
     }
     let snir_db = ratio_db(signal, noise + worst);
-    // Sim sanitizer: a NaN SNIR would fail the threshold comparison silently
-    // and lose the frame without a `LossReason` the stats can explain.
-    debug_assert!(
-        !snir_db.is_nan(),
-        "SNIR is NaN (signal {signal:?}, noise {noise:?}, interference {worst:?})"
-    );
+    // Sim sanitizer (release builds too): a NaN SNIR would fail the
+    // threshold comparison silently and lose the frame without a
+    // `LossReason` the stats can explain. Surface it as a structured
+    // numeric fault instead.
+    if snir_db.is_nan() {
+        return DeciderResult::Lost(LossReason::NumericFault);
+    }
     if snir_db >= config.mcs.snir_threshold_db() {
         DeciderResult::Received { snir_db }
     } else {
@@ -226,6 +231,19 @@ mod tests {
             &[mk(t(0), t(1)), mk(t(0), t(1))],
         );
         assert_eq!(both, DeciderResult::Lost(LossReason::Snir));
+    }
+
+    #[test]
+    fn nan_snir_is_a_numeric_fault() {
+        // Infinite signal power over infinite interference: inf/inf → NaN.
+        let inf = Milliwatts(f64::INFINITY);
+        let interferer = Interferer {
+            power: inf,
+            start: t(0),
+            end: t(1),
+        };
+        let r = decide(&cfg(), inf, t(0), t(1), &[interferer]);
+        assert_eq!(r, DeciderResult::Lost(LossReason::NumericFault));
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Integration tests for fault-tolerant campaign execution: panic
+//! isolation, the deterministic event-budget watchdog, quarantine, and
+//! checkpoint/resume from the append-only journal.
+//!
+//! The budget tests self-calibrate: they run the campaign once without a
+//! budget, read each experiment's `kernel.delivered` from the metrics
+//! artifact (the exact counter the watchdog checks), and pick a limit
+//! below the heaviest experiment. That keeps the assertions valid as the
+//! simulation stack evolves — no magic event counts.
+
+use std::path::PathBuf;
+
+use comfase::prelude::*;
+use comfase_des::time::SimTime;
+
+fn quick_scenario(secs: i64) -> TrafficScenario {
+    let mut s = TrafficScenario::paper_default();
+    s.total_sim_time = SimTime::from_secs(secs);
+    s
+}
+
+/// An 8-experiment delay campaign with telemetry on (the same shape the
+/// observability suite uses).
+fn supervised_campaign() -> Campaign {
+    let setup = AttackCampaignSetup {
+        attack_model: AttackModelKind::Delay,
+        target_vehicles: vec![2],
+        attack_values: vec![0.4, 1.6],
+        attack_starts_s: vec![17.0, 19.4],
+        attack_durations_s: vec![2.0, 8.0],
+    };
+    let engine = Engine::new(quick_scenario(30), CommModel::paper_default(), 42).unwrap();
+    Campaign::new(engine, setup)
+        .unwrap()
+        .with_obs(ObsConfig::metrics_only())
+}
+
+/// Per-experiment delivered-event totals from an unconstrained run —
+/// the calibration data for the budget tests.
+fn delivered_per_experiment() -> Vec<(usize, u64)> {
+    let metrics = supervised_campaign()
+        .run_with_mode(2, ExecutionMode::FromScratch)
+        .unwrap()
+        .metrics
+        .expect("telemetry was enabled");
+    metrics
+        .per_experiment
+        .iter()
+        .map(|row| (row.index, row.kernel.delivered))
+        .collect()
+}
+
+/// A journal path in the system temp dir, unique per test process, with
+/// any stale copy removed.
+fn tmp_journal(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "comfase-robustness-{}-{name}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn quarantine_config(mode: ExecutionMode) -> RunConfig {
+    RunConfig {
+        mode,
+        failure_policy: FailurePolicy::quarantine(),
+        ..RunConfig::default()
+    }
+}
+
+/// Acceptance: a campaign containing a panicking experiment and a
+/// budget-exceeding experiment still completes under quarantine, and the
+/// failure report carries structured kinds for both.
+#[test]
+fn panicking_and_budget_exceeding_experiments_are_quarantined() {
+    let delivered = delivered_per_experiment();
+    let total = delivered.len();
+    assert_eq!(total, 8);
+    let (heaviest, max_delivered) = *delivered.iter().max_by_key(|(_, d)| *d).unwrap();
+    // Panic on some experiment other than the heaviest, so the budget
+    // failure and the panic land on distinct indices.
+    let panic_index = (heaviest + 1) % total;
+
+    let campaign = supervised_campaign()
+        .with_chaos(ChaosConfig {
+            panic_on: vec![panic_index],
+            ..ChaosConfig::default()
+        })
+        .with_budget(EventBudget {
+            max_delivered: Some(max_delivered - 1),
+            ..EventBudget::UNLIMITED
+        });
+    let result = campaign
+        .run_supervised(
+            4,
+            &quarantine_config(ExecutionMode::PrefixFork),
+            &NullObserver,
+        )
+        .unwrap();
+
+    assert_eq!(
+        result.records.len() + result.failures.len(),
+        total,
+        "every experiment either completed or was quarantined: {:?}",
+        result.failure_summary()
+    );
+    let panic_failure = result
+        .failures
+        .iter()
+        .find(|f| f.index == panic_index)
+        .expect("chaos panic was quarantined");
+    assert_eq!(panic_failure.kind, FailureKind::Panicked);
+    assert!(
+        panic_failure.payload.contains("injected panic"),
+        "{panic_failure:?}"
+    );
+    let budget_failure = result
+        .failures
+        .iter()
+        .find(|f| f.index == heaviest)
+        .expect("heaviest experiment exceeded the budget");
+    assert_eq!(budget_failure.kind, FailureKind::BudgetExceeded);
+    assert!(result.failure_summary().contains_key("panicked"));
+    assert!(result.failure_summary().contains_key("budget-exceeded"));
+    // Everything that is neither panicked nor over budget completed.
+    assert!(!result.records.is_empty());
+}
+
+/// The event-budget watchdog is deterministic: the same experiments fail
+/// with the same structured failures on every thread count and in both
+/// execution modes.
+#[test]
+fn budget_failures_identical_across_modes_and_threads() {
+    let delivered = delivered_per_experiment();
+    let max_delivered = delivered.iter().map(|(_, d)| *d).max().unwrap();
+    let budget = EventBudget {
+        max_delivered: Some(max_delivered - 1),
+        ..EventBudget::UNLIMITED
+    };
+
+    let run = |threads: usize, mode: ExecutionMode| {
+        supervised_campaign()
+            .with_budget(budget)
+            .run_supervised(threads, &quarantine_config(mode), &NullObserver)
+            .unwrap()
+    };
+
+    let reference = run(1, ExecutionMode::FromScratch);
+    assert!(
+        !reference.failures.is_empty(),
+        "the heaviest experiment must exceed the budget"
+    );
+    for failure in &reference.failures {
+        assert_eq!(failure.kind, FailureKind::BudgetExceeded, "{failure:?}");
+        assert_eq!(failure.attempts, 1, "budget breaches are not retried");
+    }
+    for threads in [1, 4, 8] {
+        for mode in [ExecutionMode::FromScratch, ExecutionMode::PrefixFork] {
+            let other = run(threads, mode);
+            assert_eq!(
+                other.failures, reference.failures,
+                "failures diverged at {threads} thread(s) under {mode:?}"
+            );
+            assert_eq!(
+                other.records, reference.records,
+                "records diverged at {threads} thread(s) under {mode:?}"
+            );
+        }
+    }
+}
+
+/// The journal records the full campaign: a header pinning the campaign
+/// identity plus one completed entry per experiment, and resuming from a
+/// complete journal reproduces the metrics artifact byte for byte.
+#[test]
+fn journal_records_a_full_campaign_and_resumes_from_it() {
+    let path = tmp_journal("full");
+    let campaign = supervised_campaign();
+    let config = RunConfig {
+        journal: Some(path.clone()),
+        ..RunConfig::default()
+    };
+    let reference = campaign.run_supervised(4, &config, &NullObserver).unwrap();
+    let reference_bytes = reference.metrics.as_ref().unwrap().to_json_bytes();
+
+    let state = read_journal(&path).unwrap();
+    let (schema, seed, total, setup) = state.header.clone().expect("journal has a header");
+    assert_eq!(schema, 1);
+    assert_eq!(seed, 42);
+    assert_eq!(total, 8);
+    assert_eq!(&setup, campaign.setup());
+    assert_eq!(state.completed.len(), 8);
+    assert!(state.failures.is_empty());
+
+    // Resuming from the complete journal re-runs nothing and still hands
+    // back the identical artifact.
+    let resumed = campaign.resume(&path, 4).unwrap();
+    assert_eq!(resumed.records, reference.records);
+    assert_eq!(
+        resumed.metrics.as_ref().unwrap().to_json_bytes(),
+        reference_bytes
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resume after an interruption — journal truncated mid-campaign with a
+/// torn final line, as a SIGKILL mid-write leaves it — produces records
+/// and a metrics artifact byte-identical to the uninterrupted run's, in
+/// both execution modes and at 1/4/8 worker threads.
+#[test]
+fn resume_after_truncation_is_byte_identical() {
+    let reference_path = tmp_journal("reference");
+    let campaign = supervised_campaign();
+    let config = RunConfig {
+        journal: Some(reference_path.clone()),
+        ..RunConfig::default()
+    };
+    let reference = campaign.run_supervised(4, &config, &NullObserver).unwrap();
+    let reference_bytes = reference.metrics.as_ref().unwrap().to_json_bytes();
+
+    // Keep the header plus the first three completed experiments, then a
+    // torn final line: the on-disk state after killing the process.
+    let full = std::fs::read_to_string(&reference_path).unwrap();
+    let kept: Vec<&str> = full.lines().take(4).collect();
+    let mut truncated = kept.join("\n");
+    truncated.push('\n');
+    truncated.push_str("{\"entry\":\"completed\",\"ind");
+
+    for threads in [1, 4, 8] {
+        for mode in [ExecutionMode::FromScratch, ExecutionMode::PrefixFork] {
+            let path = tmp_journal("truncated");
+            std::fs::write(&path, &truncated).unwrap();
+            let resume_config = RunConfig {
+                mode,
+                journal: Some(path.clone()),
+                resume: true,
+                ..RunConfig::default()
+            };
+            let resumed = campaign
+                .run_supervised(threads, &resume_config, &NullObserver)
+                .unwrap();
+            assert_eq!(
+                resumed.records, reference.records,
+                "records diverged at {threads} thread(s) under {mode:?}"
+            );
+            assert_eq!(
+                resumed.metrics.as_ref().unwrap().to_json_bytes(),
+                reference_bytes,
+                "metrics artifact diverged at {threads} thread(s) under {mode:?}"
+            );
+            // After the resumed run, the journal accounts for everything.
+            let state = read_journal(&path).unwrap();
+            assert_eq!(state.completed.len(), 8);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    let _ = std::fs::remove_file(&reference_path);
+}
+
+/// A journal from a different campaign (wrong seed) is rejected on
+/// resume instead of silently merging foreign results.
+#[test]
+fn resume_rejects_a_foreign_journal() {
+    let path = tmp_journal("foreign");
+    let campaign = supervised_campaign();
+    let config = RunConfig {
+        journal: Some(path.clone()),
+        ..RunConfig::default()
+    };
+    campaign.run_supervised(2, &config, &NullObserver).unwrap();
+
+    let setup = campaign.setup().clone();
+    let other_engine = Engine::new(quick_scenario(30), CommModel::paper_default(), 43).unwrap();
+    let other = Campaign::new(other_engine, setup)
+        .unwrap()
+        .with_obs(ObsConfig::metrics_only());
+    let err = other.resume(&path, 2).unwrap_err();
+    assert!(
+        matches!(err, ComfaseError::InvalidConfig(_)),
+        "foreign journal must be an InvalidConfig error, got {err:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Panic isolation end to end: under the default abort policy a chaos
+/// panic surfaces as a structured `WorkerFailed` error — not a poisoned
+/// thread pool or an aborted process.
+#[test]
+fn abort_policy_surfaces_a_panic_as_worker_failed() {
+    let campaign = supervised_campaign().with_chaos(ChaosConfig {
+        panic_on: vec![3],
+        ..ChaosConfig::default()
+    });
+    let err = campaign.run(4).unwrap_err();
+    match err {
+        ComfaseError::WorkerFailed(msg) => {
+            assert!(msg.contains("injected panic"), "{msg}");
+        }
+        other => panic!("expected WorkerFailed, got {other:?}"),
+    }
+}
