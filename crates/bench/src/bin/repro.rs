@@ -6,6 +6,12 @@
 //!       [--delay-summary] [--dos-summary]
 //!       [--bench-campaign] time the delay campaign in both execution modes
 //!                          and write BENCH_campaign.json (not part of --all)
+//!       [--bench-scale] time the indexed vs brute-force hot paths at growing
+//!                       fleet sizes, verify bit-identical results (including
+//!                       campaign metrics across indexing substrates and
+//!                       execution modes) and write BENCH_scale.json
+//!                       (not part of --all)
+//!       [--fleets A,B,..] fleet sizes for --bench-scale (default 50,200,1000)
 //!       [--stride N]  subsample the delay campaign by N (default 1 = full 11250 runs)
 //!       [--threads N] worker threads (default: all cores)
 //!       [--csv DIR]   additionally write machine-readable CSVs into DIR
@@ -39,7 +45,7 @@ use comfase::campaign::{Campaign, CampaignObserver, CampaignPhase, CampaignResul
 use comfase::config::AttackCampaignSetup;
 use comfase::prelude::{
     chrome_trace_json, CommModel, Engine, EventBudget, ExecutionMode, FailurePolicy, HostProfiler,
-    ObsConfig, RunConfig, TrafficScenario,
+    IndexingMode, ObsConfig, RunConfig, TrafficScenario,
 };
 use comfase::report;
 use comfase_bench::{delay_campaign, dos_campaign, paper_engine, REPRO_SEED};
@@ -58,6 +64,7 @@ struct Options {
     failure_policy: FailurePolicy,
     max_events: Option<u64>,
     wall_deadline: Option<f64>,
+    fleets: Vec<usize>,
 }
 
 /// Campaign hooks of the repro harness: a wall-clock phase profiler
@@ -116,6 +123,7 @@ fn parse_args() -> Options {
     let mut failure_policy = FailurePolicy::Abort;
     let mut max_events = None;
     let mut wall_deadline = None;
+    let mut fleets = vec![50usize, 200, 1000];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -160,8 +168,24 @@ fn parse_args() -> Options {
                 ));
             }
             "--table1" | "--table2" | "--fig4" | "--fig5" | "--fig6" | "--fig7" | "--heatmap"
-            | "--delay-summary" | "--dos-summary" | "--ablations" | "--bench-campaign" => {
+            | "--delay-summary" | "--dos-summary" | "--ablations" | "--bench-campaign"
+            | "--bench-scale" => {
                 artefacts.push(arg.trim_start_matches("--").into());
+            }
+            "--fleets" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| die("--fleets needs a comma-separated list of sizes"));
+                fleets = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|n| *n > 0)
+                            .unwrap_or_else(|| die("--fleets needs positive integers"))
+                    })
+                    .collect();
             }
             "--stride" => {
                 stride = args
@@ -185,7 +209,8 @@ fn parse_args() -> Options {
                 println!(
                     "repro: regenerate the ComFASE paper's tables and figures\n\
                      usage: repro [--all|--table1|--table2|--fig4|--fig5|--fig6|--fig7|\
-                     --delay-summary|--dos-summary|--bench-campaign] [--stride N] [--threads N]\n\
+                     --delay-summary|--dos-summary|--bench-campaign|--bench-scale] \
+                     [--stride N] [--threads N] [--fleets A,B,..]\n\
                      \x20      [--metrics] [--progress|--quiet] [--chrome-trace FILE] [--csv DIR]\n\
                      \x20      [--journal PATH] [--resume] [--failure-policy abort|quarantine[:N]]\n\
                      \x20      [--max-events N] [--wall-deadline SECS]"
@@ -218,6 +243,7 @@ fn parse_args() -> Options {
         failure_policy,
         max_events,
         wall_deadline,
+        fleets,
     }
 }
 
@@ -489,6 +515,12 @@ fn main() {
         run_bench_campaign(&opts);
     }
 
+    // Deliberately not part of --all: it runs every substrate twice per
+    // fleet size plus a four-way campaign identity check.
+    if opts.artefacts.iter().any(|a| a == "bench-scale") {
+        run_bench_scale(&opts);
+    }
+
     if opts.metrics {
         write_profile(&opts, &observer.profiler);
     }
@@ -581,6 +613,108 @@ fn run_bench_campaign(opts: &Options) {
          {experiments_per_sec:.1} experiments/s on {} thread(s)",
         opts.threads
     );
+    eprintln!("wrote {}", path.display());
+}
+
+/// Times the indexed vs brute-force hot paths at growing fleet sizes,
+/// verifies bit-identical outcomes (substrate state, channel counters, and
+/// campaign `metrics.json` bytes across indexing substrates × execution
+/// modes) and writes machine-readable results to `BENCH_scale.json`.
+fn run_bench_scale(opts: &Options) {
+    use comfase_bench::scale;
+
+    const ROUNDS: usize = 50;
+    eprintln!(
+        "benchmarking hot-path indexes: fleets {:?}, {ROUNDS} rounds each, both substrates...",
+        opts.fleets
+    );
+    let mut points = Vec::new();
+    for &fleet in &opts.fleets {
+        let p = scale::run_scale_point(fleet, ROUNDS);
+        eprintln!(
+            "  fleet {:>5}: indexed {:>9.1?}  brute {:>9.1?}  speedup {:.2}x  \
+             ({} links pruned, {} rebuilds, cell {:.1} m)",
+            p.fleet,
+            p.indexed_wall,
+            p.brute_wall,
+            p.speedup,
+            p.links_pruned_by_grid,
+            p.lane_rebuilds,
+            p.grid_cell_m,
+        );
+        points.push(p);
+    }
+
+    // A small slice of the paper's delay campaign, run under all four
+    // (indexing substrate × execution mode) combinations: the metrics
+    // artifact must come out byte-identical every time.
+    const IDENTITY_STRIDE: usize = 12;
+    eprintln!(
+        "verifying campaign metrics identity (stride {IDENTITY_STRIDE}, 4 configurations)..."
+    );
+    let mut reference: Option<Vec<u8>> = None;
+    let mut experiments = 0;
+    for mode in [ExecutionMode::PrefixFork, ExecutionMode::FromScratch] {
+        for indexing in [IndexingMode::Indexed, IndexingMode::BruteForce] {
+            let campaign = delay_campaign(IDENTITY_STRIDE)
+                .with_obs(ObsConfig::metrics_only())
+                .with_indexing(indexing);
+            experiments = campaign.nr_experiments();
+            let result = campaign
+                .run_with_mode(opts.threads, mode)
+                .unwrap_or_else(|e| die(&format!("identity-check campaign failed: {e}")));
+            let bytes = result
+                .metrics
+                .as_ref()
+                .expect("metrics collection was enabled")
+                .to_json_bytes();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(r) => assert_eq!(
+                    *r, bytes,
+                    "metrics.json must be byte-identical across indexing \
+                     substrates ({indexing:?}) and execution modes ({mode:?})"
+                ),
+            }
+        }
+    }
+    let metrics_bytes = reference.map_or(0, |r| r.len());
+
+    let json = serde_json::json!({
+        "rounds": ROUNDS,
+        "sender_stride": scale::SENDER_STRIDE,
+        "pathloss_alpha": scale::SCALE_ALPHA,
+        "fleets": points.iter().map(|p| serde_json::json!({
+            "fleet": p.fleet,
+            "indexed_wall_s": p.indexed_wall.as_secs_f64(),
+            "brute_wall_s": p.brute_wall.as_secs_f64(),
+            "speedup": p.speedup,
+            "links_planned": p.links_planned,
+            "links_pruned_by_grid": p.links_pruned_by_grid,
+            "lane_rebuilds": p.lane_rebuilds,
+            "grid_cell_m": p.grid_cell_m,
+        })).collect::<Vec<_>>(),
+        "campaign_identity": {
+            "stride": IDENTITY_STRIDE,
+            "experiments": experiments,
+            "threads": opts.threads,
+            "configurations": 4,
+            "metrics_bytes": metrics_bytes,
+            "identical": true,
+        },
+    });
+    let path = std::path::Path::new("BENCH_scale.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )
+    .expect("write BENCH_scale.json");
+    for p in &points {
+        println!(
+            "scale fleet {}: {:.2}x speedup (indexed vs brute force)",
+            p.fleet, p.speedup
+        );
+    }
     eprintln!("wrote {}", path.display());
 }
 

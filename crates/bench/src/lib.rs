@@ -9,6 +9,8 @@
 
 use comfase::prelude::*;
 
+pub mod scale;
+
 /// Default campaign seed used across the reproduction (fixed for
 /// determinism; any seed reproduces the same shapes).
 pub const REPRO_SEED: u64 = 42;

@@ -418,6 +418,15 @@ impl Campaign {
         self
     }
 
+    /// Selects the hot-path execution substrate (spatial indexes vs
+    /// brute-force scans) for every world the campaign builds. Results are
+    /// bit-identical either way; see [`crate::world::IndexingMode`].
+    #[must_use]
+    pub fn with_indexing(mut self, mode: crate::world::IndexingMode) -> Self {
+        self.engine = self.engine.with_indexing(mode);
+        self
+    }
+
     /// Installs deterministic failure-injection hooks (robustness
     /// testing; see [`ChaosConfig`]).
     #[must_use]

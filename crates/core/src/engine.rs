@@ -20,7 +20,7 @@ use crate::classify::{classify, ClassificationParams, Verdict};
 use crate::config::{AttackCampaignSetup, CommModel, TrafficScenario};
 use crate::error::ComfaseError;
 use crate::log::RunLog;
-use crate::world::World;
+use crate::world::{IndexingMode, World};
 
 /// The ComFASE engine for one test configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +30,7 @@ pub struct Engine {
     seed: u64,
     obs: ObsConfig,
     budget: EventBudget,
+    indexing: IndexingMode,
 }
 
 impl Engine {
@@ -51,7 +52,29 @@ impl Engine {
             seed,
             obs: ObsConfig::disabled(),
             budget: EventBudget::UNLIMITED,
+            indexing: IndexingMode::default(),
         })
+    }
+
+    /// Selects the execution substrate (spatial indexes vs brute-force
+    /// reference scans) for every world this engine builds. Runs are
+    /// bit-identical in both modes.
+    #[must_use]
+    pub fn with_indexing(mut self, indexing: IndexingMode) -> Self {
+        self.indexing = indexing;
+        self
+    }
+
+    /// The configured execution substrate.
+    pub fn indexing(&self) -> IndexingMode {
+        self.indexing
+    }
+
+    /// Builds a world with this engine's telemetry and indexing settings.
+    fn build_world(&self) -> Result<World, ComfaseError> {
+        let mut world = World::with_obs(&self.scenario, &self.comm, self.seed, self.obs)?;
+        world.set_indexing(self.indexing);
+        Ok(world)
     }
 
     /// Installs a sim-event / sim-time budget on every *experiment* run
@@ -125,7 +148,7 @@ impl Engine {
     ///
     /// Propagates world-construction failures.
     pub fn golden_run(&self) -> Result<RunLog, ComfaseError> {
-        let mut world = World::with_obs(&self.scenario, &self.comm, self.seed, self.obs)?;
+        let mut world = self.build_world()?;
         world.run_to_end();
         Ok(world.into_log())
     }
@@ -150,7 +173,7 @@ impl Engine {
         attack: &AttackSpec,
         experiment_index: u64,
     ) -> Result<RunLog, ComfaseError> {
-        let mut world = World::with_obs(&self.scenario, &self.comm, self.seed, self.obs)?;
+        let mut world = self.build_world()?;
         world.set_budget(self.budget);
         // Line 12: simulate with the pristine model until the attack starts.
         world.run_until(attack.start);
@@ -178,7 +201,7 @@ impl Engine {
     ///
     /// Propagates world-construction failures.
     pub fn prefix_snapshot(&self, until: SimTime) -> Result<World, ComfaseError> {
-        let mut world = World::with_obs(&self.scenario, &self.comm, self.seed, self.obs)?;
+        let mut world = self.build_world()?;
         world.run_until(until);
         Ok(world)
     }
@@ -355,6 +378,29 @@ mod tests {
         // The prefix is reusable: forking again gives the same log.
         let again = e.run_experiment_from(&prefix, &attack, 3).unwrap();
         assert_eq!(forked, again);
+    }
+
+    #[test]
+    fn indexed_and_brute_force_runs_are_bit_identical() {
+        let e = quick_engine();
+        let brute = e.clone().with_indexing(IndexingMode::BruteForce);
+        assert_eq!(e.indexing(), IndexingMode::Indexed, "indexed is default");
+        let golden_idx = e.golden_run().unwrap();
+        let golden_brute = brute.golden_run().unwrap();
+        assert_eq!(
+            golden_idx, golden_brute,
+            "golden runs must agree bit for bit"
+        );
+        let attack = AttackSpec {
+            model: AttackModelKind::Delay,
+            value: 2.0,
+            targets: vec![2].into(),
+            start: SimTime::from_secs(17),
+            end: SimTime::from_secs(22),
+        };
+        let run_idx = e.run_experiment(&attack, 3).unwrap();
+        let run_brute = brute.run_experiment(&attack, 3).unwrap();
+        assert_eq!(run_idx, run_brute, "experiments must agree bit for bit");
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub mod prelude {
     pub use crate::journal::{read_journal, JournalEntry, JournalState, JournalWriter};
     pub use crate::log::RunLog;
     pub use crate::teleop::{TeleopLink, TeleopScenario, TeleopWorld};
-    pub use crate::world::{JammerSpec, RunFault, RunFaultKind, World};
+    pub use crate::world::{IndexingMode, JammerSpec, RunFault, RunFaultKind, World};
     pub use comfase_des::sim::EventBudget;
     pub use comfase_obs::{
         chrome_trace_json, CampaignMetrics, ExperimentMetrics, FrameBreakdown, HostProfiler,

@@ -95,6 +95,11 @@ impl RunLog {
     }
 
     /// Builds the per-experiment metrics row for `metrics.json`.
+    ///
+    /// Counters under the `index.` prefix are execution-substrate
+    /// diagnostics (grid pruning, lane-index rebuilds): they legitimately
+    /// differ between indexed and brute-force runs, so they are excluded
+    /// here to keep `metrics.json` byte-identical across substrates.
     pub fn experiment_metrics(
         &self,
         index: usize,
@@ -107,7 +112,13 @@ impl RunLog {
             collisions: self.traffic_stats.collisions,
             kernel: self.kernel,
             frames: self.frame_breakdown(),
-            counters: self.obs.counters.clone(),
+            counters: self
+                .obs
+                .counters
+                .iter()
+                .filter(|(k, _)| !k.starts_with("index."))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
         }
     }
 }

@@ -29,10 +29,10 @@ use comfase_platoon::controller::{EgoState, RadarReading};
 use comfase_platoon::maneuver::{Braking, ConstantSpeed, Maneuver, Sinusoidal};
 use comfase_platoon::monitor::{MonitorDecision, SafetyMonitor};
 use comfase_traffic::network::LaneIndex;
-use comfase_traffic::simulation::TrafficSim;
+use comfase_traffic::simulation::{LeaderLookup, TrafficSim};
 use comfase_traffic::trace::TraceConfig;
 use comfase_traffic::vehicle::{Vehicle, VehicleId, VehicleSpec};
-use comfase_wireless::channel::{ChannelInterceptor, Medium, PlannedReception};
+use comfase_wireless::channel::{ChannelInterceptor, FanoutStrategy, Medium, PlannedReception};
 use comfase_wireless::frame::{AccessCategory, NodeId, WaveChannel, Wsm};
 use comfase_wireless::geom::Position;
 use comfase_wireless::mac::{Mac, MacAction, MacConfig};
@@ -46,6 +46,19 @@ use comfase_wireless::units::CCH_FREQ_HZ;
 use crate::config::{CommModel, ManeuverKind, TrafficScenario, WirelessModelKind};
 use crate::error::ComfaseError;
 use crate::log::{RunLog, VehicleCommStats};
+
+/// Which execution substrate the hot paths use: the deterministic spatial
+/// indexes (wireless neighbor grid + per-lane sorted orderings) or the
+/// retained brute-force reference scans. Both produce bit-identical runs;
+/// the reference exists for equivalence testing and benchmarking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum IndexingMode {
+    /// Grid fan-out + sorted-lane leader lookup (the default).
+    #[default]
+    Indexed,
+    /// Brute-force reference scans in both substrates.
+    BruteForce,
+}
 
 /// Same-time delivery order: radio events first, then the traffic step,
 /// then beacon generation (so beacons sample the freshly stepped state).
@@ -396,6 +409,23 @@ impl World {
         self.total_time
     }
 
+    /// Selects the execution substrate for the two hot paths: the wireless
+    /// fan-out and the traffic leader lookup. Results are bit-identical in
+    /// both modes; [`IndexingMode::BruteForce`] exists as the reference for
+    /// equivalence tests and scaling benchmarks.
+    pub fn set_indexing(&mut self, mode: IndexingMode) {
+        match mode {
+            IndexingMode::Indexed => {
+                self.medium.set_fanout_strategy(FanoutStrategy::Grid);
+                self.traffic.set_leader_lookup(LeaderLookup::Indexed);
+            }
+            IndexingMode::BruteForce => {
+                self.medium.set_fanout_strategy(FanoutStrategy::BruteForce);
+                self.traffic.set_leader_lookup(LeaderLookup::Linear);
+            }
+        }
+    }
+
     /// Installs an attack interceptor on the wireless channel
     /// (`CommModelEditor`, Algo. 1 line 11).
     pub fn install_attack(&mut self, interceptor: Box<dyn ChannelInterceptor>) {
@@ -483,7 +513,19 @@ impl World {
     }
 
     /// Extracts the run log (consumes the world).
-    pub fn into_log(self) -> RunLog {
+    pub fn into_log(mut self) -> RunLog {
+        // Index health counters. The `index.` prefix marks them as
+        // strategy-dependent diagnostics: campaign metrics filter them out
+        // so `metrics.json` stays byte-identical between indexed and
+        // brute-force runs.
+        if self.obs.enabled() {
+            self.obs.add(
+                "index.medium.links_pruned_by_grid",
+                self.medium.stats().links_pruned_by_grid,
+            );
+            self.obs
+                .add("index.traffic.lane_rebuilds", self.traffic.index_rebuilds());
+        }
         let comm = self
             .nodes
             .iter()

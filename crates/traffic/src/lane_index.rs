@@ -1,0 +1,243 @@
+//! Per-lane sorted vehicle orderings for O(log n) leader lookup.
+//!
+//! [`LaneOrder`] keeps, per lane, the active vehicles sorted by
+//! `(pos_m, VehicleId)` — the same total order the linear reference scan in
+//! [`TrafficSim::leader_of_linear`] minimises over, so an indexed lookup
+//! returns exactly the vehicle the O(n) scan would. Positions drift by at
+//! most one integration step between refreshes, so re-sorting uses an
+//! adaptive insertion sort that is O(n) on the nearly-sorted common case;
+//! structural changes (vehicles added, deactivated, or mutated from
+//! outside) invalidate the index wholesale and force a counted rebuild.
+//!
+//! Ordering uses `f64::total_cmp`, so even NaN-poisoned positions (caught
+//! separately by the numeric guard) order deterministically.
+//!
+//! [`TrafficSim::leader_of_linear`]: crate::simulation::TrafficSim::leader_of_linear
+
+use std::cmp::Ordering;
+
+use crate::vehicle::{Vehicle, VehicleId};
+
+/// One indexed vehicle: its position, id, and slot in the simulation's
+/// vehicle vector (slots are stable — vehicles are only ever appended).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneEntry {
+    /// Front-bumper position along the road, metres.
+    pub pos_m: f64,
+    /// The vehicle's id (tie-breaker for equal positions).
+    pub id: VehicleId,
+    /// Index into `TrafficSim::vehicles`.
+    pub slot: usize,
+}
+
+impl LaneEntry {
+    fn key_cmp(&self, other: &LaneEntry) -> Ordering {
+        self.pos_m
+            .total_cmp(&other.pos_m)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// Per-lane `(pos_m, VehicleId)`-sorted orderings over the active vehicles.
+///
+/// `Clone` so it snapshots with the owning `TrafficSim` (PrefixFork).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneOrder {
+    lanes: Vec<Vec<LaneEntry>>,
+    rebuilds: u64,
+    /// Membership may be stale (vehicle added/deactivated/externally
+    /// mutated): only a full rebuild restores validity.
+    structure_dirty: bool,
+    /// Positions are stale (dynamics integrated since the last refresh).
+    positions_current: bool,
+}
+
+impl Default for LaneOrder {
+    fn default() -> Self {
+        LaneOrder {
+            lanes: Vec::new(),
+            rebuilds: 0,
+            structure_dirty: true,
+            positions_current: false,
+        }
+    }
+}
+
+impl LaneOrder {
+    /// `true` when the index reflects the current vehicle set and
+    /// positions and may answer queries.
+    pub fn is_usable(&self) -> bool {
+        !self.structure_dirty && self.positions_current
+    }
+
+    /// Full rebuilds performed so far (structural invalidations; per-step
+    /// position refreshes are not counted).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Marks the vehicle set as changed; the next refresh must rebuild.
+    pub fn mark_structure_dirty(&mut self) {
+        self.structure_dirty = true;
+    }
+
+    /// Marks positions as stale after a dynamics integration.
+    pub fn invalidate_positions(&mut self) {
+        self.positions_current = false;
+    }
+
+    /// `true` if a structural rebuild is pending.
+    pub fn structure_dirty(&self) -> bool {
+        self.structure_dirty
+    }
+
+    /// `true` if positions are up to date.
+    pub fn positions_current(&self) -> bool {
+        self.positions_current
+    }
+
+    /// Rebuilds the whole index from the active vehicles (counted).
+    pub fn rebuild(&mut self, nr_lanes: u8, vehicles: &[Vehicle]) {
+        self.lanes.clear();
+        self.lanes.resize(nr_lanes as usize, Vec::new());
+        for (slot, v) in vehicles.iter().enumerate() {
+            if !v.active {
+                continue;
+            }
+            if let Some(lane) = self.lanes.get_mut(v.state.lane.0 as usize) {
+                lane.push(LaneEntry {
+                    pos_m: v.state.pos_m,
+                    id: v.id,
+                    slot,
+                });
+            }
+        }
+        for lane in &mut self.lanes {
+            lane.sort_by(LaneEntry::key_cmp);
+        }
+        self.rebuilds += 1;
+        self.structure_dirty = false;
+        self.positions_current = true;
+    }
+
+    /// Pulls fresh positions through the stored slots and restores sorted
+    /// order with an adaptive insertion sort (O(n) when one integration
+    /// step barely perturbs the order — the common case). Not counted as a
+    /// rebuild.
+    ///
+    /// Must not be called while `structure_dirty` (slots might designate
+    /// deactivated vehicles); callers go through the owning simulation,
+    /// which rebuilds instead in that case.
+    pub fn refresh_positions(&mut self, vehicles: &[Vehicle]) {
+        debug_assert!(!self.structure_dirty);
+        for lane in &mut self.lanes {
+            for e in lane.iter_mut() {
+                e.pos_m = vehicles[e.slot].state.pos_m;
+            }
+            for i in 1..lane.len() {
+                let mut j = i;
+                while j > 0 && lane[j - 1].key_cmp(&lane[j]) == Ordering::Greater {
+                    lane.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+        }
+        self.positions_current = true;
+    }
+
+    /// The nearest entry strictly after `(pos_m, id)` in the lane's
+    /// `(pos_m, VehicleId)` order — the queried vehicle's leader.
+    pub fn leader_in_lane(&self, lane: u8, pos_m: f64, id: VehicleId) -> Option<&LaneEntry> {
+        let lane = self.lanes.get(lane as usize)?;
+        let i = lane.partition_point(|e| {
+            e.pos_m.total_cmp(&pos_m).then(e.id.cmp(&id)) != Ordering::Greater
+        });
+        lane.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LaneIndex;
+    use crate::vehicle::VehicleSpec;
+
+    fn car(id: u32, pos: f64, lane: u8) -> Vehicle {
+        Vehicle::new(
+            VehicleId(id),
+            VehicleSpec::default_car(),
+            pos,
+            LaneIndex(lane),
+            20.0,
+        )
+    }
+
+    #[test]
+    fn new_index_is_unusable_until_rebuilt() {
+        let mut idx = LaneOrder::default();
+        assert!(!idx.is_usable());
+        idx.rebuild(2, &[car(1, 50.0, 0)]);
+        assert!(idx.is_usable());
+        assert_eq!(idx.rebuilds(), 1);
+    }
+
+    #[test]
+    fn leader_is_next_in_pos_id_order() {
+        let mut idx = LaneOrder::default();
+        let vehicles = vec![car(3, 100.0, 0), car(1, 50.0, 0), car(2, 100.0, 0)];
+        idx.rebuild(1, &vehicles);
+        // From 50.0/id1: next is (100.0, id2).
+        assert_eq!(
+            idx.leader_in_lane(0, 50.0, VehicleId(1)).unwrap().id,
+            VehicleId(2)
+        );
+        // Equal positions tie-break by id: id2's leader is id3.
+        assert_eq!(
+            idx.leader_in_lane(0, 100.0, VehicleId(2)).unwrap().id,
+            VehicleId(3)
+        );
+        // The frontmost vehicle has no leader.
+        assert!(idx.leader_in_lane(0, 100.0, VehicleId(3)).is_none());
+        // Unknown lane: no leader.
+        assert!(idx.leader_in_lane(7, 0.0, VehicleId(1)).is_none());
+    }
+
+    #[test]
+    fn inactive_vehicles_are_not_indexed() {
+        let mut idx = LaneOrder::default();
+        let mut vehicles = vec![car(1, 50.0, 0), car(2, 100.0, 0)];
+        vehicles[1].active = false;
+        idx.rebuild(1, &vehicles);
+        assert!(idx.leader_in_lane(0, 50.0, VehicleId(1)).is_none());
+    }
+
+    #[test]
+    fn refresh_restores_order_after_position_drift() {
+        let mut idx = LaneOrder::default();
+        let mut vehicles = vec![car(1, 50.0, 0), car(2, 60.0, 0)];
+        idx.rebuild(1, &vehicles);
+        // Vehicle 1 overtakes vehicle 2 (teleport for the test's sake).
+        vehicles[0].state.pos_m = 70.0;
+        idx.invalidate_positions();
+        assert!(!idx.is_usable());
+        idx.refresh_positions(&vehicles);
+        assert!(idx.is_usable());
+        assert_eq!(
+            idx.leader_in_lane(0, 60.0, VehicleId(2)).unwrap().id,
+            VehicleId(1)
+        );
+        assert_eq!(idx.rebuilds(), 1, "refresh is not a rebuild");
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut idx = LaneOrder::default();
+        let vehicles = vec![car(1, 50.0, 0), car(2, 100.0, 1)];
+        idx.rebuild(2, &vehicles);
+        assert!(idx.leader_in_lane(0, 50.0, VehicleId(1)).is_none());
+        assert_eq!(
+            idx.leader_in_lane(1, 0.0, VehicleId(9)).unwrap().id,
+            VehicleId(2)
+        );
+    }
+}

@@ -49,6 +49,7 @@
 pub mod car_following;
 pub mod collision;
 pub mod dynamics;
+pub mod lane_index;
 pub mod network;
 pub mod simulation;
 pub mod trace;
@@ -56,7 +57,8 @@ pub mod traci;
 pub mod vehicle;
 
 pub use collision::{Collision, CollisionPolicy};
+pub use lane_index::{LaneEntry, LaneOrder};
 pub use network::{Lane, LaneIndex, Road};
-pub use simulation::{TrafficError, TrafficSim, TrafficStats, HARD_DECEL_MPS2};
+pub use simulation::{LeaderLookup, TrafficError, TrafficSim, TrafficStats, HARD_DECEL_MPS2};
 pub use trace::{TrafficTrace, VehicleTrace};
 pub use vehicle::{Vehicle, VehicleId, VehicleSpec};

@@ -15,9 +15,23 @@ use comfase_des::time::{SimDuration, SimTime};
 use crate::car_following::{CarFollowingModel, CfInput, Krauss};
 use crate::collision::{detect_collisions, Collision, CollisionPolicy};
 use crate::dynamics::step_vehicle;
+use crate::lane_index::LaneOrder;
 use crate::network::Road;
 use crate::trace::{TraceConfig, TrafficTrace};
 use crate::vehicle::{ControlMode, Vehicle, VehicleId};
+
+/// How [`TrafficSim::leader_of`] finds the vehicle ahead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaderLookup {
+    /// Per-lane sorted orderings, maintained incrementally: O(log n) per
+    /// query, O(n log n) per step. Falls back to the linear scan whenever
+    /// the index is stale (e.g. between external mutations and the next
+    /// step).
+    #[default]
+    Indexed,
+    /// Reference implementation: O(n) scan over every vehicle.
+    Linear,
+}
 
 /// Errors returned by [`TrafficSim`] operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +106,8 @@ pub struct TrafficSim {
     reported_pairs: Vec<(VehicleId, VehicleId)>,
     stats: TrafficStats,
     numeric_fault: Option<String>,
+    lookup: LeaderLookup,
+    lane_index: LaneOrder,
 }
 
 impl TrafficSim {
@@ -113,6 +129,46 @@ impl TrafficSim {
             reported_pairs: Vec::new(),
             stats: TrafficStats::default(),
             numeric_fault: None,
+            lookup: LeaderLookup::default(),
+            lane_index: LaneOrder::default(),
+        }
+    }
+
+    /// Selects how `leader_of` finds the vehicle ahead.
+    pub fn set_leader_lookup(&mut self, lookup: LeaderLookup) {
+        self.lookup = lookup;
+    }
+
+    /// The active leader-lookup strategy.
+    pub fn leader_lookup(&self) -> LeaderLookup {
+        self.lookup
+    }
+
+    /// Full lane-index rebuilds performed so far (structural
+    /// invalidations; per-step position refreshes are not counted).
+    pub fn index_rebuilds(&self) -> u64 {
+        self.lane_index.rebuilds()
+    }
+
+    /// Forces the lane index up to date (no-op under
+    /// [`LeaderLookup::Linear`]). `step` does this implicitly; call it to
+    /// make out-of-step `leader_of` queries use the index.
+    pub fn rebuild_lane_index(&mut self) {
+        if self.lookup == LeaderLookup::Indexed {
+            self.lane_index
+                .rebuild(self.road.nr_lanes(), &self.vehicles);
+        }
+    }
+
+    fn refresh_lane_index(&mut self) {
+        if self.lookup != LeaderLookup::Indexed {
+            return;
+        }
+        if self.lane_index.structure_dirty() {
+            self.lane_index
+                .rebuild(self.road.nr_lanes(), &self.vehicles);
+        } else if !self.lane_index.positions_current() {
+            self.lane_index.refresh_positions(&self.vehicles);
         }
     }
 
@@ -193,6 +249,7 @@ impl TrafficSim {
             });
         }
         self.vehicles.push(vehicle);
+        self.lane_index.mark_structure_dirty();
         Ok(())
     }
 
@@ -207,7 +264,18 @@ impl TrafficSim {
     }
 
     /// Looks up a vehicle mutably by id.
+    ///
+    /// Conservatively invalidates the lane index: the caller may change
+    /// anything, including position, lane, or the active flag, so the next
+    /// step performs a full (counted) rebuild.
     pub fn vehicle_mut(&mut self, id: VehicleId) -> Option<&mut Vehicle> {
+        self.lane_index.mark_structure_dirty();
+        self.vehicles.iter_mut().find(|v| v.id == id)
+    }
+
+    /// Mutable lookup for control-state changes that cannot affect the
+    /// lane ordering (commanded acceleration, control mode).
+    fn vehicle_mut_untracked(&mut self, id: VehicleId) -> Option<&mut Vehicle> {
         self.vehicles.iter_mut().find(|v| v.id == id)
     }
 
@@ -217,7 +285,7 @@ impl TrafficSim {
     ///
     /// Fails if the vehicle does not exist.
     pub fn set_external_control(&mut self, id: VehicleId) -> Result<(), TrafficError> {
-        self.vehicle_mut(id)
+        self.vehicle_mut_untracked(id)
             .ok_or(TrafficError::UnknownVehicle(id))?
             .set_external_control();
         Ok(())
@@ -229,31 +297,76 @@ impl TrafficSim {
     ///
     /// Fails if the vehicle does not exist.
     pub fn command_accel(&mut self, id: VehicleId, accel_mps2: f64) -> Result<(), TrafficError> {
-        self.vehicle_mut(id)
+        self.vehicle_mut_untracked(id)
             .ok_or(TrafficError::UnknownVehicle(id))?
             .command_accel(accel_mps2);
         Ok(())
     }
 
+    /// `true` if `a` is ahead of `b` in the deterministic `(pos_m,
+    /// VehicleId)` lane order. Equal positions tie-break by id, so a
+    /// co-located vehicle is still someone's leader instead of being
+    /// invisible to car-following; `total_cmp` keeps even NaN-poisoned
+    /// positions (caught by the numeric guard) deterministically ordered.
+    fn ahead_of(a: &Vehicle, b: &Vehicle) -> bool {
+        a.state
+            .pos_m
+            .total_cmp(&b.state.pos_m)
+            .then(a.id.cmp(&b.id))
+            .is_gt()
+    }
+
     /// The active vehicle directly ahead of `id` on the same lane, with the
-    /// bumper-to-bumper gap.
+    /// bumper-to-bumper gap (negative if the two overlap).
+    ///
+    /// "Directly ahead" means nearest in the `(pos_m, VehicleId)` lane
+    /// order, so vehicles at exactly equal positions see each other
+    /// (tie-break by id) instead of interpenetrating without a gap ever
+    /// being computed.
+    ///
+    /// Uses the lane index when it is current, else the linear scan; both
+    /// return identical results.
     ///
     /// # Errors
     ///
     /// Fails if the vehicle does not exist.
     pub fn leader_of(&self, id: VehicleId) -> Result<Option<(VehicleId, f64)>, TrafficError> {
+        if self.lookup == LeaderLookup::Indexed && self.lane_index.is_usable() {
+            let me = self.vehicle(id).ok_or(TrafficError::UnknownVehicle(id))?;
+            let Some(entry) =
+                self.lane_index
+                    .leader_in_lane(me.state.lane.0, me.state.pos_m, me.id)
+            else {
+                return Ok(None);
+            };
+            let leader = &self.vehicles[entry.slot];
+            return Ok(Some((leader.id, me.gap_to(leader))));
+        }
+        self.leader_of_linear(id)
+    }
+
+    /// Reference implementation of [`TrafficSim::leader_of`]: an O(n) scan
+    /// over every vehicle. Kept public for the equivalence proptests and
+    /// as the fallback while the lane index is stale.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the vehicle does not exist.
+    pub fn leader_of_linear(
+        &self,
+        id: VehicleId,
+    ) -> Result<Option<(VehicleId, f64)>, TrafficError> {
         let me = self.vehicle(id).ok_or(TrafficError::UnknownVehicle(id))?;
-        let mut best: Option<(VehicleId, f64)> = None;
+        let mut best: Option<&Vehicle> = None;
         for v in self.vehicles.iter().filter(|v| v.active && v.id != id) {
-            if v.state.lane != me.state.lane || v.state.pos_m <= me.state.pos_m {
+            if v.state.lane != me.state.lane || !Self::ahead_of(v, me) {
                 continue;
             }
-            let gap = me.gap_to(v);
-            if best.is_none_or(|(_, g)| gap < g) {
-                best = Some((v.id, gap));
+            if best.is_none_or(|b| Self::ahead_of(b, v)) {
+                best = Some(v);
             }
         }
-        Ok(best)
+        Ok(best.map(|v| (v.id, me.gap_to(v))))
     }
 
     /// Advances the simulation by one step.
@@ -261,6 +374,10 @@ impl TrafficSim {
     /// Returns the collisions that occurred during this step (also recorded
     /// in the trace).
     pub fn step(&mut self) -> Vec<Collision> {
+        // Bring the lane index up to date with any between-step mutations
+        // (vehicles added, externally mutated) before Phase 1 queries it.
+        self.refresh_lane_index();
+
         // Phase 1: compute car-following commands from a synchronous snapshot.
         let mut commands: Vec<(usize, f64)> = Vec::new();
         for i in 0..self.vehicles.len() {
@@ -313,6 +430,7 @@ impl TrafficSim {
                 self.stats.hard_decel_samples += 1;
             }
         }
+        self.lane_index.invalidate_positions();
         self.time += self.step_len;
         self.steps += 1;
         self.stats.steps += 1;
@@ -359,6 +477,11 @@ impl TrafficSim {
         {
             self.trace.record_step(self.time, &self.vehicles);
         }
+
+        // End-of-step refresh so `leader_of` queries made between steps
+        // (the world's per-step radar pass runs before the next traffic
+        // step) are answered from the index, not the linear fallback.
+        self.refresh_lane_index();
         collisions
     }
 
@@ -607,6 +730,88 @@ mod tests {
         let first = fault.to_string();
         s.step();
         assert_eq!(s.numeric_fault(), Some(first.as_str()));
+    }
+
+    #[test]
+    fn co_located_vehicle_is_visible_as_leader() {
+        // Regression: `leader_of` used to skip vehicles at exactly equal
+        // `pos_m`, so a co-located pair interpenetrated without a gap ever
+        // being computed. Ties now break deterministically by id.
+        let mut s = sim();
+        s.add_vehicle(car(1, 100.0, 20.0)).unwrap();
+        s.add_vehicle(car(2, 100.0, 20.0)).unwrap();
+        let (leader, gap) = s
+            .leader_of(VehicleId(1))
+            .unwrap()
+            .expect("tie must be visible");
+        assert_eq!(leader, VehicleId(2));
+        // Same position: the leader's rear bumper is one car length behind
+        // my front bumper.
+        assert!((gap - (-5.0)).abs() < 1e-12, "gap {gap}");
+        assert_eq!(s.leader_of(VehicleId(2)).unwrap(), None, "highest id leads");
+        // The indexed path agrees with the linear fallback.
+        s.rebuild_lane_index();
+        assert_eq!(
+            s.leader_of(VehicleId(1)).unwrap(),
+            Some((VehicleId(2), gap))
+        );
+        assert_eq!(
+            s.leader_of_linear(VehicleId(1)).unwrap(),
+            Some((VehicleId(2), gap))
+        );
+        assert_eq!(s.leader_of(VehicleId(2)).unwrap(), None);
+    }
+
+    #[test]
+    fn indexed_and_linear_lookup_agree_during_a_run() {
+        let build = |lookup: LeaderLookup| {
+            let mut s = sim();
+            s.set_leader_lookup(lookup);
+            for i in 0..20 {
+                s.add_vehicle(car(i, 30.0 * f64::from(i), 20.0 + f64::from(i % 5)))
+                    .unwrap();
+            }
+            s
+        };
+        let mut indexed = build(LeaderLookup::Indexed);
+        let mut linear = build(LeaderLookup::Linear);
+        for _ in 0..50 {
+            indexed.run_steps(10);
+            linear.run_steps(10);
+            for i in 0..20 {
+                let id = VehicleId(i);
+                assert_eq!(indexed.leader_of(id), linear.leader_of(id), "vehicle {i}");
+                assert_eq!(indexed.leader_of(id), indexed.leader_of_linear(id));
+            }
+        }
+        assert_eq!(
+            indexed.vehicle(VehicleId(7)).unwrap().state.pos_m,
+            linear.vehicle(VehicleId(7)).unwrap().state.pos_m,
+            "whole-run trajectories must be identical across lookups"
+        );
+        assert!(indexed.index_rebuilds() >= 1);
+    }
+
+    #[test]
+    fn index_rebuilds_only_on_structural_change() {
+        let mut s = sim();
+        s.add_vehicle(car(1, 100.0, 20.0)).unwrap();
+        s.add_vehicle(car(2, 50.0, 20.0)).unwrap();
+        s.run_steps(100);
+        let after_warmup = s.index_rebuilds();
+        s.run_steps(100);
+        assert_eq!(
+            s.index_rebuilds(),
+            after_warmup,
+            "steady-state steps refresh positions without rebuilding"
+        );
+        s.vehicle_mut(VehicleId(1)).unwrap().state.pos_m += 1.0;
+        s.run_steps(1);
+        assert_eq!(
+            s.index_rebuilds(),
+            after_warmup + 1,
+            "external mutation rebuilds"
+        );
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Equivalence properties: the per-lane sorted leader index must agree
+//! with the linear scan it replaces on every fleet — including exact
+//! position ties, deactivated vehicles, and fleets evolved through the
+//! car-following step loop.
+
+use comfase_des::rng::RngStream;
+use comfase_traffic::network::{LaneIndex, Road};
+use comfase_traffic::simulation::{LeaderLookup, TrafficSim};
+use comfase_traffic::vehicle::{Vehicle, VehicleId, VehicleSpec};
+use proptest::prelude::*;
+
+/// Random fleets on a 4-lane road. Positions are drawn from a small
+/// discrete set so exact ties (several vehicles at the same `pos_m` in the
+/// same lane) are common rather than measure-zero.
+fn any_fleet() -> impl Strategy<Value = Vec<(u8, f64, bool)>> {
+    proptest::collection::vec(
+        ((0u8..4), (0u32..40), any::<bool>())
+            .prop_map(|(lane, slot, active)| (lane, 5.0 + 25.0 * f64::from(slot), active)),
+        1..30,
+    )
+}
+
+fn build_sim(fleet: &[(u8, f64, bool)]) -> TrafficSim {
+    let mut sim = TrafficSim::new(
+        Road::uniform("prop", 2_000.0, 4, 3.2, 90.0),
+        RngStream::new(3),
+    );
+    for (i, (lane, pos, active)) in fleet.iter().enumerate() {
+        let id = VehicleId(i as u32 + 1);
+        sim.add_vehicle(Vehicle::new(
+            id,
+            VehicleSpec::paper_platooning_car(),
+            *pos,
+            LaneIndex(*lane),
+            10.0,
+        ))
+        .expect("ids are unique and lanes exist");
+        if !active {
+            sim.vehicle_mut(id).expect("just added").active = false;
+        }
+    }
+    sim
+}
+
+/// Every vehicle's indexed leader must equal its linear-scan leader.
+fn assert_lookups_agree(sim: &TrafficSim) -> Result<(), TestCaseError> {
+    for v in sim.vehicles() {
+        prop_assert_eq!(
+            sim.leader_of(v.id).expect("known vehicle"),
+            sim.leader_of_linear(v.id).expect("known vehicle"),
+            "leader lookup diverged for {} at pos {}",
+            v.id,
+            v.state.pos_m
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// On a freshly indexed random fleet — ties, gaps and inactive
+    /// vehicles included — both lookups agree for every vehicle.
+    #[test]
+    fn indexed_leader_matches_linear_scan(fleet in any_fleet()) {
+        let mut sim = build_sim(&fleet);
+        sim.rebuild_lane_index();
+        assert_lookups_agree(&sim)?;
+    }
+
+    /// The agreement survives the step loop: after any number of
+    /// car-following steps the incrementally maintained index still
+    /// matches a linear scan, and two sims differing only in lookup
+    /// strategy produce bit-identical motion.
+    #[test]
+    fn agreement_survives_stepping(fleet in any_fleet(), steps in 1u64..120) {
+        let mut indexed = build_sim(&fleet);
+        let mut linear = build_sim(&fleet);
+        linear.set_leader_lookup(LeaderLookup::Linear);
+
+        indexed.run_steps(steps);
+        linear.run_steps(steps);
+        assert_lookups_agree(&indexed)?;
+
+        let a: Vec<_> = indexed
+            .vehicles()
+            .iter()
+            .map(|v| (v.id, v.state.pos_m.to_bits(), v.state.speed_mps.to_bits(), v.active))
+            .collect();
+        let b: Vec<_> = linear
+            .vehicles()
+            .iter()
+            .map(|v| (v.id, v.state.pos_m.to_bits(), v.state.speed_mps.to_bits(), v.active))
+            .collect();
+        prop_assert_eq!(a, b, "lookup strategy leaked into vehicle motion");
+    }
+
+    /// Mutating a vehicle through the public accessor invalidates the
+    /// index; the next query must see the change exactly as the linear
+    /// scan does.
+    #[test]
+    fn external_mutation_is_visible(
+        fleet in any_fleet(),
+        who in any::<prop::sample::Index>(),
+        new_pos in 0.0f64..1_500.0,
+    ) {
+        let mut sim = build_sim(&fleet);
+        sim.rebuild_lane_index();
+        let id = VehicleId(who.index(fleet.len()) as u32 + 1);
+        sim.vehicle_mut(id).expect("known vehicle").state.pos_m = new_pos;
+        sim.rebuild_lane_index();
+        assert_lookups_agree(&sim)?;
+    }
+}

@@ -23,9 +23,24 @@ use comfase_des::time::{SimDuration, SimTime};
 use crate::decider::{decide, DeciderResult, Interferer, LossReason};
 use crate::frame::{NodeId, Wsm};
 use crate::geom::Position;
+use crate::grid::NeighborGrid;
 use crate::pathloss::{FreeSpace, PathLossModel};
 use crate::phy::{frame_duration, PhyConfig};
-use crate::units::{Milliwatts, CCH_FREQ_HZ, SPEED_OF_LIGHT_MPS};
+use crate::units::{Dbm, Milliwatts, CCH_FREQ_HZ, SPEED_OF_LIGHT_MPS};
+
+/// How [`Medium::transmit`] enumerates potential receivers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FanoutStrategy {
+    /// Uniform-grid neighbor index: visit only nodes within one cell ring
+    /// of the sender, with the cell size derived by inverting the path-loss
+    /// model at the fan-out pruning threshold (`noise_floor − 10 dB`).
+    /// Falls back to [`FanoutStrategy::BruteForce`] behaviour when the
+    /// installed model reports no finite range bound.
+    #[default]
+    Grid,
+    /// Reference implementation: visit every registered node.
+    BruteForce,
+}
 
 /// What the interceptor decides for one (tx, rx) link.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +131,17 @@ pub struct ChannelStats {
     pub lost_sensitivity: u64,
     /// Receptions lost to SNIR.
     pub lost_snir: u64,
+    /// Transmissions attempted by a node with no registered position (e.g.
+    /// a collision-removed vehicle whose MAC still had a frame queued);
+    /// dropped without fan-out instead of panicking.
+    #[serde(default)]
+    pub tx_unregistered: u64,
+    /// Links skipped by the grid index without a per-link power evaluation.
+    /// Always a subset of `links_below_noise` (the grid radius is a
+    /// conservative bound on the pruning threshold), so the breakdown
+    /// counters stay strategy-independent.
+    #[serde(default)]
+    pub links_pruned_by_grid: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -146,6 +172,10 @@ pub struct Medium {
     next_frame_id: u64,
     stats: ChannelStats,
     numeric_fault: Option<String>,
+    strategy: FanoutStrategy,
+    /// Present iff `strategy == Grid` and the path-loss model admits a
+    /// finite range bound at the pruning threshold.
+    grid: Option<NeighborGrid>,
 }
 
 impl Clone for Medium {
@@ -172,6 +202,8 @@ impl Clone for Medium {
             next_frame_id: self.next_frame_id,
             stats: self.stats,
             numeric_fault: self.numeric_fault.clone(),
+            strategy: self.strategy,
+            grid: self.grid.clone(),
         }
     }
 }
@@ -190,7 +222,7 @@ impl Medium {
     /// Creates a medium with explicit models — the paper's `wirelessModel`
     /// configuration.
     pub fn with_models(pathloss: Box<dyn PathLossModel>, freq_hz: f64, phy: PhyConfig) -> Self {
-        Medium {
+        let mut m = Medium {
             pathloss,
             freq_hz,
             phy,
@@ -200,7 +232,52 @@ impl Medium {
             next_frame_id: 0,
             stats: ChannelStats::default(),
             numeric_fault: None,
-        }
+            strategy: FanoutStrategy::default(),
+            grid: None,
+        };
+        m.rebuild_grid();
+        m
+    }
+
+    /// Selects how `transmit` enumerates receivers and rebuilds the grid
+    /// index accordingly.
+    pub fn set_fanout_strategy(&mut self, strategy: FanoutStrategy) {
+        self.strategy = strategy;
+        self.rebuild_grid();
+    }
+
+    /// The active fan-out strategy.
+    pub fn fanout_strategy(&self) -> FanoutStrategy {
+        self.strategy
+    }
+
+    /// Cell size of the active grid index, metres (`None` when running
+    /// brute-force or when the model has no finite range bound).
+    pub fn grid_cell_size_m(&self) -> Option<f64> {
+        self.grid.as_ref().map(NeighborGrid::cell_size_m)
+    }
+
+    /// The fan-out pruning threshold: frames an order of magnitude below
+    /// the noise floor can neither be decoded nor meaningfully interfere.
+    fn prune_threshold(&self) -> Dbm {
+        Dbm(self.phy.noise_floor.0 - 10.0)
+    }
+
+    fn rebuild_grid(&mut self) {
+        let cell = match self.strategy {
+            FanoutStrategy::Grid => {
+                self.pathloss
+                    .max_range_m(self.phy.tx_power, self.freq_hz, self.prune_threshold())
+            }
+            FanoutStrategy::BruteForce => None,
+        };
+        self.grid = cell.map(|cell_m| {
+            let mut g = NeighborGrid::new(cell_m);
+            for (node, pos) in &self.positions {
+                g.update_position(*node, pos);
+            }
+            g
+        });
     }
 
     /// The PHY configuration shared by all nodes.
@@ -239,12 +316,18 @@ impl Medium {
     /// Registers a node or moves it to a new position.
     pub fn update_position(&mut self, node: NodeId, pos: Position) {
         self.positions.insert(node, pos);
+        if let Some(grid) = &mut self.grid {
+            grid.update_position(node, &pos);
+        }
     }
 
     /// Removes a node from the medium (e.g. after a collision removal).
     pub fn remove_node(&mut self, node: NodeId) {
         self.positions.remove(&node);
         self.ongoing.remove(&node);
+        if let Some(grid) = &mut self.grid {
+            grid.remove(node);
+        }
     }
 
     /// Registered nodes.
@@ -266,32 +349,62 @@ impl Medium {
     /// caller schedules reception start/end events and reports them back
     /// via [`Medium::reception_started`] / [`Medium::reception_finished`].
     ///
-    /// # Panics
-    ///
-    /// Panics if the sender has no registered position.
+    /// A sender with no registered position (a collision-removed vehicle
+    /// whose MAC still had a frame queued) produces an empty fan-out and
+    /// bumps `stats.tx_unregistered` instead of panicking.
     pub fn transmit(&mut self, tx: NodeId, wsm: Wsm, now: SimTime) -> TransmitOutcome {
-        let tx_pos = *self
-            .positions
-            .get(&tx)
-            .expect("transmitter must be registered");
         let frame_id = self.next_frame_id;
         self.next_frame_id += 1;
-        self.stats.transmissions += 1;
         let duration = frame_duration(wsm.size_bits(), self.phy.mcs);
+        let Some(&tx_pos) = self.positions.get(&tx) else {
+            self.stats.tx_unregistered += 1;
+            return TransmitOutcome {
+                frame_id,
+                duration,
+                receptions: Vec::new(),
+            };
+        };
+        self.stats.transmissions += 1;
         let mut receptions = Vec::new();
-        let rx_nodes: Vec<(NodeId, Position)> = self
-            .positions
-            .iter()
-            .filter(|(id, _)| **id != tx)
-            .map(|(id, p)| (*id, *p))
-            .collect();
+        let rx_nodes: Vec<(NodeId, Position)> = match &self.grid {
+            Some(grid) => {
+                // Candidates come back sorted by NodeId — a subset of the
+                // brute-force BTreeMap scan in the same relative order, so
+                // interceptor call sequences are bit-identical.
+                let cands: Vec<(NodeId, Position)> = grid
+                    .candidates(&tx_pos)
+                    .into_iter()
+                    .filter(|&id| id != tx)
+                    .map(|id| {
+                        let pos = self
+                            .positions
+                            .get(&id)
+                            .expect("grid tracks registered nodes");
+                        (id, *pos)
+                    })
+                    .collect();
+                // Everything outside the 3×3 neighborhood is guaranteed
+                // below the pruning threshold; account for those links
+                // exactly as the brute-force scan would have.
+                let pruned = (self.positions.len() - 1 - cands.len()) as u64;
+                self.stats.links_below_noise += pruned;
+                self.stats.links_pruned_by_grid += pruned;
+                cands
+            }
+            None => self
+                .positions
+                .iter()
+                .filter(|(id, _)| **id != tx)
+                .map(|(id, p)| (*id, *p))
+                .collect(),
+        };
         for (rx, rx_pos) in rx_nodes {
             let power =
                 self.pathloss
                     .received_power(self.phy.tx_power, self.freq_hz, &tx_pos, &rx_pos);
             // Frames an order of magnitude below the noise floor can neither
             // be decoded nor meaningfully interfere; skip them.
-            if power.to_dbm().0 < self.phy.noise_floor.0 - 10.0 {
+            if power.to_dbm().0 < self.prune_threshold().0 {
                 self.stats.links_below_noise += 1;
                 continue;
             }
@@ -370,14 +483,29 @@ impl Medium {
                 end: o.end,
             })
             .collect();
-        // Prune receptions strictly in the past. The just-finished frame
-        // (and any frame ending at exactly `now`) stays one round longer so
-        // that simultaneous receptions still see each other as interference.
-        let now = planned.end;
+        // Mark this reception decided, then prune: an entry may be dropped
+        // once it is decided AND no still-undecided overlapping reception
+        // needs it as interference history. (The old `retain(o.end >= now)`
+        // both leaked equal-end frames into every later decision and
+        // prematurely dropped history that a pending overlapping reception
+        // still needed, under-counting interference for staggered frames.)
         if let Some(own) = list.iter_mut().find(|o| o.frame_id == planned.frame_id) {
             own.finished = true;
         }
-        list.retain(|o| o.end >= now);
+        let keep: Vec<bool> = list
+            .iter()
+            .map(|o| {
+                !o.finished
+                    || list
+                        .iter()
+                        .any(|u| !u.finished && o.start < u.end && o.end > u.start)
+            })
+            .collect();
+        let mut idx = 0;
+        list.retain(|_| {
+            idx += 1;
+            keep[idx - 1]
+        });
         let result = decide(
             &self.phy,
             planned.power,
@@ -412,6 +540,13 @@ impl Medium {
     /// `FailureKind::NumericDiverged`).
     pub fn numeric_fault(&self) -> Option<&str> {
         self.numeric_fault.as_deref()
+    }
+
+    /// Number of interference-history entries currently retained for
+    /// `node`. Diagnostic hook: once every reception at a node has been
+    /// decided, the backlog must drain back to zero.
+    pub fn interference_backlog(&self, node: NodeId) -> usize {
+        self.ongoing.get(&node).map_or(0, Vec::len)
     }
 
     /// `true` if the medium is busy at `node` (some ongoing reception above
@@ -485,11 +620,31 @@ mod tests {
     #[test]
     fn far_node_gets_nothing() {
         let mut m = medium_with_two_nodes(100_000.0);
+        assert_eq!(m.fanout_strategy(), FanoutStrategy::Grid);
+        assert!(m.grid_cell_size_m().is_some());
         let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
         assert!(
             out.receptions.is_empty(),
             "100 km is far below the noise floor"
         );
+        // The grid pruned the link without evaluating the path loss, but
+        // the brute-force-compatible counter still accounts for it.
+        assert_eq!(m.stats().links_below_noise, 1);
+        assert_eq!(m.stats().links_pruned_by_grid, 1);
+    }
+
+    #[test]
+    fn transmit_from_unregistered_node_is_a_noop() {
+        // Regression: a collision removes a vehicle from the medium while
+        // its MAC still has a frame queued; the queued StartTx used to hit
+        // `.expect("transmitter must be registered")` and panic.
+        let mut m = medium_with_two_nodes(50.0);
+        m.remove_node(NodeId(1));
+        let out = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        assert!(out.receptions.is_empty());
+        assert_eq!(m.stats().tx_unregistered, 1);
+        assert_eq!(m.stats().transmissions, 0);
+        assert_eq!(m.stats().links_planned, 0);
     }
 
     #[test]
@@ -522,6 +677,110 @@ mod tests {
             DeciderResult::Lost(LossReason::Snir)
         );
         assert_eq!(m.stats().lost_snir, 2);
+    }
+
+    #[test]
+    fn equal_end_frames_are_pruned_after_decision() {
+        // Regression: two simultaneous frames share an end timestamp; the
+        // old `retain(|o| o.end >= now)` kept both entries alive forever,
+        // double-counting them as interferers for every later frame at the
+        // node and leaking memory.
+        let mut m = Medium::new();
+        m.update_position(NodeId(1), Position::on_road(0.0, 0.0));
+        m.update_position(NodeId(2), Position::on_road(50.0, 0.0));
+        m.update_position(NodeId(3), Position::on_road(100.0, 0.0));
+        let out1 = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        let out3 = m.transmit(NodeId(3), wsm(3), SimTime::ZERO);
+        let r1 = out1.receptions.iter().find(|r| r.rx == NodeId(2)).unwrap();
+        let r3 = out3.receptions.iter().find(|r| r.rx == NodeId(2)).unwrap();
+        assert_eq!(r1.end, r3.end, "equidistant frames end simultaneously");
+        m.reception_started(r1);
+        m.reception_started(r3);
+        m.reception_finished(r1);
+        assert_eq!(
+            m.interference_backlog(NodeId(2)),
+            2,
+            "undecided r3 still needs r1 as interference history"
+        );
+        m.reception_finished(r3);
+        assert_eq!(
+            m.interference_backlog(NodeId(2)),
+            0,
+            "all decisions made: the backlog must drain"
+        );
+    }
+
+    /// Distance at which free-space (α = 2) reception lands at `target`
+    /// dBm for this medium's tx power.
+    fn dist_for_dbm(m: &Medium, target: f64) -> f64 {
+        let lambda = crate::units::wavelength_m(CCH_FREQ_HZ);
+        let tx_dbm = m.phy().tx_power.to_dbm().0;
+        lambda / (4.0 * std::f64::consts::PI) * 10f64.powf((tx_dbm - target) / 20.0)
+    }
+
+    #[test]
+    fn staggered_overlap_keeps_interference_history() {
+        // Regression: three staggered frames A, C, D at one victim, with A
+        // overlapping both. The old prune dropped A when C was decided (A's
+        // end was already in the past), so D's decision under-counted
+        // interference and wrongly decoded.
+        let mut m = Medium::new();
+        m.update_position(NodeId(0), Position::on_road(0.0, 0.0));
+        m.update_position(NodeId(1), Position::on_road(dist_for_dbm(&m, -78.0), 10.0));
+        m.update_position(NodeId(2), Position::on_road(dist_for_dbm(&m, -80.0), -10.0));
+        m.update_position(NodeId(3), Position::on_road(-dist_for_dbm(&m, -70.0), 0.0));
+        let out_a = m.transmit(NodeId(1), wsm(1), SimTime::ZERO);
+        let dur = out_a.duration;
+        let out_c = m.transmit(NodeId(2), wsm(2), SimTime::ZERO + dur / 4);
+        let out_d = m.transmit(NodeId(3), wsm(3), SimTime::ZERO + dur / 2);
+        let ra = out_a.receptions.iter().find(|r| r.rx == NodeId(0)).unwrap();
+        let rc = out_c.receptions.iter().find(|r| r.rx == NodeId(0)).unwrap();
+        let rd = out_d.receptions.iter().find(|r| r.rx == NodeId(0)).unwrap();
+        m.reception_started(ra);
+        m.reception_started(rc);
+        m.reception_started(rd);
+        // Decisions in end order: A, then C, then D.
+        assert_eq!(
+            m.reception_finished(ra),
+            DeciderResult::Lost(LossReason::Snir)
+        );
+        assert_eq!(
+            m.reception_finished(rc),
+            DeciderResult::Lost(LossReason::Snir)
+        );
+        // D at −70 dBm against A (−78) + C (−80): SNIR ≈ 5.9 dB, below the
+        // 6 dB QPSK threshold. With A wrongly pruned it would be ≈ 10 dB
+        // and decode.
+        assert_eq!(
+            m.reception_finished(rd),
+            DeciderResult::Lost(LossReason::Snir)
+        );
+        assert_eq!(m.interference_backlog(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn grid_and_brute_force_fan_out_identically() {
+        let build = |strategy: FanoutStrategy| {
+            let mut m = Medium::new();
+            m.set_fanout_strategy(strategy);
+            for i in 0..8u32 {
+                // 10 km spacing: some links in range, some pruned (the
+                // default free-space bound is ~18 km at these parameters).
+                m.update_position(NodeId(i), Position::on_road(i as f64 * 10_000.0, 0.0));
+            }
+            m
+        };
+        let mut grid = build(FanoutStrategy::Grid);
+        let mut brute = build(FanoutStrategy::BruteForce);
+        for i in 0..8u32 {
+            let g = grid.transmit(NodeId(i), wsm(i), SimTime::ZERO);
+            let b = brute.transmit(NodeId(i), wsm(i), SimTime::ZERO);
+            assert_eq!(g, b, "fan-out diverged for sender {i}");
+        }
+        assert!(grid.stats().links_pruned_by_grid > 0, "grid must prune");
+        let mut gs = grid.stats();
+        gs.links_pruned_by_grid = 0;
+        assert_eq!(gs, brute.stats());
     }
 
     #[test]

@@ -52,14 +52,18 @@ pub mod channel;
 pub mod decider;
 pub mod frame;
 pub mod geom;
+pub mod grid;
 pub mod mac;
 pub mod mac1609;
 pub mod pathloss;
 pub mod phy;
 pub mod units;
 
-pub use channel::{ChannelInterceptor, LinkFate, Medium, PlannedReception, TransmitOutcome};
+pub use channel::{
+    ChannelInterceptor, FanoutStrategy, LinkFate, Medium, PlannedReception, TransmitOutcome,
+};
 pub use frame::{AccessCategory, NodeId, WaveChannel, Wsm};
 pub use geom::Position;
+pub use grid::NeighborGrid;
 pub use mac::{Mac, MacAction, MacConfig};
 pub use phy::{Mcs, PhyConfig};

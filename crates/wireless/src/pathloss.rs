@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::geom::Position;
-use crate::units::{wavelength_m, Milliwatts};
+use crate::units::{wavelength_m, Dbm, Milliwatts};
 
 /// An analogue wireless channel model — the paper's `wirelessModel`
 /// configuration parameter.
@@ -22,6 +22,17 @@ pub trait PathLossModel: std::fmt::Debug + Send + Sync {
         tx: &Position,
         rx: &Position,
     ) -> Milliwatts;
+
+    /// A conservative range bound: for any pair of positions whose ground
+    /// (2D) distance exceeds the returned value, `received_power` is
+    /// guaranteed strictly below `threshold`. `None` means no finite bound
+    /// is known and callers must assume every node is reachable. The grid
+    /// fan-out index uses this (inverted at the fan-out pruning threshold)
+    /// as its cell size.
+    fn max_range_m(&self, tx_power: Milliwatts, freq_hz: f64, threshold: Dbm) -> Option<f64> {
+        let _ = (tx_power, freq_hz, threshold);
+        None
+    }
 
     /// Model name for configuration dumps.
     fn name(&self) -> &'static str;
@@ -37,6 +48,32 @@ impl Clone for Box<dyn PathLossModel> {
     fn clone(&self) -> Self {
         self.clone_box()
     }
+}
+
+/// Invert the Friis formula: the distance at which
+/// `P_tx · (λ / 4πd)^α` drops to `threshold`.
+///
+/// Returns `None` when the inputs do not admit a finite positive bound
+/// (non-finite threshold, zero power, ...), in which case the caller must
+/// fall back to assuming unbounded range. The result carries a small
+/// multiplicative margin so that floating-point noise in the forward
+/// formula can never place a node just outside the bound while its
+/// received power still reaches `threshold`.
+fn friis_range_m(alpha: f64, tx_power: Milliwatts, freq_hz: f64, threshold: Dbm) -> Option<f64> {
+    let t = threshold.to_milliwatts();
+    let invertible = t.0.is_finite() && t.0 > 0.0 && tx_power.0 > 0.0 && alpha > 0.0;
+    if !invertible {
+        return None;
+    }
+    if tx_power.0 <= t.0 {
+        // The model caps gain at unity, so power below threshold at the
+        // antenna is below threshold everywhere; any positive range works.
+        return Some(1.0);
+    }
+    let lambda = wavelength_m(freq_hz);
+    let d = lambda / (4.0 * std::f64::consts::PI) * (tx_power.0 / t.0).powf(1.0 / alpha);
+    let d = (d * (1.0 + 1e-6)).max(1.0);
+    d.is_finite().then_some(d)
 }
 
 /// Free-space (Friis) path loss with configurable exponent.
@@ -70,6 +107,10 @@ impl PathLossModel for FreeSpace {
         let lambda = wavelength_m(freq_hz);
         let factor = (lambda / (4.0 * std::f64::consts::PI * d)).powf(self.alpha);
         tx_power * factor.min(1.0)
+    }
+
+    fn max_range_m(&self, tx_power: Milliwatts, freq_hz: f64, threshold: Dbm) -> Option<f64> {
+        friis_range_m(self.alpha, tx_power, freq_hz, threshold)
     }
 
     fn name(&self) -> &'static str {
@@ -128,6 +169,16 @@ impl PathLossModel for TwoRayInterference {
         tx_power * factor.min(1.0)
     }
 
+    fn max_range_m(&self, tx_power: Milliwatts, freq_hz: f64, threshold: Dbm) -> Option<f64> {
+        // |Γ| ≤ 1, so |re| ≤ 2/d_los and |im| ≤ 1/d_ref ≤ 1/d_los, giving
+        // magnitude² ≤ 5/d_los² — i.e. two-ray can never exceed free space
+        // (α = 2) by more than 10·log10(5) ≈ 7 dB of constructive fading.
+        // Inverting Friis at a threshold lowered by that envelope yields a
+        // conservative ground-distance bound (d_los ≥ ground distance).
+        let envelope_db = 10.0 * 5f64.log10();
+        friis_range_m(2.0, tx_power, freq_hz, Dbm(threshold.0 - envelope_db))
+    }
+
     fn name(&self) -> &'static str {
         "TwoRayInterference"
     }
@@ -169,6 +220,13 @@ impl Default for LogNormalShadowing {
 }
 
 impl LogNormalShadowing {
+    /// Hard cap on a shadowing draw, in standard deviations.
+    ///
+    /// Box-Muller with `u1 ≥ 2⁻⁵³` bounds the normal magnitude by
+    /// `√(2·53·ln 2) ≈ 8.5716`, so a draw can never add more than
+    /// `MAX_SHADOW_SIGMAS · sigma_db` dB of constructive shadowing.
+    pub const MAX_SHADOW_SIGMAS: f64 = 8.58;
+
     /// The shadowing offset in dB for a link with the given midpoint.
     pub fn shadow_db(&self, mid_x: f64, mid_y: f64) -> f64 {
         let qx = (mid_x / self.correlation_m).floor() as i64;
@@ -201,6 +259,16 @@ impl PathLossModel for LogNormalShadowing {
         let shadow = self.shadow_db((tx.x + rx.x) / 2.0, (tx.y + rx.y) / 2.0);
         let factor = 10f64.powf(shadow / 10.0);
         Milliwatts((median.0 * factor).min(tx_power.0))
+    }
+
+    fn max_range_m(&self, tx_power: Milliwatts, freq_hz: f64, threshold: Dbm) -> Option<f64> {
+        let worst_gain_db = Self::MAX_SHADOW_SIGMAS * self.sigma_db.abs();
+        friis_range_m(
+            self.alpha,
+            tx_power,
+            freq_hz,
+            Dbm(threshold.0 - worst_gain_db),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -317,6 +385,72 @@ mod tests {
         let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.2, "mean {mean}");
         assert!((var.sqrt() - m.sigma_db).abs() < 0.3, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn max_range_is_conservative_for_all_models() {
+        let tx = Dbm(13.0).to_milliwatts();
+        let threshold = Dbm(-120.0);
+        let models: Vec<Box<dyn PathLossModel>> = vec![
+            Box::new(FreeSpace::default()),
+            Box::new(FreeSpace { alpha: 3.0 }),
+            Box::new(TwoRayInterference::default()),
+            Box::new(LogNormalShadowing::default()),
+        ];
+        for m in &models {
+            let range = m
+                .max_range_m(tx, CCH_FREQ_HZ, threshold)
+                .unwrap_or_else(|| panic!("{} should have a finite range", m.name()));
+            assert!(range >= 1.0 && range.is_finite(), "{}: {range}", m.name());
+            // Sample ground distances beyond the bound: received power must
+            // stay strictly below the threshold.
+            for k in 1..=50 {
+                let d = range * (1.0 + k as f64 * 0.1);
+                let rx = m.received_power(tx, CCH_FREQ_HZ, &p(0.0), &p(d));
+                assert!(
+                    rx.to_dbm().0 < threshold.0,
+                    "{} at {d:.1} m received {:.2} dBm >= {:.2} dBm (range {range:.1})",
+                    m.name(),
+                    rx.to_dbm().0,
+                    threshold.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn free_space_range_is_tight() {
+        // Just inside the bound the power is still at/above threshold, so the
+        // inversion is not wastefully loose for the exact Friis model.
+        let m = FreeSpace::default();
+        let tx = Dbm(13.0).to_milliwatts();
+        let threshold = Dbm(-120.0);
+        let range = m.max_range_m(tx, CCH_FREQ_HZ, threshold).unwrap();
+        let rx = m.received_power(tx, CCH_FREQ_HZ, &p(0.0), &p(range * 0.999));
+        assert!(rx.to_dbm().0 >= threshold.0, "{}", rx.to_dbm().0);
+    }
+
+    #[test]
+    fn max_range_degenerate_inputs() {
+        let m = FreeSpace::default();
+        // Non-finite or non-positive thresholds give no bound.
+        assert_eq!(
+            m.max_range_m(Milliwatts(20.0), CCH_FREQ_HZ, Dbm(f64::NEG_INFINITY)),
+            None
+        );
+        assert_eq!(
+            m.max_range_m(Milliwatts(20.0), CCH_FREQ_HZ, Dbm(f64::NAN)),
+            None
+        );
+        assert_eq!(
+            m.max_range_m(Milliwatts(0.0), CCH_FREQ_HZ, Dbm(-90.0)),
+            None
+        );
+        // Power already below threshold: any positive range is valid.
+        assert_eq!(
+            m.max_range_m(Milliwatts(1e-15), CCH_FREQ_HZ, Dbm(-90.0)),
+            Some(1.0)
+        );
     }
 
     #[test]

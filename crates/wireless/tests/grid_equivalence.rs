@@ -1,0 +1,159 @@
+//! Equivalence properties: the uniform-grid fan-out index must be
+//! reception-for-reception identical to the brute-force scan it replaces —
+//! same receivers, same powers, same decider results, same counters (up to
+//! the grid's own pruning diagnostic) — for every path-loss model,
+//! including the stochastic shadowing field.
+
+use bytes::Bytes;
+use comfase_des::time::SimTime;
+use comfase_wireless::channel::{FanoutStrategy, Medium};
+use comfase_wireless::frame::{NodeId, WaveChannel, Wsm};
+use comfase_wireless::geom::Position;
+use comfase_wireless::pathloss::{
+    FreeSpace, LogNormalShadowing, PathLossModel, TwoRayInterference,
+};
+use comfase_wireless::phy::PhyConfig;
+use comfase_wireless::units::CCH_FREQ_HZ;
+use proptest::prelude::*;
+
+/// A randomly parameterised path-loss model covering every implementation.
+fn any_model() -> impl Strategy<Value = Box<dyn PathLossModel>> {
+    prop_oneof![
+        (2.0f64..3.5).prop_map(|alpha| Box::new(FreeSpace { alpha }) as Box<dyn PathLossModel>),
+        Just(Box::new(TwoRayInterference::default()) as Box<dyn PathLossModel>),
+        ((2.0f64..3.0), (1.0f64..8.0), any::<u64>()).prop_map(|(alpha, sigma_db, seed)| {
+            Box::new(LogNormalShadowing {
+                alpha,
+                sigma_db,
+                correlation_m: 50.0,
+                seed,
+            }) as Box<dyn PathLossModel>
+        }),
+    ]
+}
+
+/// Random node positions spread widely enough that, at the larger path-loss
+/// exponents, some links fall outside the grid's pruning radius.
+fn any_fleet() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(((0.0f64..20_000.0), (0.0f64..100.0)), 2..20)
+}
+
+fn beacon(src: u32) -> Wsm {
+    Wsm {
+        source: NodeId(src),
+        sequence: src,
+        created: SimTime::ZERO,
+        channel: WaveChannel::Cch,
+        payload: Bytes::from_static(b"x"),
+    }
+}
+
+fn medium(model: &dyn PathLossModel, strategy: FanoutStrategy) -> Medium {
+    let mut m = Medium::with_models(model.clone_box(), CCH_FREQ_HZ, PhyConfig::default());
+    m.set_fanout_strategy(strategy);
+    m
+}
+
+proptest! {
+    /// Every transmission fans out identically under the grid index and
+    /// the brute-force scan: the same planned receptions in the same
+    /// order, the same decider results, and the same channel counters up
+    /// to `links_pruned_by_grid` (the grid's own diagnostic).
+    #[test]
+    fn grid_fan_out_matches_brute_force(
+        fleet in any_fleet(),
+        model in any_model(),
+    ) {
+        let mut grid = medium(model.as_ref(), FanoutStrategy::Grid);
+        let mut brute = medium(model.as_ref(), FanoutStrategy::BruteForce);
+        for (i, (x, y)) in fleet.iter().enumerate() {
+            let pos = Position::on_road(*x, *y);
+            grid.update_position(NodeId(i as u32), pos);
+            brute.update_position(NodeId(i as u32), pos);
+        }
+
+        for i in 0..fleet.len() as u32 {
+            let now = SimTime::from_micros(200 * i64::from(i));
+            let g = grid.transmit(NodeId(i), beacon(i), now);
+            let b = brute.transmit(NodeId(i), beacon(i), now);
+            prop_assert_eq!(&g, &b, "fan-out diverged for sender {}", i);
+            for r in &g.receptions {
+                grid.reception_started(r);
+                brute.reception_started(r);
+            }
+            for r in &g.receptions {
+                prop_assert_eq!(
+                    grid.reception_finished(r),
+                    brute.reception_finished(r),
+                    "decision diverged for frame {} at {}", r.frame_id, r.rx
+                );
+            }
+        }
+
+        let mut g_stats = grid.stats();
+        prop_assert!(
+            grid.grid_cell_size_m().is_some(),
+            "every bundled model must invert to a finite pruning radius"
+        );
+        g_stats.links_pruned_by_grid = 0;
+        prop_assert_eq!(g_stats, brute.stats());
+    }
+
+    /// Moving and removing nodes keeps the index coherent: after any
+    /// sequence of relocations and removals, fan-out still matches.
+    #[test]
+    fn grid_tracks_moves_and_removals(
+        fleet in any_fleet(),
+        moves in proptest::collection::vec(
+            (any::<prop::sample::Index>(), (0.0f64..20_000.0), (0.0f64..100.0)),
+            1..16,
+        ),
+        removed in any::<prop::sample::Index>(),
+        alpha in 2.0f64..3.5,
+    ) {
+        let model = FreeSpace { alpha };
+        let mut grid = medium(&model, FanoutStrategy::Grid);
+        let mut brute = medium(&model, FanoutStrategy::BruteForce);
+        for (i, (x, y)) in fleet.iter().enumerate() {
+            let pos = Position::on_road(*x, *y);
+            grid.update_position(NodeId(i as u32), pos);
+            brute.update_position(NodeId(i as u32), pos);
+        }
+        for (who, x, y) in &moves {
+            let node = NodeId(who.index(fleet.len()) as u32);
+            let pos = Position::on_road(*x, *y);
+            grid.update_position(node, pos);
+            brute.update_position(node, pos);
+        }
+        let gone = NodeId(removed.index(fleet.len()) as u32);
+        grid.remove_node(gone);
+        brute.remove_node(gone);
+
+        for i in 0..fleet.len() as u32 {
+            let g = grid.transmit(NodeId(i), beacon(i), SimTime::ZERO);
+            let b = brute.transmit(NodeId(i), beacon(i), SimTime::ZERO);
+            prop_assert_eq!(g, b, "fan-out diverged for sender {}", i);
+        }
+    }
+
+    /// A cloned grid medium (the PrefixFork snapshot path) behaves exactly
+    /// like its original.
+    #[test]
+    fn cloned_medium_keeps_its_index(
+        fleet in any_fleet(),
+        alpha in 2.0f64..3.5,
+    ) {
+        let model = FreeSpace { alpha };
+        let mut original = medium(&model, FanoutStrategy::Grid);
+        for (i, (x, y)) in fleet.iter().enumerate() {
+            original.update_position(NodeId(i as u32), Position::on_road(*x, *y));
+        }
+        let mut fork = original.clone();
+        for i in 0..fleet.len() as u32 {
+            let a = original.transmit(NodeId(i), beacon(i), SimTime::ZERO);
+            let b = fork.transmit(NodeId(i), beacon(i), SimTime::ZERO);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(original.stats(), fork.stats());
+    }
+}
