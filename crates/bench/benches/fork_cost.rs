@@ -1,0 +1,95 @@
+//! Fork-cost microbenchmarks for copy-on-write world snapshots.
+//!
+//! A campaign in `PrefixFork`/`SnapshotDag` mode clones a [`World`] once
+//! per experiment, so the clone *is* the fork cost. Since the trace
+//! buffers moved to chunk-shared storage and the road network, path-loss
+//! model and car-following parameters became `Arc`-shared, that clone no
+//! longer deep-copies the bulk of the snapshot:
+//!
+//! - `cow_world_fork` — the real fork: `World::clone` on a mid-run prefix
+//!   snapshot (directly comparable to the historical
+//!   `experiments/prefix_snapshot_clone` bench, which measured the same
+//!   operation when it was a deep copy);
+//! - `cow_mid_attack_fork` — [`World::fork_post_attack`], the snapshot-DAG
+//!   level-2 fork (detach interceptor, clone, reattach);
+//! - `cow_trace_clone` — cloning just the traffic trace, the dominant
+//!   shared payload;
+//! - `deep_trace_copy` — the explicit deep-copy baseline: re-recording
+//!   every sample of every per-vehicle series into fresh buffers, i.e.
+//!   what the trace share of the fork cost was before copy-on-write.
+//!
+//! On startup the harness prints the sealed-chunk byte count a fork
+//! shares instead of copying ([`TrafficTrace::shared_bytes`]) — the
+//! allocation-avoided proxy to read alongside the wall times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use comfase::prelude::*;
+use comfase_bench::paper_engine;
+use comfase_des::stats::TimeSeries;
+use comfase_des::time::SimTime;
+use comfase_traffic::trace::TrafficTrace;
+
+fn deep_copy_series(series: &TimeSeries) -> TimeSeries {
+    let mut out = TimeSeries::with_capacity(series.len());
+    for (t, v) in series.iter() {
+        out.record(t, v);
+    }
+    out
+}
+
+fn deep_copy_trace(trace: &TrafficTrace) -> Vec<(TimeSeries, TimeSeries, TimeSeries)> {
+    trace
+        .iter()
+        .map(|(_, tr)| {
+            (
+                deep_copy_series(&tr.pos),
+                deep_copy_series(&tr.speed),
+                deep_copy_series(&tr.accel),
+            )
+        })
+        .collect()
+}
+
+fn bench_fork_cost(c: &mut Criterion) {
+    let engine = paper_engine();
+    let start = SimTime::from_secs(17);
+    let prefix = engine.prefix_snapshot(start).unwrap();
+    let trace = prefix.traffic().trace();
+    eprintln!(
+        "fork_cost: a fork shares {} bytes of sealed trace chunks \
+         (allocations a deep copy would have made)",
+        trace.shared_bytes()
+    );
+
+    let mut group = c.benchmark_group("fork_cost");
+    group.bench_function("cow_world_fork", |b| {
+        b.iter(|| prefix.clone());
+    });
+    group.bench_function("cow_trace_clone", |b| {
+        b.iter(|| prefix.traffic().trace().clone());
+    });
+    group.bench_function("deep_trace_copy", |b| {
+        b.iter(|| deep_copy_trace(prefix.traffic().trace()));
+    });
+
+    // The level-2 fork: a world inside its attack window, forked per leaf.
+    let attack = AttackSpec {
+        model: AttackModelKind::Delay,
+        value: 1.0,
+        targets: vec![2].into(),
+        start,
+        end: SimTime::from_secs(27),
+    };
+    let mut attacked = prefix.clone();
+    attacked.run_until(start);
+    attacked.install_attack(attack.build_interceptor(0));
+    attacked.run_until(SimTime::from_secs(22));
+    group.bench_function("cow_mid_attack_fork", |b| {
+        b.iter(|| attacked.fork_post_attack());
+    });
+    group.finish();
+}
+
+criterion_group!(fork_cost, bench_fork_cost);
+criterion_main!(fork_cost);

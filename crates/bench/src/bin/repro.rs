@@ -510,13 +510,13 @@ fn main() {
         run_ablations(&opts);
     }
 
-    // Deliberately not part of --all: it runs the delay campaign twice.
+    // Deliberately not part of --all: it runs the delay campaign three times.
     if opts.artefacts.iter().any(|a| a == "bench-campaign") {
         run_bench_campaign(&opts);
     }
 
     // Deliberately not part of --all: it runs every substrate twice per
-    // fleet size plus a four-way campaign identity check.
+    // fleet size plus a six-way campaign identity check.
     if opts.artefacts.iter().any(|a| a == "bench-scale") {
         run_bench_scale(&opts);
     }
@@ -563,8 +563,10 @@ fn write_chrome_trace(path: &std::path::Path) {
     eprintln!("wrote {}", path.display());
 }
 
-/// Times the delay campaign in both execution modes, verifies they agree,
-/// and writes machine-readable results to `BENCH_campaign.json`.
+/// Times the delay campaign in all three execution modes, verifies they
+/// agree bit for bit, and writes machine-readable per-mode results
+/// (wall time, speedup over from-scratch, and snapshot/DAG reuse stats)
+/// to `BENCH_campaign.json`.
 fn run_bench_campaign(opts: &Options) {
     let campaign = delay_campaign(opts.stride);
     let total = campaign.nr_experiments();
@@ -572,35 +574,73 @@ fn run_bench_campaign(opts: &Options) {
         "benchmarking campaign throughput: {total} experiments (stride {}) on {} thread(s)...",
         opts.stride, opts.threads
     );
-    let t0 = Instant::now();
-    let scratch = campaign
-        .run_with_mode(opts.threads, ExecutionMode::FromScratch)
-        .expect("campaign runs");
-    let scratch_wall = t0.elapsed();
-    eprintln!("  from-scratch: {scratch_wall:.1?}");
-    let t1 = Instant::now();
-    let forked = campaign
-        .run_with_mode(opts.threads, ExecutionMode::PrefixFork)
-        .expect("campaign runs");
-    let fork_wall = t1.elapsed();
-    eprintln!("  prefix-fork:  {fork_wall:.1?}");
-    assert_eq!(
-        forked.records, scratch.records,
-        "execution modes must agree bit for bit"
-    );
 
+    let modes = [
+        ("from_scratch", ExecutionMode::FromScratch),
+        ("prefix_fork", ExecutionMode::PrefixFork),
+        ("snapshot_dag", ExecutionMode::SnapshotDag),
+    ];
+    let mut walls = Vec::new();
+    let mut reference: Option<&_> = None;
+    let mut results = Vec::new();
+    for &(name, mode) in &modes {
+        let t = Instant::now();
+        let result = campaign
+            .run_with_mode(opts.threads, mode)
+            .expect("campaign runs");
+        let wall = t.elapsed();
+        eprintln!("  {name:<13} {wall:.1?}");
+        walls.push(wall);
+        results.push((name, result));
+    }
+    for (name, result) in &results {
+        match reference {
+            None => reference = Some(&result.records),
+            Some(r) => assert_eq!(
+                &result.records, r,
+                "execution mode {name} must agree bit for bit with from-scratch"
+            ),
+        }
+    }
+
+    let scratch_wall = walls[0];
+    let per_mode: Vec<serde_json::Value> = results
+        .iter()
+        .zip(&walls)
+        .map(|((name, result), wall)| {
+            let hit_rates = result.stats.level_hit_rates();
+            serde_json::json!({
+                "mode": name,
+                "wall_s": wall.as_secs_f64(),
+                "speedup_vs_scratch": scratch_wall.as_secs_f64() / wall.as_secs_f64(),
+                "experiments_per_sec": total as f64 / wall.as_secs_f64(),
+                "prefix_snapshots": result.stats.prefix_snapshots,
+                "forked_runs": result.stats.forked_runs,
+                "scratch_runs": result.stats.scratch_runs,
+                "attack_chains": result.stats.attack_chains,
+                "chain_forked_runs": result.stats.chain_forked_runs,
+                "dag_depth": result.stats.dag_depth,
+                "snapshot_hit_rate": result.stats.snapshot_hit_rate(),
+                "level_hit_rates": hit_rates,
+            })
+        })
+        .collect();
+
+    let fork_wall = walls[1];
+    let dag_wall = walls[2];
     let speedup = scratch_wall.as_secs_f64() / fork_wall.as_secs_f64();
-    let experiments_per_sec = total as f64 / fork_wall.as_secs_f64();
+    let dag_speedup = scratch_wall.as_secs_f64() / dag_wall.as_secs_f64();
     let json = serde_json::json!({
         "experiments": total,
         "stride": opts.stride,
         "threads": opts.threads,
         "scratch_wall_s": scratch_wall.as_secs_f64(),
         "fork_wall_s": fork_wall.as_secs_f64(),
+        "dag_wall_s": dag_wall.as_secs_f64(),
         "speedup": speedup,
-        "experiments_per_sec": experiments_per_sec,
-        "prefix_snapshots": forked.stats.prefix_snapshots,
-        "snapshot_hit_rate": forked.stats.snapshot_hit_rate(),
+        "dag_speedup": dag_speedup,
+        "experiments_per_sec": total as f64 / dag_wall.as_secs_f64(),
+        "modes": per_mode,
     });
     let path = std::path::Path::new("BENCH_campaign.json");
     std::fs::write(
@@ -609,8 +649,8 @@ fn run_bench_campaign(opts: &Options) {
     )
     .expect("write BENCH_campaign.json");
     println!(
-        "campaign throughput: {speedup:.2}x speedup (prefix-fork vs from-scratch), \
-         {experiments_per_sec:.1} experiments/s on {} thread(s)",
+        "campaign throughput: {speedup:.2}x prefix-fork, {dag_speedup:.2}x snapshot-dag \
+         (vs from-scratch) on {} thread(s)",
         opts.threads
     );
     eprintln!("wrote {}", path.display());
@@ -645,16 +685,20 @@ fn run_bench_scale(opts: &Options) {
         points.push(p);
     }
 
-    // A small slice of the paper's delay campaign, run under all four
+    // A small slice of the paper's delay campaign, run under all six
     // (indexing substrate × execution mode) combinations: the metrics
     // artifact must come out byte-identical every time.
     const IDENTITY_STRIDE: usize = 12;
     eprintln!(
-        "verifying campaign metrics identity (stride {IDENTITY_STRIDE}, 4 configurations)..."
+        "verifying campaign metrics identity (stride {IDENTITY_STRIDE}, 6 configurations)..."
     );
     let mut reference: Option<Vec<u8>> = None;
     let mut experiments = 0;
-    for mode in [ExecutionMode::PrefixFork, ExecutionMode::FromScratch] {
+    for mode in [
+        ExecutionMode::SnapshotDag,
+        ExecutionMode::PrefixFork,
+        ExecutionMode::FromScratch,
+    ] {
         for indexing in [IndexingMode::Indexed, IndexingMode::BruteForce] {
             let campaign = delay_campaign(IDENTITY_STRIDE)
                 .with_obs(ObsConfig::metrics_only())
@@ -698,7 +742,7 @@ fn run_bench_scale(opts: &Options) {
             "stride": IDENTITY_STRIDE,
             "experiments": experiments,
             "threads": opts.threads,
-            "configurations": 4,
+            "configurations": 6,
             "metrics_bytes": metrics_bytes,
             "identical": true,
         },

@@ -104,6 +104,20 @@ impl AttackModelKind {
             }
         }
     }
+
+    /// `true` when [`AttackSpec::build_interceptor`] yields the same
+    /// interceptor regardless of the per-experiment seed.
+    ///
+    /// Seed-invariant models (delay, DoS, falsification) install stateless
+    /// interceptors, so experiments that differ only in attack *duration*
+    /// produce identical event streams while the attack is active — the
+    /// snapshot-DAG campaign mode exploits this to simulate the shared
+    /// attack segment once and fork each duration's leaf mid-attack.
+    /// Probabilistic drop seeds a per-experiment RNG and must never be
+    /// chained that way.
+    pub fn seed_invariant(&self) -> bool {
+        !matches!(self, AttackModelKind::Drop)
+    }
 }
 
 /// One concrete attack to inject in one experiment: model + value + targets

@@ -19,6 +19,26 @@
 //! ([`ExecutionMode::FromScratch`]); the engine's tests and the
 //! `tests` crate assert this end to end.
 //!
+//! # Snapshot DAG
+//!
+//! Multi-axis sweeps share more than the attack-free prefix. Experiments
+//! with the same `(start, model, value, targets)` — in the paper's grids,
+//! one per attack *duration* — also simulate an identical **attack
+//! segment** `[start, end)`, because the seed-invariant models
+//! ([`crate::attack::AttackModelKind::seed_invariant`]) install identical
+//! interceptors. [`ExecutionMode::SnapshotDag`] exploits both levels:
+//! a [`DagPlan`] groups the experiment list into *chains* keyed by the
+//! longest shared simulated prefix, the attack-free prefixes themselves
+//! are built incrementally along one world
+//! ([`Engine::prefix_snapshots_chained`]), and each chain advances a
+//! single attacked world through its ends in ascending order, forking a
+//! leaf mid-attack at every stop ([`World::fork_post_attack`]). Every
+//! leaf still clears the attack and simulates its own tail, so results —
+//! including faults and the `metrics.json` artifact — remain
+//! byte-identical to the other two modes at any worker-thread count.
+//! Seed-*dependent* models (probabilistic drop) are never chained; their
+//! experiments degrade to plain prefix forks within the same plan.
+//!
 //! # Fault tolerance
 //!
 //! A fault-injection campaign deliberately drives the simulated system
@@ -54,7 +74,7 @@ use comfase_des::sim::EventBudget;
 use comfase_des::time::SimTime;
 use comfase_obs::{CampaignMetrics, ExperimentMetrics, HostProfiler, ObsConfig, WallDeadline};
 
-use crate::attack::AttackSpec;
+use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
 use crate::classify::{classify, ClassificationParams, Verdict};
 use crate::config::AttackCampaignSetup;
 use crate::engine::Engine;
@@ -73,6 +93,11 @@ pub enum ExecutionMode {
     /// Simulate every experiment from t = 0. Slower; kept as the
     /// reference implementation for equivalence tests and benchmarks.
     FromScratch,
+    /// Two-level snapshot reuse: fork from the attack-free prefix *and*,
+    /// for seed-invariant attack models, fork again mid-attack from a
+    /// chain that simulates the shared attack segment once per distinct
+    /// `(start, model, value, targets)` group (see the module docs).
+    SnapshotDag,
 }
 
 /// The coarse phases of a campaign run, in execution order.
@@ -151,20 +176,183 @@ pub struct CampaignStats {
     /// Prefix snapshots built (one per distinct attack start time; 0 in
     /// [`ExecutionMode::FromScratch`]).
     pub prefix_snapshots: usize,
-    /// Experiments forked from a prefix snapshot.
+    /// Experiments forked from a prefix snapshot (and nothing deeper).
     pub forked_runs: usize,
     /// Experiments simulated from t = 0.
     pub scratch_runs: usize,
+    /// Attack-segment chains executed
+    /// ([`ExecutionMode::SnapshotDag`] only; 0 otherwise).
+    #[serde(default)]
+    pub attack_chains: usize,
+    /// Experiments forked *mid-attack* from a chain — level-2 snapshot
+    /// reuse on top of the prefix fork.
+    #[serde(default)]
+    pub chain_forked_runs: usize,
+    /// Depth of the executed snapshot DAG: 0 when nothing was forked,
+    /// 1 with prefix-level reuse only, 2 when attack-segment chains ran.
+    #[serde(default)]
+    pub dag_depth: usize,
 }
 
 impl CampaignStats {
-    /// Fraction of experiments that reused a prefix snapshot (0.0–1.0).
+    /// Fraction of experiments that reused *any* snapshot (0.0–1.0) —
+    /// prefix forks and mid-attack chain forks both count.
     pub fn snapshot_hit_rate(&self) -> f64 {
-        let total = self.forked_runs + self.scratch_runs;
+        self.level_hit_rates()[0]
+    }
+
+    /// Per-level snapshot hit rates, outermost first:
+    ///
+    /// - `[0]` — fraction of experiments that skipped the attack-free
+    ///   prefix (forked at level 1 or deeper);
+    /// - `[1]` — fraction that additionally skipped a shared attack
+    ///   segment (forked mid-attack at level 2).
+    ///
+    /// `[0] >= [1]` always; both are 0.0 for an empty campaign.
+    pub fn level_hit_rates(&self) -> [f64; 2] {
+        let total = self.forked_runs + self.chain_forked_runs + self.scratch_runs;
         if total == 0 {
-            0.0
+            return [0.0, 0.0];
+        }
+        [
+            (self.forked_runs + self.chain_forked_runs) as f64 / total as f64,
+            self.chain_forked_runs as f64 / total as f64,
+        ]
+    }
+}
+
+/// One schedulable unit of a [`DagPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagUnit {
+    /// A single experiment forked from its attack-free prefix snapshot
+    /// (seed-dependent model, or no sibling shares its attack segment).
+    Solo {
+        /// Experiment index in campaign expansion order.
+        index: usize,
+    },
+    /// Experiments sharing `(start, model, value, targets)`: one world
+    /// simulates the common attack segment once and each leaf forks off
+    /// mid-attack at its own end time.
+    Chain {
+        /// Experiment indices, sorted by `(end, index)` so the chain
+        /// advances monotonically. Always ≥ 2 entries.
+        leaves: Vec<usize>,
+    },
+}
+
+impl DagUnit {
+    /// Experiment indices of this unit, in execution order.
+    pub fn indices(&self) -> &[usize] {
+        match self {
+            DagUnit::Solo { index } => std::slice::from_ref(index),
+            DagUnit::Chain { leaves } => leaves,
+        }
+    }
+}
+
+/// The fork-point tree of a [`ExecutionMode::SnapshotDag`] run, flattened
+/// to its schedulable units.
+///
+/// Level 1 of the DAG (the attack-free prefixes, one per distinct start
+/// time) is implicit — it is materialised by
+/// [`Engine::prefix_snapshots_chained`] — so the plan only enumerates the
+/// level-2 grouping. Building the plan is pure bookkeeping over the spec
+/// list: deterministic, and invariant under permutation of the *grid
+/// axes* because groups live in a [`BTreeMap`] keyed by the attack
+/// coordinates rather than by first-seen order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DagPlan {
+    /// Schedulable units in canonical (key-sorted) order. Worker threads
+    /// claim whole units; results are independent of the claim order.
+    pub units: Vec<DagUnit>,
+}
+
+/// Grouping key of one experiment: every coordinate of the attack except
+/// its end time. Experiments with equal keys and a seed-invariant model
+/// simulate identical event streams until their respective ends.
+/// `value` is keyed by its bit pattern — grouping needs equality, not
+/// numeric order (`-0.0` vs `0.0` would merely split a chain in two).
+fn chain_key(spec: &AttackSpec) -> (SimTime, u8, u8, u64, Vec<u32>) {
+    let (model, field) = match spec.model {
+        AttackModelKind::Delay => (0u8, 0u8),
+        AttackModelKind::Dos => (1, 0),
+        AttackModelKind::Drop => (2, 0),
+        AttackModelKind::Falsify(FalsifiedField::Position) => (3, 0),
+        AttackModelKind::Falsify(FalsifiedField::Speed) => (3, 1),
+        AttackModelKind::Falsify(FalsifiedField::Acceleration) => (3, 2),
+    };
+    (
+        spec.start,
+        model,
+        field,
+        spec.value.to_bits(),
+        spec.targets.to_vec(),
+    )
+}
+
+impl DagPlan {
+    /// Plans the pending experiments of a campaign: groups them by
+    /// [`chain_key`], chains every seed-invariant group of ≥ 2 leaves
+    /// (sorted by end time), and leaves everything else as solo prefix
+    /// forks.
+    pub fn build(specs: &[AttackSpec], pending: &[usize]) -> DagPlan {
+        let mut groups: BTreeMap<(SimTime, u8, u8, u64, Vec<u32>), Vec<usize>> = BTreeMap::new();
+        for &i in pending {
+            groups.entry(chain_key(&specs[i])).or_default().push(i);
+        }
+        let mut units = Vec::new();
+        for (_, mut leaves) in groups {
+            if leaves.len() >= 2 && specs[leaves[0]].model.seed_invariant() {
+                leaves.sort_by_key(|&i| (specs[i].end, i));
+                units.push(DagUnit::Chain { leaves });
+            } else {
+                leaves.sort_unstable();
+                units.extend(leaves.into_iter().map(|index| DagUnit::Solo { index }));
+            }
+        }
+        DagPlan { units }
+    }
+
+    /// Number of chain units.
+    pub fn chains(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| matches!(u, DagUnit::Chain { .. }))
+            .count()
+    }
+
+    /// Experiments executed as chain leaves (level-2 forks).
+    pub fn chained_leaves(&self) -> usize {
+        self.units
+            .iter()
+            .map(|u| match u {
+                DagUnit::Chain { leaves } => leaves.len(),
+                DagUnit::Solo { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Experiments executed as solo prefix forks (level-1 only).
+    pub fn solo_leaves(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| matches!(u, DagUnit::Solo { .. }))
+            .count()
+    }
+
+    /// Total experiments covered by the plan.
+    pub fn nr_leaves(&self) -> usize {
+        self.solo_leaves() + self.chained_leaves()
+    }
+
+    /// Depth of the planned DAG (see [`CampaignStats::dag_depth`]).
+    pub fn depth(&self) -> usize {
+        if self.units.is_empty() {
+            0
+        } else if self.chains() > 0 {
+            2
         } else {
-            self.forked_runs as f64 / total as f64
+            1
         }
     }
 }
@@ -663,30 +851,56 @@ impl Campaign {
 
         let pending: Vec<usize> = (0..total).filter(|i| !completed_idx.contains(i)).collect();
 
-        // Prefix phase (fork mode): one attack-free snapshot per distinct
-        // start time still pending, built in parallel across the workers.
+        // Prefix phase: one attack-free snapshot per distinct start time
+        // still pending — built in parallel from scratch (`PrefixFork`) or
+        // incrementally along a single world (`SnapshotDag`).
         observer.phase_started(CampaignPhase::Prefixes);
         let pending_specs: Vec<&AttackSpec> = pending.iter().map(|&i| &specs[i]).collect();
         let (starts, prefixes) = match config.mode {
             ExecutionMode::PrefixFork => self.build_prefixes(threads, &pending_specs)?,
+            ExecutionMode::SnapshotDag => {
+                let mut starts: Vec<SimTime> = pending_specs.iter().map(|s| s.start).collect();
+                starts.sort_unstable();
+                starts.dedup();
+                let prefixes = self.engine.prefix_snapshots_chained(&starts)?;
+                (starts, prefixes)
+            }
             ExecutionMode::FromScratch => (Vec::new(), Vec::new()),
         };
         observer.phase_finished(CampaignPhase::Prefixes);
-        let stats = CampaignStats {
-            prefix_snapshots: prefixes.len(),
-            forked_runs: if prefixes.is_empty() {
-                0
-            } else {
-                pending.len()
+        let plan = match config.mode {
+            ExecutionMode::SnapshotDag => Some(DagPlan::build(&specs, &pending)),
+            ExecutionMode::PrefixFork | ExecutionMode::FromScratch => None,
+        };
+        let stats = match &plan {
+            Some(plan) => CampaignStats {
+                prefix_snapshots: prefixes.len(),
+                forked_runs: plan.solo_leaves(),
+                scratch_runs: 0,
+                attack_chains: plan.chains(),
+                chain_forked_runs: plan.chained_leaves(),
+                dag_depth: plan.depth(),
             },
-            scratch_runs: if prefixes.is_empty() {
-                pending.len()
-            } else {
-                0
+            None => CampaignStats {
+                prefix_snapshots: prefixes.len(),
+                forked_runs: if prefixes.is_empty() {
+                    0
+                } else {
+                    pending.len()
+                },
+                scratch_runs: if prefixes.is_empty() {
+                    pending.len()
+                } else {
+                    0
+                },
+                ..CampaignStats::default()
             },
         };
 
         let deadline = config.wall_deadline_s.map(WallDeadline::after_secs);
+        // Workers claim whole units: single experiments in the flat modes,
+        // solo leaves or entire chains under `SnapshotDag`.
+        let nr_units = plan.as_ref().map_or(pending.len(), |p| p.units.len());
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(completed_idx.len());
         let nr_failed = AtomicUsize::new(0);
@@ -696,105 +910,58 @@ impl Campaign {
         let metrics_rows: Mutex<Vec<ExperimentMetrics>> = Mutex::new(resumed_rows);
         let failures: Mutex<Vec<ExperimentFailure>> = Mutex::new(Vec::new());
         let first_error: Mutex<Option<ComfaseError>> = Mutex::new(None);
+        let sink = ResultSink {
+            journal: journal.as_ref(),
+            records: &records,
+            metrics_rows: &metrics_rows,
+            failures: &failures,
+            first_error: &first_error,
+            next: &next,
+            done: &done,
+            nr_failed: &nr_failed,
+            abort: &abort,
+            deadline: deadline.as_ref(),
+            deadline_hit: &deadline_hit,
+            park_at: nr_units,
+            total,
+            failure_policy: config.failure_policy,
+            progress,
+            observer,
+        };
 
         observer.phase_started(CampaignPhase::Experiments);
-        let nr_pending = pending.len();
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(nr_pending.max(1)) {
+            for _ in 0..threads.min(nr_units.max(1)) {
                 scope.spawn(|_| loop {
-                    if abort.load(Ordering::Relaxed) {
+                    if sink.should_stop() {
                         break;
-                    }
-                    if let Some(d) = &deadline {
-                        if d.expired() {
-                            deadline_hit.store(true, Ordering::Relaxed);
-                            break;
-                        }
                     }
                     let slot = next.fetch_add(1, Ordering::Relaxed);
-                    if slot >= nr_pending {
+                    if slot >= nr_units {
                         break;
                     }
-                    let i = pending[slot];
-                    match self
-                        .run_one_supervised(&specs, i, &starts, &prefixes, config, &golden, &params)
-                    {
-                        Ok((record, row)) => {
-                            if let Some(journal) = &journal {
-                                let entry = JournalEntry::Completed {
-                                    index: i,
-                                    record: record.clone(),
-                                    metrics: row.clone(),
-                                };
-                                if let Err(e) = journal.append(&entry) {
-                                    first_error.lock().get_or_insert(e);
-                                    next.store(nr_pending, Ordering::Relaxed);
-                                    abort.store(true, Ordering::Relaxed);
-                                    break;
-                                }
-                            }
-                            if let Some(row) = row {
-                                metrics_rows.lock().push(row);
-                            }
-                            records.lock().push(record);
-                            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                            progress(d, total);
-                            observer.experiment_done(d, total);
+                    let go_on = match &plan {
+                        None => {
+                            let i = pending[slot];
+                            sink.push(self.run_one_supervised(
+                                &specs, i, &starts, &prefixes, config, &golden, &params,
+                            ))
                         }
-                        Err((failure, original)) => {
-                            if let Some(journal) = &journal {
-                                let entry = JournalEntry::Failed {
-                                    failure: failure.clone(),
-                                };
-                                if let Err(e) = journal.append(&entry) {
-                                    first_error.lock().get_or_insert(e);
-                                    next.store(nr_pending, Ordering::Relaxed);
-                                    abort.store(true, Ordering::Relaxed);
-                                    break;
-                                }
+                        Some(plan) => match &plan.units[slot] {
+                            DagUnit::Solo { index } => sink.push(self.run_one_supervised(
+                                &specs, *index, &starts, &prefixes, config, &golden, &params,
+                            )),
+                            DagUnit::Chain { leaves } => {
+                                self.run_chain(
+                                    &specs, leaves, &starts, &prefixes, config, &golden, &params,
+                                    &sink,
+                                );
+                                !sink.should_stop()
                             }
-                            observer.experiment_failed(&failure);
-                            match config.failure_policy {
-                                FailurePolicy::Abort => {
-                                    let e = original.unwrap_or_else(|| {
-                                        ComfaseError::WorkerFailed(format!(
-                                            "experiment {} panicked: {}",
-                                            failure.index, failure.payload
-                                        ))
-                                    });
-                                    failures.lock().push(failure);
-                                    first_error.lock().get_or_insert(e);
-                                    // Stop the whole campaign, not just
-                                    // this worker: park the cursor past
-                                    // the end and raise the abort flag
-                                    // for in-flight peers.
-                                    next.store(nr_pending, Ordering::Relaxed);
-                                    abort.store(true, Ordering::Relaxed);
-                                    break;
-                                }
-                                FailurePolicy::Quarantine { max_failures } => {
-                                    failures.lock().push(failure);
-                                    let n = nr_failed.fetch_add(1, Ordering::Relaxed) + 1;
-                                    if n > max_failures {
-                                        first_error.lock().get_or_insert(
-                                            ComfaseError::WorkerFailed(format!(
-                                                "quarantine circuit breaker: {n} experiments \
-                                                 failed (limit {max_failures})"
-                                            )),
-                                        );
-                                        next.store(nr_pending, Ordering::Relaxed);
-                                        abort.store(true, Ordering::Relaxed);
-                                        break;
-                                    }
-                                    // Quarantined failures count toward
-                                    // progress: the campaign is done with
-                                    // them, just not successfully.
-                                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                                    progress(d, total);
-                                    observer.experiment_done(d, total);
-                                }
-                            }
-                        }
+                        },
+                    };
+                    if !go_on {
+                        break;
                     }
                 });
             }
@@ -846,10 +1013,7 @@ impl Campaign {
     /// retries for host-transient failures. Returns either the classified
     /// record (plus its metrics row when collected) or the structured
     /// failure alongside the original error (absent for panics).
-    // The Err side is deliberately rich (full spec + failure detail for the
-    // journal and the quarantine report); it is built at most once per
-    // failed experiment, so its size is irrelevant to the hot path.
-    #[allow(clippy::too_many_arguments, clippy::result_large_err)]
+    #[allow(clippy::too_many_arguments)]
     fn run_one_supervised(
         &self,
         specs: &[AttackSpec],
@@ -859,27 +1023,50 @@ impl Campaign {
         config: &RunConfig,
         golden: &RunLog,
         params: &ClassificationParams,
-    ) -> Result<
-        (ExperimentRecord, Option<ExperimentMetrics>),
-        (ExperimentFailure, Option<ComfaseError>),
-    > {
+    ) -> ExperimentOutcome {
+        self.supervise(&specs[index], index, config, golden, params, || {
+            self.execute_one(&specs[index], index, starts, prefixes)
+        })
+    }
+
+    /// The per-experiment supervision loop shared by every execution mode:
+    /// runs `run` behind a panic boundary, classifies the result, retries
+    /// host-transient failures, and wraps anything terminal into an
+    /// [`ExperimentFailure`].
+    // The Err side is deliberately rich (full spec + failure detail for the
+    // journal and the quarantine report); it is built at most once per
+    // failed experiment, so its size is irrelevant to the hot path.
+    #[allow(clippy::result_large_err)]
+    fn supervise<F>(
+        &self,
+        spec: &AttackSpec,
+        index: usize,
+        config: &RunConfig,
+        golden: &RunLog,
+        params: &ClassificationParams,
+        mut run: F,
+    ) -> ExperimentOutcome
+    where
+        F: FnMut() -> Result<RunLog, ComfaseError>,
+    {
         let collect_metrics = self.engine.obs().metrics;
         let mut attempts: u32 = 0;
         loop {
             attempts += 1;
             // The campaign shares no mutable state with the experiment (the
-            // engine builds or clones a fresh `World` per run), so observing
-            // `self` across the unwind boundary is sound: a caught panic
+            // engine builds or clones a fresh `World` per run; a chain world
+            // is only mutated *between* supervised calls), so observing the
+            // closure across the unwind boundary is sound: a caught panic
             // leaves no half-mutated campaign state behind.
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                let run = self.execute_one(&specs[index], index, starts, prefixes)?;
-                let verdict = classify(&golden.trace, &run.trace, params);
+                let log = run()?;
+                let verdict = classify(&golden.trace, &log.trace, params);
                 let row = collect_metrics
-                    .then(|| run.experiment_metrics(index, verdict.class.to_string()));
+                    .then(|| log.experiment_metrics(index, verdict.class.to_string()));
                 Ok::<_, ComfaseError>((
                     ExperimentRecord {
                         index,
-                        spec: specs[index].clone(),
+                        spec: spec.clone(),
                         verdict,
                     },
                     row,
@@ -902,11 +1089,104 @@ impl Campaign {
                     kind,
                     payload,
                     seed: self.engine.seed(),
-                    spec: specs[index].clone(),
+                    spec: spec.clone(),
                     attempts,
                 },
                 original,
             ));
+        }
+    }
+
+    /// Executes one [`DagUnit::Chain`]: simulates the shared attack
+    /// segment once, forking each leaf mid-attack at its own end time and
+    /// running it to completion under the standard supervision. Pushes one
+    /// outcome per leaf into `sink` as it finishes.
+    ///
+    /// Failure semantics mirror the flat modes exactly:
+    ///
+    /// - a *fault* (budget breach, numeric divergence) sticks to the chain
+    ///   world, so every subsequent leaf forks the stuck world and reports
+    ///   the identical error the from-scratch run would;
+    /// - a *panic* while advancing the chain poisons it: each remaining
+    ///   leaf re-raises the panic message under its own supervision (after
+    ///   its chaos hook, which fires first in every mode), producing the
+    ///   same per-leaf `Panicked` failures as the other modes;
+    /// - host-transient retries re-fork the leaf from the still-positioned
+    ///   chain world.
+    #[allow(clippy::too_many_arguments)]
+    fn run_chain(
+        &self,
+        specs: &[AttackSpec],
+        leaves: &[usize],
+        starts: &[SimTime],
+        prefixes: &[World],
+        config: &RunConfig,
+        golden: &RunLog,
+        params: &ClassificationParams,
+        sink: &ResultSink<'_>,
+    ) {
+        let first_spec = &specs[leaves[0]];
+        debug_assert!(first_spec.model.seed_invariant());
+        let k = starts
+            .binary_search(&first_spec.start)
+            .expect("a prefix snapshot exists for every chain start");
+        let budget = self.engine.budget();
+        // Seed-invariant models ignore the interceptor seed, so one
+        // interceptor serves every leaf of the chain.
+        let seed = self.engine.seed() ^ leaves[0] as u64;
+        let advanced = catch_unwind(AssertUnwindSafe(|| {
+            let mut world = prefixes[k].clone();
+            world.set_budget(budget);
+            world.run_until(first_spec.start);
+            world.install_attack(first_spec.build_interceptor(seed));
+            world
+        }));
+        let (mut chain, mut poison): (Option<World>, Option<String>) = match advanced {
+            Ok(world) => (Some(world), None),
+            Err(panic) => (None, Some(panic_message(panic.as_ref()))),
+        };
+        for &leaf in leaves {
+            if sink.should_stop() {
+                return;
+            }
+            let spec = &specs[leaf];
+            // Advance the shared attack segment to this leaf's end (a
+            // no-op for duplicate ends and for faulted worlds).
+            let advance_panic = match chain.as_mut() {
+                Some(world) => {
+                    let end = spec.end.min(world.total_time());
+                    catch_unwind(AssertUnwindSafe(|| world.run_until(end)))
+                        .err()
+                        .map(|panic| panic_message(panic.as_ref()))
+                }
+                None => None,
+            };
+            if let Some(msg) = advance_panic {
+                chain = None;
+                poison = Some(msg);
+            }
+            let outcome = self.supervise(spec, leaf, config, golden, params, || {
+                if self.chaos.is_active() {
+                    self.chaos_hook(leaf)?;
+                }
+                if let Some(msg) = &poison {
+                    // Reproduce the chain-advance panic under this leaf's
+                    // own supervision — the leaf would have hit it during
+                    // its own attack window in the other modes.
+                    panic!("{msg}");
+                }
+                let world = chain.as_mut().expect("unpoisoned chain has a world");
+                let mut leaf_world = world.fork_post_attack();
+                leaf_world.clear_attack();
+                leaf_world.run_to_end();
+                if let Some(fault) = leaf_world.fault() {
+                    return Err(fault.to_error());
+                }
+                Ok(leaf_world.into_log())
+            });
+            if !sink.push(outcome) {
+                return;
+            }
         }
     }
 
@@ -1004,6 +1284,144 @@ impl Campaign {
             }
         }
         Ok(())
+    }
+}
+
+/// Outcome of one supervised experiment: the classified record (plus its
+/// metrics row when collected), or the structured failure alongside the
+/// original error (absent for panics).
+type ExperimentOutcome = Result<
+    (ExperimentRecord, Option<ExperimentMetrics>),
+    (ExperimentFailure, Option<ComfaseError>),
+>;
+
+/// Shared result-handling state of the experiment phase, used by every
+/// worker: journaling, record/failure accumulation, the failure policy
+/// (including the quarantine circuit breaker), progress/observer
+/// callbacks, and the abort/deadline controls.
+struct ResultSink<'a> {
+    journal: Option<&'a JournalWriter>,
+    records: &'a Mutex<Vec<ExperimentRecord>>,
+    metrics_rows: &'a Mutex<Vec<ExperimentMetrics>>,
+    failures: &'a Mutex<Vec<ExperimentFailure>>,
+    first_error: &'a Mutex<Option<ComfaseError>>,
+    next: &'a AtomicUsize,
+    done: &'a AtomicUsize,
+    nr_failed: &'a AtomicUsize,
+    abort: &'a AtomicBool,
+    deadline: Option<&'a WallDeadline>,
+    deadline_hit: &'a AtomicBool,
+    /// Claim-cursor value past the end of the worklist; [`ResultSink::stop`]
+    /// parks the cursor here so no further unit is claimed.
+    park_at: usize,
+    total: usize,
+    failure_policy: FailurePolicy,
+    progress: &'a (dyn Fn(usize, usize) + Sync),
+    observer: &'a dyn CampaignObserver,
+}
+
+impl ResultSink<'_> {
+    /// Stops the whole campaign, not just the calling worker: parks the
+    /// claim cursor past the end and raises the abort flag for in-flight
+    /// peers.
+    fn stop(&self) {
+        self.next.store(self.park_at, Ordering::Relaxed);
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` when workers must stop claiming work — the abort flag is
+    /// raised or the wall deadline expired (which is latched so the
+    /// campaign reports it after the scope ends).
+    fn should_stop(&self) -> bool {
+        if self.abort.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if d.expired() {
+                self.deadline_hit.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records one experiment outcome: journals it, accumulates the
+    /// record/failure, applies the failure policy and reports progress.
+    /// Returns `false` when the campaign must stop.
+    fn push(&self, outcome: ExperimentOutcome) -> bool {
+        match outcome {
+            Ok((record, row)) => {
+                if let Some(journal) = self.journal {
+                    let entry = JournalEntry::Completed {
+                        index: record.index,
+                        record: record.clone(),
+                        metrics: row.clone(),
+                    };
+                    if let Err(e) = journal.append(&entry) {
+                        self.first_error.lock().get_or_insert(e);
+                        self.stop();
+                        return false;
+                    }
+                }
+                if let Some(row) = row {
+                    self.metrics_rows.lock().push(row);
+                }
+                self.records.lock().push(record);
+                let d = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+                (self.progress)(d, self.total);
+                self.observer.experiment_done(d, self.total);
+                true
+            }
+            Err((failure, original)) => {
+                if let Some(journal) = self.journal {
+                    let entry = JournalEntry::Failed {
+                        failure: failure.clone(),
+                    };
+                    if let Err(e) = journal.append(&entry) {
+                        self.first_error.lock().get_or_insert(e);
+                        self.stop();
+                        return false;
+                    }
+                }
+                self.observer.experiment_failed(&failure);
+                match self.failure_policy {
+                    FailurePolicy::Abort => {
+                        let e = original.unwrap_or_else(|| {
+                            ComfaseError::WorkerFailed(format!(
+                                "experiment {} panicked: {}",
+                                failure.index, failure.payload
+                            ))
+                        });
+                        self.failures.lock().push(failure);
+                        self.first_error.lock().get_or_insert(e);
+                        self.stop();
+                        false
+                    }
+                    FailurePolicy::Quarantine { max_failures } => {
+                        self.failures.lock().push(failure);
+                        let n = self.nr_failed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if n > max_failures {
+                            self.first_error
+                                .lock()
+                                .get_or_insert(ComfaseError::WorkerFailed(format!(
+                                    "quarantine circuit breaker: {n} experiments \
+                                     failed (limit {max_failures})"
+                                )));
+                            self.stop();
+                            false
+                        } else {
+                            // Quarantined failures count toward progress:
+                            // the campaign is done with them, just not
+                            // successfully.
+                            let d = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+                            (self.progress)(d, self.total);
+                            self.observer.experiment_done(d, self.total);
+                            true
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -1318,5 +1736,138 @@ mod tests {
             err.to_string().contains("at least one worker thread"),
             "{err}"
         );
+    }
+
+    fn plain_spec(model: AttackModelKind, value: f64, start_s: i64, end_s: i64) -> AttackSpec {
+        AttackSpec {
+            model,
+            value,
+            targets: vec![2].into(),
+            start: SimTime::from_secs(start_s),
+            end: SimTime::from_secs(end_s),
+        }
+    }
+
+    #[test]
+    fn dag_plan_groups_by_attack_coordinates_and_sorts_leaves_by_end() {
+        let specs = vec![
+            plain_spec(AttackModelKind::Delay, 1.0, 17, 25), // 0: chain (17, 1.0)
+            plain_spec(AttackModelKind::Delay, 1.0, 17, 19), // 1: chain (17, 1.0)
+            plain_spec(AttackModelKind::Delay, 2.0, 17, 19), // 2: singleton → solo
+            plain_spec(AttackModelKind::Delay, 1.0, 18, 19), // 3: chain (18, 1.0)
+            plain_spec(AttackModelKind::Delay, 1.0, 18, 30), // 4: chain (18, 1.0)
+        ];
+        let pending: Vec<usize> = (0..specs.len()).collect();
+        let plan = DagPlan::build(&specs, &pending);
+        assert_eq!(plan.chains(), 2);
+        assert_eq!(plan.chained_leaves(), 4);
+        assert_eq!(plan.solo_leaves(), 1);
+        assert_eq!(plan.nr_leaves(), 5);
+        assert_eq!(plan.depth(), 2);
+        assert_eq!(
+            plan.units,
+            vec![
+                // Leaves end-sorted: experiment 1 (end 19) before 0 (end 25).
+                DagUnit::Chain { leaves: vec![1, 0] },
+                DagUnit::Solo { index: 2 },
+                DagUnit::Chain { leaves: vec![3, 4] },
+            ]
+        );
+        // Permutation of the pending list must not change the plan.
+        let shuffled = vec![4, 2, 0, 3, 1];
+        assert_eq!(DagPlan::build(&specs, &shuffled), plan);
+    }
+
+    #[test]
+    fn dag_plan_never_chains_seed_dependent_models() {
+        let specs = vec![
+            plain_spec(AttackModelKind::Drop, 0.5, 17, 19),
+            plain_spec(AttackModelKind::Drop, 0.5, 17, 25),
+        ];
+        let plan = DagPlan::build(&specs, &[0, 1]);
+        assert_eq!(plan.chains(), 0);
+        assert_eq!(
+            plan.units,
+            vec![DagUnit::Solo { index: 0 }, DagUnit::Solo { index: 1 }]
+        );
+        assert_eq!(plan.depth(), 1, "prefix-level reuse only");
+    }
+
+    #[test]
+    fn snapshot_dag_agrees_with_other_modes() {
+        let c = small_campaign();
+        let dag = c.run_with_mode(2, ExecutionMode::SnapshotDag).unwrap();
+        let forked = c.run_with_mode(2, ExecutionMode::PrefixFork).unwrap();
+        let scratch = c.run_with_mode(2, ExecutionMode::FromScratch).unwrap();
+        assert_eq!(dag.records, scratch.records);
+        assert_eq!(dag.records, forked.records);
+        assert_eq!(dag.params, scratch.params);
+        assert_eq!(dag.golden, scratch.golden);
+    }
+
+    #[test]
+    fn snapshot_dag_parallel_and_serial_agree() {
+        let c = small_campaign();
+        let serial = c.run_with_mode(1, ExecutionMode::SnapshotDag).unwrap();
+        let parallel = c.run_with_mode(4, ExecutionMode::SnapshotDag).unwrap();
+        assert_eq!(serial.records, parallel.records);
+        assert_eq!(serial.stats, parallel.stats);
+    }
+
+    #[test]
+    fn snapshot_dag_stats_count_chains_and_levels() {
+        let c = small_campaign();
+        let r = c.run_with_mode(2, ExecutionMode::SnapshotDag).unwrap();
+        // 2 starts × 2 values → 4 chains of 2 durations each.
+        assert_eq!(r.stats.prefix_snapshots, 2);
+        assert_eq!(r.stats.attack_chains, 4);
+        assert_eq!(r.stats.chain_forked_runs, 8);
+        assert_eq!(r.stats.forked_runs, 0);
+        assert_eq!(r.stats.scratch_runs, 0);
+        assert_eq!(r.stats.dag_depth, 2);
+        assert_eq!(r.stats.snapshot_hit_rate(), 1.0);
+        assert_eq!(r.stats.level_hit_rates(), [1.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_dag_quarantine_isolates_leaf_failures() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            panic_on: vec![3],
+            fail_on: vec![5],
+            ..ChaosConfig::default()
+        });
+        let config = RunConfig {
+            mode: ExecutionMode::SnapshotDag,
+            failure_policy: FailurePolicy::quarantine(),
+            ..RunConfig::default()
+        };
+        let result = c.run_supervised(2, &config, &NullObserver).unwrap();
+        assert_eq!(result.len(), 6);
+        assert_eq!(result.failures.len(), 2);
+        assert_eq!(result.failures[0].index, 3);
+        assert_eq!(result.failures[0].kind, FailureKind::Panicked);
+        assert_eq!(result.failures[1].index, 5);
+        assert_eq!(result.failures[1].kind, FailureKind::HostError);
+        let run_indices: Vec<usize> = result.records.iter().map(|r| r.index).collect();
+        assert_eq!(run_indices, vec![0, 1, 2, 4, 6, 7]);
+    }
+
+    #[test]
+    fn snapshot_dag_retries_transient_leaf_failures() {
+        let c = small_campaign().with_chaos(ChaosConfig {
+            transient: vec![(4, 2)],
+            ..ChaosConfig::default()
+        });
+        let config = RunConfig {
+            mode: ExecutionMode::SnapshotDag,
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff: Duration::from_millis(0),
+            },
+            ..RunConfig::default()
+        };
+        let result = c.run_supervised(2, &config, &NullObserver).unwrap();
+        assert_eq!(result.len(), 8);
+        assert!(result.failures.is_empty());
     }
 }

@@ -66,8 +66,8 @@ pub mod prelude {
     pub use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
     pub use crate::campaign::{
         Campaign, CampaignObserver, CampaignPhase, CampaignResult, CampaignStats, ChaosConfig,
-        ExecutionMode, ExperimentFailure, ExperimentRecord, FailureKind, FailurePolicy,
-        NullObserver, RetryPolicy, RunConfig,
+        DagPlan, DagUnit, ExecutionMode, ExperimentFailure, ExperimentRecord, FailureKind,
+        FailurePolicy, NullObserver, RetryPolicy, RunConfig,
     };
     pub use crate::classify::{Classification, ClassificationParams, Verdict};
     pub use crate::config::{

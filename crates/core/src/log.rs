@@ -96,10 +96,11 @@ impl RunLog {
 
     /// Builds the per-experiment metrics row for `metrics.json`.
     ///
-    /// Counters under the `index.` prefix are execution-substrate
-    /// diagnostics (grid pruning, lane-index rebuilds): they legitimately
-    /// differ between indexed and brute-force runs, so they are excluded
-    /// here to keep `metrics.json` byte-identical across substrates.
+    /// Counters under a substrate-diagnostic prefix
+    /// ([`comfase_obs::SUBSTRATE_COUNTER_PREFIXES`]) are excluded:
+    /// `index.*` legitimately differs between indexed and brute-force
+    /// runs, `exec.*` between execution modes (mid-attack forks), and
+    /// `metrics.json` must stay byte-identical across both axes.
     pub fn experiment_metrics(
         &self,
         index: usize,
@@ -116,7 +117,11 @@ impl RunLog {
                 .obs
                 .counters
                 .iter()
-                .filter(|(k, _)| !k.starts_with("index."))
+                .filter(|(k, _)| {
+                    !comfase_obs::SUBSTRATE_COUNTER_PREFIXES
+                        .iter()
+                        .any(|p| k.starts_with(p))
+                })
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
         }

@@ -763,14 +763,14 @@ mod tests {
             "operator must stop the vehicle in time"
         );
         let tr = log.trace.vehicle(VehicleId(TELEOP_VEHICLE)).unwrap();
-        let final_pos = *tr.pos.values().last().unwrap();
+        let final_pos = tr.pos.last_value().unwrap();
         // Stopped short of the obstacle but well past the start.
         assert!(final_pos > 500.0, "vehicle drove: {final_pos}");
         assert!(
             final_pos < scenario().obstacle_pos_m - scenario().vehicle.length_m,
             "vehicle stopped short: {final_pos}"
         );
-        let final_speed = *tr.speed.values().last().unwrap();
+        let final_speed = tr.speed.last_value().unwrap();
         assert!(final_speed < 0.1, "vehicle at rest: {final_speed}");
     }
 
@@ -815,7 +815,7 @@ mod tests {
             w.run_to_end();
             let log = w.into_log();
             let tr = log.trace.vehicle(VehicleId(TELEOP_VEHICLE)).unwrap();
-            let final_pos = *tr.pos.values().last().unwrap();
+            let final_pos = tr.pos.last_value().unwrap();
             (
                 scenario().obstacle_pos_m - scenario().vehicle.length_m - final_pos,
                 log,
@@ -942,7 +942,7 @@ mod tests {
             w.run_to_end();
             let log = w.into_log();
             let tr = log.trace.vehicle(VehicleId(TELEOP_VEHICLE)).unwrap();
-            *tr.pos.values().last().unwrap()
+            tr.pos.last_value().unwrap()
         };
         assert_eq!(run(9), run(9));
     }

@@ -442,6 +442,31 @@ impl World {
         self.medium.clear_interceptor();
     }
 
+    /// Forks this world mid-attack for snapshot-DAG execution.
+    ///
+    /// The fork is a snapshot of everything *except* the interceptor: the
+    /// interceptor is detached for the duration of the clone (satisfying
+    /// the [`Medium`] snapshot invariant that attack state is never
+    /// cloned) and re-installed on `self` afterwards. The returned leaf
+    /// carries no interceptor, so its subsequent [`World::clear_attack`]
+    /// is a pure trace/bookkeeping step — exactly the state a from-scratch
+    /// run has after `run_until(attack.end)` + `clear_attack()`.
+    ///
+    /// Only valid for seed-invariant attacks
+    /// ([`crate::attack::AttackModelKind::seed_invariant`]): a stateful
+    /// interceptor (probabilistic drop) would lose RNG state in the fork.
+    pub fn fork_post_attack(&mut self) -> World {
+        let interceptor = self.medium.clear_interceptor();
+        let mut leaf = self.clone();
+        if let Some(i) = interceptor {
+            self.medium.set_interceptor(i);
+        }
+        // Substrate-diagnostic counter (`exec.` prefix): excluded from
+        // `metrics.json`, where mid-attack forks must be invisible.
+        leaf.obs.inc("exec.fork.mid_attack");
+        leaf
+    }
+
     /// Installs a sim-event / sim-time budget on the kernel (the
     /// deterministic watchdog). Events are counted from t = 0 — the counter
     /// is part of the snapshot state — so forked and from-scratch runs

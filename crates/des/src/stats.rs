@@ -134,13 +134,43 @@ impl fmt::Display for RunningStats {
     }
 }
 
-/// A recorded `(time, value)` series — an OMNeT++ output vector.
+/// Sample count at which a series chunk is sealed and becomes immutable.
 ///
-/// Samples must be appended in non-decreasing time order.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct TimeSeries {
+/// Sealed chunks are structurally shared (`Arc`) between a snapshot and its
+/// forks, so cloning a long series costs one pointer per chunk plus at most
+/// one partially filled tail — the copy-on-write substrate behind cheap
+/// `World` forking. The boundary depends only on the sample *count*, never
+/// on sharing history, so two series with equal samples are structurally
+/// equal no matter how they were built.
+const CHUNK_SAMPLES: usize = 1024;
+
+/// One sealed, immutable run of samples (always `CHUNK_SAMPLES` long).
+#[derive(Debug, PartialEq)]
+struct Chunk {
     times: Vec<SimTime>,
     values: Vec<f64>,
+}
+
+/// A recorded `(time, value)` series — an OMNeT++ output vector.
+///
+/// Samples must be appended in non-decreasing time order. Internally the
+/// series is a list of sealed [`Arc`]-shared chunks plus a mutable tail:
+/// `clone()` is O(chunks), not O(samples), and a clone never mutates
+/// through shared storage (appends only touch the private tail). The
+/// serialized form stays the flat `{times, values}` pair.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    sealed: Vec<std::sync::Arc<Chunk>>,
+    tail_times: Vec<SimTime>,
+    tail_values: Vec<f64>,
+}
+
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical, not structural: chunk layout is a function of sample
+        // count, but a clone may share while its twin owns.
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
 }
 
 impl TimeSeries {
@@ -151,9 +181,11 @@ impl TimeSeries {
 
     /// Creates an empty series with room for `n` samples.
     pub fn with_capacity(n: usize) -> Self {
+        let cap = n.min(CHUNK_SAMPLES);
         TimeSeries {
-            times: Vec::with_capacity(n),
-            values: Vec::with_capacity(n),
+            sealed: Vec::new(),
+            tail_times: Vec::with_capacity(cap),
+            tail_values: Vec::with_capacity(cap),
         }
     }
 
@@ -163,64 +195,170 @@ impl TimeSeries {
     ///
     /// Panics if `time` is earlier than the previous sample.
     pub fn record(&mut self, time: SimTime, value: f64) {
-        if let Some(&last) = self.times.last() {
+        if let Some(last) = self.last_time() {
             assert!(
                 time >= last,
                 "time series must be recorded in order: {time} < {last}"
             );
         }
-        self.times.push(time);
-        self.values.push(value);
+        self.tail_times.push(time);
+        self.tail_values.push(value);
+        if self.tail_times.len() == CHUNK_SAMPLES {
+            self.seal_tail();
+        }
+    }
+
+    /// Moves the full tail into a sealed immutable chunk.
+    fn seal_tail(&mut self) {
+        let times = std::mem::replace(&mut self.tail_times, Vec::with_capacity(CHUNK_SAMPLES));
+        let values = std::mem::replace(&mut self.tail_values, Vec::with_capacity(CHUNK_SAMPLES));
+        self.sealed
+            .push(std::sync::Arc::new(Chunk { times, values }));
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.times.len()
+        self.sealed.len() * CHUNK_SAMPLES + self.tail_times.len()
     }
 
     /// `true` when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.times.is_empty()
+        self.sealed.is_empty() && self.tail_times.is_empty()
+    }
+
+    /// Time of the most recent sample, if any.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.tail_times
+            .last()
+            .or_else(|| self.sealed.last().and_then(|c| c.times.last()))
+            .copied()
+    }
+
+    /// Value of the most recent sample, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.tail_values
+            .last()
+            .or_else(|| self.sealed.last().and_then(|c| c.values.last()))
+            .copied()
     }
 
     /// Iterates over `(time, value)` samples.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
-        self.times.iter().copied().zip(self.values.iter().copied())
+        self.sealed
+            .iter()
+            .flat_map(|c| c.times.iter().copied().zip(c.values.iter().copied()))
+            .chain(
+                self.tail_times
+                    .iter()
+                    .copied()
+                    .zip(self.tail_values.iter().copied()),
+            )
     }
 
-    /// The recorded values.
-    pub fn values(&self) -> &[f64] {
-        &self.values
+    /// Iterates over the recorded values in time order.
+    pub fn iter_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.sealed
+            .iter()
+            .flat_map(|c| c.values.iter().copied())
+            .chain(self.tail_values.iter().copied())
     }
 
-    /// The recorded sample times.
-    pub fn times(&self) -> &[SimTime] {
-        &self.times
+    /// Sample time at logical index `i` (`i < self.len()`).
+    fn time_at(&self, i: usize) -> SimTime {
+        let chunk = i / CHUNK_SAMPLES;
+        if chunk < self.sealed.len() {
+            self.sealed[chunk].times[i % CHUNK_SAMPLES]
+        } else {
+            self.tail_times[i - self.sealed.len() * CHUNK_SAMPLES]
+        }
+    }
+
+    /// Sample value at logical index `i` (`i < self.len()`).
+    fn value_at(&self, i: usize) -> f64 {
+        let chunk = i / CHUNK_SAMPLES;
+        if chunk < self.sealed.len() {
+            self.sealed[chunk].values[i % CHUNK_SAMPLES]
+        } else {
+            self.tail_values[i - self.sealed.len() * CHUNK_SAMPLES]
+        }
     }
 
     /// Largest value, if any.
     pub fn max_value(&self) -> Option<f64> {
-        self.values.iter().copied().reduce(f64::max)
+        self.iter_values().reduce(f64::max)
     }
 
     /// Smallest value, if any.
     pub fn min_value(&self) -> Option<f64> {
-        self.values.iter().copied().reduce(f64::min)
+        self.iter_values().reduce(f64::min)
     }
 
     /// Value at or before `time` (sample-and-hold), if any sample exists
     /// at or before it.
     pub fn sample_at(&self, time: SimTime) -> Option<f64> {
-        match self.times.binary_search(&time) {
-            Ok(i) => Some(self.values[i]),
-            Err(0) => None,
-            Err(i) => Some(self.values[i - 1]),
+        // Binary search over logical indices for the last sample ≤ `time`.
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.time_at(mid) <= time {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            None
+        } else {
+            Some(self.value_at(lo - 1))
         }
     }
 
     /// Restricts to samples within `[from, to]` (inclusive).
     pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = (SimTime, f64)> + '_ {
         self.iter().filter(move |(t, _)| *t >= from && *t <= to)
+    }
+
+    /// Bytes of sample storage held in sealed chunks — the part of the
+    /// series a `clone()` shares instead of copying. Diagnostic for the
+    /// fork-cost bench; not part of any simulation result.
+    pub fn shared_bytes(&self) -> usize {
+        self.sealed.len()
+            * CHUNK_SAMPLES
+            * (std::mem::size_of::<SimTime>() + std::mem::size_of::<f64>())
+    }
+}
+
+/// Flat serialized form: the historical `{times, values}` pair, so the
+/// chunked representation is invisible in every artifact.
+#[derive(Serialize, Deserialize)]
+struct TimeSeriesWire {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl Serialize for TimeSeries {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let (times, values) = self.iter().unzip();
+        TimeSeriesWire { times, values }.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for TimeSeries {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = TimeSeriesWire::deserialize(deserializer)?;
+        if wire.times.len() != wire.values.len() {
+            return Err(serde::de::Error::custom(
+                "time series times/values length mismatch",
+            ));
+        }
+        let mut ts = TimeSeries::with_capacity(wire.times.len());
+        for (t, v) in wire.times.into_iter().zip(wire.values) {
+            if ts.last_time().is_some_and(|last| t < last) {
+                return Err(serde::de::Error::custom("time series samples out of order"));
+            }
+            ts.record(t, v);
+        }
+        Ok(ts)
     }
 }
 

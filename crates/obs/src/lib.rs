@@ -34,6 +34,7 @@ pub mod trace;
 pub use hostprof::{HostProfiler, WallDeadline};
 pub use metrics::{
     AggregateMetrics, CampaignMetrics, ExperimentMetrics, FrameBreakdown, KernelCounters,
+    SUBSTRATE_COUNTER_PREFIXES,
 };
 pub use recorder::{
     HistSpec, MemRecorder, MetricsSnapshot, NullRecorder, ObsConfig, Recorder, SimRecorder,

@@ -17,6 +17,20 @@ use comfase_des::stats::Histogram;
 /// serialized shape so downstream tooling can detect incompatibility.
 pub const METRICS_SCHEMA_VERSION: u32 = 1;
 
+/// Counter-name prefixes that mark *substrate diagnostics*: counters that
+/// legitimately differ across execution substrates and therefore never
+/// enter `metrics.json`.
+///
+/// - `index.` — spatial-index health (grid pruning, lane-index rebuilds),
+///   which differs between indexed and brute-force runs;
+/// - `exec.` — execution-mode bookkeeping (mid-attack snapshot forks),
+///   which differs between from-scratch, prefix-fork and snapshot-DAG
+///   campaign execution.
+///
+/// Everything outside these prefixes must be bit-identical across
+/// substrates, execution modes, and worker-thread counts.
+pub const SUBSTRATE_COUNTER_PREFIXES: &[&str] = &["index.", "exec."];
+
 /// DES-kernel event accounting for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelCounters {

@@ -92,9 +92,12 @@ pub struct TrafficStats {
 /// the same states the original would have.
 #[derive(Debug, Clone)]
 pub struct TrafficSim {
-    road: Road,
+    /// Immutable after setup; forks share it by reference instead of
+    /// copying lane geometry.
+    road: std::sync::Arc<Road>,
     vehicles: Vec<Vehicle>,
-    cf_model: Box<dyn CarFollowingModel>,
+    /// Immutable model parameters (`accel` is `&self`), shared by forks.
+    cf_model: std::sync::Arc<dyn CarFollowingModel>,
     policy: CollisionPolicy,
     step_len: SimDuration,
     step_len_s: f64,
@@ -115,9 +118,9 @@ impl TrafficSim {
     /// Krauss car-following, `RemoveCollider` collision policy.
     pub fn new(road: Road, rng: RngStream) -> Self {
         TrafficSim {
-            road,
+            road: std::sync::Arc::new(road),
             vehicles: Vec::new(),
-            cf_model: Box::new(Krauss::default()),
+            cf_model: std::sync::Arc::new(Krauss::default()),
             policy: CollisionPolicy::default(),
             step_len: SimDuration::from_millis(10),
             step_len_s: 0.01,
@@ -174,7 +177,7 @@ impl TrafficSim {
 
     /// Replaces the car-following model used for `CarFollowing` vehicles.
     pub fn set_car_following_model(&mut self, model: Box<dyn CarFollowingModel>) {
-        self.cf_model = model;
+        self.cf_model = model.into();
     }
 
     /// Sets the collision handling policy.

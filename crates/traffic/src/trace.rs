@@ -38,15 +38,20 @@ impl VehicleTrace {
     /// Largest deceleration magnitude observed, m/s² (0 if never braked).
     pub fn max_decel(&self) -> f64 {
         self.accel
-            .values()
-            .iter()
-            .copied()
+            .iter_values()
             .fold(0.0, |m, a| if -a > m { -a } else { m })
     }
 
     /// Largest acceleration observed, m/s² (0 if never accelerated).
     pub fn max_accel(&self) -> f64 {
-        self.accel.values().iter().copied().fold(0.0, f64::max)
+        self.accel.iter_values().fold(0.0, f64::max)
+    }
+
+    /// Bytes of sample storage this trace shares (rather than copies) when
+    /// cloned — the sealed chunks of its three series. Diagnostic for the
+    /// fork-cost bench.
+    pub fn shared_bytes(&self) -> usize {
+        self.speed.shared_bytes() + self.accel.shared_bytes() + self.pos.shared_bytes()
     }
 
     /// Largest absolute speed difference to another trace, comparing
@@ -160,6 +165,15 @@ impl TrafficTrace {
     /// `true` if any collision was recorded.
     pub fn has_collision(&self) -> bool {
         !self.collisions.is_empty()
+    }
+
+    /// Total bytes of sample storage shared (not copied) by a clone of this
+    /// trace, summed over all vehicles. Diagnostic for the fork-cost bench.
+    pub fn shared_bytes(&self) -> usize {
+        self.per_vehicle
+            .values()
+            .map(VehicleTrace::shared_bytes)
+            .sum()
     }
 }
 

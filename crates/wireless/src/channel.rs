@@ -163,7 +163,10 @@ struct Ongoing {
 /// snapshot and a from-scratch run fan out identically).
 #[derive(Debug)]
 pub struct Medium {
-    pathloss: Box<dyn PathLossModel>,
+    /// Immutable after construction, so forks share it by reference
+    /// instead of deep-copying (`PathLossModel` only exposes `&self`
+    /// methods).
+    pathloss: std::sync::Arc<dyn PathLossModel>,
     freq_hz: f64,
     phy: PhyConfig,
     positions: BTreeMap<NodeId, Position>,
@@ -193,7 +196,7 @@ impl Clone for Medium {
              fork before installing the attack"
         );
         Medium {
-            pathloss: self.pathloss.clone(),
+            pathloss: std::sync::Arc::clone(&self.pathloss),
             freq_hz: self.freq_hz,
             phy: self.phy,
             positions: self.positions.clone(),
@@ -223,7 +226,7 @@ impl Medium {
     /// configuration.
     pub fn with_models(pathloss: Box<dyn PathLossModel>, freq_hz: f64, phy: PhyConfig) -> Self {
         let mut m = Medium {
-            pathloss,
+            pathloss: pathloss.into(),
             freq_hz,
             phy,
             positions: BTreeMap::new(),

@@ -25,7 +25,7 @@ fn run(scenario: &TeleopScenario, attack: Option<AttackSpec>) -> (f64, bool) {
         .trace
         .vehicle(VehicleId(TELEOP_VEHICLE))
         .expect("traced");
-    (*tr.pos.values().last().unwrap(), log.trace.has_collision())
+    (tr.pos.last_value().unwrap(), log.trace.has_collision())
 }
 
 fn main() {

@@ -1,0 +1,185 @@
+//! Property tests for the snapshot-DAG campaign planner
+//! (`comfase::campaign::DagPlan`): planning is pure bookkeeping over the
+//! expanded spec list, so it must be deterministic, cover every pending
+//! experiment exactly once, group only what is provably chainable, and be
+//! invariant under permutation of its inputs.
+
+use comfase::prelude::*;
+use comfase_des::time::SimTime;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = AttackModelKind> {
+    prop_oneof![
+        Just(AttackModelKind::Delay),
+        Just(AttackModelKind::Dos),
+        Just(AttackModelKind::Drop),
+        Just(AttackModelKind::Falsify(FalsifiedField::Position)),
+        Just(AttackModelKind::Falsify(FalsifiedField::Speed)),
+        Just(AttackModelKind::Falsify(FalsifiedField::Acceleration)),
+    ]
+}
+
+/// Specs drawn from small coordinate pools, so groups with shared
+/// `(start, model, value, targets)` actually form.
+fn arb_spec() -> impl Strategy<Value = AttackSpec> {
+    (
+        arb_model(),
+        prop_oneof![Just(0.5f64), Just(1.0), Just(2.0)],
+        prop_oneof![Just(10i64), Just(15), Just(20)],
+        1i64..=10,
+        prop_oneof![Just(vec![2u32]), Just(vec![2u32, 3])],
+    )
+        .prop_map(|(model, value, start_s, dur_s, targets)| AttackSpec {
+            model,
+            value,
+            targets: targets.into(),
+            start: SimTime::from_secs(start_s),
+            end: SimTime::from_secs(start_s + dur_s),
+        })
+}
+
+fn covered_indices(plan: &DagPlan) -> Vec<usize> {
+    let mut v: Vec<usize> = plan
+        .units
+        .iter()
+        .flat_map(|u| u.indices().iter().copied())
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Deterministic in-place pseudo-shuffle (tests must not use ambient RNG).
+fn lcg_shuffle(v: &mut [usize], seed: u64) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for i in (1..v.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every pending experiment lands in exactly one unit.
+    #[test]
+    fn plan_covers_every_pending_index_exactly_once(
+        specs in prop::collection::vec(arb_spec(), 1..40),
+    ) {
+        let pending: Vec<usize> = (0..specs.len()).collect();
+        let plan = DagPlan::build(&specs, &pending);
+        prop_assert_eq!(covered_indices(&plan), pending);
+        prop_assert_eq!(plan.nr_leaves(), specs.len());
+        prop_assert_eq!(
+            plan.solo_leaves() + plan.chained_leaves(),
+            specs.len()
+        );
+    }
+
+    /// Planning is a pure function of the (specs, pending-set) pair: the
+    /// order the pending list arrives in must not matter.
+    #[test]
+    fn plan_is_deterministic_and_pending_permutation_invariant(
+        specs in prop::collection::vec(arb_spec(), 1..40),
+        seed in 0u64..1024,
+    ) {
+        let pending: Vec<usize> = (0..specs.len()).collect();
+        let plan = DagPlan::build(&specs, &pending);
+        prop_assert_eq!(&DagPlan::build(&specs, &pending), &plan);
+        let mut shuffled = pending;
+        lcg_shuffle(&mut shuffled, seed);
+        prop_assert_eq!(&DagPlan::build(&specs, &shuffled), &plan);
+    }
+
+    /// Chain structure invariants: chains have ≥ 2 leaves, only
+    /// seed-invariant models, end-sorted leaves, and every leaf shares the
+    /// head's attack coordinates (only the end time may differ).
+    #[test]
+    fn chains_share_coordinates_and_advance_monotonically(
+        specs in prop::collection::vec(arb_spec(), 1..40),
+    ) {
+        let pending: Vec<usize> = (0..specs.len()).collect();
+        let plan = DagPlan::build(&specs, &pending);
+        for unit in &plan.units {
+            if let DagUnit::Chain { leaves } = unit {
+                prop_assert!(leaves.len() >= 2, "a chain needs siblings");
+                let head = &specs[leaves[0]];
+                prop_assert!(
+                    head.model.seed_invariant(),
+                    "seed-dependent models must never chain"
+                );
+                for pair in leaves.windows(2) {
+                    prop_assert!(
+                        specs[pair[0]].end <= specs[pair[1]].end,
+                        "chain must advance monotonically"
+                    );
+                }
+                for &i in leaves {
+                    let s = &specs[i];
+                    prop_assert_eq!(s.start, head.start);
+                    prop_assert_eq!(s.model, head.model);
+                    prop_assert_eq!(s.value.to_bits(), head.value.to_bits());
+                    prop_assert_eq!(s.targets.as_ref(), head.targets.as_ref());
+                }
+            }
+        }
+    }
+
+    /// Relabeling the spec list (any permutation of the expansion order)
+    /// yields the same partition into units, up to the relabeling — the
+    /// plan depends on attack coordinates, not on first-seen order.
+    #[test]
+    fn plan_is_invariant_under_spec_relabeling(
+        specs in prop::collection::vec(arb_spec(), 1..30),
+        seed in 0u64..1024,
+    ) {
+        let n = specs.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        lcg_shuffle(&mut perm, seed);
+        let relabeled: Vec<AttackSpec> = perm.iter().map(|&i| specs[i].clone()).collect();
+        let pending: Vec<usize> = (0..n).collect();
+
+        let canon = |plan: &DagPlan, back: &dyn Fn(usize) -> usize| {
+            let mut units: Vec<Vec<usize>> = plan
+                .units
+                .iter()
+                .map(|u| {
+                    let mut v: Vec<usize> = u.indices().iter().map(|&i| back(i)).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            units.sort();
+            units
+        };
+        let original = canon(&DagPlan::build(&specs, &pending), &|i| i);
+        let permuted = canon(&DagPlan::build(&relabeled, &pending), &|i| perm[i]);
+        prop_assert_eq!(original, permuted);
+    }
+}
+
+/// The planner, applied to the engine's own campaign expansion, groups one
+/// chain per `(start, value)` cell of the paper-style grid — the structure
+/// the `SnapshotDag` execution mode schedules.
+#[test]
+fn plan_over_engine_expansion_matches_the_grid() {
+    let mut scenario = TrafficScenario::paper_default();
+    scenario.total_sim_time = SimTime::from_secs(40);
+    let engine = Engine::new(scenario, CommModel::paper_default(), 7).unwrap();
+    let setup = AttackCampaignSetup {
+        attack_model: AttackModelKind::Delay,
+        target_vehicles: vec![2],
+        attack_values: vec![0.2, 0.4, 0.6],
+        attack_starts_s: vec![17.0, 18.0],
+        attack_durations_s: vec![1.0, 2.0, 3.0, 4.0],
+    };
+    let specs = engine.expand_campaign(&setup).unwrap();
+    let pending: Vec<usize> = (0..specs.len()).collect();
+    let plan = DagPlan::build(&specs, &pending);
+    assert_eq!(plan.chains(), 6, "2 starts × 3 values");
+    assert_eq!(plan.chained_leaves(), 24, "4 durations per chain");
+    assert_eq!(plan.solo_leaves(), 0);
+    assert_eq!(plan.depth(), 2);
+}

@@ -38,13 +38,17 @@ fn metrics_bytes(indexing: IndexingMode, threads: usize, mode: ExecutionMode) ->
 }
 
 /// The full matrix: indexing substrate × execution mode × thread count.
-/// One reference artifact, eleven runs that must reproduce it exactly.
+/// One reference artifact, seventeen runs that must reproduce it exactly.
 #[test]
 fn metrics_identical_across_indexing_modes_threads_and_execution_modes() {
     let reference = metrics_bytes(IndexingMode::Indexed, 1, ExecutionMode::FromScratch);
     assert!(!reference.is_empty());
     for indexing in [IndexingMode::Indexed, IndexingMode::BruteForce] {
-        for mode in [ExecutionMode::FromScratch, ExecutionMode::PrefixFork] {
+        for mode in [
+            ExecutionMode::FromScratch,
+            ExecutionMode::PrefixFork,
+            ExecutionMode::SnapshotDag,
+        ] {
             for threads in [1usize, 4, 8] {
                 if indexing == IndexingMode::Indexed
                     && mode == ExecutionMode::FromScratch

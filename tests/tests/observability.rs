@@ -51,6 +51,11 @@ fn campaign_metrics_identical_across_modes_and_threads() {
             forked, reference,
             "metrics diverged at {threads} thread(s) under PrefixFork"
         );
+        let dag = run_metrics(threads, ExecutionMode::SnapshotDag);
+        assert_eq!(
+            dag, reference,
+            "metrics diverged at {threads} thread(s) under SnapshotDag"
+        );
     }
     let scratch4 = run_metrics(4, ExecutionMode::FromScratch);
     assert_eq!(scratch4, reference);
@@ -62,7 +67,12 @@ fn campaign_metrics_identical_across_modes_and_threads() {
 fn metrics_json_bytes_identical_across_modes() {
     let scratch = run_metrics(1, ExecutionMode::FromScratch).to_json_bytes();
     let forked = run_metrics(8, ExecutionMode::PrefixFork).to_json_bytes();
+    let dag = run_metrics(8, ExecutionMode::SnapshotDag).to_json_bytes();
     assert_eq!(scratch, forked);
+    assert_eq!(
+        scratch, dag,
+        "SnapshotDag artifact must match byte-for-byte"
+    );
     assert_eq!(
         scratch.last(),
         Some(&b'\n'),

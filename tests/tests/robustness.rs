@@ -128,8 +128,9 @@ fn panicking_and_budget_exceeding_experiments_are_quarantined() {
 }
 
 /// The event-budget watchdog is deterministic: the same experiments fail
-/// with the same structured failures on every thread count and in both
-/// execution modes.
+/// with the same structured failures on every thread count and in every
+/// execution mode — including `SnapshotDag`, where the breach may surface
+/// while advancing a shared attack chain.
 #[test]
 fn budget_failures_identical_across_modes_and_threads() {
     let delivered = delivered_per_experiment();
@@ -156,7 +157,11 @@ fn budget_failures_identical_across_modes_and_threads() {
         assert_eq!(failure.attempts, 1, "budget breaches are not retried");
     }
     for threads in [1, 4, 8] {
-        for mode in [ExecutionMode::FromScratch, ExecutionMode::PrefixFork] {
+        for mode in [
+            ExecutionMode::FromScratch,
+            ExecutionMode::PrefixFork,
+            ExecutionMode::SnapshotDag,
+        ] {
             let other = run(threads, mode);
             assert_eq!(
                 other.failures, reference.failures,
@@ -207,7 +212,7 @@ fn journal_records_a_full_campaign_and_resumes_from_it() {
 /// Resume after an interruption — journal truncated mid-campaign with a
 /// torn final line, as a SIGKILL mid-write leaves it — produces records
 /// and a metrics artifact byte-identical to the uninterrupted run's, in
-/// both execution modes and at 1/4/8 worker threads.
+/// every execution mode and at 1/4/8 worker threads.
 #[test]
 fn resume_after_truncation_is_byte_identical() {
     let reference_path = tmp_journal("reference");
@@ -228,7 +233,11 @@ fn resume_after_truncation_is_byte_identical() {
     truncated.push_str("{\"entry\":\"completed\",\"ind");
 
     for threads in [1, 4, 8] {
-        for mode in [ExecutionMode::FromScratch, ExecutionMode::PrefixFork] {
+        for mode in [
+            ExecutionMode::FromScratch,
+            ExecutionMode::PrefixFork,
+            ExecutionMode::SnapshotDag,
+        ] {
             let path = tmp_journal("truncated");
             std::fs::write(&path, &truncated).unwrap();
             let resume_config = RunConfig {
