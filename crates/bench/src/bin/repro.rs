@@ -1,3 +1,5 @@
+// comfase-lint: host-region(reason = "reproduction harness binary: reads CLI args and writes result tables/figures to disk; every number it prints comes out of deterministic campaign runs")
+
 //! Reproduction harness: regenerates every table and figure of the
 //! paper's evaluation section (§IV).
 //!

@@ -1,3 +1,5 @@
+// comfase-lint: host-region(reason = "scaling benchmark harness: wall-clock timing of the indexed vs brute-force hot paths; the identity checks it performs compare deterministic sim outputs")
+
 //! Fleet-size scaling benchmark for the hot-path spatial indexes.
 //!
 //! Drives the two indexed substrates directly — the wireless fan-out

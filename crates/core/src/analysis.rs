@@ -120,7 +120,7 @@ pub struct ColliderSplit {
 impl ColliderSplit {
     /// Total severe cases with a collision.
     pub fn total_collisions(&self) -> usize {
-        self.per_vehicle.values().sum()
+        self.per_vehicle.values().sum::<usize>()
     }
 
     /// Percentage of collision incidents caused by `vehicle`.

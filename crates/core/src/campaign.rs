@@ -1,3 +1,5 @@
+// comfase-lint: host-region(reason = "campaign *runner*: worker threads, watchdog clocks, crossbeam scopes and result mailboxes are host-side supervision; the simulated Worlds it drives live in the sim crates and every merged metric is ordered by experiment index, never by thread timing")
+
 //! Attack injection campaigns — Step 3 of the execution flow, batched.
 //!
 //! A [`Campaign`] expands its setup into the nested-loop experiment list

@@ -1,3 +1,5 @@
+// comfase-lint: host-region(reason = "journal writer: durable append-only file I/O at the campaign boundary; entries are keyed by experiment index so replay order cannot affect merged metrics")
+
 //! Append-only campaign journal for checkpoint/resume.
 //!
 //! A campaign run with a journal path writes one JSON line per *finished*

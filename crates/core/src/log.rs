@@ -74,10 +74,19 @@ impl RunLog {
             .links_planned
             .saturating_sub(decided)
             .saturating_sub(rx_inactive);
-        let mac_dropped_queue_full: u64 =
-            self.comm.values().map(|c| c.mac.dropped_queue_full).sum();
-        let mac_deferrals: u64 = self.comm.values().map(|c| c.mac.deferrals).sum();
-        let mac_deferrals_guard: u64 = self.comm.values().map(|c| c.mac.deferrals_guard).sum();
+        // Integer turbofish: pins the element type so the map-order-sensitive
+        // float `Sum` impls can never be selected (lint rule D7).
+        let mac_dropped_queue_full = self
+            .comm
+            .values()
+            .map(|c| c.mac.dropped_queue_full)
+            .sum::<u64>();
+        let mac_deferrals = self.comm.values().map(|c| c.mac.deferrals).sum::<u64>();
+        let mac_deferrals_guard = self
+            .comm
+            .values()
+            .map(|c| c.mac.deferrals_guard)
+            .sum::<u64>();
         FrameBreakdown {
             transmissions: ch.transmissions,
             links_planned: ch.links_planned,

@@ -1,0 +1,241 @@
+//! The waiver ratchet: enumerate exemption sites, cap them with a committed
+//! baseline, and fail CI when the count grows.
+//!
+//! Every `// comfase-lint: allow(rule, reason = "...")` site and every
+//! `// comfase-lint: host-region(reason = "...")` marker is an intentional
+//! hole in the audit. Holes are sometimes necessary (host-side supervision
+//! code legitimately reads clocks and takes locks), but they must only ever
+//! *shrink*: `lint-baseline.json` records the sanctioned per-rule counts,
+//! `--baseline` fails the run when any count exceeds it, and suggests
+//! re-tightening when counts drop. `--write-baseline` emits the file for
+//! the current tree.
+
+use std::collections::BTreeMap;
+
+use crate::diagnostics::json_string as js;
+use crate::json::{self, Value};
+
+/// Pseudo-rule key under which `host-region` markers are counted.
+pub const HOST_REGION_KEY: &str = "host-region";
+
+/// One exemption site found in the tree (an `allow(...)` annotation outside
+/// test code, or a `host-region` marker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverSite {
+    /// File display label.
+    pub file: String,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// Waived rule id, or [`HOST_REGION_KEY`] for region markers.
+    pub rule: String,
+    /// The justification carried by the annotation.
+    pub reason: String,
+}
+
+/// Per-rule waiver counts (the ratchet state).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Count per rule id (including [`HOST_REGION_KEY`]). Zero counts are
+    /// omitted.
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl Baseline {
+    /// Tallies the current tree's waiver sites.
+    pub fn from_sites(sites: &[WaiverSite]) -> Self {
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for site in sites {
+            *counts.entry(site.rule.clone()).or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Parses a committed `lint-baseline.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or shape error.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = json::parse(text)?;
+        if root.get("version").and_then(Value::as_u64) != Some(1) {
+            return Err("lint-baseline.json: expected \"version\": 1".to_string());
+        }
+        let waivers = root
+            .get("waivers")
+            .and_then(Value::as_object)
+            .ok_or("lint-baseline.json: missing \"waivers\" object")?;
+        let mut counts = BTreeMap::new();
+        for (rule, count) in waivers {
+            let n = count.as_u64().ok_or_else(|| {
+                format!("lint-baseline.json: count for `{rule}` is not a non-negative integer")
+            })?;
+            if n > 0 {
+                counts.insert(rule.clone(), n);
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Renders the committed baseline format (deterministic, newline-terminated).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"waivers\": {");
+        for (i, (rule, count)) in self.counts.iter().filter(|(_, c)| **c > 0).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {count}", js(rule)));
+        }
+        if self.counts.values().any(|c| *c > 0) {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Compares the current counts against the committed baseline.
+    pub fn check(&self, committed: &Baseline) -> RatchetOutcome {
+        let mut growth = Vec::new();
+        let mut shrank = false;
+        let rules: std::collections::BTreeSet<&String> =
+            self.counts.keys().chain(committed.counts.keys()).collect();
+        for rule in rules {
+            let now = self.counts.get(rule.as_str()).copied().unwrap_or(0);
+            let cap = committed.counts.get(rule.as_str()).copied().unwrap_or(0);
+            if now > cap {
+                growth.push(format!(
+                    "waiver ratchet: `{rule}` has {now} waiver site(s), baseline allows {cap} \
+                     — fix the new site or justify updating lint-baseline.json"
+                ));
+            } else if now < cap {
+                shrank = true;
+            }
+        }
+        RatchetOutcome { growth, shrank }
+    }
+}
+
+/// Result of a ratchet comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetOutcome {
+    /// One message per rule whose count grew (non-empty ⇒ fail).
+    pub growth: Vec<String>,
+    /// `true` when any count dropped below the baseline (suggest tightening).
+    pub shrank: bool,
+}
+
+impl RatchetOutcome {
+    /// `true` when no rule grew past its cap.
+    pub fn passed(&self) -> bool {
+        self.growth.is_empty()
+    }
+}
+
+/// Renders the human-readable waiver enumeration (`--waiver-report`).
+pub fn render_waiver_report(sites: &[WaiverSite]) -> String {
+    let mut out = String::new();
+    if sites.is_empty() {
+        out.push_str("comfase-lint: no waiver sites (allow annotations or host-region markers)\n");
+        return out;
+    }
+    let baseline = Baseline::from_sites(sites);
+    out.push_str("comfase-lint waiver report\n");
+    for (rule, count) in &baseline.counts {
+        out.push_str(&format!("  {rule}: {count} site(s)\n"));
+        for site in sites.iter().filter(|s| &s.rule == rule) {
+            out.push_str(&format!(
+                "    {}:{} — {}\n",
+                site.file, site.line, site.reason
+            ));
+        }
+    }
+    out.push_str(&format!("  total: {} site(s)\n", sites.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(rule: &str, line: u32) -> WaiverSite {
+        WaiverSite {
+            file: "crates/core/src/x.rs".to_string(),
+            line,
+            rule: rule.to_string(),
+            reason: "host-side supervision".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_render_parse() {
+        let b = Baseline::from_sites(&[
+            site("wall-clock", 1),
+            site("wall-clock", 9),
+            site(HOST_REGION_KEY, 3),
+        ]);
+        let text = b.render();
+        let back = Baseline::parse(&text).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(back.counts.get("wall-clock"), Some(&2));
+        assert_eq!(back.counts.get(HOST_REGION_KEY), Some(&1));
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let b = Baseline::default();
+        let back = Baseline::parse(&b.render()).unwrap();
+        assert!(back.counts.is_empty());
+    }
+
+    #[test]
+    fn growth_fails_and_names_the_rule() {
+        let committed = Baseline::from_sites(&[site("wall-clock", 1)]);
+        let current = Baseline::from_sites(&[site("wall-clock", 1), site("wall-clock", 2)]);
+        let outcome = current.check(&committed);
+        assert!(!outcome.passed());
+        assert!(
+            outcome.growth[0].contains("wall-clock"),
+            "{:?}",
+            outcome.growth
+        );
+    }
+
+    #[test]
+    fn new_rule_waiver_is_growth() {
+        let committed = Baseline::default();
+        let current = Baseline::from_sites(&[site("sim-io", 4)]);
+        assert!(!current.check(&committed).passed());
+    }
+
+    #[test]
+    fn shrink_passes_and_is_flagged() {
+        let committed = Baseline::from_sites(&[site("wall-clock", 1), site("wall-clock", 2)]);
+        let current = Baseline::from_sites(&[site("wall-clock", 1)]);
+        let outcome = current.check(&committed);
+        assert!(outcome.passed());
+        assert!(outcome.shrank);
+    }
+
+    #[test]
+    fn equal_counts_pass_without_shrink() {
+        let b = Baseline::from_sites(&[site("wall-clock", 1)]);
+        let outcome = b.check(&b.clone());
+        assert!(outcome.passed());
+        assert!(!outcome.shrank);
+    }
+
+    #[test]
+    fn waiver_report_lists_sites() {
+        let report = render_waiver_report(&[site("wall-clock", 7)]);
+        assert!(report.contains("wall-clock: 1 site(s)"));
+        assert!(report.contains("crates/core/src/x.rs:7"));
+        assert!(report.contains("host-side supervision"));
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"waivers\": {}}").is_err());
+        assert!(Baseline::parse("{\"version\": 1, \"waivers\": {\"x\": -1}}").is_err());
+        assert!(Baseline::parse("{\"version\": 1, \"waivers\": {\"x\": \"two\"}}").is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! Incremental lint cache keyed by file content hash.
+//!
+//! The per-file phase of the auditor (lex → textual findings plus
+//! annotations and symbol summary) is a pure function of the file's bytes, so its output
+//! can be reused verbatim whenever the content hash matches. The cross-file
+//! use-graph pass is *not* cached — it depends on every file's symbols and
+//! is cheap (a table join), so it always runs over the (mostly cached)
+//! phase-1 artifacts. A warm workspace lint therefore does no lexing at all
+//! and completes in milliseconds, while still catching cross-file
+//! regressions: editing one file re-lexes only that file, and the use-graph
+//! re-resolves against the updated symbol table.
+//!
+//! The cache file (`.lint-cache.json`) is written deterministically
+//! (`BTreeMap` order) and versioned: a version mismatch or any parse
+//! irregularity simply drops the cache (correctness never depends on it).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diagnostics::json_string as js;
+use crate::json::{self, Value};
+use crate::lexer::HostRegion;
+use crate::rules::{static_rule_id, RawFinding};
+use crate::usegraph::{BindKind, Binding, FileSymbols, UseSite};
+use crate::{AllowSite, FileAnalysis};
+
+/// Format version of `.lint-cache.json`.
+pub const CACHE_VERSION: u64 = 1;
+
+/// Content hash of a source file: 64-bit FNV-1a folded over 8-byte chunks
+/// (chunking keeps debug-build hashing fast enough for the warm-lint
+/// latency target; the exact function only needs to be stable, not
+/// standard).
+pub fn content_hash(source: &str) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let bytes = source.as_bytes();
+    let mut h = OFFSET ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h ^= word;
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
+}
+
+/// A loaded cache: per-file phase-1 analyses keyed by display label.
+#[derive(Debug, Default)]
+pub struct Cache {
+    files: BTreeMap<String, FileAnalysis>,
+}
+
+impl Cache {
+    /// Returns the cached analysis for `label` when its content hash
+    /// matches the current file bytes.
+    pub fn lookup(&self, label: &str, hash: &str) -> Option<FileAnalysis> {
+        self.files.get(label).filter(|a| a.hash == hash).cloned()
+    }
+
+    /// Number of cached file entries.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+/// Loads the cache, returning an empty cache on any miss, version mismatch
+/// or parse irregularity (the cache is an accelerator, never an input).
+pub fn load(path: &Path) -> Cache {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Cache::default();
+    };
+    let Ok(root) = json::parse(&text) else {
+        return Cache::default();
+    };
+    if root.get("version").and_then(Value::as_u64) != Some(CACHE_VERSION) {
+        return Cache::default();
+    }
+    let Some(files) = root.get("files").and_then(Value::as_object) else {
+        return Cache::default();
+    };
+    let mut cache = Cache::default();
+    for (label, entry) in files {
+        if let Some(analysis) = decode_entry(label, entry) {
+            cache.files.insert(label.clone(), analysis);
+        }
+    }
+    cache
+}
+
+/// Writes the cache from the given analyses (deterministic key order).
+///
+/// # Errors
+///
+/// Fails when the file cannot be written.
+pub fn save(path: &Path, analyses: &[FileAnalysis]) -> io::Result<()> {
+    let mut entries: BTreeMap<&str, &FileAnalysis> = BTreeMap::new();
+    for a in analyses {
+        entries.insert(&a.label, a);
+    }
+    let mut out = String::from("{");
+    out.push_str(&format!("\"version\":{CACHE_VERSION},\"files\":{{"));
+    for (i, (label, a)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&js(label));
+        out.push(':');
+        out.push_str(&encode_entry(a));
+    }
+    out.push_str("}}\n");
+    fs::write(path, out)
+}
+
+fn encode_entry(a: &FileAnalysis) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"hash\":{},", js(&a.hash)));
+    out.push_str("\"findings\":[");
+    for (i, f) in a.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "[{},{},{},{}]",
+            js(f.rule),
+            f.line,
+            f.host_ok,
+            js(&f.message)
+        ));
+    }
+    out.push_str("],\"allows\":[");
+    for (i, al) in a.allows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "[{},{},{}]",
+            al.line,
+            js(&al.rule),
+            js(&al.reason)
+        ));
+    }
+    out.push_str("],\"bad\":[");
+    for (i, (line, problem)) in a.bad_annotations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{line},{}]", js(problem)));
+    }
+    out.push_str("],\"regions\":[");
+    for (i, r) in a.host_regions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "[{},{},{},{}]",
+            r.marker_line,
+            r.start,
+            r.end,
+            js(&r.reason)
+        ));
+    }
+    out.push_str("],\"tests\":[");
+    for (i, (s, e)) in a.test_ranges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{s},{e}]"));
+    }
+    out.push_str("],\"bindings\":[");
+    for (i, b) in a.symbols.bindings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let kind = match b.kind {
+            BindKind::Use => "use",
+            BindKind::TypeAlias => "type",
+        };
+        out.push_str(&format!(
+            "[{},{},{},{},{}]",
+            js(&b.name),
+            js(&b.target.join("::")),
+            b.line,
+            b.is_pub,
+            js(kind)
+        ));
+    }
+    out.push_str("],\"locals\":[");
+    for (i, l) in a.symbols.locals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&js(l));
+    }
+    out.push_str("],\"sites\":[");
+    for (i, s) in a.symbols.sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{},{}]", s.line, js(&s.path.join("::"))));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn decode_entry(label: &str, entry: &Value) -> Option<FileAnalysis> {
+    let hash = entry.get("hash")?.as_str()?.to_string();
+    let mut findings = Vec::new();
+    for row in entry.get("findings")?.as_array()? {
+        let cols = row.as_array()?;
+        findings.push(RawFinding {
+            rule: static_rule_id(cols.first()?.as_str()?)?,
+            line: u32::try_from(cols.get(1)?.as_u64()?).ok()?,
+            host_ok: matches!(cols.get(2)?, Value::Bool(true)),
+            message: cols.get(3)?.as_str()?.to_string(),
+        });
+    }
+    let mut allows = Vec::new();
+    for row in entry.get("allows")?.as_array()? {
+        let cols = row.as_array()?;
+        allows.push(AllowSite {
+            line: u32::try_from(cols.first()?.as_u64()?).ok()?,
+            rule: cols.get(1)?.as_str()?.to_string(),
+            reason: cols.get(2)?.as_str()?.to_string(),
+        });
+    }
+    let mut bad_annotations = Vec::new();
+    for row in entry.get("bad")?.as_array()? {
+        let cols = row.as_array()?;
+        bad_annotations.push((
+            u32::try_from(cols.first()?.as_u64()?).ok()?,
+            cols.get(1)?.as_str()?.to_string(),
+        ));
+    }
+    let mut host_regions = Vec::new();
+    for row in entry.get("regions")?.as_array()? {
+        let cols = row.as_array()?;
+        host_regions.push(HostRegion {
+            marker_line: u32::try_from(cols.first()?.as_u64()?).ok()?,
+            start: u32::try_from(cols.get(1)?.as_u64()?).ok()?,
+            end: u32::try_from(cols.get(2)?.as_u64()?).ok()?,
+            reason: cols.get(3)?.as_str()?.to_string(),
+        });
+    }
+    let mut test_ranges = Vec::new();
+    for row in entry.get("tests")?.as_array()? {
+        let cols = row.as_array()?;
+        test_ranges.push((
+            u32::try_from(cols.first()?.as_u64()?).ok()?,
+            u32::try_from(cols.get(1)?.as_u64()?).ok()?,
+        ));
+    }
+    let mut symbols = FileSymbols::default();
+    for row in entry.get("bindings")?.as_array()? {
+        let cols = row.as_array()?;
+        let kind = match cols.get(4)?.as_str()? {
+            "use" => BindKind::Use,
+            "type" => BindKind::TypeAlias,
+            _ => return None,
+        };
+        symbols.bindings.push(Binding {
+            name: cols.first()?.as_str()?.to_string(),
+            target: split_path(cols.get(1)?.as_str()?),
+            line: u32::try_from(cols.get(2)?.as_u64()?).ok()?,
+            is_pub: matches!(cols.get(3)?, Value::Bool(true)),
+            kind,
+        });
+    }
+    for l in entry.get("locals")?.as_array()? {
+        symbols.locals.push(l.as_str()?.to_string());
+    }
+    for row in entry.get("sites")?.as_array()? {
+        let cols = row.as_array()?;
+        symbols.sites.push(UseSite {
+            line: u32::try_from(cols.first()?.as_u64()?).ok()?,
+            path: split_path(cols.get(1)?.as_str()?),
+        });
+    }
+    Some(FileAnalysis {
+        label: label.to_string(),
+        hash,
+        findings,
+        allows,
+        bad_annotations,
+        host_regions,
+        test_ranges,
+        symbols,
+    })
+}
+
+fn split_path(joined: &str) -> Vec<String> {
+    joined.split("::").map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_source;
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let a = content_hash("fn main() {}");
+        assert_eq!(a, content_hash("fn main() {}"));
+        assert_ne!(a, content_hash("fn main() { }"));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn round_trip_preserves_the_analysis() {
+        let src = "// comfase-lint: allow(hash-collections, reason = \"membership only\")\n\
+                   use std::collections::HashMap as Map;\n\
+                   // comfase-lint: host-region(reason = \"journal writer\")\n\
+                   fn host() { let t = Instant::now(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() {} }\n";
+        let analysis = analyze_source("crates/des/src/a.rs", src);
+        let dir = std::env::temp_dir().join(format!("comfase-lint-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        save(&path, std::slice::from_ref(&analysis)).unwrap();
+        let cache = load(&path);
+        let back = cache
+            .lookup("crates/des/src/a.rs", &analysis.hash)
+            .expect("cache hit");
+        assert_eq!(back.findings, analysis.findings);
+        assert_eq!(back.allows.len(), analysis.allows.len());
+        assert_eq!(back.host_regions, analysis.host_regions);
+        assert_eq!(back.test_ranges, analysis.test_ranges);
+        assert_eq!(back.symbols, analysis.symbols);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_hash_misses() {
+        let analysis = analyze_source("a.rs", "fn f() {}");
+        let dir = std::env::temp_dir().join(format!("comfase-lint-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.json");
+        save(&path, std::slice::from_ref(&analysis)).unwrap();
+        let cache = load(&path);
+        assert!(cache.lookup("a.rs", "0000000000000000").is_none());
+        assert!(cache.lookup("b.rs", &analysis.hash).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_missing_cache_is_empty() {
+        assert!(load(Path::new("/nonexistent/.lint-cache.json")).is_empty());
+        let dir = std::env::temp_dir().join(format!("comfase-lint-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load(&path).is_empty());
+        std::fs::write(&path, "{\"version\": 99, \"files\": {}}").unwrap();
+        assert!(load(&path).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -71,6 +71,72 @@ impl Report {
         out
     }
 
+    /// Renders a minimal SARIF 2.1.0 log (GitHub code-scanning compatible).
+    ///
+    /// One run, one driver (`comfase-lint`), the full D1–D8 rule metadata,
+    /// and one `result` per violation with a physical location. Output is
+    /// deterministic for a given report.
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str("  \"runs\": [\n    {\n");
+        out.push_str("      \"tool\": {\n        \"driver\": {\n");
+        out.push_str("          \"name\": \"comfase-lint\",\n");
+        out.push_str("          \"informationUri\": \"https://example.invalid/comfase-rs\",\n");
+        out.push_str("          \"rules\": [");
+        let mut rule_ids: Vec<&'static str> = Vec::new();
+        for (i, rule) in crate::rules::RULES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            rule_ids.push(rule.id);
+            let _ = write!(
+                out,
+                "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \"fullDescription\": {{\"text\": {}}}}}",
+                json_string(rule.id),
+                json_string(rule.summary),
+                json_string(rule.why),
+            );
+        }
+        rule_ids.push(crate::rules::BAD_ANNOTATION);
+        let _ = write!(
+            out,
+            ",\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \"fullDescription\": {{\"text\": {}}}}}",
+            json_string(crate::rules::BAD_ANNOTATION),
+            json_string("malformed `comfase-lint:` annotation"),
+            json_string(
+                "an exemption without a reviewable justification is a silent hole in the audit"
+            ),
+        );
+        out.push_str("\n          ]\n        }\n      },\n");
+        out.push_str("      \"results\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rule_index = rule_ids
+                .iter()
+                .position(|id| *id == v.rule)
+                .unwrap_or(rule_ids.len() - 1);
+            let _ = write!(
+                out,
+                "\n        {{\"ruleId\": {}, \"ruleIndex\": {rule_index}, \"level\": \"error\", \
+                 \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_string(&v.rule),
+                json_string(&v.message),
+                json_string(&v.file),
+                v.line,
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
+
     /// Renders the machine-readable JSON report.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -159,6 +225,27 @@ mod tests {
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn sarif_is_well_formed_and_lists_rules() {
+        let sarif = sample().render_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("sarif-2.1.0.json"));
+        assert!(sarif.contains("\"name\": \"comfase-lint\""));
+        // All eight rules plus the annotation meta-rule are declared.
+        for rule in crate::rules::RULES {
+            assert!(
+                sarif.contains(&format!("\"id\": \"{}\"", rule.id)),
+                "{}",
+                rule.id
+            );
+        }
+        assert!(sarif.contains("\"id\": \"bad-annotation\""));
+        assert!(sarif.contains("\"ruleId\": \"hash-collections\""));
+        assert!(sarif.contains("\"startLine\": 85"));
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+        assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
     }
 
     #[test]

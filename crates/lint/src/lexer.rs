@@ -25,6 +25,9 @@ pub enum TokenKind {
     /// A punctuation token. `::` is a single token; everything else is one
     /// character.
     Punct,
+    /// A numeric literal, with its raw text (`0`, `1.5e3`, `0.0f64`,
+    /// `0x1F`). The float-reduction rule needs to see `fold` seeds.
+    Number,
 }
 
 /// One lexed token with its 1-based source line.
@@ -47,6 +50,23 @@ impl Token {
     /// `true` if this is a punctuation token with the given text.
     pub fn is_punct(&self, text: &str) -> bool {
         self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// `true` if this is a numeric literal of floating-point type: it has a
+    /// fractional part, an exponent, or an `f32`/`f64` suffix.
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokenKind::Number {
+            return false;
+        }
+        let t = self.text.as_str();
+        if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+            return false;
+        }
+        t.contains('.')
+            || t.ends_with("f32")
+            || t.ends_with("f64")
+            || t.contains('e')
+            || t.contains('E')
     }
 }
 
@@ -73,13 +93,35 @@ pub struct AllowAnnotation {
     pub problem: Option<String>,
 }
 
+/// A parsed `// comfase-lint: host-region(reason = "...")` marker.
+///
+/// The marker declares that the *next item* (or, when it appears before any
+/// code in the file, the whole file) is host-side supervision code: it runs
+/// on the campaign runner's side of the host/sim boundary and never touches
+/// forked simulation state. Host-side rules (wall-clock, interior
+/// mutability, sim I/O, environment reads) are exempt inside the region;
+/// sim-determinism rules (hash collections, ambient RNG, float ordering,
+/// float reductions) stay in force.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostRegionAnnotation {
+    /// 1-based line the marker comment is on.
+    pub line: u32,
+    /// The justification string (why this code is host-side).
+    pub reason: String,
+    /// `Some(description)` when malformed; the region is then not honoured.
+    pub problem: Option<String>,
+}
+
 /// Result of lexing one file.
 #[derive(Debug, Default)]
 pub struct LexedFile {
-    /// All identifier/punctuation tokens outside comments and literals.
+    /// All identifier/punctuation/number tokens outside comments and
+    /// literals.
     pub tokens: Vec<Token>,
-    /// All `comfase-lint:` annotations found in line comments.
+    /// All `comfase-lint: allow(...)` annotations found in line comments.
     pub allows: Vec<AllowAnnotation>,
+    /// All `comfase-lint: host-region(...)` markers found in line comments.
+    pub host_regions: Vec<HostRegionAnnotation>,
 }
 
 const MARKER: &str = "comfase-lint:";
@@ -106,8 +148,12 @@ pub fn lex(source: &str) -> LexedFile {
                 }
                 let comment = &source[start..i];
                 if let Some(pos) = comment.find(MARKER) {
-                    out.allows
-                        .push(parse_annotation(line, &comment[pos + MARKER.len()..]));
+                    let rest = comment[pos + MARKER.len()..].trim();
+                    if let Some(tail) = rest.strip_prefix("host-region") {
+                        out.host_regions.push(parse_host_region(line, tail));
+                    } else {
+                        out.allows.push(parse_annotation(line, rest));
+                    }
                 }
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
@@ -131,9 +177,14 @@ pub fn lex(source: &str) -> LexedFile {
             }
             b'"' => i = skip_string(bytes, i, &mut line),
             b'\'' => i = skip_char_or_lifetime(bytes, i, &mut line),
-            c if c == b'_' || c.is_ascii_alphabetic() => {
+            c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                // Non-ASCII bytes join the identifier: a Unicode ident must
+                // lex as one token, never split into ASCII fragments that
+                // could fabricate (or hide) a watched name.
                 let start = i;
-                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric() || bytes[i] >= 0x80)
+                {
                     i += 1;
                 }
                 let text = &source[start..i];
@@ -181,8 +232,10 @@ pub fn lex(source: &str) -> LexedFile {
                 }
             }
             c if c.is_ascii_digit() => {
-                // Numbers produce no tokens; just consume them (taking care
-                // not to swallow the `..` of a range like `0..10`).
+                // Numeric literal (taking care not to swallow the `..` of a
+                // range like `0..10`). Emitted as a token so rules can see
+                // e.g. the float seed of a `fold(0.0, ..)`.
+                let start = i;
                 while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
                     i += 1;
                 }
@@ -195,6 +248,11 @@ pub fn lex(source: &str) -> LexedFile {
                         i += 1;
                     }
                 }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[start..i].to_string(),
+                    line,
+                });
             }
             b':' if bytes.get(i + 1) == Some(&b':') => {
                 out.tokens.push(Token {
@@ -335,6 +393,119 @@ fn parse_annotation(line: u32, rest: &str) -> AllowAnnotation {
         reason: reason.to_string(),
         problem: None,
     }
+}
+
+/// Parses the text after `comfase-lint: host-region` into a
+/// [`HostRegionAnnotation`].
+fn parse_host_region(line: u32, rest: &str) -> HostRegionAnnotation {
+    let malformed = |problem: &str| HostRegionAnnotation {
+        line,
+        reason: String::new(),
+        problem: Some(problem.to_string()),
+    };
+    let rest = rest.trim();
+    let Some(body) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) else {
+        return malformed("expected `host-region(reason = \"...\")`");
+    };
+    let Some(value) = body.trim().strip_prefix("reason") else {
+        return malformed("expected `reason = \"...\"` inside `host-region(...)`");
+    };
+    let Some(quoted) = value.trim().strip_prefix('=') else {
+        return malformed("expected `=` after `reason`");
+    };
+    let reason = quoted
+        .trim()
+        .strip_prefix('"')
+        .and_then(|q| q.strip_suffix('"'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return malformed("the host-region reason must be a non-empty quoted string");
+    }
+    HostRegionAnnotation {
+        line,
+        reason: reason.to_string(),
+        problem: None,
+    }
+}
+
+/// One resolved host-side region: the inclusive line span a well-formed
+/// `host-region` marker covers, plus the marker it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostRegion {
+    /// Line of the marker comment.
+    pub marker_line: u32,
+    /// First exempt line.
+    pub start: u32,
+    /// Last exempt line (`u32::MAX` for file-scope / trailing regions).
+    pub end: u32,
+    /// The justification carried by the marker.
+    pub reason: String,
+}
+
+/// Resolves well-formed `host-region` markers to line spans.
+///
+/// A marker placed before the first token of the file *and* separated from
+/// it by at least one line covers the whole file; a marker directly above
+/// an item (or trailing on its first line) covers that one item (attributes
+/// included), ending at the item's closing `}` or `;` — the same span logic
+/// as test regions.
+pub fn host_region_ranges(lexed: &LexedFile) -> Vec<HostRegion> {
+    let first_code_line = lexed.tokens.first().map_or(u32::MAX, |t| t.line);
+    let mut out = Vec::new();
+    for marker in &lexed.host_regions {
+        if marker.problem.is_some() {
+            continue;
+        }
+        if marker.line.saturating_add(1) < first_code_line {
+            out.push(HostRegion {
+                marker_line: marker.line,
+                start: 1,
+                end: u32::MAX,
+                reason: marker.reason.clone(),
+            });
+            continue;
+        }
+        let end = item_end_after(&lexed.tokens, marker.line);
+        out.push(HostRegion {
+            marker_line: marker.line,
+            start: marker.line,
+            end,
+            reason: marker.reason.clone(),
+        });
+    }
+    out
+}
+
+/// Line on which the item starting at or after `line` ends (closing `}` or
+/// `;`), or `u32::MAX` when no such item end is found.
+fn item_end_after(tokens: &[Token], line: u32) -> u32 {
+    let mut j = match tokens.iter().position(|t| t.line >= line) {
+        Some(j) => j,
+        None => return u32::MAX,
+    };
+    // Skip leading attributes.
+    while tokens.get(j).is_some_and(|t| t.is_punct("#"))
+        && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+    {
+        match matching(tokens, j + 1, "[", "]") {
+            Some(c) => j = c + 1,
+            None => return u32::MAX,
+        }
+    }
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct(";") {
+            return t.line;
+        }
+        if t.is_punct("{") {
+            return match matching(tokens, j, "{", "}") {
+                Some(e) => tokens[e].line,
+                None => u32::MAX,
+            };
+        }
+        j += 1;
+    }
+    u32::MAX
 }
 
 /// Returns the inclusive line ranges of test-only items: any item annotated
@@ -527,5 +698,118 @@ mod tests {
         let src = "#[cfg(test)]\nuse foo::bar;\nstruct A { b: usize }";
         let lexed = lex(src);
         assert_eq!(test_line_ranges(&lexed.tokens), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn numbers_are_tokens_and_float_detection_works() {
+        let lexed = lex("let a = 0.0; let b = 1_000; let c = 2.5e3; let d = 0x1F; let e = 3f64;");
+        let nums: Vec<&Token> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .collect();
+        let texts: Vec<&str> = nums.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["0.0", "1_000", "2.5e3", "0x1F", "3f64"]);
+        let floats: Vec<bool> = nums.iter().map(|t| t.is_float_literal()).collect();
+        assert_eq!(floats, [true, false, true, false, true]);
+    }
+
+    #[test]
+    fn unicode_idents_lex_as_one_token() {
+        // A split ident would fabricate ASCII fragments; `héllo` must stay
+        // whole and `HashMap`-after survive.
+        let ids = idents("let héllo = 1; HashMap");
+        assert_eq!(ids, ["let", "héllo", "HashMap"]);
+    }
+
+    #[test]
+    fn byte_and_raw_literals_are_invisible() {
+        let src = r###"
+            let a = b"HashMap";
+            let b = br#"HashSet"#;
+            let c = b'\'';
+            let d = '/';
+            let e = r#"Instant // thread_rng"#;
+            BTreeMap
+        "###;
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            ["let", "a", "let", "b", "let", "c", "let", "d", "let", "e", "BTreeMap"],
+            "literals leaked tokens"
+        );
+        for leaked in ["HashMap", "HashSet", "Instant", "thread_rng"] {
+            assert!(
+                !ids.contains(&leaked.to_string()),
+                "{leaked} leaked out of a literal"
+            );
+        }
+    }
+
+    #[test]
+    fn char_literal_with_slashes_does_not_open_a_comment() {
+        // A `'/'` char must not make the rest of the line look like `//`.
+        let ids = idents("let sep = '/'; HashMap::new()");
+        assert!(ids.contains(&"HashMap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn host_region_annotation_parses() {
+        let lexed = lex("// comfase-lint: host-region(reason = \"campaign supervision\")");
+        assert_eq!(lexed.host_regions.len(), 1);
+        let hr = &lexed.host_regions[0];
+        assert_eq!(hr.reason, "campaign supervision");
+        assert!(hr.problem.is_none());
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn host_region_without_reason_is_malformed() {
+        for src in [
+            "// comfase-lint: host-region",
+            "// comfase-lint: host-region()",
+            "// comfase-lint: host-region(reason = \"\")",
+            "// comfase-lint: host-region(because)",
+        ] {
+            let lexed = lex(src);
+            assert!(lexed.host_regions[0].problem.is_some(), "{src}");
+        }
+    }
+
+    #[test]
+    fn file_scope_host_region_covers_everything() {
+        // A blank line between the marker and the first code makes it
+        // file-scope; a marker glued to the next item is item-scope.
+        let src =
+            "// comfase-lint: host-region(reason = \"harness binary\")\n\nuse x;\nfn main() {}";
+        let lexed = lex(src);
+        let regions = host_region_ranges(&lexed);
+        assert_eq!(regions.len(), 1);
+        assert_eq!((regions[0].start, regions[0].end), (1, u32::MAX));
+    }
+
+    #[test]
+    fn top_of_file_marker_adjacent_to_an_item_is_item_scope() {
+        let src = "// comfase-lint: host-region(reason = \"one fn\")\nfn host() {}\nfn sim() {}";
+        let lexed = lex(src);
+        let regions = host_region_ranges(&lexed);
+        assert_eq!(regions.len(), 1);
+        assert_eq!((regions[0].start, regions[0].end), (1, 2));
+    }
+
+    #[test]
+    fn item_scope_host_region_covers_next_item_only() {
+        let src = "fn sim() {}\n// comfase-lint: host-region(reason = \"journal io\")\nfn host() {\n  x();\n}\nfn sim2() {}";
+        let lexed = lex(src);
+        let regions = host_region_ranges(&lexed);
+        assert_eq!(regions.len(), 1);
+        assert_eq!((regions[0].start, regions[0].end), (2, 5));
+    }
+
+    #[test]
+    fn malformed_host_region_produces_no_range() {
+        let src = "// comfase-lint: host-region()\nfn f() {}";
+        let lexed = lex(src);
+        assert!(host_region_ranges(&lexed).is_empty());
     }
 }

@@ -1,37 +1,58 @@
 //! CLI for the determinism auditor.
 //!
 //! ```text
-//! comfase-lint --workspace [--format text|json] [--out FILE] [--root DIR]
-//! comfase-lint PATH...     [--format text|json] [--out FILE]
+//! comfase-lint --workspace [--format text|json|sarif] [--out FILE] [--root DIR]
+//!              [--cache FILE] [--baseline FILE] [--write-baseline FILE]
+//!              [--waiver-report]
+//! comfase-lint PATH...     [same flags]
 //! comfase-lint --list-rules
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes: `0` clean (and ratchet satisfied), `1` violations found or
+//! waiver ratchet exceeded, `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use comfase_lint::{rules, workspace, Report};
+use comfase_lint::baseline::{render_waiver_report, Baseline};
+use comfase_lint::{rules, workspace, ScanOutput};
 
 struct Options {
     workspace: bool,
     list_rules: bool,
-    json: bool,
+    format: Format,
     out: Option<PathBuf>,
     root: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    waiver_report: bool,
     paths: Vec<PathBuf>,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 const USAGE: &str = "usage: comfase-lint (--workspace | PATH...) \
-                     [--format text|json] [--out FILE] [--root DIR] [--list-rules]";
+                     [--format text|json|sarif] [--out FILE] [--root DIR] \
+                     [--cache FILE] [--baseline FILE] [--write-baseline FILE] \
+                     [--waiver-report] [--list-rules]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         workspace: false,
         list_rules: false,
-        json: false,
+        format: Format::Text,
         out: None,
         root: None,
+        cache: None,
+        baseline: None,
+        write_baseline: None,
+        waiver_report: false,
         paths: Vec::new(),
     };
     let mut it = args.iter();
@@ -39,10 +60,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--workspace" => opts.workspace = true,
             "--list-rules" => opts.list_rules = true,
+            "--waiver-report" => opts.waiver_report = true,
             "--format" => match it.next().map(String::as_str) {
-                Some("json") => opts.json = true,
-                Some("text") => opts.json = false,
-                other => return Err(format!("--format expects `text` or `json`, got {other:?}")),
+                Some("json") => opts.format = Format::Json,
+                Some("text") => opts.format = Format::Text,
+                Some("sarif") => opts.format = Format::Sarif,
+                other => {
+                    return Err(format!(
+                        "--format expects `text`, `json` or `sarif`, got {other:?}"
+                    ))
+                }
             },
             "--out" => match it.next() {
                 Some(path) => opts.out = Some(PathBuf::from(path)),
@@ -51,6 +78,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--root" => match it.next() {
                 Some(path) => opts.root = Some(PathBuf::from(path)),
                 None => return Err("--root expects a directory".to_string()),
+            },
+            "--cache" => match it.next() {
+                Some(path) => opts.cache = Some(PathBuf::from(path)),
+                None => return Err("--cache expects a file path".to_string()),
+            },
+            "--baseline" => match it.next() {
+                Some(path) => opts.baseline = Some(PathBuf::from(path)),
+                None => return Err("--baseline expects a file path".to_string()),
+            },
+            "--write-baseline" => match it.next() {
+                Some(path) => opts.write_baseline = Some(PathBuf::from(path)),
+                None => return Err("--write-baseline expects a file path".to_string()),
             },
             "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
@@ -63,15 +102,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run(opts: &Options) -> Result<Report, String> {
+fn run(opts: &Options) -> Result<ScanOutput, String> {
     let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
     let root = match &opts.root {
         Some(r) => r.clone(),
         None => workspace::find_workspace_root(&cwd)
             .ok_or("no workspace root found above the current directory (try --root)")?,
     };
+    let cache = opts.cache.as_deref();
     if opts.workspace {
-        comfase_lint::scan_workspace(&root).map_err(|e| e.to_string())
+        comfase_lint::scan_workspace_cached(&root, cache).map_err(|e| e.to_string())
     } else {
         let mut files = Vec::new();
         for path in &opts.paths {
@@ -82,7 +122,7 @@ fn run(opts: &Options) -> Result<Report, String> {
             }
         }
         files.sort();
-        comfase_lint::scan_files(&root, &files).map_err(|e| e.to_string())
+        comfase_lint::scan_files_cached(&root, &files, cache).map_err(|e| e.to_string())
     }
 }
 
@@ -98,34 +138,40 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for rule in rules::RULES {
-            println!("{:<18} {}", rule.id, rule.summary);
-            println!("{:<18}   why: {}", "", rule.why);
+            println!("{:<20} {}", rule.id, rule.summary);
+            println!("{:<20}   why: {}", "", rule.why);
         }
         // The annotation meta-rule is reported but can never itself be
         // `allow(...)`-ed, so it lives outside `rules::RULES`.
         println!(
-            "{:<18} malformed `comfase-lint:` annotation (missing/empty reason, unknown rule)",
+            "{:<20} malformed `comfase-lint:` annotation (missing/empty reason, unknown rule)",
             rules::BAD_ANNOTATION
         );
         println!(
-            "{:<18}   why: an exemption without a reviewable justification is a silent hole in the audit",
+            "{:<20}   why: an exemption without a reviewable justification is a silent hole in the audit",
             ""
         );
         return ExitCode::SUCCESS;
     }
 
-    let report = match run(&opts) {
-        Ok(report) => report,
+    let output = match run(&opts) {
+        Ok(output) => output,
         Err(msg) => {
             eprintln!("comfase-lint: {msg}");
             return ExitCode::from(2);
         }
     };
+    if opts.cache.is_some() {
+        eprintln!(
+            "comfase-lint: cache: {} reused, {} linted",
+            output.stats.cache_hits, output.stats.cache_misses
+        );
+    }
 
-    let rendered = if opts.json {
-        report.render_json()
-    } else {
-        report.render_text()
+    let rendered = match opts.format {
+        Format::Json => output.report.render_json(),
+        Format::Sarif => output.report.render_sarif(),
+        Format::Text => output.report.render_text(),
     };
     match &opts.out {
         Some(path) => {
@@ -137,13 +183,53 @@ fn main() -> ExitCode {
             // machine-clean on stdout.
             eprintln!(
                 "comfase-lint: wrote report ({} violation(s)) to {}",
-                report.violations.len(),
+                output.report.violations.len(),
                 path.display()
             );
         }
         None => print!("{rendered}"),
     }
-    if report.is_clean() {
+
+    if opts.waiver_report {
+        print!("{}", render_waiver_report(&output.waivers));
+    }
+
+    let current = Baseline::from_sites(&output.waivers);
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, current.render()) {
+            eprintln!("comfase-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("comfase-lint: wrote waiver baseline to {}", path.display());
+    }
+
+    let mut ratchet_failed = false;
+    if let Some(path) = &opts.baseline {
+        let committed = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Baseline::parse(&text))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("comfase-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let outcome = current.check(&committed);
+        for msg in &outcome.growth {
+            eprintln!("comfase-lint: {msg}");
+        }
+        if outcome.shrank {
+            eprintln!(
+                "comfase-lint: waiver counts shrank below the baseline — tighten the ratchet by \
+                 regenerating {} with --write-baseline",
+                path.display()
+            );
+        }
+        ratchet_failed = !outcome.passed();
+    }
+
+    if output.report.is_clean() && !ratchet_failed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -5,11 +5,15 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// The simulation crates whose `src/` trees must uphold the determinism
-/// invariants. Test/bench/example code and the tooling crates (`bench`,
-/// `lint`) are intentionally not scanned. The telemetry crate (`obs`) is
-/// scanned too: its sim-side recorders must never read host clocks — only
-/// the explicitly waived host profiler section may.
+/// invariants. The telemetry crate (`obs`) is scanned too: its sim-side
+/// recorders must never read host clocks — only the host profiler section,
+/// sanctioned as a `host-region`, may.
 pub const SIM_CRATES: &[&str] = &["des", "traffic", "wireless", "platoon", "core", "obs"];
+
+/// Additional audited `crates/<name>/src` trees: host tooling whose
+/// non-host-region code must still uphold the sim-determinism rules (the
+/// bench harness replays campaigns and must not perturb them).
+pub const EXTRA_CRATES: &[&str] = &["bench"];
 
 /// Walks up from `start` to the first directory whose `Cargo.toml` declares
 /// `[workspace]`.
@@ -40,6 +44,30 @@ pub fn sim_source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
             ));
         }
         collect_rs(&src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Everything `--workspace` audits: the sim crates, the extra audited
+/// crates (`bench`), and the integration-test crate's non-test helpers
+/// (`tests/src` — `tests/tests/*` files are `#[cfg(test)]`-style harnesses
+/// and stay out of scope). Sorted for deterministic reports.
+pub fn audited_source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = sim_source_files(root)?;
+    for krate in EXTRA_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("audited crate source dir missing: {}", src.display()),
+            ));
+        }
+        collect_rs(&src, &mut files)?;
+    }
+    let tests_src = root.join("tests").join("src");
+    if tests_src.is_dir() {
+        collect_rs(&tests_src, &mut files)?;
     }
     files.sort();
     Ok(files)
@@ -85,6 +113,30 @@ mod tests {
                 "missing sim crate {krate}"
             );
         }
+    }
+
+    #[test]
+    fn audited_scope_includes_bench_and_tests_src() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let files = audited_source_files(&root).expect("audited files");
+        let labels: Vec<String> = files.iter().map(|f| display_path(&root, f)).collect();
+        assert!(
+            labels.iter().any(|l| l.starts_with("crates/bench/src")),
+            "bench missing from audit scope: {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.starts_with("tests/src")),
+            "tests/src missing from audit scope: {labels:?}"
+        );
+        assert!(
+            !labels.iter().any(|l| l.starts_with("tests/tests")),
+            "test harnesses must stay out of scope: {labels:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,16 @@
+// comfase-lint: host-region(reason = "fixture: host-side supervision mailbox; results are re-ordered by experiment index before any metric is computed")
+
+//! D6 allowed pair: the same shapes, sanctioned as host-side supervision
+//! state by a file-scope `host-region` marker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct HostMailbox {
+    results: Mutex<Vec<(u64, f64)>>,
+    claimed: AtomicU64,
+}
+
+pub fn claim(mailbox: &HostMailbox) -> u64 {
+    mailbox.claimed.fetch_add(1, Ordering::Relaxed)
+}

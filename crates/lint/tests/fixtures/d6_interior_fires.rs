@@ -1,0 +1,21 @@
+//! D6 fixture: interior mutability smuggled into simulation state.
+//!
+//! Every field here bypasses `Clone`-based world forking: a forked `World`
+//! would share (or silently duplicate) mutation channels whose effect order
+//! depends on host thread scheduling.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct SimState {
+    cached_positions: RefCell<Vec<f64>>,
+    hits: Cell<u64>,
+    shared_log: Mutex<Vec<u64>>,
+    rx_count: AtomicU64,
+}
+
+pub fn bump(state: &SimState) {
+    state.rx_count.fetch_add(1, Ordering::Relaxed);
+    state.hits.set(state.hits.get() + 1);
+}

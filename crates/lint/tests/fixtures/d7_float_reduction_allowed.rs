@@ -1,0 +1,23 @@
+//! D7 allowed pair: order-independent reductions over the same maps.
+
+use std::collections::BTreeMap;
+
+pub fn total_packets(counts: &BTreeMap<u32, u64>) -> u64 {
+    // Integer turbofish: addition is associative, order cannot matter.
+    counts.values().sum::<u64>()
+}
+
+pub fn worst_delay(delays: &BTreeMap<u32, f64>) -> f64 {
+    // `max` is order-free, so the fold is sanctioned.
+    delays.values().fold(f64::NEG_INFINITY, |a, b| a.max(*b))
+}
+
+pub fn indexed_total(samples: &[f64]) -> f64 {
+    // Slice iteration is index-ordered: the accumulation order is pinned.
+    samples.iter().sum()
+}
+
+pub fn waived_total(delays: &BTreeMap<u32, f64>) -> f64 {
+    // comfase-lint: allow(float-reduction, reason = "fixture: values are exact small integers stored as f64, so addition is associative at these magnitudes")
+    delays.values().sum()
+}

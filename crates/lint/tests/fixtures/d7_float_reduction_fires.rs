@@ -1,0 +1,24 @@
+//! D7 fixture: float reductions over unordered iterators.
+//!
+//! `BTreeMap::values()` yields in key order, but the *accumulation* order
+//! of a float sum is what matters: refactoring the map to a different key
+//! type (or the iterator to a parallel one) silently reorders the adds and
+//! shifts the low bits of the result.
+
+use std::collections::BTreeMap;
+
+pub fn total_delay(delays: &BTreeMap<u32, f64>) -> f64 {
+    delays.values().sum()
+}
+
+pub fn doubled_f32(delays: &BTreeMap<u32, f32>) -> f32 {
+    delays.values().map(|d| d * 2.0).sum::<f32>()
+}
+
+pub fn folded(delays: &BTreeMap<u32, f64>) -> f64 {
+    delays.values().fold(0.0, |acc, d| acc + d)
+}
+
+pub fn reduced(delays: &BTreeMap<u32, f64>) -> f64 {
+    delays.values().copied().reduce(|a, b| a + b).unwrap_or(0.0)
+}

@@ -1,0 +1,17 @@
+//! D8 allowed pair: strings are built with `fmt`, and the one real write
+//! is quarantined to an item-scope `host-region`.
+
+use std::fmt::Write as _;
+
+pub fn render(points: &[f64]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let _ = writeln!(out, "{p}");
+    }
+    out
+}
+
+// comfase-lint: host-region(reason = "fixture: campaign-boundary artifact writer, invoked once after the deterministic run completes")
+pub fn persist(report: &str) {
+    std::fs::write("report.json", report).unwrap();
+}

@@ -1,0 +1,21 @@
+//! D8 fixture: host I/O reached from simulation code.
+
+use std::fs;
+
+pub fn dump_points(points: &[f64]) {
+    let mut out = String::new();
+    for p in points {
+        out.push_str(&format!("{p}\n"));
+    }
+    fs::write("points.txt", out).unwrap();
+    println!("wrote {} points", points.len());
+}
+
+pub fn spawn_helper() {
+    std::thread::spawn(|| {});
+}
+
+pub fn read_side_channel() -> String {
+    eprintln!("reading side channel");
+    std::fs::read_to_string("config.json").unwrap_or_default()
+}

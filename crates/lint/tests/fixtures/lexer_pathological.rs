@@ -1,0 +1,22 @@
+//! Lexer-hardening fixture: banned identifiers inside literals and
+//! comments must be invisible to every rule, and a char literal holding
+//! `/` must not open a line comment. This file is clean.
+
+pub fn literals() -> (&'static str, &'static [u8], char, &'static str) {
+    let nested = /* outer /* HashMap::new() thread_rng() */ still a comment */ "done";
+    let _ = nested;
+    (
+        r#"use std::collections::HashMap; // Instant::now()"#,
+        b"SystemTime::now() RefCell<Mutex<u8>>",
+        '/',
+        "std::fs::write(\"x\") // println!(\"leak\")",
+    )
+}
+
+pub fn char_slash_and_raw_hashes() -> usize {
+    let sep = '/';
+    let escaped = '\'';
+    let raw = r##"AtomicU64 r#"std::thread::spawn"# .values().sum::<f64>()"##;
+    let bytes = br#"rand::thread_rng()"#;
+    raw.len() + bytes.len() + (sep as usize) + (escaped as usize)
+}

@@ -1,0 +1,135 @@
+//! Property tests hammering the lexer with pathological literal shapes.
+//!
+//! The auditor's soundness rests on one lexer invariant: *text inside
+//! string/byte/char literals and comments is invisible, and text outside
+//! them is never swallowed*. A literal that leaks fabricates violations; a
+//! literal that over-consumes hides real ones. These properties generate
+//! adversarial combinations (raw strings with arbitrary hash fences, nested
+//! block comments, char literals holding `/` or `'`) that hand-written
+//! fixtures historically missed.
+
+use comfase_lint::lexer::{lex, TokenKind};
+
+use proptest::prelude::*;
+
+/// Identifier tokens of `src`, as strings.
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// A marker identifier that cannot collide with surrounding syntax.
+fn marker(stem: &str) -> String {
+    format!("XQmark{stem}")
+}
+
+proptest! {
+    /// The lexer is total: arbitrary input (including unterminated
+    /// literals and stray quotes) never panics.
+    #[test]
+    fn lexing_never_panics(src in "\\PC{0,200}") {
+        let _ = lex(&src);
+    }
+
+    /// Token line numbers are nondecreasing, so every downstream line-range
+    /// computation (allow scopes, host regions, test spans) is well-founded.
+    #[test]
+    fn token_lines_are_nondecreasing(src in "\\PC{0,200}") {
+        let lexed = lex(&src);
+        for pair in lexed.tokens.windows(2) {
+            prop_assert!(pair[0].line <= pair[1].line);
+        }
+    }
+
+    /// Identifiers inside plain string literals never become tokens, and
+    /// identifiers outside them always do.
+    #[test]
+    fn string_contents_are_invisible(stem in "[a-z]{1,8}") {
+        let hidden = marker(&stem);
+        let visible = marker("visible");
+        let src = format!("let {visible} = \"{hidden} HashMap\";");
+        let ids = idents(&src);
+        prop_assert!(ids.contains(&visible), "{ids:?}");
+        prop_assert!(!ids.contains(&hidden), "{ids:?}");
+        prop_assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+    }
+
+    /// Raw strings hide their contents for any fence width, and the fence
+    /// terminates exactly at the matching hash count — the next identifier
+    /// survives.
+    #[test]
+    fn raw_string_fences_balance(stem in "[a-z]{1,8}", hashes in 0usize..4) {
+        let hidden = marker(&stem);
+        let after = marker("after");
+        let fence = "#".repeat(hashes);
+        // Embed a shorter fence inside the literal when possible: it must
+        // not terminate the string early.
+        let inner = if hashes > 0 { format!("\"{}", "#".repeat(hashes - 1)) } else { String::new() };
+        let src = format!("let x = r{fence}\"{hidden} {inner}\"{fence}; {after}");
+        let ids = idents(&src);
+        prop_assert!(!ids.contains(&hidden), "{src:?} -> {ids:?}");
+        prop_assert!(ids.contains(&after), "{src:?} -> {ids:?}");
+    }
+
+    /// Byte strings (plain and raw) are as invisible as their `str`
+    /// counterparts.
+    #[test]
+    fn byte_string_contents_are_invisible(stem in "[a-z]{1,8}", raw in any::<bool>()) {
+        let hidden = marker(&stem);
+        let after = marker("after");
+        let src = if raw {
+            format!("let x = br#\"{hidden}\"#; {after}")
+        } else {
+            format!("let x = b\"{hidden}\"; {after}")
+        };
+        let ids = idents(&src);
+        prop_assert!(!ids.contains(&hidden), "{src:?} -> {ids:?}");
+        prop_assert!(ids.contains(&after), "{src:?} -> {ids:?}");
+    }
+
+    /// Block comments nest to arbitrary depth; the comment ends only when
+    /// every level is closed, and code after it survives.
+    #[test]
+    fn nested_block_comments_hide_contents(stem in "[a-z]{1,8}", depth in 1usize..5) {
+        let hidden = marker(&stem);
+        let after = marker("after");
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("{open} {hidden} thread_rng() {close} {after}");
+        let ids = idents(&src);
+        prop_assert!(!ids.contains(&hidden), "{src:?} -> {ids:?}");
+        prop_assert!(!ids.iter().any(|i| i == "thread_rng"), "{src:?} -> {ids:?}");
+        prop_assert!(ids.contains(&after), "{src:?} -> {ids:?}");
+    }
+
+    /// A char literal holding any single printable char — `/` and `'`
+    /// (escaped) included — neither leaks tokens nor swallows what follows.
+    /// The `'/'` case is the historical trap: a naive scanner treats the
+    /// rest of the line as a `//` comment.
+    #[test]
+    fn char_literals_do_not_open_comments(c in proptest::char::range(' ', '~')) {
+        let after = marker("after");
+        let lit = match c {
+            '\'' => "\\'".to_string(),
+            '\\' => "\\\\".to_string(),
+            c => c.to_string(),
+        };
+        let src = format!("let sep = '{lit}'; {after}");
+        let ids = idents(&src);
+        prop_assert!(ids.contains(&after), "{src:?} -> {ids:?}");
+    }
+
+    /// Lifetimes (`'a`) are not char literals: the tick must not swallow
+    /// the rest of the signature.
+    #[test]
+    fn lifetimes_do_not_swallow_code(stem in "[a-z]{1,6}") {
+        let after = marker("after");
+        let src = format!("fn f<'{stem}>(x: &'{stem} u32) {{ {after}; }}");
+        let ids = idents(&src);
+        prop_assert!(ids.contains(&after), "{src:?} -> {ids:?}");
+    }
+}

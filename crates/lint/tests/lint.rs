@@ -161,9 +161,9 @@ fn float_ordering_fires_and_is_suppressible() {
 }
 
 /// The telemetry crate (`obs`) sits inside the lint scope: its host
-/// profiler is waived per clock-read site, so a clock read anywhere else
-/// in the crate — e.g. a recorder stamping events with host time — still
-/// fails the audit.
+/// profiler is sanctioned by a file-scope `host-region` marker, so a clock
+/// read anywhere else in the crate — e.g. a recorder stamping events with
+/// host time — still fails the audit.
 #[test]
 fn obs_telemetry_wall_clock_policy() {
     let fires = lint_fixture("obs_hostprof_clock_fires.rs");
@@ -181,6 +181,73 @@ fn obs_telemetry_wall_clock_policy() {
         allowed.stdout.contains("no determinism violations"),
         "{}",
         allowed.stdout
+    );
+}
+
+#[test]
+fn interior_mutability_fires_and_host_region_sanctions() {
+    let fires = lint_fixture("d6_interior_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    // RefCell/Mutex/atomics fire textually; the bare imported `Cell` is
+    // only reachable through the use-graph and must report its chain.
+    assert!(
+        fires.stdout.matches("error[interior-mutability]").count() >= 6,
+        "{}",
+        fires.stdout
+    );
+    assert!(
+        fires
+            .stdout
+            .contains("`Cell` resolves to `std::cell::Cell`"),
+        "{}",
+        fires.stdout
+    );
+    assert!(fires.stdout.contains("alias chain"), "{}", fires.stdout);
+
+    let allowed = lint_fixture("d6_interior_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+#[test]
+fn float_reduction_fires_and_order_free_forms_pass() {
+    let fires = lint_fixture("d7_float_reduction_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    // Bare `.sum()`, `.sum::<f32>()`, `.fold(0.0, ..)` and `.reduce(..)`
+    // over `.values()` are four distinct sites.
+    assert!(
+        fires.stdout.matches("error[float-reduction]").count() >= 4,
+        "{}",
+        fires.stdout
+    );
+
+    let allowed = lint_fixture("d7_float_reduction_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+#[test]
+fn sim_io_fires_and_host_region_sanctions() {
+    let fires = lint_fixture("d8_sim_io_fires.rs");
+    assert_eq!(fires.code, 1, "{}", fires.stdout);
+    // fs (via the `use fs` alias and fully qualified), stdio macros and
+    // thread::spawn: six distinct sites.
+    assert!(
+        fires.stdout.matches("error[sim-io]").count() >= 6,
+        "{}",
+        fires.stdout
+    );
+
+    let allowed = lint_fixture("d8_sim_io_allowed.rs");
+    assert_eq!(allowed.code, 0, "{}", allowed.stdout);
+}
+
+#[test]
+fn pathological_literals_stay_invisible() {
+    let out = lint_fixture("lexer_pathological.rs");
+    assert_eq!(out.code, 0, "{}", out.stdout);
+    assert!(
+        out.stdout.contains("no determinism violations"),
+        "{}",
+        out.stdout
     );
 }
 
@@ -231,6 +298,9 @@ fn fixture_directory_scan_aggregates() {
         "ambient-rng",
         "global-state",
         "float-ordering",
+        "interior-mutability",
+        "float-reduction",
+        "sim-io",
         "bad-annotation",
     ] {
         assert!(
@@ -303,6 +373,9 @@ fn list_rules_covers_all_rules() {
         "ambient-rng",
         "global-state",
         "float-ordering",
+        "interior-mutability",
+        "float-reduction",
+        "sim-io",
         "bad-annotation",
     ] {
         assert!(out.stdout.contains(rule), "{rule} missing:\n{}", out.stdout);
@@ -322,4 +395,378 @@ fn usage_errors_exit_two() {
         "{}",
         unknown.stderr
     );
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutations of real workspace sources
+// ---------------------------------------------------------------------------
+
+/// Fresh scratch directory under the target temp dir, unique per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("comfase-lint-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Smuggling a `RefCell` field into the real `World` struct is caught.
+#[test]
+fn seeded_refcell_in_world_is_caught() {
+    let source = std::fs::read_to_string(workspace_root().join("crates/core/src/world.rs"))
+        .expect("world.rs");
+    let mutated = source.replace(
+        "pub struct World {",
+        "pub struct World {\n    scratch: std::cell::RefCell<Vec<f64>>,",
+    );
+    assert_ne!(mutated, source, "seed marker not found in world.rs");
+    let dir = scratch("seed-world");
+    let path = dir.join("world.rs");
+    std::fs::write(&path, mutated).expect("write mutated world.rs");
+    let out = lint(&[path.to_str().expect("path")]);
+    assert_eq!(out.code, 1, "{}", out.stdout);
+    assert!(
+        out.stdout.contains("error[interior-mutability]"),
+        "{}",
+        out.stdout
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A banned type laundered through a cross-file rename is resolved
+/// transitively and the diagnostic names every hop.
+#[test]
+fn seeded_aliased_hashmap_is_caught_across_files() {
+    let dir = scratch("seed-alias");
+    let src = dir.join("crates/des/src");
+    std::fs::create_dir_all(&src).expect("fake crate layout");
+    std::fs::write(
+        src.join("maps.rs"),
+        "pub use std::collections::HashMap as FastMap;\n",
+    )
+    .expect("maps.rs");
+    std::fs::write(
+        src.join("state.rs"),
+        "use crate::maps::FastMap;\npub struct Queue {\n    pub pending: FastMap<u64, u64>,\n}\n",
+    )
+    .expect("state.rs");
+    let out = lint(&[
+        "--root",
+        dir.to_str().expect("root"),
+        src.join("maps.rs").to_str().expect("path"),
+        src.join("state.rs").to_str().expect("path"),
+    ]);
+    assert_eq!(out.code, 1, "{}", out.stdout);
+    let report = &out.stdout;
+    assert!(report.contains("error[hash-collections]"), "{report}");
+    assert!(
+        report.contains("resolves to `std::collections::HashMap`"),
+        "{report}"
+    );
+    assert!(report.contains("alias chain"), "{report}");
+    assert!(report.contains("maps.rs"), "{report}");
+    // The usage site in state.rs is reported, not just the re-export.
+    assert!(report.contains("state.rs:3"), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Dropping the integer turbofish from a real reduction site is caught.
+#[test]
+fn seeded_untyped_sum_over_map_values_is_caught() {
+    let source = std::fs::read_to_string(workspace_root().join("crates/core/src/analysis.rs"))
+        .expect("analysis.rs");
+    let mutated = source.replace(".sum::<usize>()", ".sum()");
+    assert_ne!(mutated, source, "seed marker not found in analysis.rs");
+    let dir = scratch("seed-sum");
+    let path = dir.join("analysis.rs");
+    std::fs::write(&path, mutated).expect("write mutated analysis.rs");
+    let out = lint(&[path.to_str().expect("path")]);
+    assert_eq!(out.code, 1, "{}", out.stdout);
+    assert!(
+        out.stdout.contains("error[float-reduction]"),
+        "{}",
+        out.stdout
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Waiver ratchet
+// ---------------------------------------------------------------------------
+
+/// `d7_float_reduction_allowed.rs` carries exactly one `allow` site; a
+/// baseline that caps it at one passes without noise.
+#[test]
+fn ratchet_respected_baseline_passes() {
+    let dir = scratch("ratchet-ok");
+    let baseline = dir.join("lint-baseline.json");
+    std::fs::write(
+        &baseline,
+        "{\n  \"version\": 1,\n  \"waivers\": {\n    \"float-reduction\": 1\n  }\n}\n",
+    )
+    .expect("baseline");
+    let path = fixture("d7_float_reduction_allowed.rs");
+    let out = lint(&[
+        "--baseline",
+        baseline.to_str().expect("baseline"),
+        path.to_str().expect("fixture"),
+    ]);
+    assert_eq!(out.code, 0, "{}\n{}", out.stdout, out.stderr);
+    assert!(!out.stderr.contains("waiver ratchet"), "{}", out.stderr);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The same fixture against an empty baseline is waiver *growth*: the lint
+/// fails even though no rule fires.
+#[test]
+fn ratchet_growth_is_rejected() {
+    let dir = scratch("ratchet-grow");
+    let baseline = dir.join("lint-baseline.json");
+    std::fs::write(&baseline, "{\n  \"version\": 1,\n  \"waivers\": {}\n}\n").expect("baseline");
+    let path = fixture("d7_float_reduction_allowed.rs");
+    let out = lint(&[
+        "--baseline",
+        baseline.to_str().expect("baseline"),
+        path.to_str().expect("fixture"),
+    ]);
+    assert_eq!(out.code, 1, "{}\n{}", out.stdout, out.stderr);
+    assert!(out.stderr.contains("waiver ratchet"), "{}", out.stderr);
+    assert!(out.stderr.contains("float-reduction"), "{}", out.stderr);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// When waivers drop below the baseline the run passes but suggests
+/// tightening the committed file.
+#[test]
+fn ratchet_shrink_suggests_tightening() {
+    let dir = scratch("ratchet-shrink");
+    let baseline = dir.join("lint-baseline.json");
+    std::fs::write(
+        &baseline,
+        "{\n  \"version\": 1,\n  \"waivers\": {\n    \"float-reduction\": 3\n  }\n}\n",
+    )
+    .expect("baseline");
+    let path = fixture("d7_float_reduction_allowed.rs");
+    let out = lint(&[
+        "--baseline",
+        baseline.to_str().expect("baseline"),
+        path.to_str().expect("fixture"),
+    ]);
+    assert_eq!(out.code, 0, "{}\n{}", out.stdout, out.stderr);
+    assert!(out.stderr.contains("shrank"), "{}", out.stderr);
+    assert!(out.stderr.contains("--write-baseline"), "{}", out.stderr);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--write-baseline` emits a file that `--baseline` then accepts, and the
+/// `--waiver-report` enumerates the site with its reason.
+#[test]
+fn write_baseline_round_trips_and_waiver_report_lists_sites() {
+    let dir = scratch("ratchet-roundtrip");
+    let baseline = dir.join("lint-baseline.json");
+    let path = fixture("d7_float_reduction_allowed.rs");
+    let write = lint(&[
+        "--write-baseline",
+        baseline.to_str().expect("baseline"),
+        "--waiver-report",
+        path.to_str().expect("fixture"),
+    ]);
+    assert_eq!(write.code, 0, "{}\n{}", write.stdout, write.stderr);
+    assert!(
+        write.stdout.contains("float-reduction: 1 site(s)"),
+        "{}",
+        write.stdout
+    );
+    assert!(
+        write.stdout.contains("exact small integers"),
+        "waiver report must carry the reason:\n{}",
+        write.stdout
+    );
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(text.contains("\"float-reduction\": 1"), "{text}");
+
+    let check = lint(&[
+        "--baseline",
+        baseline.to_str().expect("baseline"),
+        path.to_str().expect("fixture"),
+    ]);
+    assert_eq!(check.code, 0, "{}\n{}", check.stdout, check.stderr);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The committed repo baseline matches the tree: the workspace audit run
+/// exactly as CI runs it (ratchet active) passes.
+#[test]
+fn committed_baseline_matches_workspace() {
+    let out = lint(&["--workspace", "--baseline", "lint-baseline.json"]);
+    assert_eq!(out.code, 0, "{}\n{}", out.stdout, out.stderr);
+    assert!(!out.stderr.contains("waiver ratchet"), "{}", out.stderr);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sarif_output_is_valid_json_with_rules_and_results() {
+    let path = fixture("d1_hash_fires.rs");
+    let out = lint(&["--format", "sarif", path.to_str().expect("fixture")]);
+    assert_eq!(out.code, 1);
+    let root = comfase_lint::json::parse(&out.stdout).expect("SARIF must parse as JSON");
+    assert_eq!(
+        root.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0"),
+        "{}",
+        out.stdout
+    );
+    let runs = root.get("runs").and_then(|v| v.as_array()).expect("runs");
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("driver");
+    assert_eq!(
+        driver.get("name").and_then(|v| v.as_str()),
+        Some("comfase-lint")
+    );
+    let rules = driver
+        .get("rules")
+        .and_then(|v| v.as_array())
+        .expect("rules");
+    // D1–D8 plus the bad-annotation meta-rule.
+    assert_eq!(rules.len(), 9, "{}", out.stdout);
+    let results = runs[0]
+        .get("results")
+        .and_then(|v| v.as_array())
+        .expect("results");
+    assert!(!results.is_empty());
+    for result in results {
+        assert_eq!(
+            result.get("ruleId").and_then(|v| v.as_str()),
+            Some("hash-collections")
+        );
+        let region = result
+            .get("locations")
+            .and_then(|l| l.as_array())
+            .and_then(|l| l.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .expect("physicalLocation");
+        assert!(region.get("artifactLocation").is_some());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cache
+// ---------------------------------------------------------------------------
+
+fn stat_line(stderr: &str) -> &str {
+    stderr
+        .lines()
+        .find(|l| l.contains("cache:"))
+        .unwrap_or_else(|| panic!("no cache stat line in: {stderr}"))
+}
+
+/// Cold → warm → edit: the cache reuses unchanged files, re-lints only the
+/// edited one, and the report stays byte-identical when findings don't
+/// change.
+#[test]
+fn cache_relints_only_changed_files_with_identical_report() {
+    let dir = scratch("cache-edit");
+    for name in ["d1_hash_fires.rs", "clean.rs"] {
+        std::fs::copy(fixture(name), dir.join(name)).expect("copy fixture");
+    }
+    let cache = dir.join(".lint-cache.json");
+    let cache_arg = cache.to_str().expect("cache").to_string();
+    let dir_arg = dir.to_str().expect("dir").to_string();
+
+    let cold = lint(&["--cache", &cache_arg, &dir_arg]);
+    assert_eq!(cold.code, 1, "{}", cold.stdout);
+    assert!(
+        stat_line(&cold.stderr).contains("0 reused, 2 linted"),
+        "{}",
+        cold.stderr
+    );
+
+    let warm = lint(&["--cache", &cache_arg, &dir_arg]);
+    assert_eq!(warm.code, 1);
+    assert!(
+        stat_line(&warm.stderr).contains("2 reused, 0 linted"),
+        "{}",
+        warm.stderr
+    );
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm report must be byte-identical"
+    );
+
+    // Append a trailing comment to one file: its hash changes, findings
+    // don't, so exactly one file re-lints and the report stays identical.
+    let clean = dir.join("clean.rs");
+    let mut text = std::fs::read_to_string(&clean).expect("clean.rs");
+    text.push_str("// trailing comment\n");
+    std::fs::write(&clean, text).expect("edit clean.rs");
+
+    let edited = lint(&["--cache", &cache_arg, &dir_arg]);
+    assert_eq!(edited.code, 1);
+    assert!(
+        stat_line(&edited.stderr).contains("1 reused, 1 linted"),
+        "{}",
+        edited.stderr
+    );
+    assert_eq!(cold.stdout, edited.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The warm whole-workspace audit finishes in <100 ms with a report
+/// byte-identical to the cold run (the ISSUE's speed acceptance bar).
+#[test]
+fn warm_workspace_lint_is_fast_and_identical() {
+    let dir = scratch("cache-warm");
+    let cache = dir.join(".lint-cache.json");
+    let cache_arg = cache.to_str().expect("cache").to_string();
+
+    let cold = lint(&["--workspace", "--cache", &cache_arg]);
+    assert_eq!(cold.code, 0, "{}", cold.stdout);
+
+    let started = std::time::Instant::now();
+    let warm = lint(&["--workspace", "--cache", &cache_arg]);
+    let elapsed = started.elapsed();
+    assert_eq!(warm.code, 0, "{}", warm.stdout);
+    assert!(
+        stat_line(&warm.stderr).ends_with("0 linted"),
+        "{}",
+        warm.stderr
+    );
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm report must be byte-identical"
+    );
+    assert!(
+        elapsed.as_millis() < 100,
+        "warm workspace lint took {elapsed:?} (must be <100 ms)"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt cache file is ignored, not fatal — the scan falls back to a
+/// cold lint and rewrites the cache.
+#[test]
+fn corrupt_cache_is_ignored() {
+    let dir = scratch("cache-corrupt");
+    let cache = dir.join(".lint-cache.json");
+    std::fs::write(&cache, "{definitely not json").expect("corrupt cache");
+    let path = fixture("clean.rs");
+    let out = lint(&[
+        "--cache",
+        cache.to_str().expect("cache"),
+        path.to_str().expect("fixture"),
+    ]);
+    assert_eq!(out.code, 0, "{}\n{}", out.stdout, out.stderr);
+    assert!(
+        stat_line(&out.stderr).contains("0 reused, 1 linted"),
+        "{}",
+        out.stderr
+    );
+    let rewritten = std::fs::read_to_string(&cache).expect("cache rewritten");
+    assert!(rewritten.starts_with('{'), "{rewritten}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,10 +1,12 @@
+// comfase-lint: host-region(reason = "host profiler: measures the runner's wall time on this machine, never sim state; results go to profile.json, not metrics.json")
+
 //! Host-side wall-clock profiling of the campaign *runner*.
 //!
 //! This is the one module in the workspace's simulation scope that is
-//! allowed to read the host clock — under explicit per-site `wall-clock`
-//! waivers, each carrying its reason — because it measures the machine,
-//! not the simulation: how long the golden run, prefix building, and
-//! experiment phases took on this host, at this thread count.
+//! allowed to read the host clock — under a file-scope `host-region`
+//! marker — because it measures the machine, not the simulation: how
+//! long the golden run, prefix building, and experiment phases took on
+//! this host, at this thread count.
 //!
 //! None of these numbers may leak into `metrics.json`
 //! ([`crate::metrics::CampaignMetrics`] has no field to put them in); they
@@ -13,7 +15,6 @@
 //! byte-identical across hosts, modes, and thread counts.
 
 use std::sync::Mutex;
-// comfase-lint: allow(wall-clock, reason = "host-side profiler; measures runner phases, never sim state")
 use std::time::Instant;
 
 /// Wall-clock stopwatch over named runner phases.
@@ -29,7 +30,6 @@ pub struct HostProfiler {
 
 #[derive(Debug, Default)]
 struct Inner {
-    // comfase-lint: allow(wall-clock, reason = "host-side profiler; open phase start stamps")
     open: Vec<(String, Instant)>,
     finished: Vec<(String, f64)>,
 }
@@ -43,7 +43,6 @@ impl HostProfiler {
     /// Marks the start of a named phase.
     pub fn begin(&self, name: &str) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        // comfase-lint: allow(wall-clock, reason = "host-side profiler; the one sanctioned clock read")
         inner.open.push((name.to_string(), Instant::now()));
     }
 

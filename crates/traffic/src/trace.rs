@@ -173,7 +173,7 @@ impl TrafficTrace {
         self.per_vehicle
             .values()
             .map(VehicleTrace::shared_bytes)
-            .sum()
+            .sum::<usize>()
     }
 }
 
