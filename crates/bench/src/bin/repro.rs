@@ -28,6 +28,17 @@
 //!       [--resume]    skip experiments the journal already records as
 //!                     completed (requires --journal); the merged metrics
 //!                     artifact is byte-identical to an uninterrupted run
+//!       [--shard I/N] run only shard I of an N-way split of the delay
+//!                     campaign (requires --journal; merge the shard
+//!                     journals afterwards with --merge)
+//!       [--merge J1 J2 ..]  merge shard journals into the campaign's
+//!                     metrics artifact (results/metrics_merged.json),
+//!                     byte-identical to a single-process run; exclusive
+//!                     with every other artifact flag
+//!       [--cache-dir DIR]  content-addressed result cache: experiments
+//!                     whose (spec, seed, config) key is already stored
+//!                     are returned without simulating; writes
+//!                     results/cache_stats.json
 //!       [--failure-policy abort|quarantine[:N]]  keep running past failed
 //!                     experiments, aborting only after N failures
 //!                     (default: abort on the first failure)
@@ -40,17 +51,19 @@
 
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
 use comfase::analysis;
 use comfase::campaign::{Campaign, CampaignObserver, CampaignPhase, CampaignResult};
 use comfase::config::AttackCampaignSetup;
 use comfase::prelude::{
-    chrome_trace_json, CommModel, Engine, EventBudget, ExecutionMode, FailurePolicy, HostProfiler,
-    IndexingMode, ObsConfig, RunConfig, TrafficScenario,
+    chrome_trace_json, CommModel, Engine, EventBudget, ExecutionMode, ExperimentCache,
+    FailurePolicy, HostProfiler, IndexingMode, ObsConfig, RunConfig, ShardRange, TrafficScenario,
 };
 use comfase::report;
 use comfase_bench::{delay_campaign, dos_campaign, paper_engine, REPRO_SEED};
+use comfase_dist::{merge_journals, parse_shard, DiskCache};
 
 struct Options {
     artefacts: Vec<String>,
@@ -63,6 +76,9 @@ struct Options {
     chrome_trace: Option<std::path::PathBuf>,
     journal: Option<std::path::PathBuf>,
     resume: bool,
+    shard: Option<ShardRange>,
+    merge: Vec<std::path::PathBuf>,
+    cache_dir: Option<std::path::PathBuf>,
     failure_policy: FailurePolicy,
     max_events: Option<u64>,
     wall_deadline: Option<f64>,
@@ -122,6 +138,9 @@ fn parse_args() -> Options {
     let mut chrome_trace = None;
     let mut journal = None;
     let mut resume = false;
+    let mut shard = None;
+    let mut merge = Vec::new();
+    let mut cache_dir = None;
     let mut failure_policy = FailurePolicy::Abort;
     let mut max_events = None;
     let mut wall_deadline = None;
@@ -138,6 +157,25 @@ fn parse_args() -> Options {
                 journal = Some(std::path::PathBuf::from(
                     args.next()
                         .unwrap_or_else(|| die("--journal needs a file path")),
+                ));
+            }
+            "--shard" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| die("--shard needs i/n (e.g. 0/4)"));
+                shard = Some(parse_shard(&spec).unwrap_or_else(|e| die(&e.to_string())));
+            }
+            "--merge" => {
+                // Consumes every remaining argument as a journal path.
+                merge.extend(args.by_ref().map(std::path::PathBuf::from));
+                if merge.is_empty() {
+                    die("--merge needs at least one journal path");
+                }
+            }
+            "--cache-dir" => {
+                cache_dir = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--cache-dir needs a directory")),
                 ));
             }
             "--failure-policy" => {
@@ -214,8 +252,10 @@ fn parse_args() -> Options {
                      --delay-summary|--dos-summary|--bench-campaign|--bench-scale] \
                      [--stride N] [--threads N] [--fleets A,B,..]\n\
                      \x20      [--metrics] [--progress|--quiet] [--chrome-trace FILE] [--csv DIR]\n\
-                     \x20      [--journal PATH] [--resume] [--failure-policy abort|quarantine[:N]]\n\
-                     \x20      [--max-events N] [--wall-deadline SECS]"
+                     \x20      [--journal PATH] [--resume] [--shard I/N] [--cache-dir DIR]\n\
+                     \x20      [--failure-policy abort|quarantine[:N]]\n\
+                     \x20      [--max-events N] [--wall-deadline SECS]\n\
+                     \x20      [--merge JOURNAL..]  (merges shard journals and exits)"
                 );
                 std::process::exit(0);
             }
@@ -231,6 +271,9 @@ fn parse_args() -> Options {
     if resume && journal.is_none() {
         die("--resume requires --journal");
     }
+    if shard.is_some() && journal.is_none() {
+        die("--shard requires --journal (the shard journal is what --merge consumes)");
+    }
     Options {
         artefacts,
         stride,
@@ -242,6 +285,9 @@ fn parse_args() -> Options {
         chrome_trace,
         journal,
         resume,
+        shard,
+        merge,
+        cache_dir,
         failure_policy,
         max_events,
         wall_deadline,
@@ -296,9 +342,12 @@ fn obs_config(opts: &Options) -> ObsConfig {
     }
 }
 
-/// The supervision config shared by the campaign runs. The journal is
-/// bound to one campaign identity (seed + setup), so only the delay
-/// campaign — the long one worth checkpointing — gets it.
+/// The supervision config shared by the campaign runs. The journal (and
+/// with it the shard restriction) is bound to one campaign identity
+/// (seed + setup + full-config fingerprint), so only the delay campaign
+/// — the long one worth checkpointing and splitting — gets them. The
+/// result cache keys every entry by its own campaign configuration, so
+/// it is safe to share across campaigns.
 fn run_config(opts: &Options, with_journal: bool) -> RunConfig {
     RunConfig {
         mode: ExecutionMode::PrefixFork,
@@ -309,9 +358,20 @@ fn run_config(opts: &Options, with_journal: bool) -> RunConfig {
             None
         },
         resume: with_journal && opts.resume,
+        shard: if with_journal { opts.shard } else { None },
+        cache: cache_store(opts),
         wall_deadline_s: opts.wall_deadline,
         ..RunConfig::default()
     }
+}
+
+/// Opens the content-addressed result cache at `--cache-dir`, if set.
+fn cache_store(opts: &Options) -> Option<Arc<dyn ExperimentCache>> {
+    opts.cache_dir.as_ref().map(|dir| {
+        let cache =
+            DiskCache::create(dir).unwrap_or_else(|e| die(&format!("cannot open cache dir: {e}")));
+        Arc::new(cache) as Arc<dyn ExperimentCache>
+    })
 }
 
 fn event_budget(opts: &Options) -> EventBudget {
@@ -350,8 +410,17 @@ fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
         .with_budget(event_budget(opts));
     let total = campaign.nr_experiments();
     if !opts.quiet {
+        let slice = match opts.shard {
+            Some(s) => format!(
+                " — shard {}/{} covers {} of them",
+                s.index,
+                s.of,
+                s.len(total)
+            ),
+            None => String::new(),
+        };
         eprintln!(
-            "running delay campaign: {total} experiments (stride {}) on {} thread(s)...",
+            "running delay campaign: {total} experiments (stride {}) on {} thread(s){slice}...",
             opts.stride, opts.threads
         );
     }
@@ -363,12 +432,55 @@ fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
         eprintln!("\ndelay campaign finished in {:.1?}", t0.elapsed());
     }
     report_failures(&result);
+    if opts.cache_dir.is_some() {
+        write_cache_stats(&result);
+    }
     result
+}
+
+/// Writes the result-cache counters of a campaign run
+/// (`results/cache_stats.json`).
+fn write_cache_stats(result: &CampaignResult) {
+    let stats = &result.stats;
+    let json = serde_json::json!({
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "cache_stale": stats.cache_stale,
+        "hit_rate": stats.cache_hit_rate(),
+        "simulated_runs": stats.forked_runs + stats.scratch_runs + stats.chain_forked_runs,
+    });
+    write_results_file(
+        "cache_stats.json",
+        serde_json::to_string_pretty(&json)
+            .expect("serializable")
+            .as_bytes(),
+    );
+    eprintln!(
+        "cache: {} hit(s), {} miss(es), {} stale ({:.0}% hit rate)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_stale,
+        100.0 * stats.cache_hit_rate()
+    );
 }
 
 fn main() {
     let opts = parse_args();
     let observer = ReproObserver::new(&opts);
+
+    // Merge mode: reassemble shard journals into the campaign artifact
+    // and exit — nothing is simulated.
+    if !opts.merge.is_empty() {
+        eprintln!("merging {} shard journal(s)...", opts.merge.len());
+        let metrics =
+            merge_journals(&opts.merge).unwrap_or_else(|e| die(&format!("merge failed: {e}")));
+        write_results_file("metrics_merged.json", &metrics.to_json_bytes());
+        println!(
+            "merged {} experiment rows (byte-identical to a single-process run)",
+            metrics.experiments
+        );
+        return;
+    }
 
     if let Some(path) = &opts.chrome_trace {
         write_chrome_trace(path);
@@ -632,6 +744,7 @@ fn run_bench_campaign(opts: &Options) {
     let dag_wall = walls[2];
     let speedup = scratch_wall.as_secs_f64() / fork_wall.as_secs_f64();
     let dag_speedup = scratch_wall.as_secs_f64() / dag_wall.as_secs_f64();
+    let (sharding, cache) = bench_sharding_and_cache(opts, total);
     let json = serde_json::json!({
         "experiments": total,
         "stride": opts.stride,
@@ -643,6 +756,8 @@ fn run_bench_campaign(opts: &Options) {
         "dag_speedup": dag_speedup,
         "experiments_per_sec": total as f64 / dag_wall.as_secs_f64(),
         "modes": per_mode,
+        "sharding": sharding,
+        "cache": cache,
     });
     let path = std::path::Path::new("BENCH_campaign.json");
     std::fs::write(
@@ -656,6 +771,128 @@ fn run_bench_campaign(opts: &Options) {
         opts.threads
     );
     eprintln!("wrote {}", path.display());
+}
+
+/// Benchmarks the distribution features on the same delay campaign: a
+/// 2-way sharded split whose merged journals must reproduce the
+/// single-process metrics artifact byte for byte, and a cold/warm pass
+/// over the content-addressed result cache (the warm pass must perform
+/// zero simulations). Returns the `"sharding"` and `"cache"` sections of
+/// `BENCH_campaign.json`.
+fn bench_sharding_and_cache(
+    opts: &Options,
+    total: usize,
+) -> (serde_json::Value, serde_json::Value) {
+    use comfase::prelude::NullObserver;
+
+    let campaign = delay_campaign(opts.stride).with_obs(ObsConfig::metrics_only());
+    let scratch = std::env::temp_dir().join(format!("comfase-bench-dist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create bench scratch dir");
+
+    // Single-process reference (with telemetry — the artifact under test).
+    eprintln!("  single-process reference (telemetry on)...");
+    let t = Instant::now();
+    let reference = campaign.run(opts.threads).expect("reference runs");
+    let single_wall = t.elapsed();
+    let reference_bytes = reference
+        .metrics
+        .as_ref()
+        .expect("metrics collection was enabled")
+        .to_json_bytes();
+
+    // 2-way sharded split, each shard journaled, then merged.
+    let mut shard_walls = Vec::new();
+    let mut journals = Vec::new();
+    for index in 0..2 {
+        let journal = scratch.join(format!("shard-{index}.journal"));
+        let config = RunConfig {
+            journal: Some(journal.clone()),
+            shard: Some(ShardRange { index, of: 2 }),
+            ..RunConfig::default()
+        };
+        let t = Instant::now();
+        campaign
+            .run_supervised(opts.threads, &config, &NullObserver)
+            .expect("shard runs");
+        let wall = t.elapsed();
+        eprintln!("  shard {index}/2      {wall:.1?}");
+        shard_walls.push(wall);
+        journals.push(journal);
+    }
+    let t = Instant::now();
+    let merged = merge_journals(&journals).expect("shard journals merge");
+    let merge_wall = t.elapsed();
+    assert_eq!(
+        merged.to_json_bytes(),
+        reference_bytes,
+        "merged shard metrics must be byte-identical to the single-process artifact"
+    );
+    eprintln!("  merge         {merge_wall:.1?} (byte-identical)");
+
+    // Cold then warm pass over the result cache.
+    let cache_dir = scratch.join("cache");
+    let cached_config = || RunConfig {
+        cache: Some(
+            Arc::new(DiskCache::create(&cache_dir).expect("cache dir opens"))
+                as Arc<dyn ExperimentCache>,
+        ),
+        ..RunConfig::default()
+    };
+    let t = Instant::now();
+    let cold = campaign
+        .run_supervised(opts.threads, &cached_config(), &NullObserver)
+        .expect("cold cache pass runs");
+    let cold_wall = t.elapsed();
+    let t = Instant::now();
+    let warm = campaign
+        .run_supervised(opts.threads, &cached_config(), &NullObserver)
+        .expect("warm cache pass runs");
+    let warm_wall = t.elapsed();
+    assert_eq!(
+        warm.stats.cache_hits,
+        total + 1,
+        "warm pass must hit for every experiment plus the golden run"
+    );
+    assert_eq!(
+        warm.stats.forked_runs + warm.stats.scratch_runs + warm.stats.chain_forked_runs,
+        0,
+        "a fully warm cache performs zero simulations"
+    );
+    let warm_bytes = warm
+        .metrics
+        .as_ref()
+        .expect("metrics collection was enabled")
+        .to_json_bytes();
+    assert_eq!(
+        warm_bytes, reference_bytes,
+        "warm-cache metrics must be byte-identical to the simulated artifact"
+    );
+    eprintln!(
+        "  cache         cold {cold_wall:.1?}, warm {warm_wall:.1?} \
+         ({:.0}% hit rate, zero simulations, byte-identical)",
+        100.0 * warm.stats.cache_hit_rate()
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    (
+        serde_json::json!({
+            "shards": 2,
+            "single_wall_s": single_wall.as_secs_f64(),
+            "shard_wall_s": shard_walls.iter().map(|w| w.as_secs_f64()).collect::<Vec<_>>(),
+            "merge_wall_s": merge_wall.as_secs_f64(),
+            "merged_identical": true,
+        }),
+        serde_json::json!({
+            "cold_wall_s": cold_wall.as_secs_f64(),
+            "warm_wall_s": warm_wall.as_secs_f64(),
+            "warm_speedup": cold_wall.as_secs_f64() / warm_wall.as_secs_f64(),
+            "warm_hits": warm.stats.cache_hits,
+            "warm_hit_rate": warm.stats.cache_hit_rate(),
+            "warm_simulations": 0,
+            "identical": true,
+        }),
+    )
 }
 
 /// Times the indexed vs brute-force hot paths at growing fleet sizes,

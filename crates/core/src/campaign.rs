@@ -77,10 +77,12 @@ use comfase_des::time::SimTime;
 use comfase_obs::{CampaignMetrics, ExperimentMetrics, HostProfiler, ObsConfig, WallDeadline};
 
 use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
+use crate::cache::{self, CacheEntry, CacheKeyBase, CacheLookup, ExperimentCache};
 use crate::classify::{classify, ClassificationParams, Verdict};
 use crate::config::AttackCampaignSetup;
 use crate::engine::Engine;
 use crate::error::ComfaseError;
+use crate::fingerprint;
 use crate::journal::{read_journal, JournalEntry, JournalWriter, JOURNAL_SCHEMA_VERSION};
 use crate::log::RunLog;
 use crate::world::World;
@@ -100,6 +102,67 @@ pub enum ExecutionMode {
     /// chain that simulates the shared attack segment once per distinct
     /// `(start, model, value, targets)` group (see the module docs).
     SnapshotDag,
+}
+
+/// One shard of a campaign's experiment index space: the `index`-th of
+/// `of` disjoint contiguous slices.
+///
+/// The partition is deterministic and balanced: shard `i` of `n` covers
+/// `[i·total/n, (i+1)·total/n)` (integer division), so the `n` slices are
+/// disjoint, cover `0..total` exactly, and differ in size by at most one
+/// experiment. Every shard runs under the full per-shard supervisor
+/// (journal, quarantine, retry, watchdog, DAG planning *within* the
+/// shard); `comfase-dist` merges the shard journals back into one
+/// campaign, byte-identical to a single-process run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRange {
+    /// Which shard this is (0-based).
+    pub index: usize,
+    /// Total number of shards (≥ 1).
+    pub of: usize,
+}
+
+impl ShardRange {
+    /// Validates the range (`of ≥ 1`, `index < of`).
+    ///
+    /// # Errors
+    ///
+    /// [`ComfaseError::InvalidConfig`] on a degenerate range.
+    pub fn validate(&self) -> Result<(), ComfaseError> {
+        if self.of == 0 {
+            return Err(ComfaseError::InvalidConfig(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        if self.index >= self.of {
+            return Err(ComfaseError::InvalidConfig(format!(
+                "shard index {} out of range for {} shard(s)",
+                self.index, self.of
+            )));
+        }
+        Ok(())
+    }
+
+    /// Half-open experiment index bounds `[lo, hi)` of this shard within
+    /// a campaign of `total` experiments.
+    pub fn bounds(&self, total: usize) -> (usize, usize) {
+        (
+            self.index * total / self.of,
+            (self.index + 1) * total / self.of,
+        )
+    }
+
+    /// Number of experiments this shard covers in a campaign of `total`.
+    pub fn len(&self, total: usize) -> usize {
+        let (lo, hi) = self.bounds(total);
+        hi - lo
+    }
+
+    /// `true` when the shard covers no experiments (more shards than
+    /// experiments).
+    pub fn is_empty(&self, total: usize) -> bool {
+        self.len(total) == 0
+    }
 }
 
 /// The coarse phases of a campaign run, in execution order.
@@ -194,6 +257,18 @@ pub struct CampaignStats {
     /// 1 with prefix-level reuse only, 2 when attack-segment chains ran.
     #[serde(default)]
     pub dag_depth: usize,
+    /// Experiments (plus the golden run) answered from the result cache
+    /// without simulating.
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Cache lookups that found no entry.
+    #[serde(default)]
+    pub cache_misses: usize,
+    /// Cache lookups that found an unusable entry (torn write, corrupt
+    /// JSON, key-echo mismatch, or a row shape the campaign cannot use) —
+    /// treated as misses and overwritten.
+    #[serde(default)]
+    pub cache_stale: usize,
 }
 
 impl CampaignStats {
@@ -220,6 +295,16 @@ impl CampaignStats {
             (self.forked_runs + self.chain_forked_runs) as f64 / total as f64,
             self.chain_forked_runs as f64 / total as f64,
         ]
+    }
+
+    /// Fraction of cache lookups (golden run included) that hit, 0.0–1.0;
+    /// 0.0 when no cache was configured.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses + self.cache_stale;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / lookups as f64
     }
 }
 
@@ -485,6 +570,18 @@ pub struct RunConfig {
     /// sim-side [`comfase_des::EventBudget`] is the reproducible
     /// watchdog.
     pub wall_deadline_s: Option<f64>,
+    /// Restrict the run to one shard of the experiment index space. The
+    /// golden run and classification parameters are still computed (every
+    /// shard classifies against the identical golden run); only the
+    /// experiment sweep is sliced. The journal header records the shard,
+    /// and `comfase-dist` merges shard journals back into the full
+    /// campaign.
+    pub shard: Option<ShardRange>,
+    /// Content-addressed result cache. Experiments (and the golden run)
+    /// whose key is already stored return their journaled rows without
+    /// simulating; fresh results are stored on completion. See
+    /// [`crate::cache`].
+    pub cache: Option<Arc<dyn ExperimentCache>>,
 }
 
 /// Deterministic failure-injection hooks for robustness testing.
@@ -650,6 +747,26 @@ impl Campaign {
         self.setup.nr_experiments()
     }
 
+    /// The canonical fingerprint of this campaign's full configuration —
+    /// seed, traffic scenario, communication model, attack setup, event
+    /// budget and telemetry config (see [`crate::fingerprint`]). Folded
+    /// into journal headers and shard ledgers so artifacts from a
+    /// different configuration refuse to resume or merge.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if a configuration struct cannot be serialized.
+    pub fn fingerprint(&self) -> Result<u64, ComfaseError> {
+        fingerprint::campaign_fingerprint(
+            self.engine.seed(),
+            self.engine.scenario(),
+            self.engine.comm(),
+            &self.setup,
+            self.engine.budget(),
+            self.engine.obs(),
+        )
+    }
+
     /// Runs the whole campaign on `threads` worker threads with the
     /// default execution mode ([`ExecutionMode::PrefixFork`]) and the
     /// default failure policy ([`FailurePolicy::Abort`]).
@@ -800,9 +917,21 @@ impl Campaign {
                 "at least one worker thread required".into(),
             ));
         }
+        if let Some(shard) = config.shard {
+            shard.validate()?;
+        }
         let collect_metrics = self.engine.obs().metrics;
         let specs = self.engine.expand_campaign(&self.setup)?;
         let total = specs.len();
+
+        // Canonical fingerprint — needed only when a journal records it or
+        // a cache keys off the configuration; plain runs skip the
+        // serialization entirely.
+        let fingerprint = if config.journal.is_some() || config.cache.is_some() {
+            self.fingerprint()?
+        } else {
+            0
+        };
 
         // Resume: fold the journal into pre-completed state.
         let mut resumed_records: Vec<ExperimentRecord> = Vec::new();
@@ -814,7 +943,13 @@ impl Campaign {
             })?;
             if path.exists() {
                 let state = read_journal(path)?;
-                state.check_identity(self.engine.seed(), total, &self.setup)?;
+                state.check_identity(
+                    self.engine.seed(),
+                    total,
+                    &self.setup,
+                    fingerprint,
+                    config.shard,
+                )?;
                 for (index, (record, metrics)) in state.completed {
                     completed_idx.insert(index);
                     resumed_records.push(record);
@@ -825,33 +960,184 @@ impl Campaign {
             }
         }
 
+        // The worklist: this process's slice of the experiment index
+        // space — the configured shard's range, or all of it.
+        let worklist: Vec<usize> = match config.shard {
+            Some(shard) => {
+                let (lo, hi) = shard.bounds(total);
+                (lo..hi).collect()
+            }
+            None => (0..total).collect(),
+        };
+
+        // Content-addressed cache: the key components constant across this
+        // campaign's experiments. Computed up front so key-derivation
+        // failures surface before any simulation.
+        let key_base = match config.cache.as_deref() {
+            Some(_) => Some(CacheKeyBase {
+                seed: self.engine.seed(),
+                config_hash: cache::config_hash(
+                    self.engine.scenario(),
+                    self.engine.comm(),
+                    self.engine.budget(),
+                    self.engine.obs(),
+                    config.shard,
+                )?,
+            }),
+            None => None,
+        };
+        let mut cache_hits: usize = 0;
+        let mut cache_misses: usize = 0;
+        let mut cache_stale: usize = 0;
+
         // Step 2: golden run (once — also on resume: classification
         // parameters and the golden metrics row are recomputed, which is
         // deterministic and keeps the journal limited to per-experiment
-        // state).
+        // state). With a cache, the whole golden log is content-addressed:
+        // a hit skips the simulation and recomputes both deterministically
+        // from the stored log.
         observer.phase_started(CampaignPhase::Golden);
-        let golden = self.engine.golden_run()?;
+        let golden = match (config.cache.as_deref(), key_base) {
+            (Some(store), Some(base)) => {
+                let key = base.golden_key();
+                let cached = match store.load(&key) {
+                    CacheLookup::Hit(entry) => match *entry {
+                        CacheEntry::Golden { log } => {
+                            cache_hits += 1;
+                            Some(log)
+                        }
+                        // An experiment payload under the golden key can
+                        // only be corruption; treat it as stale.
+                        CacheEntry::Experiment { .. } => {
+                            cache_stale += 1;
+                            None
+                        }
+                    },
+                    CacheLookup::Miss => {
+                        cache_misses += 1;
+                        None
+                    }
+                    CacheLookup::Stale => {
+                        cache_stale += 1;
+                        None
+                    }
+                };
+                match cached {
+                    Some(log) => log,
+                    None => {
+                        let log = self.engine.golden_run()?;
+                        store.store(&key, &CacheEntry::Golden { log: log.clone() })?;
+                        log
+                    }
+                }
+            }
+            _ => self.engine.golden_run()?,
+        };
         observer.phase_finished(CampaignPhase::Golden);
         let params = ClassificationParams::from_golden(&golden.trace);
+        let golden_row =
+            collect_metrics.then(|| golden.experiment_metrics(0, "Golden".to_string()));
 
-        // Journal writer: create with a header on a fresh run, append on
-        // resume. Opened before the experiment phase so an unwritable
-        // journal fails fast instead of after hours of simulation.
+        // Journal writer: create with a header (followed by the golden
+        // metrics row, which the shard merger needs to rebuild the
+        // campaign artifact) on a fresh run, append on resume. Opened
+        // before the experiment phase so an unwritable journal fails fast
+        // instead of after hours of simulation.
         let journal = match config.journal.as_deref() {
             Some(path) if config.resume && path.exists() => Some(JournalWriter::append_to(path)?),
-            Some(path) => Some(JournalWriter::create(
-                path,
-                &JournalEntry::Header {
-                    schema_version: JOURNAL_SCHEMA_VERSION,
-                    seed: self.engine.seed(),
-                    total,
-                    setup: self.setup.clone(),
-                },
-            )?),
+            Some(path) => {
+                let writer = JournalWriter::create(
+                    path,
+                    &JournalEntry::Header {
+                        schema_version: JOURNAL_SCHEMA_VERSION,
+                        seed: self.engine.seed(),
+                        total,
+                        fingerprint,
+                        shard: config.shard,
+                        setup: self.setup.clone(),
+                    },
+                )?;
+                writer.append(&JournalEntry::Golden {
+                    metrics: golden_row.clone(),
+                })?;
+                Some(writer)
+            }
             None => None,
         };
 
-        let pending: Vec<usize> = (0..total).filter(|i| !completed_idx.contains(i)).collect();
+        // Cache phase: resolve still-pending experiments against the
+        // store before simulating anything. Hits are journaled (in
+        // ascending index order — deterministic) and folded into the
+        // completed state exactly like resumed entries; the stored
+        // index-free record and row are rewritten to this campaign's
+        // index.
+        let mut pending: Vec<usize> = Vec::with_capacity(worklist.len());
+        for &i in &worklist {
+            if completed_idx.contains(&i) {
+                continue;
+            }
+            let hit = match (config.cache.as_deref(), key_base) {
+                (Some(store), Some(base)) => {
+                    let spec_json = fingerprint::canonical_json(&specs[i])?;
+                    let key = base.experiment_key(&spec_json, i, specs[i].model.seed_invariant());
+                    match store.load(&key) {
+                        CacheLookup::Hit(entry) => match *entry {
+                            CacheEntry::Experiment {
+                                mut record,
+                                metrics,
+                            } if record.spec == specs[i]
+                                && !(collect_metrics && metrics.is_none()) =>
+                            {
+                                record.index = i;
+                                let row = metrics.map(|mut row| {
+                                    row.index = i;
+                                    row
+                                });
+                                Some((record, row))
+                            }
+                            // Spec-echo mismatch (hash collision or
+                            // tampering) or a hit missing the telemetry
+                            // this campaign collects: unusable.
+                            _ => {
+                                cache_stale += 1;
+                                None
+                            }
+                        },
+                        CacheLookup::Miss => {
+                            cache_misses += 1;
+                            None
+                        }
+                        CacheLookup::Stale => {
+                            cache_stale += 1;
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            };
+            match hit {
+                Some((record, row)) => {
+                    cache_hits += 1;
+                    if let Some(journal) = journal.as_ref() {
+                        journal.append(&JournalEntry::Completed {
+                            index: i,
+                            record: record.clone(),
+                            metrics: row.clone(),
+                        })?;
+                    }
+                    completed_idx.insert(i);
+                    resumed_records.push(record);
+                    if let Some(row) = row {
+                        resumed_rows.push(row);
+                    }
+                }
+                None => pending.push(i),
+            }
+        }
+        // Everything this process must finish: prior completions (resumed
+        // or cache-hit) plus the remaining pending work. Equal to `total`
+        // for an unsharded run.
+        let target = completed_idx.len() + pending.len();
 
         // Prefix phase: one attack-free snapshot per distinct start time
         // still pending — built in parallel from scratch (`PrefixFork`) or
@@ -882,6 +1168,9 @@ impl Campaign {
                 attack_chains: plan.chains(),
                 chain_forked_runs: plan.chained_leaves(),
                 dag_depth: plan.depth(),
+                cache_hits,
+                cache_misses,
+                cache_stale,
             },
             None => CampaignStats {
                 prefix_snapshots: prefixes.len(),
@@ -895,6 +1184,9 @@ impl Campaign {
                 } else {
                     0
                 },
+                cache_hits,
+                cache_misses,
+                cache_stale,
                 ..CampaignStats::default()
             },
         };
@@ -914,6 +1206,8 @@ impl Campaign {
         let first_error: Mutex<Option<ComfaseError>> = Mutex::new(None);
         let sink = ResultSink {
             journal: journal.as_ref(),
+            cache: config.cache.as_deref(),
+            key_base,
             records: &records,
             metrics_rows: &metrics_rows,
             failures: &failures,
@@ -925,7 +1219,7 @@ impl Campaign {
             deadline: deadline.as_ref(),
             deadline_hit: &deadline_hit,
             park_at: nr_units,
-            total,
+            total: target,
             failure_policy: config.failure_policy,
             progress,
             observer,
@@ -976,9 +1270,9 @@ impl Campaign {
         }
         if deadline_hit.load(Ordering::Relaxed) {
             let d = done.load(Ordering::Relaxed);
-            if d < total {
+            if d < target {
                 return Err(ComfaseError::BudgetExceeded(format!(
-                    "wall-clock deadline of {:.1}s reached after {d}/{total} experiments{}",
+                    "wall-clock deadline of {:.1}s reached after {d}/{target} experiments{}",
                     config.wall_deadline_s.unwrap_or(0.0),
                     if config.journal.is_some() {
                         "; completed work is journaled — resume to continue"
@@ -995,12 +1289,8 @@ impl Campaign {
         // CampaignMetrics::build re-sorts the rows by experiment index, so
         // the artifact is independent of worker-thread completion order —
         // and, on resume, of which rows came from the journal.
-        let metrics = collect_metrics.then(|| {
-            CampaignMetrics::build(
-                metrics_rows.into_inner(),
-                Some(golden.experiment_metrics(0, "Golden".to_string())),
-            )
-        });
+        let metrics =
+            collect_metrics.then(|| CampaignMetrics::build(metrics_rows.into_inner(), golden_row));
         Ok(CampaignResult {
             records,
             params,
@@ -1303,6 +1593,8 @@ type ExperimentOutcome = Result<
 /// callbacks, and the abort/deadline controls.
 struct ResultSink<'a> {
     journal: Option<&'a JournalWriter>,
+    cache: Option<&'a dyn ExperimentCache>,
+    key_base: Option<CacheKeyBase>,
     records: &'a Mutex<Vec<ExperimentRecord>>,
     metrics_rows: &'a Mutex<Vec<ExperimentMetrics>>,
     failures: &'a Mutex<Vec<ExperimentFailure>>,
@@ -1360,6 +1652,17 @@ impl ResultSink<'_> {
                         metrics: row.clone(),
                     };
                     if let Err(e) = journal.append(&entry) {
+                        self.first_error.lock().get_or_insert(e);
+                        self.stop();
+                        return false;
+                    }
+                }
+                // Cache stores are as load-bearing as journal appends: a
+                // result silently dropped here would force a re-simulation
+                // the user believes is cached, so failures abort the
+                // campaign like journal I/O errors do.
+                if let (Some(cache_store), Some(base)) = (self.cache, self.key_base) {
+                    if let Err(e) = store_experiment(cache_store, base, &record, row.as_ref()) {
                         self.first_error.lock().get_or_insert(e);
                         self.stop();
                         return false;
@@ -1425,6 +1728,34 @@ impl ResultSink<'_> {
             }
         }
     }
+}
+
+/// Stores one completed experiment in the content-addressed cache. The
+/// stored record and row are index-free (index rewritten to 0) so one
+/// entry for a seed-invariant attack serves the spec at any experiment
+/// index, in any campaign over the same configuration.
+fn store_experiment(
+    cache_store: &dyn ExperimentCache,
+    base: CacheKeyBase,
+    record: &ExperimentRecord,
+    row: Option<&ExperimentMetrics>,
+) -> Result<(), ComfaseError> {
+    let spec_json = fingerprint::canonical_json(&record.spec)?;
+    let key = base.experiment_key(&spec_json, record.index, record.spec.model.seed_invariant());
+    let mut stored = record.clone();
+    stored.index = 0;
+    let metrics = row.map(|row| {
+        let mut row = row.clone();
+        row.index = 0;
+        row
+    });
+    cache_store.store(
+        &key,
+        &CacheEntry::Experiment {
+            record: stored,
+            metrics,
+        },
+    )
 }
 
 /// Best-effort extraction of a panic payload's message.

@@ -1,0 +1,118 @@
+//! Canonical campaign fingerprinting.
+//!
+//! A campaign's *fingerprint* is a stable 64-bit hash over everything that
+//! determines its results: engine seed, traffic scenario, communication
+//! model, attack campaign setup, event budget and telemetry configuration.
+//! Two campaigns with equal fingerprints expand to the same experiment
+//! list and — by the workspace's determinism invariant — produce
+//! byte-identical artifacts, so the fingerprint is safe to use as an
+//! identity check for journal resume, shard merging and the
+//! content-addressed result cache.
+//!
+//! Canonicalization rides on the same machinery that makes `metrics.json`
+//! reproducible: every configuration struct serializes through serde_json
+//! with `BTreeMap`-ordered maps and Ryu shortest-representation floats, so
+//! equal values always produce equal bytes. The hash is FNV-1a 64 — small,
+//! dependency-free, and stable across platforms (the auditor's file cache
+//! uses the same function for the same reason).
+//!
+//! Deliberately **excluded** from the fingerprint: worker-thread count,
+//! execution mode and indexing substrate. All three are proven
+//! byte-identity-preserving (see `tests/tests/index_equivalence.rs`), so
+//! journals and cache entries written under one are valid under any other.
+
+use comfase_des::sim::EventBudget;
+use comfase_obs::ObsConfig;
+
+use crate::config::{AttackCampaignSetup, CommModel, TrafficScenario};
+use crate::error::ComfaseError;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Domain-separation tag folded in first, bumped on any change to the
+/// fingerprint input layout so old journals fail identity checks loudly
+/// instead of colliding silently.
+const FINGERPRINT_DOMAIN: &[u8] = b"comfase-campaign-fingerprint-v1";
+
+/// Folds `bytes` into an FNV-1a 64 running hash.
+pub fn fnv1a64_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 64 of one byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_extend(FNV_OFFSET, bytes)
+}
+
+/// Canonical JSON bytes of a serializable value. serde_json with the
+/// workspace's `BTreeMap`-everywhere convention is canonical: equal values
+/// serialize to equal bytes on every platform.
+pub fn canonical_json<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, ComfaseError> {
+    serde_json::to_vec(value)
+        .map_err(|e| ComfaseError::InvalidConfig(format!("canonicalization failed: {e}")))
+}
+
+/// Hashes one length-delimited field into the running fingerprint.
+/// Length-delimiting keeps field boundaries unambiguous — concatenating
+/// `"ab" + "c"` can never collide with `"a" + "bc"`.
+fn fold_field(hash: u64, bytes: &[u8]) -> u64 {
+    let hash = fnv1a64_extend(hash, &(bytes.len() as u64).to_le_bytes());
+    fnv1a64_extend(hash, bytes)
+}
+
+/// Computes the canonical fingerprint of a campaign configuration.
+///
+/// # Errors
+///
+/// Fails only if a configuration struct cannot be serialized — which the
+/// workspace's own artifact writers would equally fail on.
+pub fn campaign_fingerprint(
+    seed: u64,
+    scenario: &TrafficScenario,
+    comm: &CommModel,
+    setup: &AttackCampaignSetup,
+    budget: EventBudget,
+    obs: ObsConfig,
+) -> Result<u64, ComfaseError> {
+    let mut hash = fnv1a64(FINGERPRINT_DOMAIN);
+    hash = fold_field(hash, &seed.to_le_bytes());
+    hash = fold_field(hash, &canonical_json(scenario)?);
+    hash = fold_field(hash, &canonical_json(comm)?);
+    hash = fold_field(hash, &canonical_json(setup)?);
+    hash = fold_field(hash, &canonical_json(&budget.max_delivered)?);
+    hash = fold_field(hash, &canonical_json(&budget.max_sim_time)?);
+    hash = fold_field(hash, &[u8::from(obs.metrics)]);
+    hash = fold_field(hash, &(obs.trace_capacity as u64).to_le_bytes());
+    Ok(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_folding_is_boundary_unambiguous() {
+        let h1 = fold_field(fold_field(FNV_OFFSET, b"ab"), b"c");
+        let h2 = fold_field(fold_field(FNV_OFFSET, b"a"), b"bc");
+        assert_ne!(h1, h2);
+    }
+
+    // Fingerprints over real configs exercise serde_json and are covered
+    // by the integration suite (`tests/tests/dist.rs`), which runs with
+    // the real registry dependencies.
+}

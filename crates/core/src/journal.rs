@@ -37,13 +37,19 @@ use std::collections::BTreeMap;
 
 use comfase_obs::ExperimentMetrics;
 
-use crate::campaign::{ExperimentFailure, ExperimentRecord};
+use crate::campaign::{ExperimentFailure, ExperimentRecord, ShardRange};
 use crate::config::AttackCampaignSetup;
 use crate::error::ComfaseError;
 
 /// Version stamp written in the journal header; bumped on breaking layout
 /// changes so a resume against an old journal fails loudly.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the header carries the canonical campaign fingerprint (full-config
+/// identity — see [`crate::fingerprint`]) and an optional shard range, and
+/// a `golden` entry with the golden-run metrics row follows the header so
+/// shard journals merge into a complete `metrics.json` without
+/// re-simulating anything.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 2;
 
 /// One line of the campaign journal.
 ///
@@ -61,10 +67,31 @@ pub enum JournalEntry {
         schema_version: u32,
         /// Engine seed of the writing campaign.
         seed: u64,
-        /// Total number of experiments in the expanded campaign.
+        /// Total number of experiments in the expanded campaign — the
+        /// *whole* campaign, not the shard's slice.
         total: usize,
+        /// Canonical fingerprint of the full campaign configuration
+        /// (seed, scenario, comm model, setup, budget, telemetry — see
+        /// [`crate::fingerprint::campaign_fingerprint`]). Resume and merge
+        /// refuse journals whose fingerprint differs: the `setup` field
+        /// alone cannot see a changed scenario or communication model.
+        #[serde(default)]
+        fingerprint: u64,
+        /// The shard of the experiment index space this journal covers;
+        /// `None` for an unsharded campaign.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        shard: Option<ShardRange>,
         /// The attack campaign setup (expansion input).
         setup: AttackCampaignSetup,
+    },
+    /// Second line of every journal: the golden (attack-free) reference
+    /// run's metrics row, present when the campaign collects telemetry.
+    /// Recorded so shard journals carry everything `metrics.json` needs —
+    /// a merge never re-simulates.
+    Golden {
+        /// Golden-run metrics row ([`ExperimentMetrics`]), when collected.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        metrics: Option<ExperimentMetrics>,
     },
     /// An experiment finished successfully.
     Completed {
@@ -141,11 +168,30 @@ fn io_err(path: &Path, e: &std::io::Error) -> ComfaseError {
     ComfaseError::Io(format!("journal {}: {e}", path.display()))
 }
 
+/// Header fields of a parsed journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalHeader {
+    /// Journal layout version.
+    pub schema_version: u32,
+    /// Engine seed of the writing campaign.
+    pub seed: u64,
+    /// Total experiments of the whole campaign.
+    pub total: usize,
+    /// Canonical full-config fingerprint.
+    pub fingerprint: u64,
+    /// Shard covered by this journal, `None` when unsharded.
+    pub shard: Option<ShardRange>,
+    /// The attack campaign setup.
+    pub setup: AttackCampaignSetup,
+}
+
 /// Parsed journal contents, deduplicated by experiment index (last wins).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct JournalState {
     /// Header fields, if a header line was present.
-    pub header: Option<(u32, u64, usize, AttackCampaignSetup)>,
+    pub header: Option<JournalHeader>,
+    /// Golden-run metrics row, if a golden entry carried one.
+    pub golden: Option<ExperimentMetrics>,
     /// Completed experiments by index: record plus optional metrics row.
     pub completed: BTreeMap<usize, (ExperimentRecord, Option<ExperimentMetrics>)>,
     /// Terminal failures by index. An index later journaled as completed
@@ -155,31 +201,63 @@ pub struct JournalState {
 
 impl JournalState {
     /// Verifies the journal was written by a campaign with the same
-    /// identity (seed, experiment count, setup) and schema version.
+    /// identity — seed, experiment count, setup, canonical full-config
+    /// fingerprint, shard — and a supported schema version.
+    ///
+    /// A malformed journal (no header, unsupported schema) is
+    /// [`ComfaseError::Io`]; a well-formed journal that belongs to a
+    /// *different* campaign is [`ComfaseError::InvalidConfig`] — the
+    /// caller's configuration, not the file, is what disagrees.
     pub fn check_identity(
         &self,
         seed: u64,
         total: usize,
         setup: &AttackCampaignSetup,
+        fingerprint: u64,
+        shard: Option<ShardRange>,
     ) -> Result<(), ComfaseError> {
-        let Some((version, j_seed, j_total, j_setup)) = &self.header else {
+        let Some(header) = &self.header else {
             return Err(ComfaseError::Io(
                 "journal has no header line; refusing to resume".into(),
             ));
         };
-        if *version != JOURNAL_SCHEMA_VERSION {
+        if header.schema_version != JOURNAL_SCHEMA_VERSION {
             return Err(ComfaseError::Io(format!(
-                "journal schema version {version} != supported {JOURNAL_SCHEMA_VERSION}"
+                "journal schema version {} != supported {JOURNAL_SCHEMA_VERSION}",
+                header.schema_version
             )));
         }
-        if *j_seed != seed || *j_total != total || j_setup != setup {
-            return Err(ComfaseError::Io(format!(
+        if header.seed != seed || header.total != total || header.setup != *setup {
+            return Err(ComfaseError::InvalidConfig(format!(
                 "journal belongs to a different campaign \
-                 (journal: seed {j_seed}, {j_total} experiments; \
-                 resuming: seed {seed}, {total} experiments)"
+                 (journal: seed {}, {} experiments; \
+                 resuming: seed {seed}, {total} experiments)",
+                header.seed, header.total
+            )));
+        }
+        if header.fingerprint != fingerprint {
+            return Err(ComfaseError::InvalidConfig(format!(
+                "journal belongs to a different campaign configuration \
+                 (journal fingerprint {:016x}, resuming {fingerprint:016x}): \
+                 the scenario, comm model, budget or telemetry config changed",
+                header.fingerprint
+            )));
+        }
+        if header.shard != shard {
+            return Err(ComfaseError::InvalidConfig(format!(
+                "journal covers shard {} but the resuming campaign runs {}",
+                describe_shard(header.shard),
+                describe_shard(shard)
             )));
         }
         Ok(())
+    }
+}
+
+fn describe_shard(shard: Option<ShardRange>) -> String {
+    match shard {
+        Some(s) => format!("{}/{}", s.index, s.of),
+        None => "unsharded".to_string(),
     }
 }
 
@@ -216,9 +294,21 @@ pub fn read_journal(path: &Path) -> Result<JournalState, ComfaseError> {
                 schema_version,
                 seed,
                 total,
+                fingerprint,
+                shard,
                 setup,
             } => {
-                state.header = Some((schema_version, seed, total, setup));
+                state.header = Some(JournalHeader {
+                    schema_version,
+                    seed,
+                    total,
+                    fingerprint,
+                    shard,
+                    setup,
+                });
+            }
+            JournalEntry::Golden { metrics } => {
+                state.golden = metrics;
             }
             JournalEntry::Completed {
                 index,
@@ -278,11 +368,15 @@ mod tests {
         }
     }
 
+    const TEST_FINGERPRINT: u64 = 0xdead_beef_cafe_f00d;
+
     fn header() -> JournalEntry {
         JournalEntry::Header {
             schema_version: JOURNAL_SCHEMA_VERSION,
             seed: 42,
             total: 8,
+            fingerprint: TEST_FINGERPRINT,
+            shard: None,
             setup: setup(),
         }
     }
@@ -316,7 +410,9 @@ mod tests {
         drop(writer);
 
         let state = read_journal(&path).unwrap();
-        state.check_identity(42, 8, &setup()).unwrap();
+        state
+            .check_identity(42, 8, &setup(), TEST_FINGERPRINT, None)
+            .unwrap();
         assert_eq!(state.completed.len(), 1);
         assert_eq!(state.completed[&3].0, record(3));
         assert_eq!(state.failures[&5], failure);
@@ -408,15 +504,58 @@ mod tests {
 
     #[test]
     fn identity_mismatch_is_rejected() {
+        let fp = TEST_FINGERPRINT;
         let state = JournalState {
-            header: Some((JOURNAL_SCHEMA_VERSION, 42, 8, setup())),
+            header: Some(JournalHeader {
+                schema_version: JOURNAL_SCHEMA_VERSION,
+                seed: 42,
+                total: 8,
+                fingerprint: fp,
+                shard: None,
+                setup: setup(),
+            }),
             ..JournalState::default()
         };
-        assert!(state.check_identity(42, 8, &setup()).is_ok());
-        assert!(state.check_identity(43, 8, &setup()).is_err());
-        assert!(state.check_identity(42, 9, &setup()).is_err());
+        assert!(state.check_identity(42, 8, &setup(), fp, None).is_ok());
+        assert!(state.check_identity(43, 8, &setup(), fp, None).is_err());
+        assert!(state.check_identity(42, 9, &setup(), fp, None).is_err());
         let mut other = setup();
         other.attack_values = vec![9.0];
-        assert!(state.check_identity(42, 8, &other).is_err());
+        assert!(state.check_identity(42, 8, &other, fp, None).is_err());
+        // A changed scenario/comm/budget only shows up in the fingerprint —
+        // exactly the resume hole the fingerprint closes.
+        let err = state
+            .check_identity(42, 8, &setup(), fp ^ 1, None)
+            .unwrap_err();
+        assert!(matches!(err, ComfaseError::InvalidConfig(_)), "{err:?}");
+        // A shard journal only resumes under the same shard.
+        let shard = ShardRange { index: 0, of: 2 };
+        let err = state
+            .check_identity(42, 8, &setup(), fp, Some(shard))
+            .unwrap_err();
+        assert!(matches!(err, ComfaseError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn golden_entry_round_trips() {
+        let dir = std::env::temp_dir().join("comfase-journal-golden");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        let writer = JournalWriter::create(&path, &header()).unwrap();
+        let row = ExperimentMetrics {
+            index: 0,
+            classification: "Golden".into(),
+            max_decel_mps2: 1.5,
+            ..ExperimentMetrics::default()
+        };
+        writer
+            .append(&JournalEntry::Golden {
+                metrics: Some(row.clone()),
+            })
+            .unwrap();
+        drop(writer);
+        let state = read_journal(&path).unwrap();
+        assert_eq!(state.golden, Some(row));
+        std::fs::remove_file(&path).unwrap();
     }
 }

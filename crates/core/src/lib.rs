@@ -50,11 +50,13 @@
 
 pub mod analysis;
 pub mod attack;
+pub mod cache;
 pub mod campaign;
 pub mod classify;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fingerprint;
 pub mod journal;
 pub mod log;
 pub mod report;
@@ -64,10 +66,11 @@ pub mod world;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
+    pub use crate::cache::{CacheEntry, CacheKey, CacheKeyBase, CacheLookup, ExperimentCache};
     pub use crate::campaign::{
         Campaign, CampaignObserver, CampaignPhase, CampaignResult, CampaignStats, ChaosConfig,
         DagPlan, DagUnit, ExecutionMode, ExperimentFailure, ExperimentRecord, FailureKind,
-        FailurePolicy, NullObserver, RetryPolicy, RunConfig,
+        FailurePolicy, NullObserver, RetryPolicy, RunConfig, ShardRange,
     };
     pub use crate::classify::{Classification, ClassificationParams, Verdict};
     pub use crate::config::{
@@ -75,7 +78,9 @@ pub mod prelude {
     };
     pub use crate::engine::Engine;
     pub use crate::error::ComfaseError;
-    pub use crate::journal::{read_journal, JournalEntry, JournalState, JournalWriter};
+    pub use crate::journal::{
+        read_journal, JournalEntry, JournalHeader, JournalState, JournalWriter,
+    };
     pub use crate::log::RunLog;
     pub use crate::teleop::{TeleopLink, TeleopScenario, TeleopWorld};
     pub use crate::world::{IndexingMode, JammerSpec, RunFault, RunFaultKind, World};

@@ -1,0 +1,179 @@
+// comfase-lint: host-region(reason = "content-addressed result cache: durable file I/O at the campaign boundary; entries are keyed by (spec, seed, config) content hashes and echo their key, so a hit can never alter what a simulation would have produced")
+//! On-disk content-addressed store of experiment results.
+//!
+//! Layout: `<root>/<hh>/<spec>-<seed>-<config>.json`, where `<hh>` is
+//! the first two hex digits of the spec hash (256-way fan-out keeps
+//! directory listings short on big campaigns) and the file stem is
+//! [`CacheKey::stem`]. Each file holds one JSON object `{key, entry}`;
+//! the echoed key is verified on load, so a renamed or corrupted file
+//! degrades to [`CacheLookup::Stale`] — never to a wrong result.
+//!
+//! Writes are atomic: the entry is serialized to a unique temp file in
+//! the final directory, fsync'd, then renamed over the destination.
+//! Concurrent writers (campaign worker threads, or whole shard
+//! processes sharing one cache directory) therefore never expose a torn
+//! entry; the last complete write wins, and equal keys imply equal
+//! payloads by construction.
+
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use comfase::cache::{CacheEntry, CacheKey, CacheLookup, ExperimentCache};
+use comfase::prelude::ComfaseError;
+
+/// One cache file: the entry plus an echo of its own key, verified on
+/// load to catch renamed or cross-copied files.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheFile {
+    key: CacheKey,
+    entry: CacheEntry,
+}
+
+/// A content-addressed experiment result cache rooted at a directory.
+#[derive(Debug)]
+pub struct DiskCache {
+    root: PathBuf,
+    /// Per-process temp-file sequence; combined with the process id so
+    /// concurrent writers (threads or shard processes) never collide on
+    /// a temp name.
+    seq: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`ComfaseError::Io`] when the root directory cannot be created.
+    pub fn create<P: AsRef<Path>>(root: P) -> Result<Self, ComfaseError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root).map_err(|e| io_err(&root, &e))?;
+        Ok(DiskCache {
+            root,
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Final path of `key`'s entry.
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        let stem = key.stem();
+        self.root.join(&stem[..2]).join(format!("{stem}.json"))
+    }
+}
+
+impl ExperimentCache for DiskCache {
+    fn load(&self, key: &CacheKey) -> CacheLookup {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
+            // Unreadable entries (permissions, I/O errors) are stale, not
+            // fatal: the campaign re-simulates and overwrites.
+            Err(_) => return CacheLookup::Stale,
+        };
+        match serde_json::from_slice::<CacheFile>(&bytes) {
+            Ok(file) if file.key == *key => CacheLookup::Hit(Box::new(file.entry)),
+            // Corrupt JSON or a key echo that does not match the file's
+            // address — torn write, rename, or hash collision.
+            _ => CacheLookup::Stale,
+        }
+    }
+
+    fn store(&self, key: &CacheKey, entry: &CacheEntry) -> Result<(), ComfaseError> {
+        let path = self.entry_path(key);
+        let dir = path.parent().expect("entry paths always have a parent");
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        let file = CacheFile {
+            key: *key,
+            entry: entry.clone(),
+        };
+        let bytes = serde_json::to_vec(&file)
+            .map_err(|e| ComfaseError::Io(format!("cache encode {}: {e}", path.display())))?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = write_atomically(&tmp, &path, &bytes);
+        if result.is_err() {
+            // Best-effort cleanup; the original error is what matters.
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+/// Writes `bytes` to `tmp`, fsyncs, and renames over `dest`.
+fn write_atomically(tmp: &Path, dest: &Path, bytes: &[u8]) -> Result<(), ComfaseError> {
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(tmp)
+        .map_err(|e| io_err(tmp, &e))?;
+    file.write_all(bytes).map_err(|e| io_err(tmp, &e))?;
+    file.sync_data().map_err(|e| io_err(tmp, &e))?;
+    drop(file);
+    fs::rename(tmp, dest).map_err(|e| io_err(dest, &e))
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> ComfaseError {
+    ComfaseError::Io(format!("cache {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("comfase-dist-cache-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_key() -> CacheKey {
+        CacheKey {
+            spec_hash: 0x1234,
+            seed: 42,
+            config_hash: 7,
+        }
+    }
+
+    #[test]
+    fn missing_entry_is_a_miss() {
+        let cache = DiskCache::create(tmp_root("miss")).unwrap();
+        assert_eq!(cache.load(&sample_key()), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn torn_entry_is_stale_not_fatal() {
+        let cache = DiskCache::create(tmp_root("torn")).unwrap();
+        let key = sample_key();
+        let path = cache.entry_path(&key);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, b"{\"key\":{\"spec_hash\":46").unwrap();
+        assert_eq!(cache.load(&key), CacheLookup::Stale);
+    }
+
+    #[test]
+    fn entry_paths_fan_out_by_spec_hash_prefix() {
+        let cache = DiskCache::create(tmp_root("fanout")).unwrap();
+        let path = cache.entry_path(&sample_key());
+        let dir = path.parent().unwrap().file_name().unwrap();
+        assert_eq!(dir, "00", "0x1234 zero-pads to 0000…1234, prefix 00");
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .ends_with(".json"));
+    }
+}

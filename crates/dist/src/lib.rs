@@ -1,0 +1,39 @@
+//! # comfase-dist — sharded campaign execution for ComFASE-RS
+//!
+//! The full Table II delay campaign is 11 250 experiments; one process
+//! runs it fine, but a grid of machines runs it in a fraction of the
+//! wall time *if and only if* the split cannot change the result. This
+//! crate provides the three pieces that make sharding safe:
+//!
+//! 1. **Shard ledger** ([`shard`]) — a deterministic partition of the
+//!    experiment index space into `n` disjoint, covering, balanced
+//!    slices, each stamped with the campaign's canonical configuration
+//!    fingerprint (see `comfase::fingerprint`) so shards of *different*
+//!    campaigns refuse to merge.
+//! 2. **Merger** ([`merge`]) — reassembles the per-shard checkpoint
+//!    journals into one [`comfase_obs::CampaignMetrics`] artifact,
+//!    byte-identical to the single-process run's. Identity is checked
+//!    field by field (seed, setup, fingerprint, shard bounds, golden
+//!    row agreement), and coverage must be exact: missing or
+//!    conflicting experiments are hard errors, never silently dropped.
+//! 3. **Result cache** ([`cache`]) — a content-addressed on-disk store
+//!    implementing `comfase::cache::ExperimentCache`: experiments keyed
+//!    by `(spec, seed, configuration)` return their journaled rows
+//!    without simulating on a re-run.
+//!
+//! Everything here is host-side tooling; no simulation state lives in
+//! this crate. The determinism burden is carried by the workspace
+//! invariant (byte-identical artifacts across execution modes, thread
+//! counts and indexing substrates), which is what makes "merge journals
+//! from different machines" equivalent to "run it all here".
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod merge;
+pub mod shard;
+
+pub use cache::DiskCache;
+pub use merge::{merge_journals, merge_states};
+pub use shard::{parse_shard, plan_shards, ShardSpec};

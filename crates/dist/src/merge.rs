@@ -1,0 +1,382 @@
+//! Reassembling shard journals into one campaign artifact.
+//!
+//! Each shard process checkpoints its slice of the campaign into a
+//! standard journal (`comfase::journal`, schema v2): a header carrying
+//! the campaign identity (seed, total, setup, canonical configuration
+//! fingerprint, shard range), the golden metrics row, and one line per
+//! finished experiment. The merger folds those journals back into the
+//! [`CampaignMetrics`] a single-process run would have produced.
+//!
+//! **Why merge order cannot affect the bytes:** every journal line is
+//! keyed by its experiment index, the golden row is identical in every
+//! shard (same configuration, and the workspace's determinism invariant
+//! makes the golden run reproducible), and
+//! [`CampaignMetrics::build`] sorts rows by index before serializing.
+//! The merger's only degrees of freedom are *checks* — identity,
+//! coverage, agreement — not ordering, so any permutation of input
+//! journals yields the same artifact or the same error.
+//!
+//! The checks are strict by design. Refused with a clear
+//! [`ComfaseError`]: journals from different campaigns (any identity
+//! field disagrees), a shard journal straying outside its declared
+//! bounds, two journals disagreeing about one experiment, incomplete
+//! coverage of `0..total`, unresolved failures, and journals written
+//! without telemetry (there are no rows to merge).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use comfase_obs::{CampaignMetrics, ExperimentMetrics};
+
+use comfase::journal::{read_journal, JournalHeader, JournalState, JOURNAL_SCHEMA_VERSION};
+use comfase::prelude::{ComfaseError, ExperimentRecord};
+
+/// Reads and merges shard journals into the campaign's metrics artifact.
+///
+/// # Errors
+///
+/// [`ComfaseError::Io`] for unreadable or malformed journals;
+/// [`ComfaseError::InvalidConfig`] when the journals are well-formed but
+/// do not assemble into one complete campaign (see the module docs for
+/// the full list of refusals).
+pub fn merge_journals<P: AsRef<Path>>(paths: &[P]) -> Result<CampaignMetrics, ComfaseError> {
+    let states = paths
+        .iter()
+        .map(|p| read_journal(p.as_ref()))
+        .collect::<Result<Vec<_>, _>>()?;
+    merge_states(&states)
+}
+
+/// Merges already-parsed journal states. Separated from
+/// [`merge_journals`] so the merge logic is testable without touching
+/// the filesystem.
+///
+/// # Errors
+///
+/// As for [`merge_journals`].
+pub fn merge_states(states: &[JournalState]) -> Result<CampaignMetrics, ComfaseError> {
+    if states.is_empty() {
+        return Err(ComfaseError::InvalidConfig(
+            "merge requires at least one journal".into(),
+        ));
+    }
+
+    // Identity: every journal must declare the same campaign.
+    let headers: Vec<&JournalHeader> = states
+        .iter()
+        .enumerate()
+        .map(|(n, s)| {
+            s.header.as_ref().ok_or_else(|| {
+                ComfaseError::Io(format!(
+                    "journal #{n} has no header line; refusing to merge"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let first = headers[0];
+    for (n, header) in headers.iter().enumerate() {
+        if header.schema_version != JOURNAL_SCHEMA_VERSION {
+            return Err(ComfaseError::Io(format!(
+                "journal #{n}: schema version {} != supported {JOURNAL_SCHEMA_VERSION}",
+                header.schema_version
+            )));
+        }
+        if header.seed != first.seed
+            || header.total != first.total
+            || header.fingerprint != first.fingerprint
+            || header.setup != first.setup
+        {
+            return Err(ComfaseError::InvalidConfig(format!(
+                "journal #{n} belongs to a different campaign than journal #0 \
+                 (seed {} vs {}, {} vs {} experiments, fingerprint {:016x} vs {:016x})",
+                header.seed,
+                first.seed,
+                header.total,
+                first.total,
+                header.fingerprint,
+                first.fingerprint
+            )));
+        }
+    }
+    let total = first.total;
+
+    // Fold completions, checking shard bounds and cross-journal
+    // agreement; record which indices still carry unresolved failures.
+    let mut merged: BTreeMap<usize, (ExperimentRecord, Option<ExperimentMetrics>)> =
+        BTreeMap::new();
+    let mut golden: Option<ExperimentMetrics> = None;
+    for (n, (state, header)) in states.iter().zip(&headers).enumerate() {
+        let bounds = header.shard.map(|s| s.bounds(total));
+        for (&index, entry) in &state.completed {
+            if index >= total {
+                return Err(ComfaseError::InvalidConfig(format!(
+                    "journal #{n}: experiment {index} out of range for {total} experiments"
+                )));
+            }
+            if let Some((lo, hi)) = bounds {
+                if index < lo || index >= hi {
+                    return Err(ComfaseError::InvalidConfig(format!(
+                        "journal #{n}: experiment {index} outside its declared \
+                         shard range [{lo}, {hi})"
+                    )));
+                }
+            }
+            match merged.get(&index) {
+                Some(existing) if existing != entry => {
+                    return Err(ComfaseError::InvalidConfig(format!(
+                        "journal #{n}: experiment {index} disagrees with an \
+                         earlier journal's record for the same index"
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    merged.insert(index, entry.clone());
+                }
+            }
+        }
+        if let Some(row) = &state.golden {
+            match &golden {
+                Some(existing) if existing != row => {
+                    return Err(ComfaseError::InvalidConfig(format!(
+                        "journal #{n}: golden metrics row disagrees with an \
+                         earlier journal's — the shards did not run the same \
+                         configuration"
+                    )));
+                }
+                _ => golden = Some(row.clone()),
+            }
+        }
+        if let Some((&index, failure)) = state
+            .failures
+            .iter()
+            .find(|(i, _)| !state.completed.contains_key(i))
+        {
+            return Err(ComfaseError::InvalidConfig(format!(
+                "journal #{n}: experiment {index} failed ({}) and was never \
+                 re-run to completion; resume that shard before merging",
+                failure.kind.name()
+            )));
+        }
+    }
+
+    // Coverage: the union of the journals must be the whole campaign.
+    let missing: Vec<usize> = (0..total).filter(|i| !merged.contains_key(i)).collect();
+    if !missing.is_empty() {
+        let shown: Vec<String> = missing.iter().take(8).map(|i| i.to_string()).collect();
+        return Err(ComfaseError::InvalidConfig(format!(
+            "merged journals cover {}/{total} experiments; missing {}{}",
+            merged.len(),
+            shown.join(", "),
+            if missing.len() > shown.len() {
+                format!(" and {} more", missing.len() - shown.len())
+            } else {
+                String::new()
+            }
+        )));
+    }
+
+    let golden = golden.ok_or_else(|| {
+        ComfaseError::InvalidConfig(
+            "no journal carries a golden metrics row; the shards ran without \
+             telemetry, so there is no metrics artifact to merge"
+                .into(),
+        )
+    })?;
+    let rows = merged
+        .into_iter()
+        .map(|(index, (_, row))| {
+            row.ok_or_else(|| {
+                ComfaseError::InvalidConfig(format!(
+                    "experiment {index} has no metrics row; its shard ran \
+                     without telemetry"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CampaignMetrics::build(rows, Some(golden)))
+}
+
+// The tests below build `JournalState` values directly (no files, no
+// JSON): the merge logic is pure, and the end-to-end path through real
+// shard journals is covered by `tests/tests/dist.rs`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comfase::prelude::{
+        AttackCampaignSetup, AttackModelKind, AttackSpec, Classification, ShardRange, Verdict,
+    };
+    use comfase_des::time::SimTime;
+
+    const FP: u64 = 0x5eed_f00d_0000_0001;
+
+    fn setup() -> AttackCampaignSetup {
+        AttackCampaignSetup {
+            attack_model: AttackModelKind::Delay,
+            target_vehicles: vec![2],
+            attack_values: vec![1.0, 2.0],
+            attack_starts_s: vec![17.0],
+            attack_durations_s: vec![5.0, 10.0],
+        }
+    }
+
+    fn record(index: usize) -> (ExperimentRecord, Option<ExperimentMetrics>) {
+        let spec = AttackSpec {
+            model: AttackModelKind::Delay,
+            value: 1.0 + index as f64,
+            targets: vec![2].into(),
+            start: SimTime::from_secs(17),
+            end: SimTime::from_secs(22),
+        };
+        let verdict = Verdict {
+            class: Classification::Negligible,
+            max_decel_mps2: 1.0 + index as f64 / 10.0,
+            max_speed_deviation_mps: 0.1,
+            first_collision: None,
+            nr_collisions: 0,
+        };
+        let row = ExperimentMetrics {
+            index,
+            classification: "Negligible".to_string(),
+            max_decel_mps2: 1.0 + index as f64 / 10.0,
+            ..ExperimentMetrics::default()
+        };
+        (
+            ExperimentRecord {
+                index,
+                spec,
+                verdict,
+            },
+            Some(row),
+        )
+    }
+
+    fn golden_row() -> ExperimentMetrics {
+        ExperimentMetrics {
+            index: 0,
+            classification: "Golden".to_string(),
+            max_decel_mps2: 0.9,
+            ..ExperimentMetrics::default()
+        }
+    }
+
+    /// A journal state covering `indices` of a `total`-experiment
+    /// campaign, declared as `shard`.
+    fn state(total: usize, shard: Option<ShardRange>, indices: &[usize]) -> JournalState {
+        JournalState {
+            header: Some(JournalHeader {
+                schema_version: JOURNAL_SCHEMA_VERSION,
+                seed: 42,
+                total,
+                fingerprint: FP,
+                shard,
+                setup: setup(),
+            }),
+            golden: Some(golden_row()),
+            completed: indices.iter().map(|&i| (i, record(i))).collect(),
+            failures: BTreeMap::new(),
+        }
+    }
+
+    fn is_invalid(err: ComfaseError) -> bool {
+        matches!(err, ComfaseError::InvalidConfig(_))
+    }
+
+    #[test]
+    fn merging_shards_equals_the_unsharded_state() {
+        let total = 5;
+        let whole = state(total, None, &[0, 1, 2, 3, 4]);
+        let reference = merge_states(std::slice::from_ref(&whole)).unwrap();
+        let a = state(total, Some(ShardRange { index: 0, of: 2 }), &[0, 1]);
+        let b = state(total, Some(ShardRange { index: 1, of: 2 }), &[2, 3, 4]);
+        // Both input orders produce the identical artifact.
+        let ab = merge_states(&[a.clone(), b.clone()]).unwrap();
+        let ba = merge_states(&[b, a]).unwrap();
+        assert_eq!(reference, ab);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn identity_mismatches_are_rejected() {
+        let total = 2;
+        let a = state(total, Some(ShardRange { index: 0, of: 2 }), &[0]);
+        let mut b = state(total, Some(ShardRange { index: 1, of: 2 }), &[1]);
+        b.header.as_mut().unwrap().fingerprint ^= 1;
+        assert!(is_invalid(merge_states(&[a.clone(), b]).unwrap_err()));
+        let mut c = state(total, Some(ShardRange { index: 1, of: 2 }), &[1]);
+        c.header.as_mut().unwrap().seed ^= 1;
+        assert!(is_invalid(merge_states(&[a, c]).unwrap_err()));
+    }
+
+    #[test]
+    fn incomplete_coverage_is_rejected_with_the_missing_indices() {
+        let total = 4;
+        let a = state(total, Some(ShardRange { index: 0, of: 2 }), &[0, 1]);
+        let err = merge_states(&[a]).unwrap_err();
+        let msg = err.to_string();
+        assert!(is_invalid(err));
+        assert!(msg.contains("2, 3"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn out_of_shard_completions_are_rejected() {
+        let total = 4;
+        // Shard 0/2 of 4 covers [0, 2); index 3 is foreign.
+        let a = state(total, Some(ShardRange { index: 0, of: 2 }), &[0, 1, 3]);
+        let b = state(total, Some(ShardRange { index: 1, of: 2 }), &[2, 3]);
+        assert!(is_invalid(merge_states(&[a, b]).unwrap_err()));
+    }
+
+    #[test]
+    fn conflicting_records_for_one_index_are_rejected() {
+        let total = 2;
+        let a = state(total, None, &[0, 1]);
+        let mut b = state(total, None, &[0, 1]);
+        if let Some((record, _)) = b.completed.get_mut(&1) {
+            record.verdict.max_decel_mps2 += 1.0;
+        }
+        assert!(is_invalid(merge_states(&[a, b]).unwrap_err()));
+    }
+
+    #[test]
+    fn unresolved_failures_block_the_merge() {
+        use comfase::prelude::{ExperimentFailure, FailureKind};
+        let total = 2;
+        let mut a = state(total, None, &[0, 1]);
+        a.failures.insert(
+            1,
+            ExperimentFailure {
+                index: 1,
+                kind: FailureKind::Panicked,
+                payload: "boom".to_string(),
+                seed: 42,
+                spec: record(1).0.spec,
+                attempts: 1,
+            },
+        );
+        // A failure later re-run to completion (index present in
+        // `completed`) does not block…
+        a.completed.insert(1, record(1));
+        assert!(merge_states(std::slice::from_ref(&a)).is_ok());
+        // …but an unresolved one does.
+        a.completed.remove(&1);
+        let err = merge_states(std::slice::from_ref(&a)).unwrap_err();
+        assert!(err.to_string().contains("resume"), "got: {err}");
+    }
+
+    #[test]
+    fn missing_golden_or_rows_are_rejected() {
+        let total = 1;
+        let mut a = state(total, None, &[0]);
+        a.golden = None;
+        assert!(is_invalid(
+            merge_states(std::slice::from_ref(&a)).unwrap_err()
+        ));
+        let mut b = state(total, None, &[0]);
+        if let Some((_, row)) = b.completed.get_mut(&0) {
+            *row = None;
+        }
+        assert!(is_invalid(
+            merge_states(std::slice::from_ref(&b)).unwrap_err()
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! The shard ledger: deterministic partitioning of a campaign's
+//! experiment index space.
+//!
+//! A campaign of `total` experiments split `n` ways assigns shard `i`
+//! the half-open range `[i·total/n, (i+1)·total/n)` (integer division) —
+//! the same arithmetic as [`ShardRange::bounds`], re-exported here as a
+//! ledger so a launcher can print, persist and hand out the full plan.
+//! The slices are **disjoint**, **cover** `0..total` exactly, and are
+//! **balanced** to within one experiment; all three properties are
+//! unit-tested below for adversarial totals (0, 1, primes, `n > total`).
+//!
+//! Every [`ShardSpec`] carries the campaign's canonical configuration
+//! fingerprint. Two shards merge only when their fingerprints agree —
+//! the merger re-checks this from the journal headers, so a stale spec
+//! file cannot smuggle a foreign shard into a campaign.
+
+use serde::{Deserialize, Serialize};
+
+use comfase::prelude::{Campaign, ComfaseError, ShardRange};
+
+/// One entry of a shard ledger: which slice of which campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Which shard this is (0-based).
+    pub index: usize,
+    /// Total number of shards.
+    pub of: usize,
+    /// Canonical fingerprint of the campaign configuration
+    /// ([`Campaign::fingerprint`]). Shards with different fingerprints
+    /// belong to different campaigns and refuse to merge.
+    pub campaign_fingerprint: u64,
+}
+
+impl ShardSpec {
+    /// The index range this shard covers, for use as
+    /// [`comfase::prelude::RunConfig::shard`].
+    pub fn range(&self) -> ShardRange {
+        ShardRange {
+            index: self.index,
+            of: self.of,
+        }
+    }
+}
+
+/// Plans an `n`-way split of `campaign`: one [`ShardSpec`] per shard,
+/// each stamped with the campaign's fingerprint.
+///
+/// # Errors
+///
+/// [`ComfaseError::InvalidConfig`] for `n == 0`; fingerprinting errors
+/// if the configuration cannot be serialized.
+pub fn plan_shards(campaign: &Campaign, n: usize) -> Result<Vec<ShardSpec>, ComfaseError> {
+    if n == 0 {
+        return Err(ComfaseError::InvalidConfig(
+            "shard count must be at least 1".into(),
+        ));
+    }
+    let campaign_fingerprint = campaign.fingerprint()?;
+    Ok((0..n)
+        .map(|index| ShardSpec {
+            index,
+            of: n,
+            campaign_fingerprint,
+        })
+        .collect())
+}
+
+/// Parses a `i/n` shard argument (as accepted by `repro --shard`) into a
+/// validated [`ShardRange`].
+///
+/// # Errors
+///
+/// [`ComfaseError::InvalidConfig`] on malformed syntax or a degenerate
+/// range (`n == 0`, `i >= n`).
+pub fn parse_shard(arg: &str) -> Result<ShardRange, ComfaseError> {
+    let malformed =
+        || ComfaseError::InvalidConfig(format!("--shard expects i/n (e.g. 0/4), got `{arg}`"));
+    let (index, of) = arg.split_once('/').ok_or_else(malformed)?;
+    let shard = ShardRange {
+        index: index.trim().parse::<usize>().map_err(|_| malformed())?,
+        of: of.trim().parse::<usize>().map_err(|_| malformed())?,
+    };
+    shard.validate()?;
+    Ok(shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every split must be disjoint, covering and balanced ±1.
+    fn assert_partition(total: usize, n: usize) {
+        let mut covered = vec![0usize; total];
+        let (mut min_len, mut max_len) = (usize::MAX, 0usize);
+        for i in 0..n {
+            let shard = ShardRange { index: i, of: n };
+            let (lo, hi) = shard.bounds(total);
+            assert!(lo <= hi, "inverted bounds for shard {i}/{n} of {total}");
+            assert!(hi <= total, "shard {i}/{n} overruns total {total}");
+            min_len = min_len.min(hi - lo);
+            max_len = max_len.max(hi - lo);
+            for slot in &mut covered[lo..hi] {
+                *slot += 1;
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "split {n} of {total} is not a disjoint cover: {covered:?}"
+        );
+        assert!(
+            max_len - min_len <= 1,
+            "split {n} of {total} is unbalanced: sizes {min_len}..={max_len}"
+        );
+    }
+
+    #[test]
+    fn splits_are_disjoint_covering_and_balanced() {
+        for total in [0, 1, 2, 7, 8, 25, 97, 11_250] {
+            for n in [1, 2, 3, 4, 5, 8, 16, 97] {
+                assert_partition(total, n);
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_experiments_leaves_some_empty() {
+        let total = 3;
+        let lens: Vec<usize> = (0..8)
+            .map(|i| ShardRange { index: i, of: 8 }.len(total))
+            .collect();
+        assert_eq!(lens.iter().sum::<usize>(), total);
+        assert!(lens.iter().any(|&l| l == 0));
+    }
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_degenerate() {
+        assert_eq!(parse_shard("2/4").unwrap(), ShardRange { index: 2, of: 4 });
+        assert_eq!(parse_shard("0/1").unwrap(), ShardRange { index: 0, of: 1 });
+        for bad in ["", "3", "4/4", "1/0", "a/b", "-1/2", "1/2/3"] {
+            assert!(
+                matches!(parse_shard(bad), Err(ComfaseError::InvalidConfig(_))),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+}

@@ -12,8 +12,10 @@ pub const SIM_CRATES: &[&str] = &["des", "traffic", "wireless", "platoon", "core
 
 /// Additional audited `crates/<name>/src` trees: host tooling whose
 /// non-host-region code must still uphold the sim-determinism rules (the
-/// bench harness replays campaigns and must not perturb them).
-pub const EXTRA_CRATES: &[&str] = &["bench"];
+/// bench harness replays campaigns and must not perturb them; the dist
+/// crate partitions and merges campaigns whose artifacts must stay
+/// byte-identical, so its shard/merge logic is held to the same bar).
+pub const EXTRA_CRATES: &[&str] = &["bench", "dist"];
 
 /// Walks up from `start` to the first directory whose `Cargo.toml` declares
 /// `[workspace]`.
@@ -50,7 +52,7 @@ pub fn sim_source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// Everything `--workspace` audits: the sim crates, the extra audited
-/// crates (`bench`), and the integration-test crate's non-test helpers
+/// crates (`bench`, `dist`), and the integration-test crate's non-test helpers
 /// (`tests/src` — `tests/tests/*` files are `#[cfg(test)]`-style harnesses
 /// and stay out of scope). Sorted for deterministic reports.
 pub fn audited_source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
@@ -128,6 +130,10 @@ mod tests {
         assert!(
             labels.iter().any(|l| l.starts_with("crates/bench/src")),
             "bench missing from audit scope: {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.starts_with("crates/dist/src")),
+            "dist missing from audit scope: {labels:?}"
         );
         assert!(
             labels.iter().any(|l| l.starts_with("tests/src")),

@@ -1,0 +1,251 @@
+//! Integration tests for `comfase-dist`: sharded campaign execution,
+//! journal merging and the content-addressed result cache.
+//!
+//! The load-bearing invariant throughout: however a campaign is split,
+//! resumed or cache-served, the final `CampaignMetrics` artifact is
+//! **byte-identical** to the single-process, simulate-everything run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use comfase::prelude::*;
+use comfase_des::time::SimTime;
+use comfase_dist::{merge_journals, plan_shards, DiskCache};
+
+fn quick_scenario(secs: i64) -> TrafficScenario {
+    let mut s = TrafficScenario::paper_default();
+    s.total_sim_time = SimTime::from_secs(secs);
+    s
+}
+
+/// The 8-experiment delay campaign shape shared with the robustness and
+/// observability suites, telemetry on.
+fn campaign_with_seed(seed: u64) -> Campaign {
+    let setup = AttackCampaignSetup {
+        attack_model: AttackModelKind::Delay,
+        target_vehicles: vec![2],
+        attack_values: vec![0.4, 1.6],
+        attack_starts_s: vec![17.0, 19.4],
+        attack_durations_s: vec![2.0, 8.0],
+    };
+    let engine = Engine::new(quick_scenario(30), CommModel::paper_default(), seed).unwrap();
+    Campaign::new(engine, setup)
+        .unwrap()
+        .with_obs(ObsConfig::metrics_only())
+}
+
+fn campaign() -> Campaign {
+    campaign_with_seed(42)
+}
+
+/// A scratch path in the system temp dir, unique per test process, with
+/// any stale copy removed.
+fn tmp_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("comfase-dist-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+fn cache_config(dir: &std::path::Path) -> RunConfig {
+    RunConfig {
+        cache: Some(Arc::new(DiskCache::create(dir).unwrap()) as Arc<dyn ExperimentCache>),
+        ..RunConfig::default()
+    }
+}
+
+/// Acceptance: 1/2/4/8-way splits, merged, are byte-identical to the
+/// single-process artifact — under all three execution modes.
+#[test]
+fn merged_shards_are_byte_identical_for_every_split_and_mode() {
+    let campaign = campaign();
+    let total = campaign.nr_experiments();
+    let reference = campaign.run(4).unwrap();
+    let reference_bytes = reference.metrics.as_ref().unwrap().to_json_bytes();
+
+    for mode in [
+        ExecutionMode::FromScratch,
+        ExecutionMode::PrefixFork,
+        ExecutionMode::SnapshotDag,
+    ] {
+        for n in [1usize, 2, 4, 8] {
+            let shards = plan_shards(&campaign, n).unwrap();
+            assert_eq!(shards.len(), n);
+            let journals: Vec<PathBuf> = shards
+                .iter()
+                .map(|shard| {
+                    assert_eq!(shard.campaign_fingerprint, campaign.fingerprint().unwrap());
+                    let path = tmp_path(&format!("split-{mode:?}-{}-{}", shard.of, shard.index));
+                    let config = RunConfig {
+                        mode,
+                        journal: Some(path.clone()),
+                        shard: Some(shard.range()),
+                        ..RunConfig::default()
+                    };
+                    let result = campaign
+                        .run_supervised(2, &config, &NullObserver)
+                        .unwrap_or_else(|e| panic!("shard {shard:?} under {mode:?} failed: {e}"));
+                    assert_eq!(
+                        result.records.len(),
+                        shard.range().len(total),
+                        "a shard holds exactly its slice of the records"
+                    );
+                    path
+                })
+                .collect();
+            let merged = merge_journals(&journals).unwrap();
+            assert_eq!(
+                merged.to_json_bytes(),
+                reference_bytes,
+                "merged {n}-way split diverged under {mode:?}"
+            );
+            for path in journals {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}
+
+/// Acceptance: a fully warm cache serves the whole campaign — golden run
+/// included — with zero simulations and a byte-identical artifact. Mode
+/// and thread count are excluded from the cache key, so entries written
+/// under one configuration serve every other.
+#[test]
+fn warm_cache_performs_zero_simulations_and_reproduces_the_bytes() {
+    let campaign = campaign();
+    let total = campaign.nr_experiments();
+    let reference_bytes = campaign
+        .run(4)
+        .unwrap()
+        .metrics
+        .as_ref()
+        .unwrap()
+        .to_json_bytes();
+
+    let dir = tmp_path("warm-cache");
+    let cold = campaign
+        .run_supervised(4, &cache_config(&dir), &NullObserver)
+        .unwrap();
+    assert_eq!(cold.stats.cache_hits, 0);
+    assert_eq!(cold.stats.cache_misses, total + 1, "experiments + golden");
+
+    // Warm pass, deliberately under a *different* execution mode and
+    // thread count than the cold pass.
+    for (threads, mode) in [
+        (1, ExecutionMode::SnapshotDag),
+        (4, ExecutionMode::FromScratch),
+    ] {
+        let config = RunConfig {
+            mode,
+            ..cache_config(&dir)
+        };
+        let warm = campaign
+            .run_supervised(threads, &config, &NullObserver)
+            .unwrap();
+        assert_eq!(
+            warm.stats.cache_hits,
+            total + 1,
+            "every experiment plus the golden run must hit under {mode:?}"
+        );
+        assert_eq!(warm.stats.cache_misses, 0);
+        assert_eq!(
+            warm.stats.forked_runs + warm.stats.scratch_runs + warm.stats.chain_forked_runs,
+            0,
+            "a fully warm cache performs zero simulations under {mode:?}"
+        );
+        assert!((warm.stats.cache_hit_rate() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(
+            warm.metrics.as_ref().unwrap().to_json_bytes(),
+            reference_bytes,
+            "warm-cache artifact diverged under {mode:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cache key folds in the engine seed: a campaign over the same
+/// setup but a different seed shares nothing with the warm cache.
+#[test]
+fn cache_entries_are_keyed_by_seed() {
+    let dir = tmp_path("seed-cache");
+    let campaign = campaign();
+    let total = campaign.nr_experiments();
+    campaign
+        .run_supervised(2, &cache_config(&dir), &NullObserver)
+        .unwrap();
+
+    let other = campaign_with_seed(43);
+    let result = other
+        .run_supervised(2, &cache_config(&dir), &NullObserver)
+        .unwrap();
+    assert_eq!(
+        result.stats.cache_hits, 0,
+        "a different seed must not hit the other campaign's entries"
+    );
+    assert_eq!(result.stats.cache_misses, total + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shard journals from campaigns whose configurations differ only in
+/// ways the fingerprint (not the setup) sees refuse to merge.
+#[test]
+fn merge_rejects_shards_of_different_campaigns() {
+    let a = campaign();
+    let setup = a.setup().clone();
+    let engine = Engine::new(quick_scenario(31), CommModel::paper_default(), 42).unwrap();
+    let b = Campaign::new(engine, setup)
+        .unwrap()
+        .with_obs(ObsConfig::metrics_only());
+    assert_ne!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+
+    let path_a = tmp_path("foreign-a");
+    let path_b = tmp_path("foreign-b");
+    for (campaign, index, path) in [(&a, 0usize, &path_a), (&b, 1usize, &path_b)] {
+        let config = RunConfig {
+            journal: Some(path.clone()),
+            shard: Some(ShardRange { index, of: 2 }),
+            ..RunConfig::default()
+        };
+        campaign.run_supervised(2, &config, &NullObserver).unwrap();
+    }
+    let err = merge_journals(&[path_a.clone(), path_b.clone()]).unwrap_err();
+    assert!(
+        matches!(err, ComfaseError::InvalidConfig(_)),
+        "foreign shards must be an InvalidConfig error, got {err:?}"
+    );
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}
+
+/// Sharding composes with the cache: two shards sharing one cache
+/// directory warm it for a subsequent unsharded run.
+#[test]
+fn shards_warm_the_shared_cache_for_the_whole_campaign() {
+    let campaign = campaign();
+    let total = campaign.nr_experiments();
+    let dir = tmp_path("shared-cache");
+    for index in 0..2usize {
+        let journal = tmp_path(&format!("warm-shard-{index}"));
+        let config = RunConfig {
+            journal: Some(journal.clone()),
+            shard: Some(ShardRange { index, of: 2 }),
+            ..cache_config(&dir)
+        };
+        campaign.run_supervised(2, &config, &NullObserver).unwrap();
+        let _ = std::fs::remove_file(&journal);
+    }
+    // Both shards ran the golden run: shard 0 stored it, shard 1 hit it.
+    let result = campaign
+        .run_supervised(4, &cache_config(&dir), &NullObserver)
+        .unwrap();
+    assert_eq!(
+        result.stats.cache_hits,
+        total + 1,
+        "the union of the shard caches covers the whole campaign"
+    );
+    assert_eq!(
+        result.stats.forked_runs + result.stats.scratch_runs + result.stats.chain_forked_runs,
+        0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -190,11 +190,17 @@ fn journal_records_a_full_campaign_and_resumes_from_it() {
     let reference_bytes = reference.metrics.as_ref().unwrap().to_json_bytes();
 
     let state = read_journal(&path).unwrap();
-    let (schema, seed, total, setup) = state.header.clone().expect("journal has a header");
-    assert_eq!(schema, 1);
-    assert_eq!(seed, 42);
-    assert_eq!(total, 8);
-    assert_eq!(&setup, campaign.setup());
+    let header = state.header.clone().expect("journal has a header");
+    assert_eq!(header.schema_version, 2);
+    assert_eq!(header.seed, 42);
+    assert_eq!(header.total, 8);
+    assert_eq!(&header.setup, campaign.setup());
+    assert_eq!(header.fingerprint, campaign.fingerprint().unwrap());
+    assert_eq!(header.shard, None, "an unsharded run declares no shard");
+    assert!(
+        state.golden.is_some(),
+        "a telemetry-enabled journal carries the golden metrics row"
+    );
     assert_eq!(state.completed.len(), 8);
     assert!(state.failures.is_empty());
 
@@ -224,10 +230,11 @@ fn resume_after_truncation_is_byte_identical() {
     let reference = campaign.run_supervised(4, &config, &NullObserver).unwrap();
     let reference_bytes = reference.metrics.as_ref().unwrap().to_json_bytes();
 
-    // Keep the header plus the first three completed experiments, then a
-    // torn final line: the on-disk state after killing the process.
+    // Keep the header, the golden row and the first three completed
+    // experiments, then a torn final line: the on-disk state after
+    // killing the process.
     let full = std::fs::read_to_string(&reference_path).unwrap();
-    let kept: Vec<&str> = full.lines().take(4).collect();
+    let kept: Vec<&str> = full.lines().take(5).collect();
     let mut truncated = kept.join("\n");
     truncated.push('\n');
     truncated.push_str("{\"entry\":\"completed\",\"ind");
@@ -290,6 +297,101 @@ fn resume_rejects_a_foreign_journal() {
         "foreign journal must be an InvalidConfig error, got {err:?}"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// A journal whose pre-fingerprint identity fields all match (same seed,
+/// same experiment count, same setup) but whose underlying configuration
+/// changed — here the traffic scenario — is rejected on resume: only the
+/// canonical full-config fingerprint can catch this class of mismatch.
+#[test]
+fn resume_rejects_a_mutated_configuration() {
+    let path = tmp_journal("mutated-config");
+    let campaign = supervised_campaign();
+    let config = RunConfig {
+        journal: Some(path.clone()),
+        ..RunConfig::default()
+    };
+    campaign.run_supervised(2, &config, &NullObserver).unwrap();
+
+    let engine = Engine::new(quick_scenario(31), CommModel::paper_default(), 42).unwrap();
+    let mutated = Campaign::new(engine, campaign.setup().clone())
+        .unwrap()
+        .with_obs(ObsConfig::metrics_only());
+    assert_ne!(
+        mutated.fingerprint().unwrap(),
+        campaign.fingerprint().unwrap(),
+        "the scenario change must move the fingerprint"
+    );
+    let err = mutated.resume(&path, 2).unwrap_err();
+    assert!(
+        matches!(err, ComfaseError::InvalidConfig(_)),
+        "mutated config must be an InvalidConfig error, got {err:?}"
+    );
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "the error should name the fingerprint mismatch: {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Kill-one-shard recovery end to end: a 2-way split where one shard's
+/// journal is truncated mid-campaign (as a SIGKILL leaves it), then that
+/// shard is resumed and the journals merged — the merged artifact is
+/// byte-identical to the single-process run's.
+#[test]
+fn killed_shard_resumes_and_merges_byte_identically() {
+    use comfase_dist::merge_journals;
+
+    let campaign = supervised_campaign();
+    let reference = campaign.run(4).unwrap();
+    let reference_bytes = reference.metrics.as_ref().unwrap().to_json_bytes();
+
+    let shard0 = tmp_journal("shard0");
+    let shard1 = tmp_journal("shard1");
+    for (index, path) in [(0, &shard0), (1, &shard1)] {
+        let config = RunConfig {
+            journal: Some(path.clone()),
+            shard: Some(ShardRange { index, of: 2 }),
+            ..RunConfig::default()
+        };
+        campaign.run_supervised(2, &config, &NullObserver).unwrap();
+    }
+
+    // Kill shard 1 mid-run: keep its header, golden row and first two
+    // completed experiments, then a torn final line.
+    let full = std::fs::read_to_string(&shard1).unwrap();
+    let kept: Vec<&str> = full.lines().take(4).collect();
+    let mut truncated = kept.join("\n");
+    truncated.push('\n');
+    truncated.push_str("{\"entry\":\"completed\",\"ind");
+    std::fs::write(&shard1, &truncated).unwrap();
+
+    // Merging the incomplete split refuses loudly instead of producing a
+    // partial artifact.
+    let err = merge_journals(&[shard0.clone(), shard1.clone()]).unwrap_err();
+    assert!(
+        matches!(err, ComfaseError::InvalidConfig(_)),
+        "incomplete coverage must be an InvalidConfig error, got {err:?}"
+    );
+
+    // Resume the killed shard, then merge: byte-identical.
+    let resume_config = RunConfig {
+        journal: Some(shard1.clone()),
+        resume: true,
+        shard: Some(ShardRange { index: 1, of: 2 }),
+        ..RunConfig::default()
+    };
+    campaign
+        .run_supervised(2, &resume_config, &NullObserver)
+        .unwrap();
+    let merged = merge_journals(&[shard0.clone(), shard1.clone()]).unwrap();
+    assert_eq!(
+        merged.to_json_bytes(),
+        reference_bytes,
+        "merged shard metrics must be byte-identical to the single-process artifact"
+    );
+    let _ = std::fs::remove_file(&shard0);
+    let _ = std::fs::remove_file(&shard1);
 }
 
 /// Panic isolation end to end: under the default abort policy a chaos
