@@ -31,14 +31,35 @@
 //!       [--shard I/N] run only shard I of an N-way split of the delay
 //!                     campaign (requires --journal; merge the shard
 //!                     journals afterwards with --merge)
-//!       [--merge J1 J2 ..]  merge shard journals into the campaign's
-//!                     metrics artifact (results/metrics_merged.json),
-//!                     byte-identical to a single-process run; exclusive
-//!                     with every other artifact flag
+//!       [--claim-dir DIR]  crash-tolerant work stealing: claim work
+//!                     units dynamically through a shared claim ledger
+//!                     instead of a static shard (requires --journal,
+//!                     exclusive with --shard); killed workers' units
+//!                     are stolen by survivors and the merged artifact
+//!                     stays byte-identical to a single-process run
+//!       [--worker-id ID]  this worker's lease identity (default:
+//!                     worker-<pid>)
+//!       [--steal-after N]  consecutive stalled ledger scans before a
+//!                     lease is presumed dead and stolen (default 20)
+//!       [--claim-units N]  experiment indices per work unit (default:
+//!                     campaign-size dependent, about 32 units)
+//!       [--merge J1 J2 ..]  merge shard/worker journals into the
+//!                     campaign's metrics artifact
+//!                     (results/metrics_merged.json), byte-identical to
+//!                     a single-process run; exclusive with every other
+//!                     artifact flag
+//!       [--format text|json]  error reporting format for --merge: json
+//!                     emits a machine-readable object on stdout, with
+//!                     exact missing index ranges on coverage gaps
 //!       [--cache-dir DIR]  content-addressed result cache: experiments
 //!                     whose (spec, seed, config) key is already stored
 //!                     are returned without simulating; writes
 //!                     results/cache_stats.json
+//!       [--cache-gc MAX_BYTES]  size-bounded cache eviction
+//!                     (oldest-entry-first) plus a stale/torn-entry
+//!                     sweep, then exit (requires --cache-dir; run
+//!                     between campaigns, not concurrently with
+//!                     workers); writes results/gc_stats.json
 //!       [--failure-policy abort|quarantine[:N]]  keep running past failed
 //!                     experiments, aborting only after N failures
 //!                     (default: abort on the first failure)
@@ -63,7 +84,10 @@ use comfase::prelude::{
 };
 use comfase::report;
 use comfase_bench::{delay_campaign, dos_campaign, paper_engine, REPRO_SEED};
-use comfase_dist::{merge_journals, parse_shard, DiskCache};
+use comfase_dist::{
+    merge_journals, merge_journals_detailed, parse_shard, worker::DEFAULT_STEAL_AFTER, ClaimSource,
+    DiskCache,
+};
 
 struct Options {
     artefacts: Vec<String>,
@@ -77,8 +101,14 @@ struct Options {
     journal: Option<std::path::PathBuf>,
     resume: bool,
     shard: Option<ShardRange>,
+    claim_dir: Option<std::path::PathBuf>,
+    worker_id: Option<String>,
+    steal_after: u32,
+    claim_units: Option<usize>,
     merge: Vec<std::path::PathBuf>,
+    format_json: bool,
     cache_dir: Option<std::path::PathBuf>,
+    cache_gc: Option<u64>,
     failure_policy: FailurePolicy,
     max_events: Option<u64>,
     wall_deadline: Option<f64>,
@@ -139,8 +169,14 @@ fn parse_args() -> Options {
     let mut journal = None;
     let mut resume = false;
     let mut shard = None;
+    let mut claim_dir = None;
+    let mut worker_id = None;
+    let mut steal_after = DEFAULT_STEAL_AFTER;
+    let mut claim_units = None;
     let mut merge = Vec::new();
+    let mut format_json = false;
     let mut cache_dir = None;
+    let mut cache_gc = None;
     let mut failure_policy = FailurePolicy::Abort;
     let mut max_events = None;
     let mut wall_deadline = None;
@@ -165,6 +201,33 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| die("--shard needs i/n (e.g. 0/4)"));
                 shard = Some(parse_shard(&spec).unwrap_or_else(|e| die(&e.to_string())));
             }
+            "--claim-dir" => {
+                claim_dir = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--claim-dir needs a directory")),
+                ));
+            }
+            "--worker-id" => {
+                worker_id = Some(
+                    args.next()
+                        .filter(|id| !id.is_empty())
+                        .unwrap_or_else(|| die("--worker-id needs a non-empty identifier")),
+                );
+            }
+            "--steal-after" => {
+                steal_after = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--steal-after needs a non-negative integer"));
+            }
+            "--claim-units" => {
+                claim_units = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n > 0)
+                        .unwrap_or_else(|| die("--claim-units needs a positive integer")),
+                );
+            }
             "--merge" => {
                 // Consumes every remaining argument as a journal path.
                 merge.extend(args.by_ref().map(std::path::PathBuf::from));
@@ -172,11 +235,25 @@ fn parse_args() -> Options {
                     die("--merge needs at least one journal path");
                 }
             }
+            "--format" => {
+                match args.next().as_deref() {
+                    Some("json") => format_json = true,
+                    Some("text") => format_json = false,
+                    _ => die("--format needs text or json"),
+                };
+            }
             "--cache-dir" => {
                 cache_dir = Some(std::path::PathBuf::from(
                     args.next()
                         .unwrap_or_else(|| die("--cache-dir needs a directory")),
                 ));
+            }
+            "--cache-gc" => {
+                cache_gc = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--cache-gc needs a byte budget")),
+                );
             }
             "--failure-policy" => {
                 let spec = args
@@ -253,9 +330,11 @@ fn parse_args() -> Options {
                      [--stride N] [--threads N] [--fleets A,B,..]\n\
                      \x20      [--metrics] [--progress|--quiet] [--chrome-trace FILE] [--csv DIR]\n\
                      \x20      [--journal PATH] [--resume] [--shard I/N] [--cache-dir DIR]\n\
+                     \x20      [--claim-dir DIR] [--worker-id ID] [--steal-after N] [--claim-units N]\n\
                      \x20      [--failure-policy abort|quarantine[:N]]\n\
-                     \x20      [--max-events N] [--wall-deadline SECS]\n\
-                     \x20      [--merge JOURNAL..]  (merges shard journals and exits)"
+                     \x20      [--max-events N] [--wall-deadline SECS] [--format text|json]\n\
+                     \x20      [--merge JOURNAL..]  (merges shard/worker journals and exits)\n\
+                     \x20      [--cache-gc MAX_BYTES]  (collects the cache and exits)"
                 );
                 std::process::exit(0);
             }
@@ -274,6 +353,18 @@ fn parse_args() -> Options {
     if shard.is_some() && journal.is_none() {
         die("--shard requires --journal (the shard journal is what --merge consumes)");
     }
+    if claim_dir.is_some() && journal.is_none() {
+        die("--claim-dir requires --journal (the worker journal is what --merge consumes)");
+    }
+    if claim_dir.is_some() && shard.is_some() {
+        die("--claim-dir and --shard are mutually exclusive: work stealing claims units dynamically");
+    }
+    if claim_dir.is_none() && (worker_id.is_some() || claim_units.is_some()) {
+        die("--worker-id and --claim-units only make sense with --claim-dir");
+    }
+    if cache_gc.is_some() && cache_dir.is_none() {
+        die("--cache-gc requires --cache-dir (the cache to collect)");
+    }
     Options {
         artefacts,
         stride,
@@ -286,8 +377,14 @@ fn parse_args() -> Options {
         journal,
         resume,
         shard,
+        claim_dir,
+        worker_id,
+        steal_after,
+        claim_units,
         merge,
+        format_json,
         cache_dir,
+        cache_gc,
         failure_policy,
         max_events,
         wall_deadline,
@@ -409,6 +506,31 @@ fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
         .with_obs(obs_config(opts))
         .with_budget(event_budget(opts));
     let total = campaign.nr_experiments();
+    // Claim-driven execution: open (or join) the shared claim ledger and
+    // claim work units dynamically instead of running a fixed slice.
+    let work = opts.claim_dir.as_ref().map(|dir| {
+        let worker_id = opts
+            .worker_id
+            .clone()
+            .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+        let source = ClaimSource::for_campaign(
+            dir,
+            &campaign,
+            &worker_id,
+            opts.claim_units,
+            opts.steal_after,
+        )
+        .unwrap_or_else(|e| die(&format!("cannot open claim ledger: {e}")));
+        if !opts.quiet {
+            eprintln!(
+                "claim ledger {}: {} unit(s) of {} experiment(s) each, worker id {worker_id}",
+                dir.display(),
+                source.ledger().units().len(),
+                source.ledger().meta().unit_size,
+            );
+        }
+        Arc::new(source) as Arc<dyn comfase::campaign::WorkSource>
+    });
     if !opts.quiet {
         let slice = match opts.shard {
             Some(s) => format!(
@@ -425,8 +547,12 @@ fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
         );
     }
     let t0 = Instant::now();
+    let config = RunConfig {
+        work,
+        ..run_config(opts, true)
+    };
     let result = campaign
-        .run_supervised(opts.threads, &run_config(opts, true), observer)
+        .run_supervised(opts.threads, &config, observer)
         .unwrap_or_else(|e| die(&format!("delay campaign failed: {e}")));
     if !opts.quiet {
         eprintln!("\ndelay campaign finished in {:.1?}", t0.elapsed());
@@ -468,12 +594,56 @@ fn main() {
     let opts = parse_args();
     let observer = ReproObserver::new(&opts);
 
-    // Merge mode: reassemble shard journals into the campaign artifact
-    // and exit — nothing is simulated.
+    // Cache-gc mode: collect the cache down to the byte budget and exit
+    // — nothing is simulated. Maintenance-time only: concurrent writers
+    // would lose in-flight temp files to the orphan sweep.
+    if let Some(max_bytes) = opts.cache_gc {
+        let dir = opts.cache_dir.as_ref().expect("validated in parse_args");
+        let cache =
+            DiskCache::create(dir).unwrap_or_else(|e| die(&format!("cannot open cache dir: {e}")));
+        let stats = cache
+            .gc(max_bytes)
+            .unwrap_or_else(|e| die(&format!("cache gc failed: {e}")));
+        let json = serde_json::to_string_pretty(&stats).expect("serializable");
+        write_results_file("gc_stats.json", json.as_bytes());
+        if opts.format_json {
+            println!("{json}");
+        } else {
+            println!(
+                "cache gc: kept {} entr(ies) / {} byte(s) (budget {max_bytes}); evicted {} \
+                 ({} byte(s)), swept {} stale + {} temp file(s)",
+                stats.entries_after,
+                stats.bytes_after,
+                stats.entries_evicted,
+                stats.bytes_evicted,
+                stats.stale_removed,
+                stats.temps_removed,
+            );
+        }
+        return;
+    }
+
+    // Merge mode: reassemble shard/worker journals into the campaign
+    // artifact and exit — nothing is simulated.
     if !opts.merge.is_empty() {
         eprintln!("merging {} shard journal(s)...", opts.merge.len());
-        let metrics =
-            merge_journals(&opts.merge).unwrap_or_else(|e| die(&format!("merge failed: {e}")));
+        let metrics = match merge_journals_detailed(&opts.merge) {
+            Ok(metrics) => metrics,
+            Err(failure) if opts.format_json => {
+                // Machine-readable refusal: the exact coverage shortfall
+                // (when that is the refusal) rides along as data.
+                let json = serde_json::json!({
+                    "error": failure.error.to_string(),
+                    "coverage_gap": failure.gap,
+                });
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&json).expect("serializable")
+                );
+                std::process::exit(2);
+            }
+            Err(failure) => die(&format!("merge failed: {failure}")),
+        };
         write_results_file("metrics_merged.json", &metrics.to_json_bytes());
         println!(
             "merged {} experiment rows (byte-identical to a single-process run)",

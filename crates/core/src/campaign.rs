@@ -65,7 +65,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -163,6 +163,116 @@ impl ShardRange {
     pub fn is_empty(&self, total: usize) -> bool {
         self.len(total) == 0
     }
+}
+
+/// One claimable unit of a campaign's experiment index space: the
+/// `id`-th fixed-size chunk, covering indices `[lo, hi)`.
+///
+/// Unlike a [`ShardRange`] — a static 1-of-n assignment fixed before the
+/// run — work units are the currency of *dynamic* claim-driven execution
+/// ([`WorkSource`]): every worker derives the identical unit table from
+/// `(total, unit_size)` via [`plan_units`], claims units one at a time,
+/// and a unit whose owner dies is stolen and re-executed by a survivor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkUnit {
+    /// Position of this unit in the campaign's unit table (0-based).
+    pub id: usize,
+    /// First experiment index covered (inclusive).
+    pub lo: usize,
+    /// Last experiment index covered (exclusive).
+    pub hi: usize,
+}
+
+impl WorkUnit {
+    /// Number of experiment indices this unit covers.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// `true` when the unit covers no indices (only possible for a
+    /// zero-experiment campaign).
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// Divides `0..total` into contiguous chunks of `unit_size` indices (the
+/// last chunk may be shorter). Deterministic: every worker of a campaign
+/// computes the identical table, so unit ids are a shared vocabulary
+/// across processes.
+///
+/// # Errors
+///
+/// [`ComfaseError::InvalidConfig`] for `unit_size == 0`.
+pub fn plan_units(total: usize, unit_size: usize) -> Result<Vec<WorkUnit>, ComfaseError> {
+    if unit_size == 0 {
+        return Err(ComfaseError::InvalidConfig(
+            "work unit size must be at least 1".into(),
+        ));
+    }
+    Ok((0..total.div_ceil(unit_size))
+        .map(|id| WorkUnit {
+            id,
+            lo: id * unit_size,
+            hi: ((id + 1) * unit_size).min(total),
+        })
+        .collect())
+}
+
+/// Whether a worker still holds the lease on its current work unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// The lease was renewed; keep executing the unit.
+    Held,
+    /// Another worker took the lease (or it vanished). The deposed worker
+    /// abandons the rest of the unit — whoever stole it re-executes the
+    /// whole unit, and double-executed experiments are safe because the
+    /// journal merger accepts only bit-equal duplicates.
+    Lost,
+}
+
+/// Where a claim-driven campaign run gets its work.
+///
+/// When [`RunConfig::work`] is set, the experiment phase stops iterating
+/// a static worklist and instead has every worker thread loop: claim a
+/// [`WorkUnit`], execute the unit's still-pending experiments through
+/// the ordinary supervisor/journal/cache path, renew the claim between
+/// experiments, and mark the unit complete. The source decides *which*
+/// units this process runs — `comfase-dist` implements it as a
+/// shared-filesystem lease ledger with work stealing — while everything
+/// about *how* an experiment runs (modes, chaos, retries, journaling,
+/// caching) stays identical to static execution.
+///
+/// Implementations must be safe to call concurrently from many worker
+/// threads of one process, and from many processes sharing the
+/// underlying ledger.
+pub trait WorkSource: Send + Sync + std::fmt::Debug {
+    /// Claims the next unit for a worker thread. Returns `Ok(None)` when
+    /// the campaign has no work left for this process — every unit is
+    /// complete (possibly finished by other processes).
+    ///
+    /// # Errors
+    ///
+    /// [`ComfaseError::Io`] when the underlying ledger fails
+    /// persistently; the campaign aborts with the error.
+    fn claim(&self) -> Result<Option<WorkUnit>, ComfaseError>;
+
+    /// Renews the claim on `unit` between experiments (the monotonic
+    /// heartbeat). [`LeaseState::Lost`] — or an error, which the runner
+    /// treats the same way — abandons the rest of the unit; the work
+    /// already journaled stays journaled, and the unit's new owner
+    /// re-executes it idempotently.
+    fn renew(&self, unit: &WorkUnit) -> Result<LeaseState, ComfaseError>;
+
+    /// Marks `unit` complete: every experiment it covers is journaled
+    /// (completed or, under quarantine, recorded as failed).
+    ///
+    /// # Errors
+    ///
+    /// [`ComfaseError::Io`]; the campaign aborts — a unit that cannot be
+    /// marked complete would be stolen and pointlessly re-executed
+    /// forever.
+    fn complete(&self, unit: &WorkUnit) -> Result<(), ComfaseError>;
 }
 
 /// The coarse phases of a campaign run, in execution order.
@@ -582,6 +692,12 @@ pub struct RunConfig {
     /// simulating; fresh results are stored on completion. See
     /// [`crate::cache`].
     pub cache: Option<Arc<dyn ExperimentCache>>,
+    /// Dynamic work source for claim-driven execution (see
+    /// [`WorkSource`]). Requires [`RunConfig::journal`] — the journals
+    /// of the participating workers are the artifact a claim-driven
+    /// campaign produces — and is mutually exclusive with
+    /// [`RunConfig::shard`], whose static slice it replaces.
+    pub work: Option<Arc<dyn WorkSource>>,
 }
 
 /// Deterministic failure-injection hooks for robustness testing.
@@ -600,6 +716,33 @@ pub struct ChaosConfig {
     /// on its first `n` attempts, then succeeds. Attempt counts are
     /// shared across clones of the campaign.
     pub transient: Vec<(usize, u32)>,
+    /// Host-I/O fault injection for the distribution layer (claim
+    /// ledger, result cache). Unlike the per-experiment hooks above,
+    /// these fire on *infrastructure* operations, so claim-protocol
+    /// recovery paths are testable the same way experiment panics are.
+    pub io: IoChaosConfig,
+}
+
+/// Fail-once (or fail-N-times) injection knobs for the host-I/O
+/// operations of the distribution layer. Each counter is a budget of
+/// injected failures: the first `n` calls of that operation fail with a
+/// synthetic [`ComfaseError::Io`], then the operation behaves normally.
+///
+/// Cache-store injection is consumed inside the campaign runner (the
+/// injected counter is shared across clones of the [`Campaign`], like
+/// [`ChaosConfig::transient`] attempts). Lease-acquire and heartbeat
+/// injection are consumed by the claim ledger — `comfase-dist` wires
+/// them into its `ClaimSource`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoChaosConfig {
+    /// Fail the first `n` lease acquisitions (including steals).
+    pub fail_lease_acquire: u32,
+    /// Fail the first `n` heartbeat renewals.
+    pub fail_heartbeat: u32,
+    /// Fail the first `n` cache stores. A cache-store failure aborts the
+    /// campaign exactly like a journal I/O error — the recovery path is
+    /// a resume, or a surviving claim worker stealing the unit.
+    pub fail_cache_store: u32,
 }
 
 impl ChaosConfig {
@@ -677,6 +820,9 @@ pub struct Campaign {
     /// Attempt counters for [`ChaosConfig::transient`], shared across
     /// clones so retries observe previous attempts.
     chaos_attempts: Arc<Mutex<BTreeMap<usize, u32>>>,
+    /// Injected-failure counter for [`IoChaosConfig::fail_cache_store`],
+    /// shared across clones so a re-run observes the consumed budget.
+    chaos_store_used: Arc<AtomicU32>,
 }
 
 impl Campaign {
@@ -694,6 +840,7 @@ impl Campaign {
             setup,
             chaos: ChaosConfig::default(),
             chaos_attempts: Arc::new(Mutex::new(BTreeMap::new())),
+            chaos_store_used: Arc::new(AtomicU32::new(0)),
         })
     }
 
@@ -720,6 +867,13 @@ impl Campaign {
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = chaos;
         self
+    }
+
+    /// The installed failure-injection hooks (default when none were).
+    /// Exposed so the distribution layer can wire the
+    /// [`IoChaosConfig`] knobs into its claim ledger.
+    pub fn chaos(&self) -> &ChaosConfig {
+        &self.chaos
     }
 
     /// Installs a per-experiment event budget on the underlying engine —
@@ -919,6 +1073,18 @@ impl Campaign {
         }
         if let Some(shard) = config.shard {
             shard.validate()?;
+        }
+        // A claim-driven run normally journals (the worker journals are
+        // the artifact the merge step consumes — the `repro` CLI enforces
+        // the pairing); running without one is permitted at the library
+        // level for ephemeral solo workers, whose in-process result is
+        // only complete if they drained the whole ledger themselves.
+        if config.work.is_some() && config.shard.is_some() {
+            return Err(ComfaseError::InvalidConfig(
+                "claim-driven execution (work source) and a static shard are \
+                 mutually exclusive: the claim ledger covers the whole index space"
+                    .into(),
+            ));
         }
         let collect_metrics = self.engine.obs().metrics;
         let specs = self.engine.expand_campaign(&self.setup)?;
@@ -1204,6 +1370,12 @@ impl Campaign {
         let metrics_rows: Mutex<Vec<ExperimentMetrics>> = Mutex::new(resumed_rows);
         let failures: Mutex<Vec<ExperimentFailure>> = Mutex::new(Vec::new());
         let first_error: Mutex<Option<ComfaseError>> = Mutex::new(None);
+        // Claim-driven execution can hand this process the same index
+        // twice — a unit abandoned on a lost lease and later stolen
+        // *back* re-executes from the start. The journal and merger
+        // tolerate bit-equal duplicates, but the in-process accumulators
+        // must not, so the sink records each index at most once.
+        let pushed_once: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
         let sink = ResultSink {
             journal: journal.as_ref(),
             cache: config.cache.as_deref(),
@@ -1221,44 +1393,102 @@ impl Campaign {
             park_at: nr_units,
             total: target,
             failure_policy: config.failure_policy,
+            chaos_store: (self.chaos.io.fail_cache_store > 0 && config.cache.is_some()).then(
+                || {
+                    (
+                        self.chaos.io.fail_cache_store,
+                        self.chaos_store_used.as_ref(),
+                    )
+                },
+            ),
+            dedup: match config.work {
+                Some(_) => Some(&pushed_once),
+                None => None,
+            },
             progress,
             observer,
         };
 
+        // Claim-driven execution: the indices still pending for *this*
+        // process, for filtering the units the work source hands out.
+        let pending_set: BTreeSet<usize> = match config.work {
+            Some(_) => pending.iter().copied().collect(),
+            None => BTreeSet::new(),
+        };
+
         observer.phase_started(CampaignPhase::Experiments);
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(nr_units.max(1)) {
-                scope.spawn(|_| loop {
-                    if sink.should_stop() {
-                        break;
-                    }
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    if slot >= nr_units {
-                        break;
-                    }
-                    let go_on = match &plan {
-                        None => {
-                            let i = pending[slot];
-                            sink.push(self.run_one_supervised(
-                                &specs, i, &starts, &prefixes, config, &golden, &params,
-                            ))
+            let workers = match config.work {
+                Some(_) => threads,
+                None => threads.min(nr_units.max(1)),
+            };
+            for _ in 0..workers {
+                scope.spawn(|_| match config.work.as_deref() {
+                    None => loop {
+                        if sink.should_stop() {
+                            break;
                         }
-                        Some(plan) => match &plan.units[slot] {
-                            DagUnit::Solo { index } => sink.push(self.run_one_supervised(
-                                &specs, *index, &starts, &prefixes, config, &golden, &params,
-                            )),
-                            DagUnit::Chain { leaves } => {
-                                self.run_chain(
-                                    &specs, leaves, &starts, &prefixes, config, &golden, &params,
-                                    &sink,
-                                );
-                                !sink.should_stop()
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= nr_units {
+                            break;
+                        }
+                        let go_on = match &plan {
+                            None => {
+                                let i = pending[slot];
+                                sink.push(self.run_one_supervised(
+                                    &specs, i, &starts, &prefixes, config, &golden, &params,
+                                ))
                             }
-                        },
-                    };
-                    if !go_on {
-                        break;
-                    }
+                            Some(plan) => match &plan.units[slot] {
+                                DagUnit::Solo { index } => sink.push(self.run_one_supervised(
+                                    &specs, *index, &starts, &prefixes, config, &golden, &params,
+                                )),
+                                DagUnit::Chain { leaves } => {
+                                    self.run_chain(
+                                        &specs, leaves, &starts, &prefixes, config, &golden,
+                                        &params, &sink,
+                                    );
+                                    !sink.should_stop()
+                                }
+                            },
+                        };
+                        if !go_on {
+                            break;
+                        }
+                    },
+                    Some(source) => loop {
+                        if sink.should_stop() {
+                            break;
+                        }
+                        let unit = match source.claim() {
+                            Ok(Some(unit)) => unit,
+                            Ok(None) => break,
+                            Err(e) => {
+                                sink.first_error.lock().get_or_insert(e);
+                                sink.stop();
+                                break;
+                            }
+                        };
+                        let indices: Vec<usize> = (unit.lo..unit.hi)
+                            .filter(|i| pending_set.contains(i))
+                            .collect();
+                        match self.run_claimed_unit(
+                            &unit, &indices, &specs, &starts, &prefixes, config, &golden, &params,
+                            &sink, source,
+                        ) {
+                            UnitRun::Finished => {
+                                if let Err(e) = source.complete(&unit) {
+                                    sink.first_error.lock().get_or_insert(e);
+                                    sink.stop();
+                                    break;
+                                }
+                            }
+                            // Lease lost mid-unit: whoever stole it
+                            // re-executes the whole unit; move on.
+                            UnitRun::Lost => {}
+                            UnitRun::Stopped => break,
+                        }
+                    },
                 });
             }
         })
@@ -1319,6 +1549,90 @@ impl Campaign {
         self.supervise(&specs[index], index, config, golden, params, || {
             self.execute_one(&specs[index], index, starts, prefixes)
         })
+    }
+
+    /// Executes the still-pending experiments of one claimed [`WorkUnit`]
+    /// through the standard supervisor/journal/cache path, renewing the
+    /// claim between experiments. Under [`ExecutionMode::SnapshotDag`]
+    /// the DAG plan is built *within* the unit, so chains never span a
+    /// claim boundary and a stolen unit re-plans identically.
+    ///
+    /// A failed or lost renewal abandons the rest of the unit
+    /// ([`UnitRun::Lost`]): everything already pushed stays journaled,
+    /// and the unit's next owner re-executes it idempotently — the
+    /// merger's equal-or-reject duplicate rule makes double-execution
+    /// safe.
+    #[allow(clippy::too_many_arguments)]
+    fn run_claimed_unit(
+        &self,
+        unit: &WorkUnit,
+        indices: &[usize],
+        specs: &[AttackSpec],
+        starts: &[SimTime],
+        prefixes: &[World],
+        config: &RunConfig,
+        golden: &RunLog,
+        params: &ClassificationParams,
+        sink: &ResultSink<'_>,
+        source: &dyn WorkSource,
+    ) -> UnitRun {
+        let renew = |after_last: bool| -> Option<UnitRun> {
+            if after_last {
+                // The unit is finished; completion is the next ledger
+                // write, a renewal in between buys nothing.
+                return None;
+            }
+            match source.renew(unit) {
+                Ok(LeaseState::Held) => None,
+                Ok(LeaseState::Lost) | Err(_) => Some(UnitRun::Lost),
+            }
+        };
+        match config.mode {
+            ExecutionMode::PrefixFork | ExecutionMode::FromScratch => {
+                for (n, &i) in indices.iter().enumerate() {
+                    if sink.should_stop() {
+                        return UnitRun::Stopped;
+                    }
+                    if !sink.push(
+                        self.run_one_supervised(specs, i, starts, prefixes, config, golden, params),
+                    ) {
+                        return UnitRun::Stopped;
+                    }
+                    if let Some(out) = renew(n + 1 == indices.len()) {
+                        return out;
+                    }
+                }
+            }
+            ExecutionMode::SnapshotDag => {
+                let plan = DagPlan::build(specs, indices);
+                for (n, dag_unit) in plan.units.iter().enumerate() {
+                    if sink.should_stop() {
+                        return UnitRun::Stopped;
+                    }
+                    match dag_unit {
+                        DagUnit::Solo { index } => {
+                            if !sink.push(self.run_one_supervised(
+                                specs, *index, starts, prefixes, config, golden, params,
+                            )) {
+                                return UnitRun::Stopped;
+                            }
+                        }
+                        DagUnit::Chain { leaves } => {
+                            self.run_chain(
+                                specs, leaves, starts, prefixes, config, golden, params, sink,
+                            );
+                            if sink.should_stop() {
+                                return UnitRun::Stopped;
+                            }
+                        }
+                    }
+                    if let Some(out) = renew(n + 1 == plan.units.len()) {
+                        return out;
+                    }
+                }
+            }
+        }
+        UnitRun::Finished
     }
 
     /// The per-experiment supervision loop shared by every execution mode:
@@ -1587,6 +1901,17 @@ type ExperimentOutcome = Result<
     (ExperimentFailure, Option<ComfaseError>),
 >;
 
+/// How the execution of one claimed [`WorkUnit`] ended.
+enum UnitRun {
+    /// Every pending experiment of the unit was pushed; mark it done.
+    Finished,
+    /// The claim was lost (or its renewal failed) mid-unit: abandon the
+    /// unit without completing it and claim the next one.
+    Lost,
+    /// The campaign is stopping (abort, deadline); the worker exits.
+    Stopped,
+}
+
 /// Shared result-handling state of the experiment phase, used by every
 /// worker: journaling, record/failure accumulation, the failure policy
 /// (including the quarantine circuit breaker), progress/observer
@@ -1610,6 +1935,14 @@ struct ResultSink<'a> {
     park_at: usize,
     total: usize,
     failure_policy: FailurePolicy,
+    /// Cache-store fault injection ([`IoChaosConfig::fail_cache_store`]):
+    /// the failure budget and the shared consumed-count.
+    chaos_store: Option<(u32, &'a AtomicU32)>,
+    /// Indices already pushed by this process — claim-driven runs only.
+    /// A unit lost to a stalled heartbeat and later stolen back by the
+    /// same process re-executes experiments it already journaled; the
+    /// re-runs are bit-equal, so the duplicates are simply dropped here.
+    dedup: Option<&'a Mutex<BTreeSet<usize>>>,
     progress: &'a (dyn Fn(usize, usize) + Sync),
     observer: &'a dyn CampaignObserver,
 }
@@ -1643,6 +1976,17 @@ impl ResultSink<'_> {
     /// record/failure, applies the failure policy and reports progress.
     /// Returns `false` when the campaign must stop.
     fn push(&self, outcome: ExperimentOutcome) -> bool {
+        if let Some(seen) = self.dedup {
+            let index = match &outcome {
+                Ok((record, _)) => record.index,
+                Err((failure, _)) => failure.index,
+            };
+            if !seen.lock().insert(index) {
+                // Already journaled and accumulated by this process; the
+                // re-execution (a re-stolen unit) produced the same bits.
+                return !self.should_stop();
+            }
+        }
         match outcome {
             Ok((record, row)) => {
                 if let Some(journal) = self.journal {
@@ -1662,7 +2006,19 @@ impl ResultSink<'_> {
                 // the user believes is cached, so failures abort the
                 // campaign like journal I/O errors do.
                 if let (Some(cache_store), Some(base)) = (self.cache, self.key_base) {
-                    if let Err(e) = store_experiment(cache_store, base, &record, row.as_ref()) {
+                    let injected = self.chaos_store.and_then(|(budget, used)| {
+                        (used.fetch_add(1, Ordering::Relaxed) < budget).then(|| {
+                            ComfaseError::Io(format!(
+                                "chaos: injected cache store failure at experiment {}",
+                                record.index
+                            ))
+                        })
+                    });
+                    let stored = match injected {
+                        Some(e) => Err(e),
+                        None => store_experiment(cache_store, base, &record, row.as_ref()),
+                    };
+                    if let Err(e) = stored {
                         self.first_error.lock().get_or_insert(e);
                         self.stop();
                         return false;
@@ -1783,6 +2139,68 @@ mod tests {
     use crate::classify::Classification;
     use crate::config::{CommModel, TrafficScenario};
     use comfase_des::time::SimTime;
+
+    #[test]
+    fn unit_tables_are_disjoint_covering_chunks() {
+        for total in [0usize, 1, 2, 7, 8, 25, 97, 11_250] {
+            for unit_size in [1usize, 2, 3, 8, 64, 20_000] {
+                let units = plan_units(total, unit_size).unwrap();
+                let mut covered = vec![0usize; total];
+                for (k, unit) in units.iter().enumerate() {
+                    assert_eq!(unit.id, k);
+                    assert!(unit.lo < unit.hi || total == 0);
+                    assert!(unit.len() <= unit_size);
+                    for slot in &mut covered[unit.lo..unit.hi] {
+                        *slot += 1;
+                    }
+                }
+                assert!(
+                    covered.iter().all(|&c| c == 1),
+                    "units of size {unit_size} over {total} are not a disjoint cover"
+                );
+                // Only the last unit may be short.
+                for unit in units.iter().rev().skip(1) {
+                    assert_eq!(unit.len(), unit_size);
+                }
+            }
+        }
+        assert!(plan_units(8, 0).is_err());
+    }
+
+    #[test]
+    fn claim_execution_excludes_static_shard() {
+        #[derive(Debug)]
+        struct NoWork;
+        impl WorkSource for NoWork {
+            fn claim(&self) -> Result<Option<WorkUnit>, ComfaseError> {
+                Ok(None)
+            }
+            fn renew(&self, _: &WorkUnit) -> Result<LeaseState, ComfaseError> {
+                Ok(LeaseState::Held)
+            }
+            fn complete(&self, _: &WorkUnit) -> Result<(), ComfaseError> {
+                Ok(())
+            }
+        }
+        let campaign = small_campaign();
+        let config = RunConfig {
+            work: Some(Arc::new(NoWork)),
+            shard: Some(ShardRange { index: 0, of: 2 }),
+            ..RunConfig::default()
+        };
+        let err = campaign
+            .run_supervised(1, &config, &NullObserver)
+            .unwrap_err();
+        assert!(matches!(err, ComfaseError::InvalidConfig(_)), "{err:?}");
+        // Without the shard the same exhausted source is accepted: a
+        // journal is conventional but not required at the library level.
+        let config = RunConfig {
+            work: Some(Arc::new(NoWork)),
+            ..RunConfig::default()
+        };
+        let result = campaign.run_supervised(1, &config, &NullObserver).unwrap();
+        assert!(result.records.is_empty());
+    }
 
     fn small_campaign() -> Campaign {
         let mut scenario = TrafficScenario::paper_default();

@@ -68,9 +68,10 @@ pub mod prelude {
     pub use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
     pub use crate::cache::{CacheEntry, CacheKey, CacheKeyBase, CacheLookup, ExperimentCache};
     pub use crate::campaign::{
-        Campaign, CampaignObserver, CampaignPhase, CampaignResult, CampaignStats, ChaosConfig,
-        DagPlan, DagUnit, ExecutionMode, ExperimentFailure, ExperimentRecord, FailureKind,
-        FailurePolicy, NullObserver, RetryPolicy, RunConfig, ShardRange,
+        plan_units, Campaign, CampaignObserver, CampaignPhase, CampaignResult, CampaignStats,
+        ChaosConfig, DagPlan, DagUnit, ExecutionMode, ExperimentFailure, ExperimentRecord,
+        FailureKind, FailurePolicy, IoChaosConfig, LeaseState, NullObserver, RetryPolicy,
+        RunConfig, ShardRange, WorkSource, WorkUnit,
     };
     pub use crate::classify::{Classification, ClassificationParams, Verdict};
     pub use crate::config::{

@@ -33,6 +33,14 @@ struct CacheFile {
     entry: CacheEntry,
 }
 
+/// Just the key echo of a cache file — what a gc pass needs to verify an
+/// entry lives at its own content address without deserializing the
+/// payload.
+#[derive(Debug, Clone, Copy, Deserialize)]
+struct KeyEcho {
+    key: CacheKey,
+}
+
 /// A content-addressed experiment result cache rooted at a directory.
 #[derive(Debug)]
 pub struct DiskCache {
@@ -67,6 +75,120 @@ impl DiskCache {
     fn entry_path(&self, key: &CacheKey) -> PathBuf {
         let stem = key.stem();
         self.root.join(&stem[..2]).join(format!("{stem}.json"))
+    }
+
+    /// Garbage-collects the cache down to at most `max_bytes` of valid
+    /// entries, oldest-entry-first (modification time, path as the
+    /// deterministic tiebreak). Orphaned temp files and stale entries —
+    /// torn JSON, or a key echo that does not match the file's address —
+    /// are swept unconditionally and do not count against the budget.
+    /// Every removal is a single atomic `remove_file`; a concurrent
+    /// *reader* of an evicted entry degrades to a miss and re-simulates.
+    ///
+    /// This is a maintenance operation: run it between campaigns, not
+    /// while writers share the cache — an in-flight writer's temp file
+    /// would be swept as an orphan.
+    ///
+    /// # Errors
+    ///
+    /// [`ComfaseError::Io`] when the cache cannot be listed or a removal
+    /// fails (other than the file already being gone).
+    pub fn gc(&self, max_bytes: u64) -> Result<GcStats, ComfaseError> {
+        let mut stats = GcStats::default();
+        // (mtime, path, size) of every valid entry, collected while
+        // sweeping temps and stale files.
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for shard_dir in read_dir_sorted(&self.root)? {
+            if !shard_dir.is_dir() {
+                continue;
+            }
+            for path in read_dir_sorted(&shard_dir)? {
+                let name = path.file_name().unwrap_or_default().to_string_lossy();
+                let meta = match fs::symlink_metadata(&path) {
+                    Ok(meta) if meta.is_file() => meta,
+                    _ => continue,
+                };
+                if name.starts_with(".tmp-") {
+                    remove_entry(&path)?;
+                    stats.temps_removed += 1;
+                    continue;
+                }
+                if !name.ends_with(".json") {
+                    continue;
+                }
+                // Validity here is the address check only — the key echo
+                // must parse and hash to the file's own path. Payload
+                // validation stays `load`'s job; a gc pass must not cost
+                // a full deserialize per entry.
+                let valid = fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| serde_json::from_slice::<KeyEcho>(&bytes).ok())
+                    .is_some_and(|echo| self.entry_path(&echo.key) == path);
+                if !valid {
+                    remove_entry(&path)?;
+                    stats.stale_removed += 1;
+                    continue;
+                }
+                let mtime = meta.modified().map_err(|e| io_err(&path, &e))?;
+                stats.entries_before += 1;
+                stats.bytes_before += meta.len();
+                entries.push((mtime, path, meta.len()));
+            }
+        }
+        entries.sort();
+        let mut live_bytes = stats.bytes_before;
+        for (_, path, size) in &entries {
+            if live_bytes <= max_bytes {
+                break;
+            }
+            remove_entry(path)?;
+            stats.entries_evicted += 1;
+            stats.bytes_evicted += size;
+            live_bytes -= size;
+        }
+        stats.entries_after = stats.entries_before - stats.entries_evicted;
+        stats.bytes_after = live_bytes;
+        Ok(stats)
+    }
+}
+
+/// Summary of one [`DiskCache::gc`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcStats {
+    /// Valid entries found before eviction.
+    pub entries_before: usize,
+    /// Bytes of valid entries before eviction.
+    pub bytes_before: u64,
+    /// Valid entries evicted (oldest first) to meet the budget.
+    pub entries_evicted: usize,
+    /// Bytes reclaimed from evicted valid entries.
+    pub bytes_evicted: u64,
+    /// Stale entries swept: torn JSON or mismatched key echoes.
+    pub stale_removed: usize,
+    /// Orphaned temp files swept.
+    pub temps_removed: usize,
+    /// Valid entries remaining.
+    pub entries_after: usize,
+    /// Bytes of valid entries remaining (≤ the budget).
+    pub bytes_after: u64,
+}
+
+/// Directory listing, sorted by path for deterministic sweep order.
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, ComfaseError> {
+    let mut paths = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
+        paths.push(entry.map_err(|e| io_err(dir, &e))?.path());
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// Removes `path`, tolerating a concurrent removal.
+fn remove_entry(path: &Path) -> Result<(), ComfaseError> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(io_err(path, &e)),
     }
 }
 
@@ -162,6 +284,91 @@ mod tests {
         fs::create_dir_all(path.parent().unwrap()).unwrap();
         fs::write(&path, b"{\"key\":{\"spec_hash\":46").unwrap();
         assert_eq!(cache.load(&key), CacheLookup::Stale);
+    }
+
+    /// Plants a syntactically valid entry for `key` at its content
+    /// address, padded to roughly `pad` bytes. Only the key echo needs
+    /// to parse for gc purposes; the payload is filler.
+    fn plant(cache: &DiskCache, key: &CacheKey, pad: usize) -> PathBuf {
+        let path = cache.entry_path(key);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let body = format!(
+            "{{\"key\":{},\"pad\":\"{}\"}}",
+            serde_json::to_string(key).unwrap(),
+            "x".repeat(pad)
+        );
+        fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn gc_sweeps_temps_and_stale_entries() {
+        let cache = DiskCache::create(tmp_root("gc-sweep")).unwrap();
+        let shard = cache.root().join("00");
+        fs::create_dir_all(&shard).unwrap();
+        // An orphaned temp, a torn entry, and an entry renamed away from
+        // its content address — all swept regardless of budget.
+        fs::write(shard.join(".tmp-999-0"), b"partial").unwrap();
+        fs::write(shard.join("torn.json"), b"{\"key\":{\"spec").unwrap();
+        let misplaced = shard.join(format!("{}.json", sample_key().stem()));
+        let foreign = CacheKey {
+            spec_hash: 0xbeef,
+            ..sample_key()
+        };
+        fs::write(
+            &misplaced,
+            format!("{{\"key\":{}}}", serde_json::to_string(&foreign).unwrap()),
+        )
+        .unwrap();
+        let stats = cache.gc(u64::MAX).unwrap();
+        assert_eq!(stats.temps_removed, 1);
+        assert_eq!(stats.stale_removed, 2);
+        assert_eq!(stats.entries_before, 0);
+        assert_eq!(stats.entries_evicted, 0);
+        assert!(!misplaced.exists());
+        assert!(!shard.join(".tmp-999-0").exists());
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn gc_evicts_oldest_entries_down_to_the_budget() {
+        let cache = DiskCache::create(tmp_root("gc-evict")).unwrap();
+        let keys: Vec<CacheKey> = (1u64..=3)
+            .map(|i| CacheKey {
+                spec_hash: i,
+                seed: 42,
+                config_hash: 7,
+            })
+            .collect();
+        let paths: Vec<PathBuf> = keys
+            .iter()
+            .map(|key| {
+                // Distinct mtimes order the eviction queue oldest-first.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                plant(&cache, key, 100)
+            })
+            .collect();
+        let total: u64 = paths.iter().map(|p| fs::metadata(p).unwrap().len()).sum();
+        let one = fs::metadata(&paths[0]).unwrap().len();
+        // A budget of two entries' bytes: the single oldest must go.
+        let stats = cache.gc(total - 1).unwrap();
+        assert_eq!(stats.entries_before, 3);
+        assert_eq!(stats.bytes_before, total);
+        assert_eq!(stats.entries_evicted, 1);
+        assert_eq!(stats.bytes_evicted, one);
+        assert_eq!(stats.entries_after, 2);
+        assert_eq!(stats.bytes_after, total - one);
+        assert!(!paths[0].exists(), "the oldest entry is the one evicted");
+        assert!(paths[1].exists() && paths[2].exists());
+        // A second pass under the same budget is a no-op.
+        let again = cache.gc(total - 1).unwrap();
+        assert_eq!(again.entries_evicted, 0);
+        assert_eq!(again.entries_after, 2);
+        // Budget zero clears the cache entirely.
+        let wipe = cache.gc(0).unwrap();
+        assert_eq!(wipe.entries_evicted, 2);
+        assert_eq!(wipe.bytes_after, 0);
+        let _ = fs::remove_dir_all(cache.root());
     }
 
     #[test]

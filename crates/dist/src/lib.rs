@@ -19,7 +19,16 @@
 //! 3. **Result cache** ([`cache`]) — a content-addressed on-disk store
 //!    implementing `comfase::cache::ExperimentCache`: experiments keyed
 //!    by `(spec, seed, configuration)` return their journaled rows
-//!    without simulating on a re-run.
+//!    without simulating on a re-run, with size-bounded garbage
+//!    collection ([`DiskCache::gc`]) for long-lived shared caches.
+//! 4. **Claim ledger** ([`claim`]) and **claim-driven worker**
+//!    ([`worker`]) — the crash-tolerant alternative to static shards:
+//!    the index space is chunked into small work units that workers
+//!    claim through atomic lease files, renew via monotonic heartbeat
+//!    counters, and steal from stalled owners, so a killed worker's
+//!    units are re-executed by survivors instead of stranding the
+//!    campaign. Double execution is safe because the merger admits
+//!    duplicates only when bit-equal.
 //!
 //! Everything here is host-side tooling; no simulation state lives in
 //! this crate. The determinism burden is carried by the workspace
@@ -31,9 +40,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod claim;
 pub mod merge;
 pub mod shard;
+pub mod worker;
 
-pub use cache::DiskCache;
-pub use merge::{merge_journals, merge_states};
+pub use cache::{DiskCache, GcStats};
+pub use claim::{default_unit_size, ClaimLedger, Lease, LeaseView};
+pub use merge::{
+    index_ranges, merge_journals, merge_journals_detailed, merge_states, merge_states_detailed,
+    CoverageGap, IndexRange, MergeFailure,
+};
 pub use shard::{parse_shard, plan_shards, ShardSpec};
+pub use worker::ClaimSource;

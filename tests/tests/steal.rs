@@ -1,0 +1,436 @@
+//! Crash-tolerant work stealing: claim-driven campaign execution under
+//! worker death, stalled leases, and injected host-I/O faults.
+//!
+//! The invariant under test everywhere: however many claim-driven
+//! workers participate, and wherever one of them dies, the surviving
+//! workers complete the campaign **without operator intervention** and
+//! the merged `CampaignMetrics` artifact is byte-identical to a
+//! single-process run.
+//!
+//! Worker death is emulated in-process: a "victim" campaign armed with
+//! a deterministic chaos failure (`ChaosConfig::fail_on`) under the
+//! abort policy journals its progress and then dies mid-claim exactly
+//! like a `SIGKILL`ed process would — completed experiments journaled,
+//! the failing one recorded as failed, its lease left behind with a
+//! frozen heartbeat. (A real kill -9 across processes is exercised by
+//! the CI chaos-steal smoke job.)
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use comfase::campaign::WorkSource;
+use comfase::prelude::*;
+use comfase_des::time::SimTime;
+use comfase_dist::{merge_journals, ClaimLedger, ClaimSource, DiskCache};
+
+fn quick_scenario(secs: i64) -> TrafficScenario {
+    let mut s = TrafficScenario::paper_default();
+    s.total_sim_time = SimTime::from_secs(secs);
+    s
+}
+
+/// The 8-experiment delay campaign shape shared with the dist and
+/// robustness suites, telemetry on.
+fn campaign() -> Campaign {
+    let setup = AttackCampaignSetup {
+        attack_model: AttackModelKind::Delay,
+        target_vehicles: vec![2],
+        attack_values: vec![0.4, 1.6],
+        attack_starts_s: vec![17.0, 19.4],
+        attack_durations_s: vec![2.0, 8.0],
+    };
+    let engine = Engine::new(quick_scenario(30), CommModel::paper_default(), 42).unwrap();
+    Campaign::new(engine, setup)
+        .unwrap()
+        .with_obs(ObsConfig::metrics_only())
+}
+
+/// A scratch path in the system temp dir, unique per test process, with
+/// any stale copy removed.
+fn tmp_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("comfase-steal-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// A claim source over `claim_dir` with test-speed scanning: 1 ms scan
+/// rounds, stealing after 3 stalled observations.
+fn claim_source(claim_dir: &std::path::Path, campaign: &Campaign, worker: &str) -> ClaimSource {
+    ClaimSource::for_campaign(claim_dir, campaign, worker, Some(3), 3)
+        .unwrap()
+        .with_scan_interval(Duration::from_millis(1))
+}
+
+/// A claim-driven run config journaling to `journal`.
+fn claim_config(source: ClaimSource, journal: PathBuf, mode: ExecutionMode) -> RunConfig {
+    RunConfig {
+        mode,
+        journal: Some(journal),
+        work: Some(Arc::new(source) as Arc<dyn WorkSource>),
+        ..RunConfig::default()
+    }
+}
+
+/// Acceptance: one worker dies at a deterministic point (before its
+/// unit's first journal line, or mid-unit with part of the unit already
+/// journaled), a clean survivor steals its stranded units, and the
+/// merged artifact is byte-identical to the single-process reference.
+/// The matrix covers every execution mode, both kill points, and
+/// survivor thread counts 1/4/8.
+#[test]
+fn killed_worker_units_are_stolen_and_the_merge_is_byte_identical() {
+    let reference_bytes = campaign()
+        .run(4)
+        .unwrap()
+        .metrics
+        .as_ref()
+        .unwrap()
+        .to_json_bytes();
+
+    // (mode, survivor threads, kill index). Units are 3 experiments
+    // wide ([0,3), [3,6), [6,8)): killing at index 0 dies before the
+    // unit journals anything, killing at 1 dies mid-unit with index 0
+    // already journaled.
+    let matrix = [
+        (ExecutionMode::FromScratch, 1usize, 0usize),
+        (ExecutionMode::PrefixFork, 4, 0),
+        (ExecutionMode::SnapshotDag, 8, 0),
+        (ExecutionMode::FromScratch, 4, 1),
+        (ExecutionMode::PrefixFork, 8, 1),
+        (ExecutionMode::SnapshotDag, 1, 1),
+    ];
+    for (mode, survivor_threads, kill_index) in matrix {
+        let label = format!("{mode:?}-t{survivor_threads}-k{kill_index}");
+        let claim_dir = tmp_path(&format!("kill-{label}-claims"));
+        let victim_journal = tmp_path(&format!("kill-{label}-victim.journal"));
+        let survivor_journal = tmp_path(&format!("kill-{label}-survivor.journal"));
+
+        // The victim dies on its chaos index; its claimed unit keeps a
+        // frozen-heartbeat lease and never gets a done marker.
+        let victim = campaign().with_chaos(ChaosConfig {
+            fail_on: vec![kill_index],
+            ..ChaosConfig::default()
+        });
+        let source = claim_source(&claim_dir, &victim, "victim");
+        let err = victim
+            .run_supervised(
+                1,
+                &claim_config(source, victim_journal.clone(), mode),
+                &NullObserver,
+            )
+            .expect_err("the chaos kill must abort the victim");
+        assert!(
+            err.to_string().contains("injected failure"),
+            "unexpected victim death under {label}: {err}"
+        );
+
+        // The survivor — clean campaign, own journal, shared ledger —
+        // drains everything, stealing the victim's stranded unit.
+        let survivor = campaign();
+        let source = claim_source(&claim_dir, &survivor, "survivor");
+        survivor
+            .run_supervised(
+                survivor_threads,
+                &claim_config(source, survivor_journal.clone(), mode),
+                &NullObserver,
+            )
+            .unwrap_or_else(|e| panic!("survivor failed under {label}: {e}"));
+
+        // The victim journaled a *failure* for the kill index; the
+        // survivor's completion of the same index resolves it globally.
+        let merged = merge_journals(&[victim_journal.clone(), survivor_journal.clone()])
+            .unwrap_or_else(|e| panic!("merge failed under {label}: {e}"));
+        assert_eq!(
+            merged.to_json_bytes(),
+            reference_bytes,
+            "merged artifact diverged under {label}"
+        );
+
+        for path in [&victim_journal, &survivor_journal] {
+            let _ = std::fs::remove_file(path);
+        }
+        let _ = std::fs::remove_dir_all(&claim_dir);
+    }
+}
+
+/// No stranded work, post-journal kill point: a worker that journaled a
+/// unit completely but died before writing the done marker leaves a
+/// ghost lease behind. A later worker steals and re-executes the unit;
+/// the duplicate journal lines are bit-equal, so the merge accepts them
+/// and the artifact is unchanged.
+#[test]
+fn ghost_lease_after_journaled_unit_is_stolen_and_duplicates_merge_clean() {
+    let reference_bytes = campaign()
+        .run(4)
+        .unwrap()
+        .metrics
+        .as_ref()
+        .unwrap()
+        .to_json_bytes();
+
+    let claim_dir = tmp_path("ghost-claims");
+    let first_journal = tmp_path("ghost-first.journal");
+    let second_journal = tmp_path("ghost-second.journal");
+
+    // A full, healthy claim-driven run...
+    let first = campaign();
+    let source = claim_source(&claim_dir, &first, "first");
+    first
+        .run_supervised(
+            2,
+            &claim_config(source, first_journal.clone(), ExecutionMode::SnapshotDag),
+            &NullObserver,
+        )
+        .unwrap();
+
+    // ...then rewind unit 0 to "journaled but not marked done": drop
+    // the done marker and plant a foreign lease with a heartbeat that
+    // will never advance.
+    std::fs::remove_file(claim_dir.join("unit-0.done")).expect("unit 0 had a done marker");
+    let probe = campaign();
+    let ghost = claim_source(&claim_dir, &probe, "ghost");
+    let unit0 = ghost.ledger().units()[0];
+    assert!(ghost.ledger().try_acquire(&unit0, "ghost").unwrap());
+
+    // A second worker must steal the ghost's unit and finish the
+    // campaign without any operator intervention.
+    let second = campaign();
+    let source = claim_source(&claim_dir, &second, "second");
+    second
+        .run_supervised(
+            2,
+            &claim_config(source, second_journal.clone(), ExecutionMode::PrefixFork),
+            &NullObserver,
+        )
+        .unwrap();
+
+    // Both journals now hold unit 0's experiments — bit-equal
+    // duplicates, which the merger accepts.
+    let merged = merge_journals(&[first_journal.clone(), second_journal.clone()]).unwrap();
+    assert_eq!(merged.to_json_bytes(), reference_bytes);
+
+    let _ = std::fs::remove_file(&first_journal);
+    let _ = std::fs::remove_file(&second_journal);
+    let _ = std::fs::remove_dir_all(&claim_dir);
+}
+
+/// Claim-driven execution with no failures at all is just another
+/// execution shape: one worker, any thread count, any mode — the
+/// resulting metrics (run result *and* journal) are byte-identical to
+/// the plain run.
+#[test]
+fn solo_claim_driven_execution_is_byte_identical_across_modes_and_threads() {
+    let reference_bytes = campaign()
+        .run(4)
+        .unwrap()
+        .metrics
+        .as_ref()
+        .unwrap()
+        .to_json_bytes();
+
+    for (mode, threads) in [
+        (ExecutionMode::FromScratch, 1usize),
+        (ExecutionMode::PrefixFork, 4),
+        (ExecutionMode::SnapshotDag, 8),
+    ] {
+        let label = format!("solo-{mode:?}-{threads}");
+        let claim_dir = tmp_path(&format!("{label}-claims"));
+        let journal = tmp_path(&format!("{label}.journal"));
+        let solo = campaign();
+        let source = claim_source(&claim_dir, &solo, "solo");
+        let result = solo
+            .run_supervised(
+                threads,
+                &claim_config(source, journal.clone(), mode),
+                &NullObserver,
+            )
+            .unwrap();
+        assert_eq!(
+            result.metrics.as_ref().unwrap().to_json_bytes(),
+            reference_bytes,
+            "in-process result diverged under {label}"
+        );
+        let merged = merge_journals(&[journal.clone()]).unwrap();
+        assert_eq!(
+            merged.to_json_bytes(),
+            reference_bytes,
+            "journal artifact diverged under {label}"
+        );
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_dir_all(&claim_dir);
+    }
+}
+
+/// Injected heartbeat failure self-heals: the worker abandons the unit
+/// on the failed renewal, then — being the only worker — observes its
+/// own stalled lease, steals the unit back, and re-executes it. The
+/// duplicate journal lines are bit-equal, so the artifact is unchanged.
+#[test]
+fn heartbeat_chaos_self_heals_by_stealing_the_unit_back() {
+    let reference_bytes = campaign()
+        .run(4)
+        .unwrap()
+        .metrics
+        .as_ref()
+        .unwrap()
+        .to_json_bytes();
+
+    let claim_dir = tmp_path("heartbeat-claims");
+    let journal = tmp_path("heartbeat.journal");
+    let chaotic = campaign().with_chaos(ChaosConfig {
+        io: IoChaosConfig {
+            fail_heartbeat: 1,
+            ..IoChaosConfig::default()
+        },
+        ..ChaosConfig::default()
+    });
+    let source = claim_source(&claim_dir, &chaotic, "chaotic");
+    chaotic
+        .run_supervised(
+            1,
+            &claim_config(source, journal.clone(), ExecutionMode::PrefixFork),
+            &NullObserver,
+        )
+        .unwrap();
+    let merged = merge_journals(&[journal.clone()]).unwrap();
+    assert_eq!(merged.to_json_bytes(), reference_bytes);
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir_all(&claim_dir);
+}
+
+/// Injected cache-store failure aborts the worker like any other host
+/// I/O error; a surviving claim worker sharing the ledger steals the
+/// unit and the merged artifact is unchanged. (The victim's journal
+/// line for the failed store never got written, so recovery is pure
+/// re-execution.)
+#[test]
+fn cache_store_chaos_is_recovered_by_a_surviving_worker() {
+    let reference_bytes = campaign()
+        .run(4)
+        .unwrap()
+        .metrics
+        .as_ref()
+        .unwrap()
+        .to_json_bytes();
+
+    let claim_dir = tmp_path("storechaos-claims");
+    let cache_dir = tmp_path("storechaos-cache");
+    let victim_journal = tmp_path("storechaos-victim.journal");
+    let survivor_journal = tmp_path("storechaos-survivor.journal");
+    let cache =
+        || Some(Arc::new(DiskCache::create(&cache_dir).unwrap()) as Arc<dyn ExperimentCache>);
+
+    // The victim's very first cache store (the golden run's) fails.
+    let victim = campaign().with_chaos(ChaosConfig {
+        io: IoChaosConfig {
+            fail_cache_store: 1,
+            ..IoChaosConfig::default()
+        },
+        ..ChaosConfig::default()
+    });
+    let source = claim_source(&claim_dir, &victim, "victim");
+    let err = victim
+        .run_supervised(
+            1,
+            &RunConfig {
+                cache: cache(),
+                ..claim_config(source, victim_journal.clone(), ExecutionMode::PrefixFork)
+            },
+            &NullObserver,
+        )
+        .expect_err("the injected store failure must abort the victim");
+    assert!(err.to_string().contains("chaos"), "got: {err}");
+
+    // A clean survivor drains the ledger through the same shared cache.
+    let survivor = campaign();
+    let source = claim_source(&claim_dir, &survivor, "survivor");
+    survivor
+        .run_supervised(
+            2,
+            &RunConfig {
+                cache: cache(),
+                ..claim_config(source, survivor_journal.clone(), ExecutionMode::PrefixFork)
+            },
+            &NullObserver,
+        )
+        .unwrap();
+
+    let journals: Vec<PathBuf> = [&victim_journal, &survivor_journal]
+        .iter()
+        .filter(|p| p.exists())
+        .map(|p| (*p).clone())
+        .collect();
+    let merged = merge_journals(&journals).unwrap();
+    assert_eq!(merged.to_json_bytes(), reference_bytes);
+
+    for path in [&victim_journal, &survivor_journal] {
+        let _ = std::fs::remove_file(path);
+    }
+    let _ = std::fs::remove_dir_all(&claim_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// The claim branch itself — claiming, renewal, completion, and the
+/// same-process dedup after a heartbeat-fault self-steal — exercised
+/// without any JSON surface: the ledger is built directly (no campaign
+/// fingerprint), no journal is configured, and results are compared
+/// structurally. This is the one end-to-end claim test that runs even
+/// where no functional serde runtime exists (local shim builds).
+#[test]
+fn claim_branch_matches_plain_execution_without_a_journal() {
+    let reference = campaign().run(4).unwrap();
+
+    for (mode, threads, fail_heartbeat) in [
+        (ExecutionMode::FromScratch, 1usize, 0u32),
+        (ExecutionMode::PrefixFork, 4, 0),
+        (ExecutionMode::SnapshotDag, 8, 0),
+        // A failed renewal makes the lone worker abandon its unit,
+        // observe its own stalled lease, steal it back, and re-execute:
+        // the sink-level dedup must keep the records exact.
+        (ExecutionMode::PrefixFork, 1, 1),
+    ] {
+        let label = format!("nojson-{mode:?}-t{threads}-hb{fail_heartbeat}");
+        let claim_dir = tmp_path(&format!("{label}-claims"));
+        let c = campaign();
+        let ledger = ClaimLedger::create(&claim_dir, 0xfeed, c.nr_experiments(), 3).unwrap();
+        let source = ClaimSource::new(ledger, "nojson", 3)
+            .with_scan_interval(Duration::from_millis(1))
+            .with_chaos(IoChaosConfig {
+                fail_heartbeat,
+                ..IoChaosConfig::default()
+            });
+        let config = RunConfig {
+            mode,
+            work: Some(Arc::new(source) as Arc<dyn WorkSource>),
+            ..RunConfig::default()
+        };
+        let result = c
+            .run_supervised(threads, &config, &NullObserver)
+            .unwrap_or_else(|e| panic!("claim-driven run failed under {label}: {e}"));
+        assert_eq!(
+            result.records, reference.records,
+            "records diverged under {label}"
+        );
+        assert_eq!(
+            result.metrics, reference.metrics,
+            "metrics diverged under {label}"
+        );
+        let _ = std::fs::remove_dir_all(&claim_dir);
+    }
+}
+
+/// Claim-driven execution refuses a mis-sized or foreign ledger: the
+/// meta check makes workers of different campaigns (or disagreeing unit
+/// geometries) fail fast instead of corrupting the claim protocol.
+#[test]
+fn ledger_meta_mismatch_fails_fast() {
+    let claim_dir = tmp_path("meta-claims");
+    let c = campaign();
+    let _first = claim_source(&claim_dir, &c, "a");
+    // Different unit size → geometry mismatch.
+    let err = ClaimSource::for_campaign(&claim_dir, &c, "b", Some(4), 3).unwrap_err();
+    assert!(matches!(err, ComfaseError::InvalidConfig(_)), "{err:?}");
+    let _ = std::fs::remove_dir_all(&claim_dir);
+}
