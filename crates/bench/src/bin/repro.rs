@@ -51,6 +51,18 @@
 //!       [--format text|json]  error reporting format for --merge: json
 //!                     emits a machine-readable object on stdout, with
 //!                     exact missing index ranges on coverage gaps
+//!       [--dataset-dir DIR]  stream an attack-labeled dataset shard
+//!                     (exp-<index>.jsonl, one length-delimited JSON line
+//!                     per PHY frame and control step) into DIR while the
+//!                     delay campaign runs; implies dataset capture, which
+//!                     is part of the campaign identity. Workers sharing a
+//!                     campaign may export into one directory — identical
+//!                     re-exports are idempotent
+//!       [--dataset-merge DIR..]  validate and merge dataset shard
+//!                     directories into results/dataset/{corpus.jsonl,
+//!                     manifest.json}, byte-identical regardless of worker
+//!                     count, steal events or execution mode; exclusive
+//!                     with every other artifact flag
 //!       [--cache-dir DIR]  content-addressed result cache: experiments
 //!                     whose (spec, seed, config) key is already stored
 //!                     are returned without simulating; writes
@@ -79,14 +91,15 @@ use comfase::analysis;
 use comfase::campaign::{Campaign, CampaignObserver, CampaignPhase, CampaignResult};
 use comfase::config::AttackCampaignSetup;
 use comfase::prelude::{
-    chrome_trace_json, CommModel, Engine, EventBudget, ExecutionMode, ExperimentCache,
-    FailurePolicy, HostProfiler, IndexingMode, ObsConfig, RunConfig, ShardRange, TrafficScenario,
+    chrome_trace_json, CommModel, DatasetSink, DirSink, Engine, EventBudget, ExecutionMode,
+    ExperimentCache, FailurePolicy, HostProfiler, IndexingMode, ObsConfig, RunConfig, ShardRange,
+    TrafficScenario,
 };
 use comfase::report;
 use comfase_bench::{delay_campaign, dos_campaign, paper_engine, REPRO_SEED};
 use comfase_dist::{
-    merge_journals, merge_journals_detailed, parse_shard, worker::DEFAULT_STEAL_AFTER, ClaimSource,
-    DiskCache,
+    merge_dataset_dirs, merge_journals, merge_journals_detailed, parse_shard,
+    worker::DEFAULT_STEAL_AFTER, ClaimSource, DiskCache,
 };
 
 struct Options {
@@ -107,6 +120,8 @@ struct Options {
     claim_units: Option<usize>,
     merge: Vec<std::path::PathBuf>,
     format_json: bool,
+    dataset_dir: Option<std::path::PathBuf>,
+    dataset_merge: Vec<std::path::PathBuf>,
     cache_dir: Option<std::path::PathBuf>,
     cache_gc: Option<u64>,
     failure_policy: FailurePolicy,
@@ -175,6 +190,8 @@ fn parse_args() -> Options {
     let mut claim_units = None;
     let mut merge = Vec::new();
     let mut format_json = false;
+    let mut dataset_dir = None;
+    let mut dataset_merge = Vec::new();
     let mut cache_dir = None;
     let mut cache_gc = None;
     let mut failure_policy = FailurePolicy::Abort;
@@ -233,6 +250,19 @@ fn parse_args() -> Options {
                 merge.extend(args.by_ref().map(std::path::PathBuf::from));
                 if merge.is_empty() {
                     die("--merge needs at least one journal path");
+                }
+            }
+            "--dataset-dir" => {
+                dataset_dir = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--dataset-dir needs a directory")),
+                ));
+            }
+            "--dataset-merge" => {
+                // Consumes every remaining argument as a shard directory.
+                dataset_merge.extend(args.by_ref().map(std::path::PathBuf::from));
+                if dataset_merge.is_empty() {
+                    die("--dataset-merge needs at least one shard directory");
                 }
             }
             "--format" => {
@@ -333,6 +363,7 @@ fn parse_args() -> Options {
                      \x20      [--claim-dir DIR] [--worker-id ID] [--steal-after N] [--claim-units N]\n\
                      \x20      [--failure-policy abort|quarantine[:N]]\n\
                      \x20      [--max-events N] [--wall-deadline SECS] [--format text|json]\n\
+                     \x20      [--dataset-dir DIR] [--dataset-merge DIR..]\n\
                      \x20      [--merge JOURNAL..]  (merges shard/worker journals and exits)\n\
                      \x20      [--cache-gc MAX_BYTES]  (collects the cache and exits)"
                 );
@@ -383,6 +414,8 @@ fn parse_args() -> Options {
         claim_units,
         merge,
         format_json,
+        dataset_dir,
+        dataset_merge,
         cache_dir,
         cache_gc,
         failure_policy,
@@ -502,8 +535,14 @@ fn report_failures(result: &CampaignResult) {
 }
 
 fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
+    // Dataset export needs per-frame/per-step capture, which is part of
+    // the campaign identity — only the exporting run gets it.
+    let mut obs = obs_config(opts);
+    if opts.dataset_dir.is_some() {
+        obs = obs.with_dataset();
+    }
     let campaign = delay_campaign(opts.stride)
-        .with_obs(obs_config(opts))
+        .with_obs(obs)
         .with_budget(event_budget(opts));
     let total = campaign.nr_experiments();
     // Claim-driven execution: open (or join) the shared claim ledger and
@@ -546,9 +585,17 @@ fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
             opts.stride, opts.threads
         );
     }
+    // Streaming dataset exporter: one shard file per experiment, written
+    // before the experiment's journal row so a resume never leaves holes.
+    let dataset = opts.dataset_dir.as_ref().map(|dir| {
+        let sink =
+            DirSink::create(dir).unwrap_or_else(|e| die(&format!("cannot open dataset dir: {e}")));
+        Arc::new(sink) as Arc<dyn DatasetSink>
+    });
     let t0 = Instant::now();
     let config = RunConfig {
         work,
+        dataset,
         ..run_config(opts, true)
     };
     let result = campaign
@@ -556,6 +603,13 @@ fn run_delay(opts: &Options, observer: &ReproObserver) -> CampaignResult {
         .unwrap_or_else(|e| die(&format!("delay campaign failed: {e}")));
     if !opts.quiet {
         eprintln!("\ndelay campaign finished in {:.1?}", t0.elapsed());
+        if let Some(dir) = &opts.dataset_dir {
+            eprintln!(
+                "dataset shards in {} (merge with --dataset-merge {})",
+                dir.display(),
+                dir.display()
+            );
+        }
     }
     report_failures(&result);
     if opts.cache_dir.is_some() {
@@ -620,6 +674,36 @@ fn main() {
                 stats.temps_removed,
             );
         }
+        return;
+    }
+
+    // Dataset-merge mode: reassemble per-experiment dataset shards into
+    // the corpus artifact and exit — nothing is simulated.
+    if !opts.dataset_merge.is_empty() {
+        eprintln!(
+            "merging dataset shards from {} director(ies)...",
+            opts.dataset_merge.len()
+        );
+        let out = std::path::Path::new("results").join("dataset");
+        let report = match merge_dataset_dirs(&opts.dataset_merge, &out) {
+            Ok(report) => report,
+            Err(e) if opts.format_json => {
+                let json = serde_json::json!({ "error": e.to_string() });
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&json).expect("serializable")
+                );
+                std::process::exit(2);
+            }
+            Err(e) => die(&format!("dataset merge failed: {e}")),
+        };
+        eprintln!("wrote {}", report.corpus_path.display());
+        eprintln!("wrote {}", report.manifest_path.display());
+        println!(
+            "merged {} dataset shard(s): {} byte(s), fnv1a64 {:016x} \
+             (byte-identical regardless of worker count)",
+            report.shards, report.corpus_bytes, report.corpus_fnv1a64
+        );
         return;
     }
 
@@ -915,6 +999,7 @@ fn run_bench_campaign(opts: &Options) {
     let speedup = scratch_wall.as_secs_f64() / fork_wall.as_secs_f64();
     let dag_speedup = scratch_wall.as_secs_f64() / dag_wall.as_secs_f64();
     let (sharding, cache) = bench_sharding_and_cache(opts, total);
+    let dataset = bench_dataset(opts, total);
     let json = serde_json::json!({
         "experiments": total,
         "stride": opts.stride,
@@ -928,6 +1013,7 @@ fn run_bench_campaign(opts: &Options) {
         "modes": per_mode,
         "sharding": sharding,
         "cache": cache,
+        "dataset": dataset,
     });
     let path = std::path::Path::new("BENCH_campaign.json");
     std::fs::write(
@@ -1063,6 +1149,76 @@ fn bench_sharding_and_cache(
             "identical": true,
         }),
     )
+}
+
+/// Times the delay campaign with dataset export off vs on (telemetry on
+/// in both), verifies the verdicts agree bit for bit and the exported
+/// shard set merges into a complete corpus, and returns the `"dataset"`
+/// section of `BENCH_campaign.json`. The export path must stay within
+/// the 10% overhead budget (`overhead` in the section); with export off
+/// the dataset hot paths are a single boolean test per frame/step.
+fn bench_dataset(opts: &Options, total: usize) -> serde_json::Value {
+    use comfase::prelude::NullObserver;
+
+    let scratch =
+        std::env::temp_dir().join(format!("comfase-bench-dataset-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create bench scratch dir");
+
+    // Export off: the capture/export hot paths must cost nothing.
+    let campaign = delay_campaign(opts.stride).with_obs(ObsConfig::metrics_only());
+    let t = Instant::now();
+    let off = campaign
+        .run_supervised(opts.threads, &RunConfig::default(), &NullObserver)
+        .expect("export-off pass runs");
+    let off_wall = t.elapsed();
+
+    // Export on: capture enabled, every experiment streamed to a shard.
+    let shard_dir = scratch.join("shards");
+    let campaign = delay_campaign(opts.stride).with_obs(ObsConfig::metrics_only().with_dataset());
+    let config = RunConfig {
+        dataset: Some(
+            Arc::new(DirSink::create(&shard_dir).expect("dataset dir opens"))
+                as Arc<dyn DatasetSink>,
+        ),
+        ..RunConfig::default()
+    };
+    let t = Instant::now();
+    let on = campaign
+        .run_supervised(opts.threads, &config, &NullObserver)
+        .expect("export-on pass runs");
+    let on_wall = t.elapsed();
+
+    assert_eq!(
+        on.records, off.records,
+        "dataset export must not change a single verdict"
+    );
+    let report = merge_dataset_dirs(&[shard_dir], &scratch.join("merged"))
+        .expect("exported shards merge into a complete corpus");
+    assert_eq!(
+        report.shards, total,
+        "every experiment exports exactly one shard"
+    );
+    let overhead = on_wall.as_secs_f64() / off_wall.as_secs_f64() - 1.0;
+    eprintln!(
+        "  dataset       off {off_wall:.1?}, on {on_wall:.1?} \
+         ({:+.1}% overhead, {} corpus byte(s), fnv1a64 {:016x})",
+        100.0 * overhead,
+        report.corpus_bytes,
+        report.corpus_fnv1a64
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    serde_json::json!({
+        "off_wall_s": off_wall.as_secs_f64(),
+        "on_wall_s": on_wall.as_secs_f64(),
+        "overhead": overhead,
+        "overhead_budget": 0.10,
+        "shards": report.shards,
+        "corpus_bytes": report.corpus_bytes,
+        "corpus_fnv1a64": format!("{:016x}", report.corpus_fnv1a64),
+        "records_identical": true,
+    })
 }
 
 /// Times the indexed vs brute-force hot paths at growing fleet sizes,

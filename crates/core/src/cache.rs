@@ -105,6 +105,12 @@ pub enum CacheEntry {
         /// Per-experiment metrics row, when collected.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         metrics: Option<ExperimentMetrics>,
+        /// Label-free dataset rows, when the writing campaign exported a
+        /// dataset. Stored so a warm re-run can re-render the shard
+        /// (labels are stamped from the hitting campaign's record) without
+        /// simulating.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        dataset: Option<comfase_obs::DatasetCapture>,
     },
     /// The golden (attack-free) reference run, stored whole so a fully
     /// warm campaign re-run performs zero simulations: classification
@@ -205,6 +211,7 @@ pub fn config_hash(
     }
     hash = fnv1a64_extend(hash, &[u8::from(obs.metrics)]);
     hash = fnv1a64_extend(hash, &(obs.trace_capacity as u64).to_le_bytes());
+    hash = fnv1a64_extend(hash, &[u8::from(obs.dataset)]);
     // Guard against the (astronomically unlikely) all-zero result so the
     // golden key's `spec_hash == 0` convention stays unambiguous.
     if hash == 0 {

@@ -74,7 +74,10 @@ use serde::{Deserialize, Serialize};
 
 use comfase_des::sim::EventBudget;
 use comfase_des::time::SimTime;
-use comfase_obs::{CampaignMetrics, ExperimentMetrics, HostProfiler, ObsConfig, WallDeadline};
+use comfase_obs::{
+    CampaignMetrics, DatasetCapture, DatasetHeader, DatasetSink, ExperimentExport, ExperimentLabel,
+    ExperimentMetrics, HostProfiler, ObsConfig, WallDeadline, DATASET_SCHEMA_VERSION,
+};
 
 use crate::attack::{AttackModelKind, AttackSpec, FalsifiedField};
 use crate::cache::{self, CacheEntry, CacheKeyBase, CacheLookup, ExperimentCache};
@@ -698,6 +701,15 @@ pub struct RunConfig {
     /// campaign produces — and is mutually exclusive with
     /// [`RunConfig::shard`], whose static slice it replaces.
     pub work: Option<Arc<dyn WorkSource>>,
+    /// Streaming dataset export: every finished experiment's labeled
+    /// capture is rendered and handed to this sink *before* its journal
+    /// row is appended (so a resumed campaign never has a journaled row
+    /// without its shard). Requires the engine's
+    /// [`ObsConfig::dataset`](comfase_obs::ObsConfig) capture flag —
+    /// without it there would be nothing to export. Cache hits replay
+    /// their stored capture through the sink, so a fully warm run still
+    /// produces the complete corpus.
+    pub dataset: Option<Arc<dyn DatasetSink>>,
 }
 
 /// Deterministic failure-injection hooks for robustness testing.
@@ -1086,17 +1098,33 @@ impl Campaign {
                     .into(),
             ));
         }
+        if config.dataset.is_some() && !self.engine.obs().dataset {
+            return Err(ComfaseError::InvalidConfig(
+                "dataset export requires dataset capture: build the engine \
+                 with ObsConfig::with_dataset() so runs record the rows the \
+                 sink is supposed to receive"
+                    .into(),
+            ));
+        }
         let collect_metrics = self.engine.obs().metrics;
         let specs = self.engine.expand_campaign(&self.setup)?;
         let total = specs.len();
 
-        // Canonical fingerprint — needed only when a journal records it or
-        // a cache keys off the configuration; plain runs skip the
-        // serialization entirely.
-        let fingerprint = if config.journal.is_some() || config.cache.is_some() {
-            self.fingerprint()?
-        } else {
-            0
+        // Canonical fingerprint — needed only when a journal records it, a
+        // cache keys off the configuration, or a dataset header stamps it;
+        // plain runs skip the serialization entirely.
+        let fingerprint =
+            if config.journal.is_some() || config.cache.is_some() || config.dataset.is_some() {
+                self.fingerprint()?
+            } else {
+                0
+            };
+        // Campaign identity stamped into every exported shard's header.
+        let dataset_header = DatasetHeader {
+            dataset_schema_version: DATASET_SCHEMA_VERSION,
+            fingerprint,
+            seed: self.engine.seed(),
+            total,
         };
 
         // Resume: fold the journal into pre-completed state.
@@ -1251,19 +1279,22 @@ impl Campaign {
                             CacheEntry::Experiment {
                                 mut record,
                                 metrics,
+                                dataset,
                             } if record.spec == specs[i]
-                                && !(collect_metrics && metrics.is_none()) =>
+                                && !(collect_metrics && metrics.is_none())
+                                && !(config.dataset.is_some() && dataset.is_none()) =>
                             {
                                 record.index = i;
                                 let row = metrics.map(|mut row| {
                                     row.index = i;
                                     row
                                 });
-                                Some((record, row))
+                                Some((record, row, dataset))
                             }
                             // Spec-echo mismatch (hash collision or
-                            // tampering) or a hit missing the telemetry
-                            // this campaign collects: unusable.
+                            // tampering), or a hit missing the telemetry
+                            // or dataset capture this campaign needs:
+                            // unusable.
                             _ => {
                                 cache_stale += 1;
                                 None
@@ -1282,8 +1313,19 @@ impl Campaign {
                 _ => None,
             };
             match hit {
-                Some((record, row)) => {
+                Some((record, row, dataset)) => {
                     cache_hits += 1;
+                    // Replay the cached capture through the sink before the
+                    // journal append (same ordering as live execution), so a
+                    // fully warm run still produces the complete corpus.
+                    if let (Some(sink), Some(capture)) = (config.dataset.as_deref(), dataset) {
+                        sink.export(&ExperimentExport {
+                            header: dataset_header,
+                            label: experiment_label(&record),
+                            capture,
+                        })
+                        .map_err(|e| ComfaseError::Io(format!("dataset export failed: {e}")))?;
+                    }
                     if let Some(journal) = journal.as_ref() {
                         journal.append(&JournalEntry::Completed {
                             index: i,
@@ -1380,6 +1422,8 @@ impl Campaign {
             journal: journal.as_ref(),
             cache: config.cache.as_deref(),
             key_base,
+            dataset: config.dataset.as_deref(),
+            dataset_header,
             records: &records,
             metrics_rows: &metrics_rows,
             failures: &failures,
@@ -1665,10 +1709,13 @@ impl Campaign {
             // closure across the unwind boundary is sound: a caught panic
             // leaves no half-mutated campaign state behind.
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                let log = run()?;
+                let mut log = run()?;
                 let verdict = classify(&golden.trace, &log.trace, params);
                 let row = collect_metrics
                     .then(|| log.experiment_metrics(index, verdict.class.to_string()));
+                // Move the capture out of the (about-to-be-dropped) log;
+                // `None` unless the run recorded with dataset capture on.
+                let dataset = log.obs.take_dataset();
                 Ok::<_, ComfaseError>((
                     ExperimentRecord {
                         index,
@@ -1676,6 +1723,7 @@ impl Campaign {
                         verdict,
                     },
                     row,
+                    dataset,
                 ))
             }));
             let (kind, payload, original) = match attempt {
@@ -1894,12 +1942,35 @@ impl Campaign {
 }
 
 /// Outcome of one supervised experiment: the classified record (plus its
-/// metrics row when collected), or the structured failure alongside the
-/// original error (absent for panics).
+/// metrics row when collected and its dataset capture when recorded), or
+/// the structured failure alongside the original error (absent for
+/// panics).
 type ExperimentOutcome = Result<
-    (ExperimentRecord, Option<ExperimentMetrics>),
+    (
+        ExperimentRecord,
+        Option<ExperimentMetrics>,
+        Option<DatasetCapture>,
+    ),
     (ExperimentFailure, Option<ComfaseError>),
 >;
+
+/// Builds the export label for one classified experiment: the attack
+/// specification plus the classified verdict, flattened into the plain
+/// strings/scalars the corpus schema carries.
+fn experiment_label(record: &ExperimentRecord) -> ExperimentLabel {
+    ExperimentLabel {
+        index: record.index,
+        attack_model: Some(record.spec.model.name().to_string()),
+        attack_parameter: Some(record.spec.model.target_parameter().to_string()),
+        attack_value: Some(record.spec.value),
+        attack_start_s: Some(record.spec.start.as_secs_f64()),
+        attack_duration_s: Some(record.spec.duration().as_secs_f64()),
+        targets: record.spec.targets.to_vec(),
+        verdict: record.verdict.class.to_string(),
+        max_decel_mps2: record.verdict.max_decel_mps2,
+        nr_collisions: record.verdict.nr_collisions,
+    }
+}
 
 /// How the execution of one claimed [`WorkUnit`] ended.
 enum UnitRun {
@@ -1920,6 +1991,11 @@ struct ResultSink<'a> {
     journal: Option<&'a JournalWriter>,
     cache: Option<&'a dyn ExperimentCache>,
     key_base: Option<CacheKeyBase>,
+    /// Streaming dataset sink; exports happen *before* the journal append
+    /// so a journaled row always has its shard on disk.
+    dataset: Option<&'a dyn DatasetSink>,
+    /// Campaign identity stamped into every exported shard.
+    dataset_header: DatasetHeader,
     records: &'a Mutex<Vec<ExperimentRecord>>,
     metrics_rows: &'a Mutex<Vec<ExperimentMetrics>>,
     failures: &'a Mutex<Vec<ExperimentFailure>>,
@@ -1978,7 +2054,7 @@ impl ResultSink<'_> {
     fn push(&self, outcome: ExperimentOutcome) -> bool {
         if let Some(seen) = self.dedup {
             let index = match &outcome {
-                Ok((record, _)) => record.index,
+                Ok((record, ..)) => record.index,
                 Err((failure, _)) => failure.index,
             };
             if !seen.lock().insert(index) {
@@ -1988,7 +2064,26 @@ impl ResultSink<'_> {
             }
         }
         match outcome {
-            Ok((record, row)) => {
+            Ok((record, row, dataset)) => {
+                // Dataset export comes first: once the journal records the
+                // experiment as completed, a resume will never re-run it,
+                // so its shard must already be on disk by then. Sinks are
+                // idempotent for identical bytes, so the crash window
+                // (shard written, journal row lost) re-exports harmlessly.
+                if let Some(sink) = self.dataset {
+                    let exported = sink.export(&ExperimentExport {
+                        header: self.dataset_header,
+                        label: experiment_label(&record),
+                        capture: dataset.clone().unwrap_or_default(),
+                    });
+                    if let Err(e) = exported {
+                        self.first_error
+                            .lock()
+                            .get_or_insert(ComfaseError::Io(format!("dataset export failed: {e}")));
+                        self.stop();
+                        return false;
+                    }
+                }
                 if let Some(journal) = self.journal {
                     let entry = JournalEntry::Completed {
                         index: record.index,
@@ -2016,7 +2111,7 @@ impl ResultSink<'_> {
                     });
                     let stored = match injected {
                         Some(e) => Err(e),
-                        None => store_experiment(cache_store, base, &record, row.as_ref()),
+                        None => store_experiment(cache_store, base, &record, row.as_ref(), dataset),
                     };
                     if let Err(e) = stored {
                         self.first_error.lock().get_or_insert(e);
@@ -2095,6 +2190,7 @@ fn store_experiment(
     base: CacheKeyBase,
     record: &ExperimentRecord,
     row: Option<&ExperimentMetrics>,
+    dataset: Option<DatasetCapture>,
 ) -> Result<(), ComfaseError> {
     let spec_json = fingerprint::canonical_json(&record.spec)?;
     let key = base.experiment_key(&spec_json, record.index, record.spec.model.seed_invariant());
@@ -2105,11 +2201,14 @@ fn store_experiment(
         row.index = 0;
         row
     });
+    // The capture is stored as-is: its rows carry sim times, not the
+    // experiment index, so it is already index-free like the record.
     cache_store.store(
         &key,
         &CacheEntry::Experiment {
             record: stored,
             metrics,
+            dataset,
         },
     )
 }

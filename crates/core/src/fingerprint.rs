@@ -90,6 +90,7 @@ pub fn campaign_fingerprint(
     hash = fold_field(hash, &canonical_json(&budget.max_sim_time)?);
     hash = fold_field(hash, &[u8::from(obs.metrics)]);
     hash = fold_field(hash, &(obs.trace_capacity as u64).to_le_bytes());
+    hash = fold_field(hash, &[u8::from(obs.dataset)]);
     Ok(hash)
 }
 

@@ -87,7 +87,8 @@ pub mod prelude {
     pub use crate::world::{IndexingMode, JammerSpec, RunFault, RunFaultKind, World};
     pub use comfase_des::sim::EventBudget;
     pub use comfase_obs::{
-        chrome_trace_json, CampaignMetrics, ExperimentMetrics, FrameBreakdown, HostProfiler,
-        KernelCounters, MetricsSnapshot, ObsConfig, WallDeadline,
+        chrome_trace_json, CampaignMetrics, DatasetSink, DirSink, ExperimentMetrics,
+        FrameBreakdown, HostProfiler, KernelCounters, MetricsSnapshot, NullSink, ObsConfig,
+        WallDeadline,
     };
 }

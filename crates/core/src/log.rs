@@ -70,6 +70,18 @@ impl RunLog {
         let ch = &self.channel;
         let decided = ch.received + ch.lost_snir + ch.lost_sensitivity;
         let rx_inactive = self.obs.counter("phy.rx.inactive");
+        // Decided + inactive exceeding planned means the closed frame-fate
+        // invariant is already broken upstream. Record the fault instead of
+        // letting the saturation silently absorb it (sim-sanitizer builds
+        // fail fast).
+        let accounting_underflow =
+            u64::from(decided + rx_inactive > ch.links_planned || ch.received > ch.links_planned);
+        debug_assert!(
+            accounting_underflow == 0,
+            "frame-fate accounting underflow: planned {} < decided {} + rx_inactive {rx_inactive}",
+            ch.links_planned,
+            decided
+        );
         let in_flight_at_end = ch
             .links_planned
             .saturating_sub(decided)
@@ -100,6 +112,7 @@ impl RunLog {
             mac_dropped_queue_full,
             mac_deferrals_busy: mac_deferrals.saturating_sub(mac_deferrals_guard),
             mac_deferrals_guard,
+            accounting_underflow,
         }
     }
 
@@ -212,6 +225,27 @@ mod tests {
         assert_eq!(f.mac_dropped_queue_full, 5);
         assert_eq!(f.mac_deferrals_busy, 5);
         assert_eq!(f.mac_deferrals_guard, 4);
+        assert_eq!(f.accounting_underflow, 0);
         assert_eq!(f.not_delivered(), 10);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn frame_breakdown_records_accounting_underflow() {
+        let mut log = small_log();
+        log.channel.links_planned = 5;
+        log.channel.received = 7; // invariant already broken upstream
+        let f = log.frame_breakdown();
+        assert_eq!(f.accounting_underflow, 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "frame-fate accounting underflow")]
+    fn frame_breakdown_underflow_trips_the_sim_sanitizer() {
+        let mut log = small_log();
+        log.channel.links_planned = 5;
+        log.channel.received = 7;
+        let _ = log.frame_breakdown();
     }
 }

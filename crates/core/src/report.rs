@@ -476,6 +476,7 @@ mod tests {
                 mac_dropped_queue_full: 1,
                 mac_deferrals_busy: 7,
                 mac_deferrals_guard: 2,
+                accounting_underflow: 0,
             },
             counters: Default::default(),
         };

@@ -22,7 +22,10 @@ use comfase_des::rng::StreamId;
 use comfase_des::sim::{BreachKind, EventBudget, Simulator};
 use comfase_des::time::{SimDuration, SimTime};
 use comfase_obs::trace::TRACK_KERNEL;
-use comfase_obs::{HistSpec, KernelCounters, ObsConfig, Recorder, SimRecorder, TraceKind};
+use comfase_obs::{
+    FrameFate, FrameRecord, HistSpec, KernelCounters, ObsConfig, Recorder, SimRecorder, StepRecord,
+    TraceKind,
+};
 use comfase_platoon::app::PlatoonApp;
 use comfase_platoon::beacon::PlatoonBeacon;
 use comfase_platoon::controller::{EgoState, RadarReading};
@@ -33,6 +36,7 @@ use comfase_traffic::simulation::{LeaderLookup, TrafficSim};
 use comfase_traffic::trace::TraceConfig;
 use comfase_traffic::vehicle::{Vehicle, VehicleId, VehicleSpec};
 use comfase_wireless::channel::{ChannelInterceptor, FanoutStrategy, Medium, PlannedReception};
+use comfase_wireless::decider::{DeciderResult, LossReason};
 use comfase_wireless::frame::{AccessCategory, NodeId, WaveChannel, Wsm};
 use comfase_wireless::geom::Position;
 use comfase_wireless::mac::{Mac, MacAction, MacConfig};
@@ -705,6 +709,12 @@ impl World {
 
     fn on_traffic_step(&mut self) {
         let now = self.sim.now();
+        let capture = self.obs.dataset_enabled();
+        let attack_active = capture && self.medium.has_interceptor();
+        // Step rows are staged locally so the collision flag (only known
+        // after kinematics advance) can be stamped before recording. Node
+        // iteration order is BTreeMap order, so rows are deterministic.
+        let mut step_rows: Vec<StepRecord> = Vec::new();
         // Control phase: every active platoon member computes its command
         // from its current knowledge.
         let vehicles: Vec<u32> = self.nodes.keys().copied().collect();
@@ -723,25 +733,45 @@ impl World {
                 speed_mps: veh.state.speed_mps,
                 accel_mps2: veh.state.accel_mps2,
             };
-            let radar = self
+            let pos_m = veh.state.pos_m;
+            let lead_gap = self
                 .traffic
                 .leader_of(VehicleId(v))
-                .expect("vehicle exists")
-                .map(|(lead, gap)| {
-                    let lead_speed = self
-                        .traffic
-                        .vehicle(lead)
-                        .map_or(ego.speed_mps, |l| l.state.speed_mps);
-                    RadarReading {
-                        gap_m: gap,
-                        closing_speed_mps: ego.speed_mps - lead_speed,
-                    }
-                });
+                .expect("vehicle exists");
+            let radar = lead_gap.map(|(lead, gap)| {
+                let lead_speed = self
+                    .traffic
+                    .vehicle(lead)
+                    .map_or(ego.speed_mps, |l| l.state.speed_mps);
+                RadarReading {
+                    gap_m: gap,
+                    closing_speed_mps: ego.speed_mps - lead_speed,
+                }
+            });
+            let node = self.nodes.get_mut(&v).expect("node exists");
             let mut accel = node.app.control(now, ego, radar, self.step_len_s);
+            let mut monitor_brake = false;
             if let Some(monitor) = node.monitor.as_mut() {
                 if let MonitorDecision::EmergencyBrake(brake) = monitor.check(radar.as_ref()) {
                     accel = brake;
+                    monitor_brake = true;
                 }
+            }
+            if capture {
+                step_rows.push(StepRecord {
+                    time_ns: now.as_nanos(),
+                    vehicle: v,
+                    pos_m,
+                    speed_mps: ego.speed_mps,
+                    accel_mps2: accel,
+                    leader: lead_gap.map(|(lead, _)| lead.0),
+                    gap_m: lead_gap.map(|(_, gap)| gap),
+                    // The paper's comfortable-deceleration boundary
+                    // (classify::ClassificationParams, 5 m/s²).
+                    hard_braking: monitor_brake || accel <= -5.0,
+                    collision: false,
+                    attack_active,
+                });
             }
             self.traffic
                 .command_accel(VehicleId(v), accel)
@@ -759,6 +789,10 @@ impl World {
                 node.active = false;
             }
             self.medium.remove_node(NodeId(c.collider.0));
+        }
+        for mut row in step_rows {
+            row.collision = collisions.iter().any(|c| c.collider.0 == row.vehicle);
+            self.obs.record_step(row);
         }
         self.sync_positions();
 
@@ -855,6 +889,30 @@ impl World {
         }
     }
 
+    /// Captures one dataset frame row for a decided (or inactive-receiver)
+    /// reception. No-op — and allocation-free — unless the run was built
+    /// with dataset capture enabled.
+    fn record_frame_fate(
+        &mut self,
+        now: SimTime,
+        reception: &PlannedReception,
+        fate: FrameFate,
+        snir_db: Option<f64>,
+    ) {
+        if !self.obs.dataset_enabled() {
+            return;
+        }
+        self.obs.record_frame(FrameRecord {
+            time_ns: now.as_nanos(),
+            tx: reception.wsm.source.0,
+            rx: reception.rx.0,
+            delay_ns: (now - reception.wsm.created).as_nanos(),
+            snir_db,
+            fate,
+            attack_active: self.medium.has_interceptor(),
+        });
+    }
+
     fn on_rx_start(&mut self, reception: PlannedReception) {
         let now = self.sim.now();
         let rx = reception.rx.0;
@@ -878,14 +936,37 @@ impl World {
             // Planned for a radio that never decodes (jammer node) — the
             // link leaves the accounting here.
             self.obs.inc("phy.rx.inactive");
+            self.record_frame_fate(now, &reception, FrameFate::RxInactive, None);
             return;
         };
         if !node.active {
             // Receiver crashed mid-flight; same attribution.
             self.obs.inc("phy.rx.inactive");
+            self.record_frame_fate(now, &reception, FrameFate::RxInactive, None);
             return;
         }
         let result = self.medium.reception_finished(&reception);
+        // Inlined (rather than via `record_frame_fate`) because the `node`
+        // borrow is still live here; `obs` and `medium` are disjoint fields.
+        if self.obs.dataset_enabled() {
+            let (fate, snir_db) = match &result {
+                DeciderResult::Received { snir_db } => (FrameFate::Received, Some(*snir_db)),
+                DeciderResult::Lost(LossReason::Snir) => (FrameFate::LostSnir, None),
+                DeciderResult::Lost(LossReason::BelowSensitivity) => {
+                    (FrameFate::LostSensitivity, None)
+                }
+                DeciderResult::Lost(LossReason::NumericFault) => (FrameFate::NumericFault, None),
+            };
+            self.obs.record_frame(FrameRecord {
+                time_ns: now.as_nanos(),
+                tx: reception.wsm.source.0,
+                rx: reception.rx.0,
+                delay_ns: (now - reception.wsm.created).as_nanos(),
+                snir_db,
+                fate,
+                attack_active: self.medium.has_interceptor(),
+            });
+        }
         if self.obs.enabled() {
             self.obs.observe(
                 "phy.rx.power_dbm",

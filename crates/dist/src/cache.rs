@@ -78,12 +78,27 @@ impl DiskCache {
     }
 
     /// Garbage-collects the cache down to at most `max_bytes` of valid
-    /// entries, oldest-entry-first (modification time, path as the
-    /// deterministic tiebreak). Orphaned temp files and stale entries —
-    /// torn JSON, or a key echo that does not match the file's address —
-    /// are swept unconditionally and do not count against the budget.
-    /// Every removal is a single atomic `remove_file`; a concurrent
-    /// *reader* of an evicted entry degrades to a miss and re-simulates.
+    /// entries.
+    ///
+    /// Eviction order is the lexicographic tuple order of
+    /// `(mtime, path, size)`, oldest first: modification time is the
+    /// primary key, and the full entry *path* is the explicit tiebreak —
+    /// on filesystems with coarse mtime granularity (FAT's 2 s, or any
+    /// mount with `noatime`-style second resolution) whole batches of
+    /// entries share one mtime, and without the path tiebreak the
+    /// eviction order would be whatever the directory walk produced.
+    /// Paths are unique, so `size` never actually decides; it rides in
+    /// the tuple only so the eviction loop has it at hand. Two gc passes
+    /// over the same tree therefore always evict the same entries.
+    ///
+    /// Orphaned temp files and stale entries — torn JSON, or a key echo
+    /// that does not match the file's address — are swept unconditionally
+    /// and do not count against the budget; their reclaimed bytes are
+    /// reported under [`GcStats::temp_bytes_removed`] /
+    /// [`GcStats::stale_bytes_removed`] so `gc_stats.json` accounts for
+    /// every byte freed. Every removal is a single atomic `remove_file`;
+    /// a concurrent *reader* of an evicted entry degrades to a miss and
+    /// re-simulates.
     ///
     /// This is a maintenance operation: run it between campaigns, not
     /// while writers share the cache — an in-flight writer's temp file
@@ -111,6 +126,7 @@ impl DiskCache {
                 if name.starts_with(".tmp-") {
                     remove_entry(&path)?;
                     stats.temps_removed += 1;
+                    stats.temp_bytes_removed += meta.len();
                     continue;
                 }
                 if !name.ends_with(".json") {
@@ -127,6 +143,7 @@ impl DiskCache {
                 if !valid {
                     remove_entry(&path)?;
                     stats.stale_removed += 1;
+                    stats.stale_bytes_removed += meta.len();
                     continue;
                 }
                 let mtime = meta.modified().map_err(|e| io_err(&path, &e))?;
@@ -135,6 +152,9 @@ impl DiskCache {
                 entries.push((mtime, path, meta.len()));
             }
         }
+        // Deterministic eviction order: lexicographic (mtime, path, size),
+        // oldest first, with the unique path breaking mtime ties (see the
+        // method docs).
         entries.sort();
         let mut live_bytes = stats.bytes_before;
         for (_, path, size) in &entries {
@@ -165,8 +185,14 @@ pub struct GcStats {
     pub bytes_evicted: u64,
     /// Stale entries swept: torn JSON or mismatched key echoes.
     pub stale_removed: usize,
+    /// Bytes reclaimed from swept stale entries.
+    #[serde(default)]
+    pub stale_bytes_removed: u64,
     /// Orphaned temp files swept.
     pub temps_removed: usize,
+    /// Bytes reclaimed from swept orphaned temp files.
+    #[serde(default)]
+    pub temp_bytes_removed: u64,
     /// Valid entries remaining.
     pub entries_after: usize,
     /// Bytes of valid entries remaining (≤ the budget).
@@ -320,9 +346,14 @@ mod tests {
             format!("{{\"key\":{}}}", serde_json::to_string(&foreign).unwrap()),
         )
         .unwrap();
+        let temp_bytes = fs::metadata(shard.join(".tmp-999-0")).unwrap().len();
+        let stale_bytes = fs::metadata(shard.join("torn.json")).unwrap().len()
+            + fs::metadata(&misplaced).unwrap().len();
         let stats = cache.gc(u64::MAX).unwrap();
         assert_eq!(stats.temps_removed, 1);
+        assert_eq!(stats.temp_bytes_removed, temp_bytes);
         assert_eq!(stats.stale_removed, 2);
+        assert_eq!(stats.stale_bytes_removed, stale_bytes);
         assert_eq!(stats.entries_before, 0);
         assert_eq!(stats.entries_evicted, 0);
         assert!(!misplaced.exists());
@@ -368,6 +399,56 @@ mod tests {
         let wipe = cache.gc(0).unwrap();
         assert_eq!(wipe.entries_evicted, 2);
         assert_eq!(wipe.bytes_after, 0);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn gc_eviction_is_deterministic_under_identical_mtimes() {
+        // Coarse-mtime filesystems routinely stamp whole entry batches
+        // with one modification time; the documented (mtime, path, size)
+        // tuple order must then fall back to the unique path, so every gc
+        // pass over the same tree picks the same victims.
+        let cache = DiskCache::create(tmp_root("gc-ties")).unwrap();
+        let keys: Vec<CacheKey> = (1u64..=4)
+            .map(|i| CacheKey {
+                spec_hash: i,
+                seed: 42,
+                config_hash: 7,
+            })
+            .collect();
+        // Plant in a scrambled order, then force one shared mtime.
+        let mut paths: Vec<PathBuf> = [2usize, 0, 3, 1]
+            .iter()
+            .map(|&i| plant(&cache, &keys[i], 50 + 10 * i))
+            .collect();
+        paths.sort();
+        let stamp = fs::FileTimes::new()
+            .set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000));
+        for p in &paths {
+            OpenOptions::new()
+                .append(true)
+                .open(p)
+                .unwrap()
+                .set_times(stamp)
+                .unwrap();
+            assert_eq!(
+                fs::metadata(p).unwrap().modified().unwrap(),
+                std::time::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000)
+            );
+        }
+        let total: u64 = paths.iter().map(|p| fs::metadata(p).unwrap().len()).sum();
+        let smallest_two: u64 = paths
+            .iter()
+            .take(2)
+            .map(|p| fs::metadata(p).unwrap().len())
+            .sum();
+        // Budget forces exactly two evictions: with all mtimes equal, the
+        // two lexicographically-smallest paths must be the victims.
+        let stats = cache.gc(total - smallest_two).unwrap();
+        assert_eq!(stats.entries_evicted, 2);
+        assert_eq!(stats.bytes_evicted, smallest_two);
+        assert!(!paths[0].exists() && !paths[1].exists());
+        assert!(paths[2].exists() && paths[3].exists());
         let _ = fs::remove_dir_all(cache.root());
     }
 

@@ -21,7 +21,12 @@
 //!    by `(spec, seed, configuration)` return their journaled rows
 //!    without simulating on a re-run, with size-bounded garbage
 //!    collection ([`DiskCache::gc`]) for long-lived shared caches.
-//! 4. **Claim ledger** ([`claim`]) and **claim-driven worker**
+//! 4. **Dataset merger** ([`dataset`]) — reassembles per-experiment
+//!    `exp-*.jsonl` dataset shards (see `comfase_obs::dataset`) into one
+//!    `corpus.jsonl` + `manifest.json`, byte-identical regardless of how
+//!    many workers exported them, under the same identity/coverage/
+//!    equal-or-reject rules as the journal merger.
+//! 5. **Claim ledger** ([`claim`]) and **claim-driven worker**
 //!    ([`worker`]) — the crash-tolerant alternative to static shards:
 //!    the index space is chunked into small work units that workers
 //!    claim through atomic lease files, renew via monotonic heartbeat
@@ -41,12 +46,14 @@
 
 pub mod cache;
 pub mod claim;
+pub mod dataset;
 pub mod merge;
 pub mod shard;
 pub mod worker;
 
 pub use cache::{DiskCache, GcStats};
 pub use claim::{default_unit_size, ClaimLedger, Lease, LeaseView};
+pub use dataset::{merge_dataset_dirs, DatasetMergeReport};
 pub use merge::{
     index_ranges, merge_journals, merge_journals_detailed, merge_states, merge_states_detailed,
     CoverageGap, IndexRange, MergeFailure,

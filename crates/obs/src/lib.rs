@@ -26,11 +26,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dataset;
 pub mod hostprof;
 pub mod metrics;
 pub mod recorder;
 pub mod trace;
 
+pub use dataset::{
+    render_experiment, DatasetCapture, DatasetHeader, DatasetSink, DirSink, ExperimentExport,
+    ExperimentLabel, FrameFate, FrameRecord, NullSink, StepRecord, DATASET_SCHEMA_VERSION,
+};
 pub use hostprof::{HostProfiler, WallDeadline};
 pub use metrics::{
     AggregateMetrics, CampaignMetrics, ExperimentMetrics, FrameBreakdown, KernelCounters,

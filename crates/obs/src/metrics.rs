@@ -15,7 +15,9 @@ use comfase_des::stats::Histogram;
 
 /// Version stamp of the `metrics.json` schema. Bump on any change to the
 /// serialized shape so downstream tooling can detect incompatibility.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: [`FrameBreakdown`] gained `accounting_underflow`.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Counter-name prefixes that mark *substrate diagnostics*: counters that
 /// legitimately differ across execution substrates and therefore never
@@ -97,12 +99,35 @@ pub struct FrameBreakdown {
     pub mac_deferrals_busy: u64,
     /// MAC deferrals due to the IEEE 1609.4 guard interval.
     pub mac_deferrals_guard: u64,
+    /// Times the closed frame-fate identity failed to balance (a decided/
+    /// in-flight total exceeding `links_planned`, or `received >
+    /// links_planned`). Always 0 in a healthy run; any non-zero value
+    /// means the breakdown above cannot be trusted and must fail loudly
+    /// instead of clamping.
+    #[serde(default)]
+    pub accounting_underflow: u64,
 }
 
 impl FrameBreakdown {
     /// Planned links that did not end in successful reception.
+    ///
+    /// `received > links_planned` is an accounting-invariant violation,
+    /// not a quantity to clamp: it is recorded under
+    /// [`FrameBreakdown::accounting_underflow`] (and trips the
+    /// sim-sanitizer `debug_assert!`) so a broken breakdown is visible in
+    /// the artifact instead of silently reading as "0 not delivered".
     pub fn not_delivered(&self) -> u64 {
-        self.links_planned.saturating_sub(self.received)
+        match self.links_planned.checked_sub(self.received) {
+            Some(n) => n,
+            None => {
+                debug_assert!(
+                    false,
+                    "frame-fate underflow: received {} > links_planned {}",
+                    self.received, self.links_planned
+                );
+                0
+            }
+        }
     }
 
     /// Sums another run's breakdown into this one.
@@ -119,6 +144,7 @@ impl FrameBreakdown {
         self.mac_dropped_queue_full += other.mac_dropped_queue_full;
         self.mac_deferrals_busy += other.mac_deferrals_busy;
         self.mac_deferrals_guard += other.mac_deferrals_guard;
+        self.accounting_underflow += other.accounting_underflow;
     }
 }
 
@@ -295,6 +321,44 @@ mod tests {
             ..FrameBreakdown::default()
         };
         assert_eq!(f.not_delivered(), 3);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn breakdown_underflow_is_not_silently_clamped() {
+        // received > links_planned: the old saturating_sub read "0 not
+        // delivered"; now the condition stays visible.
+        let f = FrameBreakdown {
+            links_planned: 5,
+            received: 7,
+            ..FrameBreakdown::default()
+        };
+        assert_eq!(f.not_delivered(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "frame-fate underflow")]
+    fn breakdown_underflow_trips_the_sim_sanitizer() {
+        let f = FrameBreakdown {
+            links_planned: 5,
+            received: 7,
+            ..FrameBreakdown::default()
+        };
+        let _ = f.not_delivered();
+    }
+
+    #[test]
+    fn breakdown_add_sums_accounting_underflow() {
+        let mut a = FrameBreakdown {
+            accounting_underflow: 1,
+            ..FrameBreakdown::default()
+        };
+        a.add(&FrameBreakdown {
+            accounting_underflow: 2,
+            ..FrameBreakdown::default()
+        });
+        assert_eq!(a.accounting_underflow, 3);
     }
 
     #[test]

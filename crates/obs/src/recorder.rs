@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 use comfase_des::stats::Histogram;
 use comfase_des::time::SimTime;
 
+use crate::dataset::{DatasetCapture, FrameRecord, StepRecord};
 use crate::trace::{TraceEvent, TraceKind};
 
 /// Bucket layout of a fixed-bucket histogram: `bins` equal-width bins over
@@ -78,6 +79,21 @@ pub trait Recorder {
     /// Records a timeline event (kept only while the bounded buffer has
     /// room; see [`MemRecorder::dropped_events`]).
     fn trace_event(&mut self, _time: SimTime, _track: u32, _name: &'static str, _kind: TraceKind) {}
+
+    /// `true` if dataset rows are being captured. Instrumentation sites
+    /// guard on this before assembling a record, so disabled runs pay one
+    /// branch and zero allocation on the frame path.
+    fn dataset_enabled(&self) -> bool {
+        false
+    }
+
+    /// Captures one per-frame dataset row (bounded; see
+    /// [`crate::dataset::FRAMES_CAP`]).
+    fn record_frame(&mut self, _f: FrameRecord) {}
+
+    /// Captures one per-control-step dataset row (bounded; see
+    /// [`crate::dataset::STEPS_CAP`]).
+    fn record_step(&mut self, _s: StepRecord) {}
 }
 
 /// The zero-cost recorder: every method is a no-op the optimiser removes.
@@ -95,6 +111,11 @@ pub struct ObsConfig {
     /// buffer is pre-sized to this cap (clamped for sanity) and never
     /// reallocates; events past the cap only bump `dropped_events`.
     pub trace_capacity: usize,
+    /// Capture per-frame/per-step dataset rows (see [`crate::dataset`]).
+    /// Folded into campaign fingerprints and cache config hashes: a
+    /// capture-on run is a different campaign identity than a capture-off
+    /// run, because its run logs carry extra state.
+    pub dataset: bool,
 }
 
 /// Default trace-event cap used by [`ObsConfig::with_trace`]: enough for a
@@ -104,6 +125,10 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 /// Pre-sizing clamp: a pathological cap (`usize::MAX`) must not turn into
 /// a pathological allocation.
 const PRESIZE_CLAMP: usize = 1 << 20;
+
+/// Counter bumped when an observation arrives with a [`HistSpec`] that
+/// conflicts with the layout fixed by the key's first observation.
+pub const SPEC_CONFLICTS: &str = "obs.spec_conflicts";
 
 impl ObsConfig {
     /// Everything off — the default, with zero recording cost.
@@ -117,6 +142,7 @@ impl ObsConfig {
         ObsConfig {
             metrics: true,
             trace_capacity: 0,
+            dataset: false,
         }
     }
 
@@ -126,12 +152,19 @@ impl ObsConfig {
         ObsConfig {
             metrics: true,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            dataset: false,
         }
+    }
+
+    /// This configuration with dataset capture switched on.
+    pub fn with_dataset(mut self) -> Self {
+        self.dataset = true;
+        self
     }
 
     /// `true` if this configuration records nothing at all.
     pub fn is_disabled(&self) -> bool {
-        !self.metrics && self.trace_capacity == 0
+        !self.metrics && self.trace_capacity == 0 && !self.dataset
     }
 }
 
@@ -139,11 +172,12 @@ impl ObsConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemRecorder {
     counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    histograms: BTreeMap<&'static str, (HistSpec, Histogram)>,
     events: Vec<TraceEvent>,
     trace_capacity: usize,
     dropped_events: u64,
     metrics: bool,
+    dataset: Option<Box<DatasetCapture>>,
 }
 
 impl MemRecorder {
@@ -157,6 +191,7 @@ impl MemRecorder {
             trace_capacity: config.trace_capacity,
             dropped_events: 0,
             metrics: config.metrics,
+            dataset: config.dataset.then(|| Box::new(DatasetCapture::default())),
         }
     }
 
@@ -188,10 +223,11 @@ impl MemRecorder {
             histograms: self
                 .histograms
                 .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
+                .map(|(k, (_spec, v))| (k.to_string(), v))
                 .collect(),
             events: self.events,
             dropped_events: self.dropped_events,
+            dataset: self.dataset.map(|b| *b),
         }
     }
 }
@@ -212,12 +248,26 @@ impl Recorder for MemRecorder {
     }
 
     fn observe(&mut self, key: &'static str, spec: HistSpec, value: f64) {
-        if self.metrics {
-            self.histograms
-                .entry(key)
-                .or_insert_with(|| spec.build())
-                .record(value);
+        if !self.metrics {
+            return;
         }
+        let (stored, hist) = self
+            .histograms
+            .entry(key)
+            .or_insert_with(|| (spec, spec.build()));
+        if *stored != spec {
+            // A histogram's layout is fixed by its first observation. A
+            // later observation arriving with a different spec would be
+            // silently misbucketed; keep the original layout but make the
+            // conflict visible in the snapshot, and fail fast in
+            // sim-sanitizer builds.
+            debug_assert!(
+                false,
+                "histogram {key:?} observed with conflicting spec {spec:?} (layout fixed as {stored:?})"
+            );
+            *self.counters.entry(SPEC_CONFLICTS).or_insert(0) += 1;
+        }
+        hist.record(value);
     }
 
     fn trace_event(&mut self, time: SimTime, track: u32, name: &'static str, kind: TraceKind) {
@@ -234,6 +284,22 @@ impl Recorder for MemRecorder {
             name: Cow::Borrowed(name),
             kind,
         });
+    }
+
+    fn dataset_enabled(&self) -> bool {
+        self.dataset.is_some()
+    }
+
+    fn record_frame(&mut self, f: FrameRecord) {
+        if let Some(capture) = &mut self.dataset {
+            capture.push_frame(f);
+        }
+    }
+
+    fn record_step(&mut self, s: StepRecord) {
+        if let Some(capture) = &mut self.dataset {
+            capture.push_step(s);
+        }
     }
 }
 
@@ -312,6 +378,28 @@ impl Recorder for SimRecorder {
             m.trace_event(time, track, name, kind);
         }
     }
+
+    #[inline]
+    fn dataset_enabled(&self) -> bool {
+        match self {
+            SimRecorder::Null => false,
+            SimRecorder::Mem(m) => m.dataset_enabled(),
+        }
+    }
+
+    #[inline]
+    fn record_frame(&mut self, f: FrameRecord) {
+        if let SimRecorder::Mem(m) = self {
+            m.record_frame(f);
+        }
+    }
+
+    #[inline]
+    fn record_step(&mut self, s: StepRecord) {
+        if let SimRecorder::Mem(m) = self {
+            m.record_step(s);
+        }
+    }
 }
 
 /// Frozen, serializable telemetry of one run. Lives inside the run log, so
@@ -329,6 +417,10 @@ pub struct MetricsSnapshot {
     /// Trace events dropped by the buffer cap.
     #[serde(default)]
     pub dropped_events: u64,
+    /// Captured dataset rows (present only when [`ObsConfig::dataset`] was
+    /// on, so existing artifacts serialize byte-identically).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dataset: Option<DatasetCapture>,
 }
 
 impl MetricsSnapshot {
@@ -339,7 +431,16 @@ impl MetricsSnapshot {
 
     /// `true` if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.events.is_empty()
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+            && self.dataset.as_ref().is_none_or(|d| d.is_empty())
+    }
+
+    /// Moves the captured dataset rows out of the snapshot (leaving
+    /// `None`), so the campaign layer can export them without cloning.
+    pub fn take_dataset(&mut self) -> Option<DatasetCapture> {
+        self.dataset.take()
     }
 }
 
@@ -396,6 +497,7 @@ mod tests {
         let mut r = MemRecorder::new(ObsConfig {
             metrics: false,
             trace_capacity: 3,
+            dataset: false,
         });
         assert!(r.trace_enabled());
         for i in 0..10 {
@@ -416,14 +518,92 @@ mod tests {
         let r = MemRecorder::new(ObsConfig {
             metrics: false,
             trace_capacity: 100,
+            dataset: false,
         });
         assert!(r.events.capacity() >= 100);
         // A pathological cap must not cause a pathological allocation.
         let big = MemRecorder::new(ObsConfig {
             metrics: false,
             trace_capacity: usize::MAX,
+            dataset: false,
         });
         assert!(big.events.capacity() <= super::PRESIZE_CLAMP);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn conflicting_hist_specs_are_counted_not_misbucketed() {
+        let mut r = MemRecorder::new(ObsConfig::metrics_only());
+        let spec = HistSpec {
+            lo: 0.0,
+            hi: 10.0,
+            bins: 5,
+        };
+        let other = HistSpec {
+            lo: 0.0,
+            hi: 100.0,
+            bins: 5,
+        };
+        r.observe("h", spec, 3.0);
+        r.observe("h", other, 7.0); // conflicting layout
+        assert_eq!(r.counter(SPEC_CONFLICTS), 1);
+        // The layout fixed by the first observation stays in force.
+        let snap = r.into_snapshot();
+        assert_eq!(snap.histograms["h"].total(), 2);
+        assert_eq!(snap.counter(SPEC_CONFLICTS), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "conflicting spec")]
+    fn conflicting_hist_specs_trip_the_sim_sanitizer() {
+        let mut r = MemRecorder::new(ObsConfig::metrics_only());
+        r.observe(
+            "h",
+            HistSpec {
+                lo: 0.0,
+                hi: 10.0,
+                bins: 5,
+            },
+            3.0,
+        );
+        r.observe(
+            "h",
+            HistSpec {
+                lo: 0.0,
+                hi: 100.0,
+                bins: 5,
+            },
+            7.0,
+        );
+    }
+
+    #[test]
+    fn dataset_capture_follows_config_and_clones_with_forks() {
+        use crate::dataset::FrameRecord;
+        let frame = FrameRecord {
+            time_ns: 1_000,
+            tx: 0,
+            rx: 1,
+            delay_ns: 500,
+            snir_db: Some(20.0),
+            fate: crate::dataset::FrameFate::Received,
+            attack_active: false,
+        };
+        // Capture off: record_frame is a no-op and the snapshot omits the
+        // dataset block entirely.
+        let mut off = SimRecorder::new(ObsConfig::metrics_only());
+        assert!(!off.dataset_enabled());
+        off.record_frame(frame);
+        assert!(off.into_snapshot().dataset.is_none());
+        // Capture on: rows accumulate and fork clones carry them.
+        let mut on = SimRecorder::new(ObsConfig::metrics_only().with_dataset());
+        assert!(on.dataset_enabled());
+        on.record_frame(frame);
+        let mut fork = on.clone();
+        fork.record_frame(frame);
+        on.record_frame(frame);
+        assert_eq!(on.into_snapshot(), fork.into_snapshot());
     }
 
     #[test]

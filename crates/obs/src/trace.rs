@@ -69,7 +69,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let ts_us = e.time.as_nanos() as f64 / 1000.0;
+        let ts_us = format_micros(e.time.as_nanos());
         let name = json_escape(e.name.as_ref());
         out.push_str(&format!(
             "{{\"name\":{name},\"cat\":\"sim\",\"ph\":\"{}\",\"ts\":{ts_us},\
@@ -85,6 +85,25 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     }
     out.push_str("]}\n");
     out
+}
+
+/// Renders a nanosecond count as a microsecond JSON number in the integer
+/// domain: the whole-µs part is a plain `i64` division and only the 0–999 ns
+/// remainder is rendered as a decimal fraction (trailing zeros trimmed, so
+/// 1500 ns stays `1.5`). Going through `f64` instead would lose integer
+/// precision past 2^53 ns (~104 sim-days) and could misorder adjacent
+/// events in Perfetto.
+fn format_micros(nanos: i64) -> String {
+    let sign = if nanos < 0 { "-" } else { "" };
+    let abs = nanos.unsigned_abs();
+    let us = abs / 1000;
+    let frac = abs % 1000;
+    if frac == 0 {
+        format!("{sign}{us}")
+    } else {
+        let digits = format!("{frac:03}");
+        format!("{sign}{us}.{}", digits.trim_end_matches('0'))
+    }
 }
 
 /// Renders `s` as a quoted JSON string (escaping quotes, backslashes, and
@@ -136,6 +155,35 @@ mod tests {
         assert_eq!(list[1]["ph"], "B");
         assert_eq!(list[2]["ph"], "E");
         assert_eq!(list[0]["tid"], 1);
+    }
+
+    #[test]
+    fn large_sim_times_keep_integer_precision() {
+        // Past 2^53 ns an f64 µs conversion collapses adjacent nanosecond
+        // timestamps onto the same value (and can even swap their order
+        // after rounding). The integer-domain renderer must keep them
+        // distinct and exact.
+        let base: i64 = 9_007_199_254_741_001; // > 2^53 ns, ends in …001
+        let events = vec![
+            ev(base, 1, "a", TraceKind::Mark),
+            ev(base + 1, 1, "b", TraceKind::Mark),
+        ];
+        let json = chrome_trace_json(&events);
+        let us = base / 1000;
+        let expected_a = format!("\"ts\":{us}.001");
+        let expected_b = format!("\"ts\":{us}.002");
+        assert!(json.contains(&expected_a), "missing {expected_a} in {json}");
+        assert!(json.contains(&expected_b), "missing {expected_b} in {json}");
+    }
+
+    #[test]
+    fn fractional_micros_trim_trailing_zeros() {
+        assert_eq!(format_micros(0), "0");
+        assert_eq!(format_micros(1_500), "1.5");
+        assert_eq!(format_micros(1_050), "1.05");
+        assert_eq!(format_micros(1_005), "1.005");
+        assert_eq!(format_micros(2_000), "2");
+        assert_eq!(format_micros(-1_500), "-1.5");
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Streaming attack-labeled dataset export: byte-identity of the merged
+//! corpus across execution modes, thread counts, sharding topologies,
+//! steal recovery and cache replay.
+//!
+//! The invariant under test everywhere: however a campaign with dataset
+//! export is executed — one process or many, static shards or stolen
+//! claim units, simulated or cache-served — merging the exported
+//! `exp-*.jsonl` shards produces a **byte-identical** `corpus.jsonl`.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use comfase::campaign::WorkSource;
+use comfase::prelude::*;
+use comfase_des::time::SimTime;
+use comfase_dist::{merge_dataset_dirs, plan_shards, ClaimSource, DiskCache};
+
+fn quick_scenario(secs: i64) -> TrafficScenario {
+    let mut s = TrafficScenario::paper_default();
+    s.total_sim_time = SimTime::from_secs(secs);
+    s
+}
+
+/// The 8-experiment delay campaign shape shared with the dist and steal
+/// suites — telemetry *and* dataset capture on.
+fn campaign() -> Campaign {
+    let setup = AttackCampaignSetup {
+        attack_model: AttackModelKind::Delay,
+        target_vehicles: vec![2],
+        attack_values: vec![0.4, 1.6],
+        attack_starts_s: vec![17.0, 19.4],
+        attack_durations_s: vec![2.0, 8.0],
+    };
+    let engine = Engine::new(quick_scenario(30), CommModel::paper_default(), 42).unwrap();
+    Campaign::new(engine, setup)
+        .unwrap()
+        .with_obs(ObsConfig::metrics_only().with_dataset())
+}
+
+/// A scratch path in the system temp dir, unique per test process, with
+/// any stale copy removed.
+fn tmp_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("comfase-dataset-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+/// A run config exporting dataset shards into `dir`.
+fn export_config(dir: &Path, mode: ExecutionMode) -> RunConfig {
+    RunConfig {
+        mode,
+        dataset: Some(Arc::new(DirSink::create(dir).unwrap()) as Arc<dyn DatasetSink>),
+        ..RunConfig::default()
+    }
+}
+
+/// Merges the shard directories and returns the corpus bytes.
+fn merged_corpus(dirs: &[PathBuf], label: &str) -> Vec<u8> {
+    let out = tmp_path(&format!("{label}-merged"));
+    let report = merge_dataset_dirs(dirs, &out)
+        .unwrap_or_else(|e| panic!("dataset merge failed under {label}: {e}"));
+    let corpus = std::fs::read(&report.corpus_path).unwrap();
+    assert_eq!(report.corpus_bytes, corpus.len() as u64);
+    let _ = std::fs::remove_dir_all(&out);
+    corpus
+}
+
+/// Acceptance: the merged corpus — and the metrics artifact alongside it
+/// — is byte-identical across all three execution modes and 1/4/8
+/// worker threads, and the export changes no verdict relative to a
+/// capture-only run.
+#[test]
+fn exported_corpus_is_byte_identical_across_modes_and_threads() {
+    let dir = tmp_path("ref-shards");
+    let reference = campaign()
+        .run_supervised(
+            4,
+            &export_config(&dir, ExecutionMode::PrefixFork),
+            &NullObserver,
+        )
+        .unwrap();
+    let reference_corpus = merged_corpus(&[dir.clone()], "ref");
+    let reference_metrics = reference.metrics.as_ref().unwrap().to_json_bytes();
+    assert!(!reference_corpus.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for mode in [
+        ExecutionMode::FromScratch,
+        ExecutionMode::PrefixFork,
+        ExecutionMode::SnapshotDag,
+    ] {
+        for threads in [1usize, 4, 8] {
+            let label = format!("{mode:?}-t{threads}");
+            let dir = tmp_path(&format!("{label}-shards"));
+            let result = campaign()
+                .run_supervised(threads, &export_config(&dir, mode), &NullObserver)
+                .unwrap_or_else(|e| panic!("export run failed under {label}: {e}"));
+            assert_eq!(
+                result.metrics.as_ref().unwrap().to_json_bytes(),
+                reference_metrics,
+                "metrics diverged with export on under {label}"
+            );
+            assert_eq!(
+                result.records, reference.records,
+                "records diverged under {label}"
+            );
+            assert_eq!(
+                merged_corpus(&[dir.clone()], &label),
+                reference_corpus,
+                "corpus diverged under {label}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Static 2- and 4-way sharded splits export into one shared directory;
+/// the merged corpus is byte-identical to the single-process export.
+#[test]
+fn sharded_workers_export_into_one_directory_and_merge_identically() {
+    let solo_dir = tmp_path("solo-shards");
+    campaign()
+        .run_supervised(
+            4,
+            &export_config(&solo_dir, ExecutionMode::SnapshotDag),
+            &NullObserver,
+        )
+        .unwrap();
+    let reference_corpus = merged_corpus(&[solo_dir.clone()], "solo");
+    let _ = std::fs::remove_dir_all(&solo_dir);
+
+    for n in [2usize, 4] {
+        let label = format!("split-{n}");
+        let shared_dir = tmp_path(&format!("{label}-shards"));
+        let campaign = campaign();
+        let mut journals = Vec::new();
+        for shard in plan_shards(&campaign, n).unwrap() {
+            let journal = tmp_path(&format!("{label}-{}.journal", shard.index));
+            let config = RunConfig {
+                journal: Some(journal.clone()),
+                shard: Some(ShardRange {
+                    index: shard.index,
+                    of: shard.of,
+                }),
+                ..export_config(&shared_dir, ExecutionMode::PrefixFork)
+            };
+            campaign
+                .run_supervised(2, &config, &NullObserver)
+                .unwrap_or_else(|e| panic!("shard {} failed under {label}: {e}", shard.index));
+            journals.push(journal);
+        }
+        assert_eq!(
+            merged_corpus(&[shared_dir.clone()], &label),
+            reference_corpus,
+            "corpus diverged under {label}"
+        );
+        for journal in journals {
+            let _ = std::fs::remove_file(journal);
+        }
+        let _ = std::fs::remove_dir_all(&shared_dir);
+    }
+}
+
+/// Steal recovery: a claim-driven victim dies mid-campaign (after
+/// exporting part of its unit), a survivor steals and re-executes the
+/// stranded unit — re-exporting some shards bit-equal over the victim's
+/// — and the merged corpus is unchanged.
+#[test]
+fn stolen_units_reexport_bit_equal_shards_and_the_corpus_is_unchanged() {
+    let reference_dir = tmp_path("steal-ref-shards");
+    campaign()
+        .run_supervised(
+            4,
+            &export_config(&reference_dir, ExecutionMode::PrefixFork),
+            &NullObserver,
+        )
+        .unwrap();
+    let reference_corpus = merged_corpus(&[reference_dir.clone()], "steal-ref");
+    let _ = std::fs::remove_dir_all(&reference_dir);
+
+    let claim_dir = tmp_path("steal-claims");
+    let shared_dir = tmp_path("steal-shards");
+    let victim_journal = tmp_path("steal-victim.journal");
+    let survivor_journal = tmp_path("steal-survivor.journal");
+    let claim_source = |campaign: &Campaign, worker: &str| {
+        Arc::new(
+            ClaimSource::for_campaign(&claim_dir, campaign, worker, Some(3), 3)
+                .unwrap()
+                .with_scan_interval(Duration::from_millis(1)),
+        ) as Arc<dyn WorkSource>
+    };
+
+    // The victim dies on experiment 1: experiment 0 of its unit is
+    // already exported and journaled, the rest of the unit is stranded.
+    let victim = campaign().with_chaos(ChaosConfig {
+        fail_on: vec![1],
+        ..ChaosConfig::default()
+    });
+    let config = RunConfig {
+        journal: Some(victim_journal.clone()),
+        work: Some(claim_source(&victim, "victim")),
+        ..export_config(&shared_dir, ExecutionMode::PrefixFork)
+    };
+    victim
+        .run_supervised(1, &config, &NullObserver)
+        .expect_err("the chaos kill must abort the victim");
+
+    // The survivor drains the ledger, stealing the victim's unit and
+    // re-exporting its shards into the same directory.
+    let survivor = campaign();
+    let config = RunConfig {
+        journal: Some(survivor_journal.clone()),
+        work: Some(claim_source(&survivor, "survivor")),
+        ..export_config(&shared_dir, ExecutionMode::PrefixFork)
+    };
+    survivor.run_supervised(4, &config, &NullObserver).unwrap();
+
+    assert_eq!(
+        merged_corpus(&[shared_dir.clone()], "steal"),
+        reference_corpus,
+        "corpus diverged after steal recovery"
+    );
+    for path in [&victim_journal, &survivor_journal] {
+        let _ = std::fs::remove_file(path);
+    }
+    let _ = std::fs::remove_dir_all(&claim_dir);
+    let _ = std::fs::remove_dir_all(&shared_dir);
+}
+
+/// Cache replay: a warm re-run performs zero simulations yet re-exports
+/// every shard — byte-identical to the simulated export.
+#[test]
+fn warm_cache_replay_reexports_a_byte_identical_corpus() {
+    let cache_dir = tmp_path("cache");
+    let cache =
+        || Some(Arc::new(DiskCache::create(&cache_dir).unwrap()) as Arc<dyn ExperimentCache>);
+
+    let cold_dir = tmp_path("cold-shards");
+    let cold = campaign()
+        .run_supervised(
+            4,
+            &RunConfig {
+                cache: cache(),
+                ..export_config(&cold_dir, ExecutionMode::PrefixFork)
+            },
+            &NullObserver,
+        )
+        .unwrap();
+    assert_eq!(cold.stats.cache_hits, 0);
+    let reference_corpus = merged_corpus(&[cold_dir.clone()], "cold");
+
+    let warm_dir = tmp_path("warm-shards");
+    let warm = campaign()
+        .run_supervised(
+            4,
+            &RunConfig {
+                cache: cache(),
+                ..export_config(&warm_dir, ExecutionMode::PrefixFork)
+            },
+            &NullObserver,
+        )
+        .unwrap();
+    assert_eq!(
+        warm.stats.forked_runs + warm.stats.scratch_runs + warm.stats.chain_forked_runs,
+        0,
+        "a fully warm cache performs zero simulations"
+    );
+    assert_eq!(
+        merged_corpus(&[warm_dir.clone()], "warm"),
+        reference_corpus,
+        "cache-served corpus diverged from the simulated one"
+    );
+    for dir in [&cache_dir, &cold_dir, &warm_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Configuring an export sink without dataset capture is refused up
+/// front: the sink would otherwise stream empty captures silently.
+#[test]
+fn export_without_capture_is_refused() {
+    let setup = AttackCampaignSetup {
+        attack_model: AttackModelKind::Delay,
+        target_vehicles: vec![2],
+        attack_values: vec![0.4],
+        attack_starts_s: vec![17.0],
+        attack_durations_s: vec![2.0],
+    };
+    let engine = Engine::new(quick_scenario(30), CommModel::paper_default(), 42).unwrap();
+    let no_capture = Campaign::new(engine, setup)
+        .unwrap()
+        .with_obs(ObsConfig::metrics_only());
+    let dir = tmp_path("refused-shards");
+    let err = no_capture
+        .run_supervised(
+            1,
+            &export_config(&dir, ExecutionMode::PrefixFork),
+            &NullObserver,
+        )
+        .expect_err("export without capture must be refused");
+    assert!(matches!(err, ComfaseError::InvalidConfig(_)), "{err:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
